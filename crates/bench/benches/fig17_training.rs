@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 17 training comparison: one full tiny
+//! training iteration under each implementation (reference, pipelined
+//! baseline, pipelined Vocab-1/Vocab-2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vp_model::cost::VocabAlgo;
+use vp_runtime::{train_pipeline, train_reference, Mode, TinyConfig};
+
+fn bench_fig17(c: &mut Criterion) {
+    let config = TinyConfig::default();
+    let mut group = c.benchmark_group("fig17_one_iteration");
+    group.sample_size(10);
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(train_reference(&config, 1).expect("trains")))
+    });
+    let modes = [
+        ("pipeline-baseline", Mode::Baseline),
+        ("pipeline-vocab-1", Mode::Vocab(VocabAlgo::Alg1)),
+        ("pipeline-vocab-2", Mode::Vocab(VocabAlgo::Alg2)),
+    ];
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &m| {
+            b.iter(|| black_box(train_pipeline(&config, 4, m, 1).expect("trains")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig17);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the numeric kernels underlying the
+//! reproduction: matmul layouts, safe softmax, and — most relevantly for
+//! the paper — the three partitioned output-layer algorithms against the
+//! unpartitioned reference (the CPU analogue of §6.5's kernel analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vp_core::verify::compare_output_layer;
+use vp_core::{OutputShard, VocabAlgo};
+use vp_model::partition::VocabPartition;
+use vp_tensor::init::{normal, seeded_rng};
+use vp_tensor::nn::softmax_cross_entropy;
+use vp_tensor::ops::softmax_rows;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let a = normal(&mut rng, 64, 128, 1.0);
+    let b = normal(&mut rng, 128, 96, 1.0);
+    let bt = normal(&mut rng, 96, 128, 1.0);
+    let mut group = c.benchmark_group("matmul_64x128x96");
+    group.bench_function("nn", |bch| bch.iter(|| black_box(a.matmul(&b).unwrap())));
+    group.bench_function("nt", |bch| bch.iter(|| black_box(a.matmul_nt(&bt).unwrap())));
+    group.bench_function("tn", |bch| {
+        let at = a.transpose();
+        bch.iter(|| black_box(at.matmul_tn(&b).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let logits = normal(&mut rng, 64, 2048, 3.0);
+    c.bench_function("safe_softmax_64x2048", |b| b.iter(|| black_box(softmax_rows(&logits))));
+}
+
+/// The output-layer strategies on one shard: how much work the S+T passes
+/// of each algorithm do relative to the fused reference.
+fn bench_output_layer(c: &mut Criterion) {
+    let (vocab, hidden, tokens, p) = (1024usize, 64usize, 32usize, 4usize);
+    let mut rng = seeded_rng(3);
+    let full_w = normal(&mut rng, vocab, hidden, 0.5);
+    let x = normal(&mut rng, tokens, hidden, 1.0);
+    let labels: Vec<usize> = (0..tokens).map(|i| (i * 31) % vocab).collect();
+
+    let mut group = c.benchmark_group("output_layer");
+    group.sample_size(20);
+    group.bench_function("reference_full_vocab", |b| {
+        b.iter(|| {
+            let logits = x.matmul_nt(&full_w).unwrap();
+            let (out, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+            let dx = grad.dlogits.matmul(&full_w).unwrap();
+            black_box((out.loss, dx))
+        })
+    });
+    // Single-shard S-pass compute (the per-device kernel of §6.5).
+    let part = VocabPartition::new(vocab, p);
+    let shard = OutputShard::from_full(&full_w, part, 0).unwrap();
+    for algo in [VocabAlgo::Alg1, VocabAlgo::Alg2] {
+        group.bench_with_input(
+            BenchmarkId::new("shard_s_pass", format!("{algo:?}")),
+            &algo,
+            |b, &algo| b.iter(|| black_box(shard.s_pass(algo, &x, &labels).unwrap())),
+        );
+    }
+    // Full threaded equivalence check (p shards + collectives).
+    for algo in [VocabAlgo::Naive, VocabAlgo::Alg1, VocabAlgo::Alg2] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_e2e", format!("{algo:?}")),
+            &algo,
+            |b, &algo| {
+                b.iter(|| black_box(compare_output_layer(algo, p, &full_w, &x, &labels).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_output_layer);
+criterion_main!(benches);

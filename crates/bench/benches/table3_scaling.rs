@@ -1,0 +1,33 @@
+//! Criterion bench for the Table 3 computation: the analytical scaling
+//! factors of the partitioned vocabulary layers at every (model, device)
+//! point of the paper's sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vp_model::config::ModelPreset;
+use vp_model::cost::{CostModel, Hardware, VocabAlgo};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("all_scaling_factors", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for seq in [2048usize, 4096] {
+                for (preset, p) in
+                    [(ModelPreset::Gpt4B, 8), (ModelPreset::Gpt10B, 16), (ModelPreset::Gpt21B, 32)]
+                {
+                    let cfg = preset.config().with_seq_len(seq).with_vocab(256 * 1024);
+                    let m = CostModel::new(cfg, Hardware::default());
+                    acc += m.output_scaling_factor(VocabAlgo::Alg1, p);
+                    acc += m.output_scaling_factor(VocabAlgo::Alg2, p);
+                    acc += m.input_scaling_factor(p);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Table 6 V-Half simulations (7B model, 16
+//! devices, 256k vocabulary): baseline vs. Vocabulary Parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vp_model::config::ModelPreset;
+use vp_model::cost::Hardware;
+use vp_sim::{run_vhalf, VHalfMethod};
+
+fn bench_table6(c: &mut Criterion) {
+    let config = ModelPreset::Gpt7B.config().with_vocab(256 * 1024).with_num_microbatches(32);
+    let mut group = c.benchmark_group("table6_cell");
+    group.sample_size(10);
+    for method in [VHalfMethod::Baseline, VHalfMethod::Vocab1] {
+        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &m| {
+            b.iter(|| black_box(run_vhalf(m, &config, 16, Hardware::default()).mfu))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

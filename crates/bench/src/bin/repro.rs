@@ -1,0 +1,292 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p vp-bench --release --bin repro -- <experiment> [--quick]
+//! ```
+//!
+//! Experiments: `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
+//! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
+//! `ablation-barriers`, `ablation-zero-bubble`, `generality`, `padding`,
+//! `trace`, `csv`, `fig17`, or `all`. `--quick` runs the throughput sweeps with 32 instead
+//! of 128 microbatches (same shapes, ~4× faster).
+
+use vp_bench::experiments;
+use vp_bench::paper;
+use vp_bench::table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let microbatches = if quick { 32 } else { 128 };
+    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let experiments: Vec<&str> = match which {
+        "all" => vec![
+            "fig2", "fig3", "table4", "schedules", "table3", "table3-measured", "table5",
+            "table6", "ablation-interlaced", "ablation-barriers", "ablation-zero-bubble",
+            "generality", "padding", "trace", "csv", "fig17",
+        ],
+        other => vec![other],
+    };
+    for exp in experiments {
+        match exp {
+            "fig1" | "schedules" => schedules(),
+            "fig2" => fig2(),
+            "fig3" => fig3(),
+            "table3" => table3(),
+            "table3-measured" => table3_measured(),
+            "table4" => table4(),
+            "table5" => table5(microbatches),
+            "table6" => table6(microbatches),
+            "ablation-interlaced" => ablation(microbatches),
+            "ablation-barriers" => ablation_barriers(microbatches),
+            "ablation-zero-bubble" => ablation_zero_bubble(microbatches),
+            "generality" => generality(microbatches),
+            "trace" => trace(),
+            "csv" => csv(microbatches),
+            "padding" => padding(),
+            "fig17" => fig17(),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n############ {title} ############\n");
+}
+
+fn fig2() {
+    heading("Figure 2 — vocabulary/transformer layer ratios (Gemma2-9B)");
+    let rows: Vec<Vec<String>> = experiments::fig2_rows()
+        .into_iter()
+        .map(|(v, c, m)| vec![format!("{}k", v / 1024), format!("{c:.2}x"), format!("{m:.2}x")])
+        .collect();
+    println!("{}", table::render(&["vocab", "compute ratio", "param-memory ratio"], &rows));
+    println!("Paper: at 256k the output layer is ≈5x a transformer layer in both compute and memory.");
+}
+
+fn fig3() {
+    heading("Figure 3 — layer redistribution cannot balance a 128k vocabulary (7B, 16 stages)");
+    for (name, loads, imbalance) in experiments::fig3_rows() {
+        let bars: String = loads
+            .iter()
+            .map(|l| {
+                let n = (l * 20.0).round() as usize;
+                format!("{:<24}", "#".repeat(n.min(60)))
+            })
+            .collect::<Vec<_>>()
+            .join("\n  ");
+        println!("{name} (imbalance = max/mean = {imbalance:.2}):\n  {bars}\n");
+    }
+}
+
+fn table3() {
+    heading("Table 3 — vocabulary-layer scaling factor vs. linear scaling (V = 256k)");
+    let mut rows = Vec::new();
+    for (seq, name, factors) in experiments::table3_rows() {
+        let (si, li) = match (seq, name) {
+            (2048, "output-vocab-1") => (0, 0),
+            (2048, "output-vocab-2") => (0, 1),
+            (2048, _) => (0, 2),
+            (4096, "output-vocab-1") => (1, 0),
+            (4096, "output-vocab-2") => (1, 1),
+            _ => (1, 2),
+        };
+        let mut row = vec![seq.to_string(), name.to_string()];
+        for (k, f) in factors.iter().enumerate() {
+            row.push(table::vs_paper(Some(*f), Some(paper::TABLE3[si][li][k])));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table::render(&["seq", "layer", "8 dev — meas (paper) %", "16 dev", "32 dev"], &rows)
+    );
+}
+
+fn table3_measured() {
+    heading("Table 3 (measured) — CPU wall-clock scaling of the numeric S+T passes");
+    let rows: Vec<Vec<String>> = experiments::table3_measured(64, 64, 4096)
+        .into_iter()
+        .map(|(p, f1, f2)| {
+            vec![p.to_string(), format!("{:.1}%", 100.0 * f1), format!("{:.1}%", 100.0 * f2)]
+        })
+        .collect();
+    println!("{}", table::render(&["shards", "output-vocab-1", "output-vocab-2"], &rows));
+    println!("Measured on this machine's CPU kernels (methodology of §6.5; absolute values");
+    println!("reflect cache behaviour, not A100 kernels — see `repro table3` for the model).");
+}
+
+fn table4() {
+    heading("Table 4 — analytical per-layer costs (Appendix A)");
+    let rows = vec![
+        vec!["transformer".into(), "bsh(72h + 12s)".into(), "24h² bytes (12h² params)".into()],
+        vec!["input".into(), "3bsh".into(), "2hV bytes (hV params)".into()],
+        vec!["output".into(), "6bshV".into(), "2hV bytes (hV params)".into()],
+    ];
+    println!("{}", table::render(&["layer", "compute FLOPs", "parameter memory"], &rows));
+    println!("These formulas drive the cost model in `vp-model::cost` (validated by its unit tests).");
+}
+
+fn table5(microbatches: usize) {
+    heading("Table 5 / Figures 11–12 — methods on 1F1B: MFU % and peak memory GB, measured (paper)");
+    let cells = experiments::table5_cells(microbatches);
+    for (si, &(_, _, label)) in paper::TABLE5_SETUPS.iter().enumerate() {
+        println!("--- {label} ---");
+        let mut rows = Vec::new();
+        for (mi, &mname) in paper::TABLE5_METHODS.iter().enumerate() {
+            let mut mfu_row = vec![mname.to_string(), "MFU %".to_string()];
+            let mut mem_row = vec![String::new(), "peak GB".to_string()];
+            for (vi, _) in paper::VOCABS_K.iter().enumerate() {
+                let m = &cells[si][mi][vi];
+                let p = paper::TABLE5[si][mi][vi];
+                let measured = (!m.oom).then_some(m.mfu_pct);
+                mfu_row.push(table::vs_paper(measured, p.map(|c| c.0)));
+                mem_row.push(table::vs_paper(Some(m.mem_gb), p.map(|c| c.1)));
+            }
+            rows.push(mfu_row);
+            rows.push(mem_row);
+        }
+        println!("{}", table::render(&["method", "metric", "32k", "64k", "128k", "256k"], &rows));
+    }
+}
+
+fn table6(microbatches: usize) {
+    heading("Table 6 / Figures 13–14 — V-Half: MFU % and peak memory GB (min–max band), measured (paper)");
+    let cells = experiments::table6_cells(microbatches);
+    for (si, &(_, _, label)) in paper::TABLE6_SETUPS.iter().enumerate() {
+        println!("--- {label} ---");
+        let mut rows = Vec::new();
+        for (mi, mname) in ["baseline", "vocab-1"].iter().enumerate() {
+            let mut mfu_row = vec![mname.to_string(), "MFU %".to_string()];
+            let mut mem_row = vec![String::new(), "peak GB".to_string()];
+            let mut band_row = vec![String::new(), "min–max GB".to_string()];
+            for (vi, _) in paper::VOCABS_K.iter().enumerate() {
+                let (m, min_gb) = &cells[si][mi][vi];
+                let p = paper::TABLE6[si][mi][vi];
+                let measured = (!m.oom).then_some(m.mfu_pct);
+                mfu_row.push(table::vs_paper(measured, p.map(|c| c.0)));
+                mem_row.push(table::vs_paper(Some(m.mem_gb), p.map(|c| c.1)));
+                band_row.push(format!("{min_gb:.1}–{:.1}", m.mem_gb));
+            }
+            rows.push(mfu_row);
+            rows.push(mem_row);
+            rows.push(band_row);
+        }
+        println!("{}", table::render(&["method", "metric", "32k", "64k", "128k", "256k"], &rows));
+    }
+    println!("Paper: baseline spreads up to ≈45 GB across devices; Vocab-1 stays within ≈2.5 GB.");
+}
+
+fn ablation(microbatches: usize) {
+    heading("Appendix B.2 — interlaced synchronous all-reduce ablation (21B, 32 devices)");
+    let saving = experiments::ablation_interlaced(microbatches);
+    println!(
+        "Removing synchronous collectives speeds the interlaced iteration by {:.1}% (paper: {:.1}%).",
+        100.0 * saving,
+        100.0 * paper::ABLATION_B2_SPEEDUP
+    );
+}
+
+fn ablation_barriers(microbatches: usize) {
+    heading("Ablation — communication barriers (3 naive / 2 Alg-1 / 1 Alg-2), 4B, 8 devices, 256k");
+    let rows: Vec<Vec<String>> = experiments::ablation_barriers(microbatches)
+        .into_iter()
+        .map(|(name, mfu, gb, mbs)| {
+            vec![name, format!("{mfu:.2}"), format!("{gb:.2}"), mbs.to_string()]
+        })
+        .collect();
+    println!("{}", table::render(&["grouping", "MFU %", "peak GB", "in-flight µbatches (dev 0)"], &rows));
+    println!("§5.2: the activation overhead equals the barrier count — the motivation for");
+    println!("reducing 3 barriers to 2 (Algorithm 1) and then 1 (Algorithm 2).");
+}
+
+fn ablation_zero_bubble(microbatches: usize) {
+    heading("Extension — zero-bubble 1F1B with Vocab-2 (T deferrable like W, §4.4)");
+    let rows: Vec<Vec<String>> = experiments::ablation_zero_bubble(microbatches)
+        .into_iter()
+        .map(|(name, mfu, bubble)| vec![name, format!("{mfu:.2}"), format!("{bubble:.1}")])
+        .collect();
+    println!("{}", table::render(&["schedule", "MFU %", "mean bubble %"], &rows));
+}
+
+fn csv(microbatches: usize) {
+    heading("CSV export — Figure 11–14 data series");
+    let dir = std::path::Path::new("csv");
+    match experiments::export_csv(dir, microbatches) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("csv export failed: {e}"),
+    }
+}
+
+fn generality(microbatches: usize) {
+    heading("Generality (§5) — Vocab-2 on three schedule families (4B, 8 devices)");
+    let rows: Vec<Vec<String>> = experiments::generality_rows(microbatches)
+        .into_iter()
+        .map(|(name, m32, m256, gb)| {
+            vec![name, format!("{m32:.2}"), format!("{m256:.2}"), format!("{gb:.1}")]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["schedule family", "MFU % @32k", "MFU % @256k", "peak GB @256k"], &rows)
+    );
+    println!("The same S/T building-block insertion keeps MFU flat in V on every family,");
+    println!("as §5.2 argues (interleaving trades memory for a shorter pipeline fill).");
+}
+
+fn trace() {
+    heading("Chrome trace export");
+    let dir = std::path::Path::new("traces");
+    match experiments::export_traces(dir) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+            println!("Open in chrome://tracing or https://ui.perfetto.dev.");
+        }
+        Err(e) => eprintln!("trace export failed: {e}"),
+    }
+}
+
+fn schedules() {
+    heading("Schedule gallery — Figures 1, 10a/10b, 15b, 16");
+    println!("{}", experiments::schedule_gallery());
+}
+
+fn padding() {
+    heading("§6.1 — vocabulary padding to a multiple of 2p (24 devices)");
+    let (orig, padded, shard) = experiments::padding_example();
+    println!("V = {orig} → padded {padded} (multiple of 48), shard width {shard}.");
+    println!("(The paper's ≈8% kernel speedup from alignment is a GPU memory-subsystem effect");
+    println!(" outside our cost model; the partition logic it relies on is what is reproduced here.)");
+}
+
+fn fig17() {
+    heading("Figure 17 / Appendix E — convergence vs. the single-device reference");
+    let curves = experiments::fig17_curves(12);
+    let iters = curves[0].1.len();
+    let mut rows = Vec::new();
+    for i in 0..iters {
+        let mut row = vec![i.to_string()];
+        for (_, losses) in &curves {
+            row.push(format!("{:.5}", losses[i]));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("iter").chain(curves.iter().map(|(n, _)| *n)).collect();
+    println!("{}", table::render(&headers, &rows));
+    let reference = &curves[0].1;
+    let max_dev = curves[1..]
+        .iter()
+        .flat_map(|(_, l)| l.iter().zip(reference).map(|(a, b)| (a - b).abs()))
+        .fold(0.0f64, f64::max);
+    println!("Max |Δloss| vs reference across all pipelined implementations: {max_dev:.2e}");
+    println!("Paper: \"our implementation maintains correctness, albeit with some small numerical differences\".");
+}

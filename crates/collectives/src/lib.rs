@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Simulated multi-device communication for pipeline-parallel training.
+//!
+//! The paper runs on NCCL across up to 32 GPUs; here every "device" is a
+//! thread inside one process and the collectives are rendezvous points built
+//! on locks and channels. What matters for reproducing the paper is the
+//! *synchronization semantics*: an all-reduce is a barrier across all
+//! participating devices (the paper's communication barriers `C0..C2`), a
+//! point-to-point send/recv is a dependency between adjacent pipeline
+//! stages, and a communication *stream* lets collectives overlap with
+//! compute exactly as the paper overlaps NCCL kernels with transformer
+//! layers (§6.1).
+//!
+//! Components:
+//!
+//! * [`CollectiveGroup`] / [`Collective`] — all-reduce (sum/max), reduce,
+//!   broadcast, all-gather, barrier across `p` devices.
+//! * [`P2pNetwork`] / [`P2pEndpoint`] — tagged point-to-point packets
+//!   between stages.
+//! * [`CommStream`] — a per-device worker thread that executes queued
+//!   communication jobs in order, returning [`JobHandle`]s, so compute can
+//!   proceed while a barrier is in flight.
+
+mod collective;
+mod p2p;
+mod stream;
+
+pub use collective::{Collective, CollectiveError, CollectiveGroup, ReduceOp};
+pub use p2p::{P2pEndpoint, P2pError, P2pNetwork, Packet};
+pub use stream::{CommStream, JobHandle};

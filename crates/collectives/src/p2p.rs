@@ -1,0 +1,244 @@
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A tagged point-to-point message carrying a 2-D tensor payload.
+///
+/// Tags let a receiver match a specific logical transfer (e.g. "activation
+/// of microbatch 7, chunk 0") even when multiple transfers between the same
+/// pair of stages are in flight, which happens in V-shape schedules where a
+/// device exchanges both chunk-0 and chunk-1 traffic with its neighbour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Application-defined routing tag.
+    pub tag: u64,
+    /// Row count of the payload.
+    pub rows: usize,
+    /// Column count of the payload.
+    pub cols: usize,
+    /// Row-major payload (`rows * cols` elements).
+    pub data: Vec<f32>,
+}
+
+impl Packet {
+    /// Creates a packet, validating that the payload matches the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` (caller bug).
+    pub fn new(tag: u64, rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "packet payload does not match shape");
+        Packet { tag, rows, cols, data }
+    }
+}
+
+/// Error type for point-to-point operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum P2pError {
+    /// The peer rank does not exist.
+    BadPeer {
+        /// The offending rank.
+        peer: usize,
+        /// Number of endpoints in the network.
+        world: usize,
+    },
+    /// The channel to/from the peer was disconnected (peer dropped).
+    Disconnected {
+        /// The peer whose channel went away.
+        peer: usize,
+    },
+}
+
+impl fmt::Display for P2pError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P2pError::BadPeer { peer, world } => write!(f, "peer {peer} out of range for world size {world}"),
+            P2pError::Disconnected { peer } => write!(f, "channel to peer {peer} disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for P2pError {}
+
+/// Builder for a fully-connected point-to-point network of `world`
+/// endpoints.
+#[derive(Debug)]
+pub struct P2pNetwork;
+
+impl P2pNetwork {
+    /// Creates the per-rank endpoints of a fully-connected network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    #[allow(clippy::new_ret_no_self)] // a factory for per-rank endpoints, not a constructor
+    pub fn new(world: usize) -> Vec<P2pEndpoint> {
+        assert!(world > 0, "world size must be positive");
+        // senders[src][dst] / receivers[dst][src]
+        let mut senders: Vec<Vec<Option<Sender<Packet>>>> = (0..world).map(|_| vec![None; world]).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Packet>>>> = (0..world).map(|_| vec![None; world]).collect();
+        for src in 0..world {
+            for dst in 0..world {
+                let (tx, rx) = unbounded();
+                senders[src][dst] = Some(tx);
+                receivers[dst][src] = Some(rx);
+            }
+        }
+        senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(rank, (tx_row, rx_row))| P2pEndpoint {
+                rank,
+                to_peers: tx_row.into_iter().map(Option::unwrap).collect(),
+                from_peers: rx_row.into_iter().map(Option::unwrap).collect(),
+                stashes: (0..world).map(|_| VecDeque::new()).collect(),
+            })
+            .collect()
+    }
+}
+
+/// Per-rank endpoint of a [`P2pNetwork`].
+pub struct P2pEndpoint {
+    rank: usize,
+    to_peers: Vec<Sender<Packet>>,
+    from_peers: Vec<Receiver<Packet>>,
+    /// Packets received while looking for a different tag, per peer.
+    stashes: Vec<VecDeque<Packet>>,
+}
+
+impl fmt::Debug for P2pEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("P2pEndpoint")
+            .field("rank", &self.rank)
+            .field("world", &self.to_peers.len())
+            .finish()
+    }
+}
+
+impl P2pEndpoint {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of endpoints in the network.
+    pub fn world(&self) -> usize {
+        self.to_peers.len()
+    }
+
+    /// Sends a packet to `dst` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::BadPeer`] for an unknown destination or
+    /// [`P2pError::Disconnected`] if the destination endpoint was dropped.
+    pub fn send(&self, dst: usize, packet: Packet) -> Result<(), P2pError> {
+        let tx = self.to_peers.get(dst).ok_or(P2pError::BadPeer { peer: dst, world: self.world() })?;
+        tx.send(packet).map_err(|_| P2pError::Disconnected { peer: dst })
+    }
+
+    /// Receives the next packet from `src` regardless of tag, blocking until
+    /// one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::BadPeer`] / [`P2pError::Disconnected`] as in
+    /// [`Self::send`].
+    pub fn recv(&mut self, src: usize) -> Result<Packet, P2pError> {
+        if src >= self.world() {
+            return Err(P2pError::BadPeer { peer: src, world: self.world() });
+        }
+        if let Some(p) = self.stashes[src].pop_front() {
+            return Ok(p);
+        }
+        self.from_peers[src].recv().map_err(|_| P2pError::Disconnected { peer: src })
+    }
+
+    /// Receives the packet with the given tag from `src`, stashing (and
+    /// preserving the order of) any other packets that arrive first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2pError::BadPeer`] / [`P2pError::Disconnected`] as in
+    /// [`Self::send`].
+    pub fn recv_tag(&mut self, src: usize, tag: u64) -> Result<Packet, P2pError> {
+        if src >= self.world() {
+            return Err(P2pError::BadPeer { peer: src, world: self.world() });
+        }
+        if let Some(pos) = self.stashes[src].iter().position(|p| p.tag == tag) {
+            return Ok(self.stashes[src].remove(pos).expect("position just found"));
+        }
+        loop {
+            let p = self.from_peers[src].recv().map_err(|_| P2pError::Disconnected { peer: src })?;
+            if p.tag == tag {
+                return Ok(p);
+            }
+            self.stashes[src].push_back(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_between_threads() {
+        let mut eps = P2pNetwork::new(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        thread::scope(|s| {
+            s.spawn(move || {
+                a.send(1, Packet::new(0, 1, 2, vec![1.0, 2.0])).unwrap();
+            });
+            let p = b.recv(0).unwrap();
+            assert_eq!(p.data, vec![1.0, 2.0]);
+        });
+    }
+
+    #[test]
+    fn recv_tag_reorders() {
+        let mut eps = P2pNetwork::new(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, Packet::new(10, 1, 1, vec![10.0])).unwrap();
+        a.send(1, Packet::new(20, 1, 1, vec![20.0])).unwrap();
+        a.send(1, Packet::new(30, 1, 1, vec![30.0])).unwrap();
+        assert_eq!(b.recv_tag(0, 20).unwrap().data, vec![20.0]);
+        // Stashed packets are still delivered, in arrival order.
+        assert_eq!(b.recv(0).unwrap().data, vec![10.0]);
+        assert_eq!(b.recv_tag(0, 30).unwrap().data, vec![30.0]);
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        let mut eps = P2pNetwork::new(1);
+        let mut a = eps.pop().unwrap();
+        a.send(0, Packet::new(1, 1, 1, vec![5.0])).unwrap();
+        assert_eq!(a.recv(0).unwrap().data, vec![5.0]);
+    }
+
+    #[test]
+    fn bad_peer_is_rejected() {
+        let mut eps = P2pNetwork::new(2);
+        let mut a = eps.remove(0);
+        assert!(matches!(a.send(7, Packet::new(0, 0, 0, vec![])), Err(P2pError::BadPeer { .. })));
+        assert!(matches!(a.recv(7), Err(P2pError::BadPeer { .. })));
+    }
+
+    #[test]
+    fn disconnected_peer_is_reported() {
+        let mut eps = P2pNetwork::new(2);
+        let mut a = eps.remove(0);
+        drop(eps); // drop endpoint 1
+        assert!(matches!(a.recv(1), Err(P2pError::Disconnected { peer: 1 })));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload does not match shape")]
+    fn packet_shape_is_validated() {
+        let _ = Packet::new(0, 2, 2, vec![1.0]);
+    }
+}

@@ -1,0 +1,180 @@
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::fmt;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A per-device communication stream: a worker thread that executes queued
+/// jobs strictly in submission order.
+///
+/// This models the CUDA-stream trick of §6.1: the paper maps the vocabulary
+/// all-reduces onto a separate stream so the communication barrier overlaps
+/// with transformer-layer compute. Here the compute thread submits a closure
+/// that performs the (blocking) collective and immediately continues
+/// computing; it joins the returned [`JobHandle`] only at the point where
+/// the schedule actually needs the result.
+///
+/// Jobs submitted by *different* devices to their own streams rendezvous
+/// with each other through a [`crate::CollectiveGroup`] dedicated to that
+/// stream, exactly like per-stream NCCL communicators.
+pub struct CommStream {
+    tx: Option<Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for CommStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommStream").field("alive", &self.tx.is_some()).finish()
+    }
+}
+
+/// Handle to a job submitted to a [`CommStream`].
+#[derive(Debug)]
+pub struct JobHandle<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> JobHandle<T> {
+    /// Blocks until the job completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job itself panicked (the stream drops the result
+    /// channel), which indicates a bug in the submitted closure.
+    pub fn wait(self) -> T {
+        self.rx.recv().expect("communication job panicked")
+    }
+
+    /// Returns the result if the job has already finished.
+    pub fn try_wait(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl CommStream {
+    /// Spawns the stream's worker thread.
+    pub fn new() -> Self {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let worker = std::thread::Builder::new()
+            .name("comm-stream".into())
+            .spawn(move || {
+                for job in rx {
+                    job();
+                }
+            })
+            .expect("failed to spawn comm stream thread");
+        CommStream { tx: Some(tx), worker: Some(worker) }
+    }
+
+    /// Submits a job; jobs run in submission order on the worker thread.
+    pub fn submit<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (result_tx, result_rx) = unbounded();
+        let job: Job = Box::new(move || {
+            let out = f();
+            // A dropped handle is fine: the job's effect may be all we need.
+            let _ = result_tx.send(out);
+        });
+        self.tx
+            .as_ref()
+            .expect("stream already shut down")
+            .send(job)
+            .expect("comm stream worker exited unexpectedly");
+        JobHandle { rx: result_rx }
+    }
+
+    /// Waits for all previously-submitted jobs to finish.
+    pub fn synchronize(&self) {
+        self.submit(|| ()).wait();
+    }
+}
+
+impl Default for CommStream {
+    fn default() -> Self {
+        CommStream::new()
+    }
+}
+
+impl Drop for CommStream {
+    fn drop(&mut self) {
+        // Closing the channel lets the worker drain remaining jobs and exit.
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectiveGroup, ReduceOp};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_in_submission_order() {
+        let stream = CommStream::new();
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..20 {
+            let log = Arc::clone(&log);
+            handles.push(stream.submit(move || log.lock().push(i)));
+        }
+        for h in handles {
+            h.wait();
+        }
+        assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overlapped_all_reduce_across_streams() {
+        // Each "device" submits an all-reduce to its own stream and keeps
+        // "computing" (incrementing a counter) while the barrier resolves.
+        let world = 4;
+        let comms = CollectiveGroup::new(world);
+        let compute_work = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for comm in comms {
+                let compute_work = Arc::clone(&compute_work);
+                scope.spawn(move || {
+                    let stream = CommStream::new();
+                    let rank = comm.rank();
+                    let handle = stream.submit(move || {
+                        let mut data = vec![rank as f32];
+                        comm.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+                        data[0]
+                    });
+                    // Overlapped "compute".
+                    compute_work.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(handle.wait(), 6.0);
+                });
+            }
+        });
+        assert_eq!(compute_work.load(Ordering::SeqCst), world);
+    }
+
+    #[test]
+    fn synchronize_flushes_queue() {
+        let stream = CommStream::new();
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&flag);
+        stream.submit(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            f.store(1, Ordering::SeqCst);
+        });
+        stream.synchronize();
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn try_wait_reports_pending_then_done() {
+        let stream = CommStream::new();
+        let h = stream.submit(|| 42);
+        stream.synchronize();
+        assert_eq!(h.try_wait(), Some(42));
+    }
+}

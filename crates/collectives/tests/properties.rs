@@ -1,0 +1,143 @@
+//! Property-based tests for the simulated collectives: results must match
+//! a sequential reduction for arbitrary world sizes, payloads and op
+//! sequences, and repeated rounds must never cross-talk.
+
+use proptest::prelude::*;
+use vp_collectives::{CollectiveGroup, P2pNetwork, Packet, ReduceOp};
+
+fn run_all<T: Send>(world: usize, f: impl Fn(vp_collectives::Collective) -> T + Sync) -> Vec<T> {
+    let handles = CollectiveGroup::new(world);
+    std::thread::scope(|scope| {
+        handles
+            .into_iter()
+            .map(|h| scope.spawn(|| f(h)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().expect("collective thread"))
+            .collect()
+    })
+}
+
+#[test]
+fn independent_groups_do_not_interfere() {
+    // Two collective groups used concurrently by interleaved threads (the
+    // per-stream communicator pattern of §6.1) must never cross-talk.
+    use vp_collectives::{CollectiveGroup, ReduceOp};
+    let world = 4;
+    let group_a = CollectiveGroup::new(world);
+    let group_b = CollectiveGroup::new(world);
+    std::thread::scope(|scope| {
+        for (a, b) in group_a.into_iter().zip(group_b) {
+            scope.spawn(move || {
+                for round in 0..200 {
+                    let mut x = vec![(a.rank() + round) as f32];
+                    let mut y = vec![(b.rank() * 100 + round) as f32];
+                    // Alternate groups in different orders per parity to
+                    // stress the rendezvous generations.
+                    if round % 2 == 0 {
+                        a.all_reduce(&mut x, ReduceOp::Sum).unwrap();
+                        b.all_reduce(&mut y, ReduceOp::Sum).unwrap();
+                    } else {
+                        b.all_reduce(&mut y, ReduceOp::Sum).unwrap();
+                        a.all_reduce(&mut x, ReduceOp::Sum).unwrap();
+                    }
+                    assert_eq!(x[0], (6 + 4 * round) as f32);
+                    assert_eq!(y[0], (600 + 4 * round) as f32);
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_reduce_matches_sequential_reduction(
+        world in 1usize..6,
+        len in 1usize..20,
+        seed in 0u64..1000,
+        use_max in proptest::bool::ANY,
+    ) {
+        // Deterministic per-rank payloads.
+        let payload = |rank: usize, i: usize| -> f32 {
+            ((seed as usize + rank * 31 + i * 7) % 100) as f32 - 50.0
+        };
+        let op = if use_max { ReduceOp::Max } else { ReduceOp::Sum };
+        let expected: Vec<f32> = (0..len)
+            .map(|i| {
+                (0..world)
+                    .map(|r| payload(r, i))
+                    .fold(op.identity(), |a, b| if use_max { a.max(b) } else { a + b })
+            })
+            .collect();
+        let results = run_all(world, |c| {
+            let mut data: Vec<f32> = (0..len).map(|i| payload(c.rank(), i)).collect();
+            c.all_reduce(&mut data, op).unwrap();
+            data
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    #[test]
+    fn many_rounds_never_cross_talk(world in 2usize..5, rounds in 1usize..30) {
+        let results = run_all(world, |c| {
+            let mut outputs = Vec::new();
+            for round in 0..rounds {
+                let mut data = vec![(c.rank() * 10 + round) as f32];
+                c.all_reduce(&mut data, ReduceOp::Sum).unwrap();
+                outputs.push(data[0]);
+            }
+            outputs
+        });
+        for r in results {
+            for (round, v) in r.iter().enumerate() {
+                let expected: f32 = (0..world).map(|rank| (rank * 10 + round) as f32).sum();
+                prop_assert_eq!(*v, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_any_root(world in 1usize..6, root_pick in 0usize..6, len in 1usize..10) {
+        let root = root_pick % world;
+        let results = run_all(world, |c| {
+            let mut data = if c.rank() == root {
+                (0..len).map(|i| i as f32 + 0.5).collect()
+            } else {
+                vec![0.0; len]
+            };
+            c.broadcast(&mut data, root).unwrap();
+            data
+        });
+        for r in results {
+            prop_assert_eq!(r, (0..len).map(|i| i as f32 + 0.5).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn p2p_tagged_delivery_is_order_independent(
+        perm_seed in 0u64..1000,
+        n_msgs in 1usize..12,
+    ) {
+        let mut eps = P2pNetwork::new(2);
+        let mut receiver = eps.pop().unwrap();
+        let sender = eps.pop().unwrap();
+        // Send tags in a pseudo-random order; receive in sorted order.
+        let mut tags: Vec<u64> = (0..n_msgs as u64).collect();
+        let mut s = perm_seed;
+        for i in (1..tags.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            tags.swap(i, (s as usize) % (i + 1));
+        }
+        for &tag in &tags {
+            sender.send(1, Packet::new(tag, 1, 1, vec![tag as f32])).unwrap();
+        }
+        for want in 0..n_msgs as u64 {
+            let p = receiver.recv_tag(0, want).unwrap();
+            prop_assert_eq!(p.data, vec![want as f32]);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Verification harnesses: run every shard on its own thread against the
+//! single-device reference (the numerical core of Appendix E).
+
+use crate::input::InputShard;
+use crate::output::OutputShard;
+use vp_collectives::CollectiveGroup;
+use vp_model::cost::VocabAlgo;
+use vp_model::partition::VocabPartition;
+use vp_tensor::nn::softmax_cross_entropy;
+use vp_tensor::{Result, Tensor};
+
+/// Outcome of comparing a sharded output layer against the reference.
+#[derive(Debug, Clone)]
+pub struct OutputComparison {
+    /// Reference mean loss.
+    pub ref_loss: f64,
+    /// Sharded mean loss (identical on all ranks).
+    pub sharded_loss: f64,
+    /// Largest |Δ| between the reference and sharded `∇X`.
+    pub dx_max_err: f32,
+    /// Largest |Δ| between the reference and stitched sharded `∇W`.
+    pub dw_max_err: f32,
+}
+
+impl OutputComparison {
+    /// Whether every deviation is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        (self.ref_loss - self.sharded_loss).abs() < tol as f64
+            && self.dx_max_err < tol
+            && self.dw_max_err < tol
+    }
+}
+
+/// Runs the partitioned output layer with `algo` on `devices` threads and
+/// compares loss, `∇X` and `∇W` against the unpartitioned reference.
+///
+/// # Errors
+///
+/// Propagates any tensor/collective error from either side.
+///
+/// # Panics
+///
+/// Panics if a shard thread panics.
+pub fn compare_output_layer(
+    algo: VocabAlgo,
+    devices: usize,
+    full_weight: &Tensor,
+    x: &Tensor,
+    labels: &[usize],
+) -> Result<OutputComparison> {
+    // Reference.
+    let logits = x.matmul_nt(full_weight)?;
+    let (ref_out, ref_grad) = softmax_cross_entropy(&logits, labels)?;
+    let ref_dx = ref_grad.dlogits.matmul(full_weight)?;
+    let ref_dw = ref_grad.dlogits.matmul_tn(x)?;
+
+    // Sharded.
+    let part = VocabPartition::new(full_weight.rows(), devices);
+    let comms = CollectiveGroup::new(devices);
+    let results: Vec<(usize, f64, Tensor, Tensor)> = std::thread::scope(|scope| {
+        comms
+            .into_iter()
+            .map(|comm| {
+                scope.spawn(move || -> Result<(usize, f64, Tensor, Tensor)> {
+                    let rank = comm.rank();
+                    let mut shard = OutputShard::from_full(full_weight, part, rank)?;
+                    let (loss, dx) = shard.forward_backward(algo, &comm, x, labels)?;
+                    Ok((rank, loss, dx, shard.weight().grad().clone()))
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().expect("shard thread panicked"))
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    let sharded_loss = results[0].1;
+    let mut dx_max_err = 0.0f32;
+    let mut dw_max_err = 0.0f32;
+    for (rank, _, dx, dw) in &results {
+        dx_max_err = dx_max_err.max(dx.max_abs_diff(&ref_dx)?);
+        let (start, _) = part.shard_range(*rank);
+        let end = (start + dw.rows()).min(full_weight.rows());
+        let expected = ref_dw.slice_rows(start.min(end), end)?;
+        dw_max_err = dw_max_err.max(dw.max_abs_diff(&expected)?);
+    }
+    Ok(OutputComparison { ref_loss: ref_out.loss, sharded_loss, dx_max_err, dw_max_err })
+}
+
+/// Runs the partitioned input layer on `devices` threads and returns the
+/// largest deviation from the reference embedding output.
+///
+/// # Errors
+///
+/// Propagates any tensor/collective error.
+///
+/// # Panics
+///
+/// Panics if a shard thread panics.
+pub fn compare_input_layer(devices: usize, full_weight: &Tensor, ids: &[usize]) -> Result<f32> {
+    let reference = vp_tensor::nn::Embedding::from_weight(full_weight.clone()).forward(ids)?.0;
+    let part = VocabPartition::new(full_weight.rows(), devices);
+    let comms = CollectiveGroup::new(devices);
+    let outputs: Vec<Tensor> = std::thread::scope(|scope| {
+        comms
+            .into_iter()
+            .map(|comm| {
+                scope.spawn(move || -> Result<Tensor> {
+                    let shard = InputShard::from_full(full_weight, part, comm.rank())?;
+                    shard.forward(&comm, ids)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().expect("shard thread panicked"))
+            .collect::<Result<Vec<_>>>()
+    })?;
+    let mut max_err = 0.0f32;
+    for out in outputs {
+        max_err = max_err.max(out.max_abs_diff(&reference)?);
+    }
+    Ok(max_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_tensor::init::{normal, seeded_rng};
+
+    #[test]
+    fn all_algorithms_verify_on_a_moderate_case() {
+        let mut rng = seeded_rng(99);
+        let full_w = normal(&mut rng, 50, 12, 0.5);
+        let x = normal(&mut rng, 9, 12, 1.0);
+        let labels: Vec<usize> = (0..9).map(|i| (i * 11) % 50).collect();
+        for algo in [VocabAlgo::Naive, VocabAlgo::Alg1, VocabAlgo::Alg2] {
+            let cmp = compare_output_layer(algo, 5, &full_w, &x, &labels).unwrap();
+            assert!(cmp.passes(1e-4), "{algo:?}: {cmp:?}");
+        }
+    }
+
+    #[test]
+    fn input_layer_verifies() {
+        let mut rng = seeded_rng(100);
+        let full_w = normal(&mut rng, 30, 8, 1.0);
+        let err = compare_input_layer(6, &full_w, &[0, 29, 3, 3, 15]).unwrap();
+        assert!(err < 1e-6);
+    }
+}

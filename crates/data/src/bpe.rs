@@ -1,0 +1,197 @@
+//! Byte-pair encoding: train merges on a corpus, encode/decode losslessly.
+//!
+//! The base alphabet is the 256 byte values, so any input round-trips; the
+//! requested vocabulary size (`256 + number of merges`) is the `V` that the
+//! paper sweeps — a larger BPE vocabulary is precisely what inflates the
+//! output layer relative to the transformer trunk (Figure 2).
+
+use std::collections::HashMap;
+
+/// A trained byte-pair-encoding tokenizer.
+///
+/// # Example
+///
+/// ```
+/// use vp_data::BpeTokenizer;
+///
+/// let tok = BpeTokenizer::train("the pipeline computes the pipeline", 260);
+/// let ids = tok.encode("the pipeline");
+/// assert_eq!(tok.decode(&ids), "the pipeline");
+/// assert!(tok.vocab_size() > 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpeTokenizer {
+    /// Learned merges in training order: merging `(a, b) -> 256 + i`.
+    merges: Vec<(u32, u32)>,
+    /// Merge lookup: `(a, b) -> merged id`.
+    merge_of: HashMap<(u32, u32), u32>,
+}
+
+impl BpeTokenizer {
+    /// Trains a tokenizer on `text`, producing a vocabulary of
+    /// `vocab_size` entries (256 bytes + merges). Stops early if the corpus
+    /// runs out of repeated pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size < 256` (the byte alphabet is irreducible).
+    pub fn train(text: &str, vocab_size: usize) -> Self {
+        assert!(vocab_size >= 256, "vocabulary must cover the byte alphabet");
+        let mut ids: Vec<u32> = text.bytes().map(u32::from).collect();
+        let mut merges = Vec::new();
+        let mut merge_of = HashMap::new();
+        while merges.len() + 256 < vocab_size {
+            // Count adjacent pairs.
+            let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+            for w in ids.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            // Pick the most frequent pair (ties broken deterministically by
+            // the pair value so training is reproducible).
+            let Some((&pair, &count)) = counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            let new_id = 256 + merges.len() as u32;
+            merges.push(pair);
+            merge_of.insert(pair, new_id);
+            ids = Self::apply_merge(&ids, pair, new_id);
+        }
+        BpeTokenizer { merges, merge_of }
+    }
+
+    fn apply_merge(ids: &[u32], pair: (u32, u32), new_id: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut i = 0;
+        while i < ids.len() {
+            if i + 1 < ids.len() && (ids[i], ids[i + 1]) == pair {
+                out.push(new_id);
+                i += 2;
+            } else {
+                out.push(ids[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// The vocabulary size (256 + learned merges).
+    pub fn vocab_size(&self) -> usize {
+        256 + self.merges.len()
+    }
+
+    /// Encodes text by applying the learned merges in training order.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut ids: Vec<u32> = text.bytes().map(u32::from).collect();
+        // Repeatedly merge the earliest-trained applicable pair; training
+        // order gives the canonical BPE segmentation.
+        loop {
+            let mut best: Option<(usize, u32)> = None; // (merge rank, id)
+            for w in ids.windows(2) {
+                if let Some(&id) = self.merge_of.get(&(w[0], w[1])) {
+                    let rank = (id - 256) as usize;
+                    if best.map(|(r, _)| rank < r).unwrap_or(true) {
+                        best = Some((rank, id));
+                    }
+                }
+            }
+            let Some((rank, id)) = best else { break };
+            let pair = self.merges[rank];
+            ids = Self::apply_merge(&ids, pair, id);
+        }
+        ids
+    }
+
+    /// Decodes token ids back to text (lossless for any `encode` output).
+    ///
+    /// Unknown ids are skipped; invalid UTF-8 (impossible for round-trips)
+    /// is replaced.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut bytes = Vec::with_capacity(ids.len());
+        for &id in ids {
+            self.push_bytes(id, &mut bytes);
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    fn push_bytes(&self, id: u32, out: &mut Vec<u8>) {
+        if id < 256 {
+            out.push(id as u8);
+        } else if let Some(&(a, b)) = self.merges.get((id - 256) as usize) {
+            self.push_bytes(a, out);
+            self.push_bytes(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::TextCorpus;
+
+    fn trained(vocab: usize) -> (BpeTokenizer, String) {
+        let text = TextCorpus::new(3).text(50);
+        (BpeTokenizer::train(&text, vocab), text)
+    }
+
+    #[test]
+    fn round_trips_training_text() {
+        let (tok, text) = trained(320);
+        let ids = tok.encode(&text);
+        assert_eq!(tok.decode(&ids), text);
+    }
+
+    #[test]
+    fn round_trips_unseen_text() {
+        let (tok, _) = trained(300);
+        let unseen = "completely unrelated bytes: 1234 !@#$ ümlaut";
+        assert_eq!(tok.decode(&tok.encode(unseen)), unseen);
+    }
+
+    #[test]
+    fn merges_compress_the_corpus() {
+        let (tok, text) = trained(400);
+        let ids = tok.encode(&text);
+        assert!(
+            ids.len() < text.len() / 2,
+            "BPE should compress: {} tokens for {} bytes",
+            ids.len(),
+            text.len()
+        );
+        assert!(tok.vocab_size() > 256);
+    }
+
+    #[test]
+    fn larger_vocab_compresses_more() {
+        let text = TextCorpus::new(4).text(60);
+        let small = BpeTokenizer::train(&text, 300).encode(&text).len();
+        let large = BpeTokenizer::train(&text, 500).encode(&text).len();
+        assert!(large < small, "large vocab {large} vs small {small}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let text = TextCorpus::new(5).text(30);
+        let a = BpeTokenizer::train(&text, 320);
+        let b = BpeTokenizer::train(&text, 320);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ids_stay_below_vocab_size() {
+        let (tok, text) = trained(350);
+        let ids = tok.encode(&text);
+        assert!(ids.iter().all(|&id| (id as usize) < tok.vocab_size()));
+    }
+
+    #[test]
+    #[should_panic(expected = "byte alphabet")]
+    fn rejects_tiny_vocab() {
+        let _ = BpeTokenizer::train("abc", 100);
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic synthetic text corpus (the offline C4 stand-in).
+//!
+//! Documents are generated from a small phrase grammar with a seeded RNG:
+//! enough lexical structure that BPE finds meaningful merges and a language
+//! model has something to learn, fully reproducible from `(seed, index)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SUBJECTS: &[&str] = &[
+    "the pipeline", "a device", "the scheduler", "the model", "a microbatch", "the vocabulary",
+    "the softmax", "an embedding", "the gradient", "a transformer layer", "the optimizer",
+    "the communicator",
+];
+
+const VERBS: &[&str] = &[
+    "computes", "sends", "receives", "overlaps", "partitions", "balances", "reduces",
+    "schedules", "accumulates", "broadcasts", "synchronizes", "defers",
+];
+
+const OBJECTS: &[&str] = &[
+    "the activations", "a barrier", "the logits", "its weights", "the passes", "the shards",
+    "a building block", "the statistics", "the loss", "the bubbles", "the memory",
+    "the interval",
+];
+
+const MODIFIERS: &[&str] = &[
+    "across all devices", "in the steady state", "during warm-up", "with one barrier",
+    "without synchronization", "per microbatch", "on the last stage", "in parallel",
+    "after the forward pass", "before the backward pass",
+];
+
+/// A deterministic stream of pseudo-English documents.
+#[derive(Debug, Clone)]
+pub struct TextCorpus {
+    seed: u64,
+}
+
+impl TextCorpus {
+    /// Creates a corpus with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TextCorpus { seed }
+    }
+
+    /// The document at `index` — a pure function of `(seed, index)`.
+    pub fn document(&self, index: u64) -> String {
+        let mut rng: StdRng =
+            SeedableRng::seed_from_u64(self.seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+        let sentences = rng.gen_range(3..9);
+        let mut doc = String::new();
+        for s in 0..sentences {
+            if s > 0 {
+                doc.push(' ');
+            }
+            let subject = SUBJECTS[rng.gen_range(0..SUBJECTS.len())];
+            let verb = VERBS[rng.gen_range(0..VERBS.len())];
+            let object = OBJECTS[rng.gen_range(0..OBJECTS.len())];
+            doc.push_str(subject);
+            doc.push(' ');
+            doc.push_str(verb);
+            doc.push(' ');
+            doc.push_str(object);
+            if rng.gen_bool(0.6) {
+                doc.push(' ');
+                doc.push_str(MODIFIERS[rng.gen_range(0..MODIFIERS.len())]);
+            }
+            doc.push('.');
+        }
+        doc
+    }
+
+    /// Concatenates the first `n` documents (training-text convenience).
+    pub fn text(&self, n: u64) -> String {
+        let mut out = String::new();
+        for i in 0..n {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&self.document(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_are_deterministic() {
+        let c = TextCorpus::new(7);
+        assert_eq!(c.document(0), c.document(0));
+        assert_ne!(c.document(0), c.document(1));
+    }
+
+    #[test]
+    fn documents_look_like_sentences() {
+        let c = TextCorpus::new(1);
+        let d = c.document(3);
+        assert!(d.ends_with('.'));
+        assert!(d.split_whitespace().count() >= 9);
+        assert!(d.is_ascii());
+    }
+
+    #[test]
+    fn text_concatenates_documents() {
+        let c = TextCorpus::new(2);
+        let t = c.text(4);
+        assert_eq!(t.lines().count(), 4);
+    }
+}

@@ -1,0 +1,256 @@
+//! Megatron-style sample packing and a compact binary token format.
+//!
+//! A tokenized document stream is concatenated (with an end-of-document
+//! token) and cut into fixed `seq_len + 1` windows; window `i` yields
+//! inputs `[0..seq_len]` and next-token labels `[1..=seq_len]`. Sample
+//! order is shuffled deterministically per epoch, exactly how GPT
+//! pretraining dataloaders (including the paper's) iterate.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// One training sample: `seq_len` inputs and their next-token labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Input token ids.
+    pub tokens: Vec<usize>,
+    /// Next-token labels.
+    pub labels: Vec<usize>,
+}
+
+/// Errors from the dataset layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Not enough tokens to cut even one window.
+    TooShort {
+        /// Tokens available.
+        have: usize,
+        /// Tokens needed for one sample.
+        need: usize,
+    },
+    /// The binary blob is malformed.
+    BadFormat(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::TooShort { have, need } => {
+                write!(f, "token stream too short: {have} tokens, need {need}")
+            }
+            DataError::BadFormat(msg) => write!(f, "bad token file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// A packed dataset: fixed-length samples over a token stream.
+#[derive(Debug, Clone)]
+pub struct PackedDataset {
+    stream: Vec<u32>,
+    seq_len: usize,
+}
+
+impl PackedDataset {
+    /// Packs a token stream into `seq_len`-long samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::TooShort`] if fewer than `seq_len + 1` tokens
+    /// are available.
+    pub fn new(stream: Vec<u32>, seq_len: usize) -> Result<Self, DataError> {
+        if stream.len() < seq_len + 1 {
+            return Err(DataError::TooShort { have: stream.len(), need: seq_len + 1 });
+        }
+        Ok(PackedDataset { stream, seq_len })
+    }
+
+    /// Number of non-overlapping samples.
+    pub fn len(&self) -> usize {
+        (self.stream.len() - 1) / self.seq_len
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sample at `index` in *stream order*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn sample(&self, index: usize) -> Sample {
+        assert!(index < self.len(), "sample index out of range");
+        let start = index * self.seq_len;
+        let window = &self.stream[start..start + self.seq_len + 1];
+        Sample {
+            tokens: window[..self.seq_len].iter().map(|&t| t as usize).collect(),
+            labels: window[1..].iter().map(|&t| t as usize).collect(),
+        }
+    }
+
+    /// A deterministic per-epoch permutation of sample indices
+    /// (multiplicative-congruential shuffle: full period over `len()` via
+    /// search for a coprime stride).
+    pub fn epoch_order(&self, epoch: u64) -> Vec<usize> {
+        let n = self.len();
+        if n <= 1 {
+            return (0..n).collect();
+        }
+        // Find a stride coprime with n, varied by epoch.
+        let mut stride = (epoch as usize).wrapping_mul(2654435761) % n;
+        loop {
+            stride = (stride + 1) % n;
+            if stride != 0 && gcd(stride, n) == 1 {
+                break;
+            }
+        }
+        let offset = (epoch as usize).wrapping_mul(40503) % n;
+        (0..n).map(|i| (offset + i * stride) % n).collect()
+    }
+
+    /// The samples of one epoch, shuffled deterministically.
+    pub fn epoch(&self, epoch: u64) -> Vec<Sample> {
+        self.epoch_order(epoch).into_iter().map(|i| self.sample(i)).collect()
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Compact binary serialization of a token stream: an 8-byte magic +
+/// vocabulary size, then little-endian `u32` tokens. The offline analogue
+/// of Megatron's indexed dataset files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenFile {
+    /// Vocabulary size the tokens were produced with.
+    pub vocab_size: u32,
+    /// The token stream.
+    pub tokens: Vec<u32>,
+}
+
+const MAGIC: u32 = 0x5650_544B; // "VPTK"
+
+impl TokenFile {
+    /// Serializes to the binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + 4 * self.tokens.len());
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(self.vocab_size);
+        for &t in &self.tokens {
+            buf.put_u32_le(t);
+        }
+        buf.freeze()
+    }
+
+    /// Parses the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadFormat`] for a truncated or mislabeled blob
+    /// or tokens outside the declared vocabulary.
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, DataError> {
+        if data.len() < 8 {
+            return Err(DataError::BadFormat("missing header".into()));
+        }
+        let magic = data.get_u32_le();
+        if magic != MAGIC {
+            return Err(DataError::BadFormat(format!("bad magic {magic:#x}")));
+        }
+        let vocab_size = data.get_u32_le();
+        if !data.len().is_multiple_of(4) {
+            return Err(DataError::BadFormat("truncated token payload".into()));
+        }
+        let mut tokens = Vec::with_capacity(data.len() / 4);
+        while data.has_remaining() {
+            let t = data.get_u32_le();
+            if t >= vocab_size {
+                return Err(DataError::BadFormat(format!("token {t} >= vocab {vocab_size}")));
+            }
+            tokens.push(t);
+        }
+        Ok(TokenFile { vocab_size, tokens })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| i % 17).collect()
+    }
+
+    #[test]
+    fn samples_tile_the_stream_with_shifted_labels() {
+        let ds = PackedDataset::new(stream(33), 8).unwrap();
+        assert_eq!(ds.len(), 4);
+        let s = ds.sample(1);
+        assert_eq!(s.tokens.len(), 8);
+        assert_eq!(&s.tokens[1..], &s.labels[..7]);
+        assert_eq!(s.tokens[0] as u32, 8);
+    }
+
+    #[test]
+    fn too_short_stream_is_rejected() {
+        assert!(matches!(PackedDataset::new(stream(8), 8), Err(DataError::TooShort { .. })));
+        assert!(PackedDataset::new(stream(9), 8).is_ok());
+    }
+
+    #[test]
+    fn epoch_order_is_a_permutation_and_varies_by_epoch() {
+        let ds = PackedDataset::new(stream(1000), 9).unwrap();
+        let e0 = ds.epoch_order(0);
+        let e1 = ds.epoch_order(1);
+        let mut sorted = e0.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ds.len()).collect::<Vec<_>>());
+        assert_ne!(e0, e1);
+        assert_eq!(e0, ds.epoch_order(0));
+    }
+
+    #[test]
+    fn token_file_round_trips() {
+        let tf = TokenFile { vocab_size: 300, tokens: stream(50) };
+        let parsed = TokenFile::from_bytes(tf.to_bytes()).unwrap();
+        assert_eq!(parsed, tf);
+    }
+
+    #[test]
+    fn token_file_rejects_corruption() {
+        let tf = TokenFile { vocab_size: 10, tokens: vec![3, 9] };
+        let mut raw = tf.to_bytes().to_vec();
+        raw[4] = 2; // vocab_size = 2 < tokens
+        assert!(matches!(
+            TokenFile::from_bytes(Bytes::from(raw)),
+            Err(DataError::BadFormat(_))
+        ));
+        assert!(TokenFile::from_bytes(Bytes::from_static(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_tokenize_and_pack() {
+        use crate::bpe::BpeTokenizer;
+        use crate::corpus::TextCorpus;
+        let corpus = TextCorpus::new(11);
+        let text = corpus.text(40);
+        let tok = BpeTokenizer::train(&text, 350);
+        let ids = tok.encode(&text);
+        let ds = PackedDataset::new(ids.clone(), 16).unwrap();
+        assert!(ds.len() > 4);
+        // Every sample's tokens are in vocabulary.
+        for s in ds.epoch(0) {
+            assert!(s.tokens.iter().all(|&t| t < tok.vocab_size()));
+        }
+        // The file format preserves the stream.
+        let tf = TokenFile { vocab_size: tok.vocab_size() as u32, tokens: ids };
+        assert_eq!(TokenFile::from_bytes(tf.to_bytes()).unwrap(), tf);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Dataset substrate for the Vocabulary Parallelism reproduction.
+//!
+//! The paper's artifact trains on a customized C4 dataset pulled from
+//! Hugging Face; this crate provides the offline equivalent of that data
+//! path, end to end:
+//!
+//! * [`corpus`] — a deterministic synthetic *text* corpus (pseudo-English
+//!   documents from a seeded generator), standing in for C4.
+//! * [`bpe`] — a real byte-pair-encoding tokenizer: train merges on a
+//!   corpus, encode/decode losslessly. Vocabulary size is a training
+//!   parameter, mirroring how the paper sweeps `V` (a larger BPE
+//!   vocabulary is exactly what makes the output layer dominate).
+//! * [`dataset`] — Megatron-style sample packing: a tokenized stream cut
+//!   into fixed `seq_len + 1` windows with deterministic shuffling, plus a
+//!   compact binary on-disk format ([`dataset::TokenFile`]).
+//!
+//! The `vp-runtime` trainers consume [`dataset::PackedDataset`] batches
+//! through the same `(tokens, labels)` shape as their synthetic corpus.
+
+pub mod bpe;
+pub mod corpus;
+pub mod dataset;
+
+pub use bpe::BpeTokenizer;
+pub use corpus::TextCorpus;
+pub use dataset::{PackedDataset, Sample, TokenFile};

@@ -1,0 +1,194 @@
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a GPT-style decoder-only transformer, plus the
+/// training-batch geometry the paper's schedules operate on.
+///
+/// Matches the quantities in the paper's notation: microbatch size `b`,
+/// sequence length `s`, hidden dimension `h` and vocabulary size `V`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Number of transformer layers (`L`).
+    pub layers: usize,
+    /// Hidden dimension (`h`).
+    pub hidden: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Feed-forward expansion factor (4 for all paper models).
+    pub ffn_mult: usize,
+    /// Sequence length (`s`).
+    pub seq_len: usize,
+    /// Unpadded vocabulary size (`V`).
+    pub vocab: usize,
+    /// Microbatch size (`b`); 1 in all paper experiments.
+    pub microbatch: usize,
+    /// Number of microbatches per iteration (`m`); 128 in the paper.
+    pub num_microbatches: usize,
+}
+
+impl ModelConfig {
+    /// Tokens per microbatch (`b·s`).
+    pub fn tokens_per_microbatch(&self) -> usize {
+        self.microbatch * self.seq_len
+    }
+
+    /// Parameters of one transformer layer: `12h²` (attention `4h²` +
+    /// MLP `8h²`), following the paper's Appendix A (which reports the
+    /// fp16 byte cost `24h²`).
+    pub fn transformer_layer_params(&self) -> u64 {
+        12 * (self.hidden as u64) * (self.hidden as u64)
+    }
+
+    /// Parameters of one vocabulary layer (input *or* output): `hV`.
+    pub fn vocab_layer_params(&self) -> u64 {
+        (self.hidden as u64) * (self.vocab as u64)
+    }
+
+    /// Total model parameters (untied input + output embeddings, as in all
+    /// paper experiments).
+    pub fn total_params(&self) -> u64 {
+        self.layers as u64 * self.transformer_layer_params() + 2 * self.vocab_layer_params()
+    }
+
+    /// Returns a copy with a different vocabulary size (the paper sweeps
+    /// `V ∈ {32k, 64k, 128k, 256k}` for each model).
+    pub fn with_vocab(mut self, vocab: usize) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// Returns a copy with a different sequence length.
+    pub fn with_seq_len(mut self, seq_len: usize) -> Self {
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// Returns a copy with a different microbatch count.
+    pub fn with_num_microbatches(mut self, m: usize) -> Self {
+        self.num_microbatches = m;
+        self
+    }
+}
+
+/// The named model presets used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelPreset {
+    /// ≈4B model of Table 1 (8 pipeline devices).
+    Gpt4B,
+    /// ≈10B model of Table 1 (16 pipeline devices).
+    Gpt10B,
+    /// ≈21B model of Table 1 (32 pipeline devices).
+    Gpt21B,
+    /// ≈7B model of Table 2 (16 devices, V-Half).
+    Gpt7B,
+    /// ≈16B model of Table 2 (24 devices, V-Half).
+    Gpt16B,
+    /// ≈30B model of Table 2 (32 devices, V-Half).
+    Gpt30B,
+    /// Gemma2-9B, used in Figure 2's ratio analysis.
+    Gemma2_9B,
+    /// A tiny model for numeric correctness runs (Appendix E analogue).
+    Tiny,
+}
+
+impl ModelPreset {
+    /// Instantiates the preset with the paper's default batch geometry
+    /// (`b = 1`, `m = 128`, `s = 2048`, `V = 32k`); sweep dimensions are
+    /// overridden with [`ModelConfig::with_vocab`] /
+    /// [`ModelConfig::with_seq_len`].
+    pub fn config(self) -> ModelConfig {
+        let (layers, hidden, heads) = match self {
+            ModelPreset::Gpt4B => (32, 3072, 24),
+            ModelPreset::Gpt10B => (48, 4096, 32),
+            ModelPreset::Gpt21B => (64, 5120, 40),
+            ModelPreset::Gpt7B => (32, 4096, 32),
+            ModelPreset::Gpt16B => (48, 5120, 40),
+            ModelPreset::Gpt30B => (64, 6144, 48),
+            ModelPreset::Gemma2_9B => (42, 3584, 16),
+            ModelPreset::Tiny => (8, 64, 4),
+        };
+        let (seq_len, vocab, microbatches) = match self {
+            ModelPreset::Tiny => (16, 512, 8),
+            _ => (2048, 32 * 1024, 128),
+        };
+        ModelConfig {
+            layers,
+            hidden,
+            heads,
+            ffn_mult: 4,
+            seq_len,
+            vocab,
+            microbatch: 1,
+            num_microbatches: microbatches,
+        }
+    }
+
+    /// The pipeline-parallel degree the paper pairs with this preset.
+    pub fn paper_devices(self) -> usize {
+        match self {
+            ModelPreset::Gpt4B => 8,
+            ModelPreset::Gpt10B | ModelPreset::Gpt7B => 16,
+            ModelPreset::Gpt16B => 24,
+            ModelPreset::Gpt21B | ModelPreset::Gpt30B => 32,
+            ModelPreset::Gemma2_9B => 8,
+            ModelPreset::Tiny => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_models_have_expected_sizes() {
+        // The paper describes them as ≈4B / ≈10B / ≈21B with V≈32k..256k;
+        // check the transformer trunk alone lands near the nominal size.
+        let trunk = |p: ModelPreset| {
+            let c = p.config();
+            c.layers as u64 * c.transformer_layer_params()
+        };
+        let b = 1_000_000_000u64;
+        assert!((3 * b..5 * b).contains(&trunk(ModelPreset::Gpt4B)), "{}", trunk(ModelPreset::Gpt4B));
+        assert!((9 * b..11 * b).contains(&trunk(ModelPreset::Gpt10B)));
+        assert!((19 * b..22 * b).contains(&trunk(ModelPreset::Gpt21B)));
+        assert!((6 * b..8 * b).contains(&trunk(ModelPreset::Gpt7B)));
+        assert!((14 * b..17 * b).contains(&trunk(ModelPreset::Gpt16B)));
+        assert!((28 * b..31 * b).contains(&trunk(ModelPreset::Gpt30B)));
+    }
+
+    #[test]
+    fn heads_divide_hidden() {
+        for p in [
+            ModelPreset::Gpt4B,
+            ModelPreset::Gpt10B,
+            ModelPreset::Gpt21B,
+            ModelPreset::Gpt7B,
+            ModelPreset::Gpt16B,
+            ModelPreset::Gpt30B,
+            ModelPreset::Gemma2_9B,
+            ModelPreset::Tiny,
+        ] {
+            let c = p.config();
+            assert_eq!(c.hidden % c.heads, 0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn vocab_params_formula() {
+        let c = ModelPreset::Gpt4B.config().with_vocab(128 * 1024);
+        assert_eq!(c.vocab_layer_params(), 3072 * 128 * 1024);
+        assert_eq!(
+            c.total_params(),
+            32 * c.transformer_layer_params() + 2 * c.vocab_layer_params()
+        );
+    }
+
+    #[test]
+    fn with_overrides_compose() {
+        let c = ModelPreset::Gpt4B.config().with_vocab(7).with_seq_len(4096).with_num_microbatches(3);
+        assert_eq!(c.vocab, 7);
+        assert_eq!(c.seq_len, 4096);
+        assert_eq!(c.num_microbatches, 3);
+        assert_eq!(c.tokens_per_microbatch(), 4096);
+    }
+}

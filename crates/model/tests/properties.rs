@@ -1,0 +1,115 @@
+//! Property-based tests for partitioning and the cost model.
+
+use proptest::prelude::*;
+use vp_model::config::ModelConfig;
+use vp_model::cost::{CostModel, Hardware, VocabAlgo};
+use vp_model::partition::{StageLayout, VocabPartition};
+
+fn any_config() -> impl Strategy<Value = ModelConfig> {
+    (2usize..8, 1usize..6, 1usize..6, 1usize..9).prop_map(|(lp, h128, s256, v1k)| ModelConfig {
+        layers: lp * 8,
+        hidden: h128 * 128,
+        heads: 4,
+        ffn_mult: 4,
+        seq_len: s256 * 256,
+        vocab: v1k * 1024,
+        microbatch: 1,
+        num_microbatches: 32,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shards tile the padded vocabulary exactly; real widths sum to the
+    /// unpadded size; the padded size is the smallest multiple of 2p ≥ V.
+    #[test]
+    fn partition_invariants(vocab in 1usize..500_000, p in 1usize..64) {
+        let part = VocabPartition::new(vocab, p);
+        prop_assert_eq!(part.padded() % (2 * p), 0);
+        prop_assert!(part.padded() >= vocab);
+        prop_assert!(part.padded() < vocab + 2 * p);
+        let mut end_prev = 0;
+        let mut real_total = 0;
+        for rank in 0..p {
+            let (start, end) = part.shard_range(rank);
+            prop_assert_eq!(start, end_prev);
+            prop_assert_eq!(end - start, part.shard_width());
+            end_prev = end;
+            real_total += part.real_width(rank);
+        }
+        prop_assert_eq!(end_prev, part.padded());
+        prop_assert_eq!(real_total, vocab);
+    }
+
+    /// Every token is owned by exactly the shard whose range contains it.
+    #[test]
+    fn owner_is_consistent_with_ranges(vocab in 1usize..10_000, p in 1usize..32, probe in 0usize..10_000) {
+        let part = VocabPartition::new(vocab, p);
+        if probe < vocab {
+            let owner = part.owner_of(probe).unwrap();
+            let (start, end) = part.shard_range(owner);
+            prop_assert!((start..end).contains(&probe));
+        } else {
+            prop_assert_eq!(part.owner_of(probe), None);
+        }
+    }
+
+    /// Layouts conserve layers, and redistribution never increases the
+    /// compute imbalance.
+    #[test]
+    fn layouts_conserve_layers_and_redis_helps(cfg in any_config(), p in 2usize..8) {
+        prop_assume!(cfg.layers >= p);
+        let baseline = StageLayout::baseline(&cfg, p);
+        let redis = StageLayout::redistributed(&cfg, p);
+        let vocab = StageLayout::vocab_parallel(&cfg, p);
+        prop_assert_eq!(baseline.total_layers(), cfg.layers);
+        prop_assert_eq!(redis.total_layers(), cfg.layers);
+        prop_assert_eq!(vocab.total_layers(), cfg.layers);
+        prop_assert!(redis.compute_imbalance(&cfg) <= baseline.compute_imbalance(&cfg) + 1e-9);
+        // Vocabulary Parallelism balances perfectly only when the
+        // transformer layers divide evenly (the paper's configurations);
+        // with a ragged split its imbalance is the layer raggedness itself.
+        if cfg.layers % p == 0 {
+            prop_assert!(vocab.compute_imbalance(&cfg) <= redis.compute_imbalance(&cfg) + 1e-9);
+            prop_assert!(vocab.compute_imbalance(&cfg) < 1.05);
+        }
+    }
+
+    /// Output-layer scaling factors are in (0, 1] and decrease with the
+    /// device count; Algorithm 2 never scales better than Algorithm 1.
+    #[test]
+    fn scaling_factors_behave(cfg in any_config()) {
+        let m = CostModel::new(cfg, Hardware::default());
+        let mut prev1 = f64::INFINITY;
+        for p in [2usize, 4, 8, 16, 32] {
+            let f1 = m.output_scaling_factor(VocabAlgo::Alg1, p);
+            let f2 = m.output_scaling_factor(VocabAlgo::Alg2, p);
+            prop_assert!(f1 > 0.0 && f1 <= 1.0 + 1e-9, "f1 {f1}");
+            prop_assert!(f2 <= f1 + 1e-9, "f2 {f2} vs f1 {f1}");
+            prop_assert!(f1 <= prev1 + 1e-9);
+            prev1 = f1;
+        }
+    }
+
+    /// The FLOPs split sums to the paper's totals for any configuration.
+    #[test]
+    fn flops_split_sums(cfg in any_config()) {
+        let m = CostModel::new(cfg.clone(), Hardware::default());
+        let total = m.transformer_f_flops() + m.transformer_b_flops() + m.transformer_w_flops();
+        let bsh = (cfg.microbatch * cfg.seq_len * cfg.hidden) as f64;
+        let expected = bsh * (72.0 * cfg.hidden as f64 + 12.0 * cfg.seq_len as f64);
+        prop_assert!((total - expected).abs() < 1e-6 * expected);
+        prop_assert!((m.output_total_flops(cfg.vocab) - 6.0 * bsh * cfg.vocab as f64).abs() < 1.0);
+    }
+
+    /// MFU is inversely proportional to iteration time.
+    #[test]
+    fn mfu_scales_inversely_with_time(cfg in any_config(), p in 2usize..16) {
+        let m = CostModel::new(cfg, Hardware::default());
+        let t = 10.0;
+        let a = m.mfu(t, p);
+        let b = m.mfu(2.0 * t, p);
+        prop_assert!((a - 2.0 * b).abs() < 1e-9 * a.max(1e-12));
+    }
+}

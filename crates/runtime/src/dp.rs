@@ -1,0 +1,207 @@
+//! Data-parallel composition: `dp` replicas of the pipeline train on
+//! disjoint microbatch shards and sum their gradients before each
+//! optimizer step.
+//!
+//! The paper's experiments use pure pipeline parallelism and argue the
+//! method "is orthogonal to tensor and data parallelism" (§6.2); this
+//! module demonstrates the data-parallel half of that claim executably:
+//! a `dp × p` grid of devices where each pipeline group runs the same
+//! vocabulary-parallel schedule on every `dp`-th microbatch, and each
+//! stage's replicas all-reduce their parameter gradients (including the
+//! vocabulary shards) at the end of the iteration. With sum-reduction the
+//! run is numerically equivalent to a single pipeline over all
+//! microbatches — which the tests check against the single-device
+//! reference.
+
+use crate::data::{DataSource, Microbatch};
+use crate::model::TinyConfig;
+use crate::pipeline::{device_loop_dp, Mode, ScheduleFamily};
+use vp_collectives::{Collective, CollectiveGroup, P2pNetwork};
+use vp_tensor::{Result, TensorError};
+
+/// Trains with `dp` data-parallel pipeline replicas of `devices` stages
+/// each, returning the per-iteration mean loss over the *global* batch.
+///
+/// `config.microbatches` is the global microbatch count; it must divide by
+/// `dp` (each replica runs `microbatches / dp` per iteration).
+///
+/// # Errors
+///
+/// Returns an error for invalid configurations, as in
+/// [`crate::pipeline::train_pipeline_with`].
+///
+/// # Panics
+///
+/// Panics if a device thread panics.
+pub fn train_pipeline_dp(
+    config: &TinyConfig,
+    devices: usize,
+    dp: usize,
+    mode: Mode,
+    family: ScheduleFamily,
+    iterations: usize,
+    corpus: &DataSource,
+) -> Result<Vec<f64>> {
+    if dp == 0 || !config.microbatches.is_multiple_of(dp) {
+        return Err(TensorError::InvalidArgument(format!(
+            "{} microbatches not divisible by {} data-parallel groups",
+            config.microbatches, dp
+        )));
+    }
+    // One point-to-point network and C1 group per pipeline replica; one
+    // gradient-sync group per pipeline stage (its dp replicas).
+    let mut p2p_per_group: Vec<Vec<_>> = (0..dp).map(|_| P2pNetwork::new(devices)).collect();
+    let mut c1_per_group: Vec<Vec<Collective>> =
+        (0..dp).map(|_| CollectiveGroup::new(devices)).collect();
+    let mut dp_per_stage: Vec<Vec<Collective>> =
+        (0..devices).map(|_| CollectiveGroup::new(dp)).collect();
+
+    let local_config =
+        TinyConfig { microbatches: config.microbatches / dp, ..config.clone() };
+    let results: Vec<Result<Vec<f64>>> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for group in (0..dp).rev() {
+            for rank in (0..devices).rev() {
+                let endpoint = p2p_per_group[group].pop().expect("one endpoint per rank");
+                let c1 = c1_per_group[group].pop().expect("one c1 handle per rank");
+                let dp_comm = dp_per_stage[rank].pop().expect("one dp handle per replica");
+                debug_assert_eq!(endpoint.rank(), rank);
+                let local_config = local_config.clone();
+                let corpus = corpus.clone();
+                joins.push(scope.spawn(move || {
+                    // Replica `group` takes global microbatches
+                    // k·dp + group.
+                    let select = move |iter: u64, m: usize| -> Vec<Microbatch> {
+                        let global = corpus.iteration(iter, m * dp);
+                        global.into_iter().skip(group).step_by(dp).collect()
+                    };
+                    device_loop_dp(
+                        &local_config,
+                        devices,
+                        mode,
+                        family,
+                        iterations,
+                        rank,
+                        endpoint,
+                        c1,
+                        Some((dp_comm, dp)),
+                        &select,
+                    )
+                }));
+            }
+        }
+        joins.into_iter().map(|j| j.join().expect("device thread panicked")).collect()
+    });
+
+    // Threads were spawned in reverse (group, rank) order; the group-0
+    // reporter's losses are the global means (the loss all-reduce inside
+    // the device loop already aggregated across replicas).
+    let mut losses = Vec::new();
+    for r in results {
+        let device_losses = r?;
+        if !device_losses.is_empty() {
+            losses = device_losses;
+        }
+    }
+    Ok(losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticCorpus;
+    use crate::reference::train_reference;
+    use vp_core::VocabAlgo;
+
+    fn source(config: &TinyConfig) -> DataSource {
+        DataSource::Synthetic(SyntheticCorpus::new(config.vocab, config.seq_len, config.seed))
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol * (1.0 + x.abs()), "iteration {i}: {x} vs {y}");
+        }
+    }
+
+    /// The orthogonality claim, executably: dp=2 replicas of a 2-stage
+    /// vocabulary-parallel pipeline match the single-device reference over
+    /// the same global batch.
+    #[test]
+    fn dp_vocab_pipeline_matches_reference() {
+        let config = TinyConfig::default();
+        let reference = train_reference(&config, 5).unwrap();
+        for algo in [VocabAlgo::Alg1, VocabAlgo::Alg2] {
+            let dp_run = train_pipeline_dp(
+                &config,
+                2,
+                2,
+                Mode::Vocab(algo),
+                ScheduleFamily::OneFOneB,
+                5,
+                &source(&config),
+            )
+            .unwrap();
+            assert_close(&reference, &dp_run, 1e-3);
+        }
+    }
+
+    #[test]
+    fn dp_baseline_matches_reference() {
+        let config = TinyConfig::default();
+        let reference = train_reference(&config, 4).unwrap();
+        let dp_run = train_pipeline_dp(
+            &config,
+            2,
+            2,
+            Mode::Baseline,
+            ScheduleFamily::OneFOneB,
+            4,
+            &source(&config),
+        )
+        .unwrap();
+        assert_close(&reference, &dp_run, 1e-3);
+    }
+
+    #[test]
+    fn dp_equals_single_group() {
+        let config = TinyConfig::default();
+        let single = train_pipeline_dp(
+            &config,
+            2,
+            1,
+            Mode::Vocab(VocabAlgo::Alg2),
+            ScheduleFamily::OneFOneB,
+            4,
+            &source(&config),
+        )
+        .unwrap();
+        let double = train_pipeline_dp(
+            &config,
+            2,
+            2,
+            Mode::Vocab(VocabAlgo::Alg2),
+            ScheduleFamily::OneFOneB,
+            4,
+            &source(&config),
+        )
+        .unwrap();
+        assert_close(&single, &double, 1e-3);
+    }
+
+    #[test]
+    fn indivisible_microbatches_rejected() {
+        let config = TinyConfig::default(); // 4 microbatches
+        let err = train_pipeline_dp(
+            &config,
+            2,
+            3,
+            Mode::Baseline,
+            ScheduleFamily::OneFOneB,
+            1,
+            &source(&config),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("divisible"));
+    }
+}

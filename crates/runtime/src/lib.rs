@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Thread-per-stage pipeline-parallel training runtime with real numerics.
+//!
+//! This crate is the executable counterpart of the paper's Appendix E
+//! (correctness evaluation): it trains a small GPT with *pure pipeline
+//! parallelism* across in-process "devices" (threads), with the vocabulary
+//! layers either placed naively (first/last stage, the Megatron baseline)
+//! or partitioned across all devices with the paper's Algorithms 1/2 (or
+//! the naive 3-barrier grouping). Loss trajectories must match the
+//! single-device reference — the analogue of the paper's Figure 17.
+//!
+//! * [`data`] — deterministic synthetic corpora (the stand-in for the
+//!   paper's customized C4 dataset; both sides see identical tokens).
+//! * [`model`] — full-model construction from a seed, shared by the
+//!   reference and the sharded runtimes so initial weights are
+//!   bit-identical.
+//! * [`reference`] — the single-device trainer.
+//! * [`checkpoint`] — a resumable single-device trainer with exact
+//!   save/restore of weights, Adam moments and step count.
+//! * [`distributed_ckpt`] — per-device shard checkpointing of the
+//!   *pipelined* trainer, resuming bit-identically.
+//! * [`dp`] — data-parallel composition (§6.2's orthogonality claim).
+//! * [`pipeline`] — the pipelined trainer: per-device threads interpret a
+//!   `vp-schedule` pass list, exchange activations over `vp-collectives`
+//!   point-to-point channels, overlap the `C1` barrier on a per-device
+//!   communication stream, and step Adam locally.
+
+pub mod checkpoint;
+pub mod eval;
+pub mod data;
+pub mod distributed_ckpt;
+pub mod dp;
+pub mod model;
+pub mod pipeline;
+pub mod reference;
+
+pub use checkpoint::ReferenceTrainer;
+pub use eval::EvalReport;
+pub use data::{DataSource, SyntheticCorpus};
+pub use distributed_ckpt::{train_pipeline_checkpointed, PipelineCheckpoint};
+pub use dp::train_pipeline_dp;
+pub use model::{FullModel, TinyConfig};
+pub use pipeline::{train_pipeline, train_pipeline_on, train_pipeline_with, Mode, ScheduleFamily};
+pub use reference::{train_reference, train_reference_on};

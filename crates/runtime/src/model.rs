@@ -1,0 +1,137 @@
+//! Deterministic full-model construction shared by the reference trainer
+//! and the pipeline shards, so both start from bit-identical weights (the
+//! precondition for the Appendix E convergence comparison).
+
+use rand::Rng;
+use vp_model::block::TransformerBlock;
+use vp_tensor::init::{gpt, seeded_rng};
+use vp_tensor::Tensor;
+
+/// Hyper-parameters of the tiny training runs (the runtime analogue of the
+/// paper's 4B correctness model, scaled to CPU size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TinyConfig {
+    /// Transformer layers (must be divisible by the device count).
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward expansion.
+    pub ffn_mult: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Microbatches per iteration.
+    pub microbatches: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Initialization / data seed.
+    pub seed: u64,
+    /// Tie the input and output embedding weights (§6.1). Supported by the
+    /// single-device reference and the Vocabulary Parallelism runtime
+    /// modes (the naive baseline would need a cross-stage gradient sync).
+    pub tied: bool,
+}
+
+impl Default for TinyConfig {
+    fn default() -> Self {
+        TinyConfig {
+            layers: 4,
+            hidden: 32,
+            heads: 4,
+            ffn_mult: 2,
+            seq_len: 16,
+            vocab: 97,
+            microbatches: 4,
+            lr: 8e-3,
+            seed: 1234,
+            tied: false,
+        }
+    }
+}
+
+/// A fully materialized model: the source of truth both trainers slice
+/// their parameters from.
+#[derive(Debug, Clone)]
+pub struct FullModel {
+    /// Input embedding table `[V, h]`.
+    pub input_weight: Tensor,
+    /// Learned positional embedding `[s, h]` (always lives on the first
+    /// pipeline device, as the paper notes in §6.4).
+    pub pos_weight: Tensor,
+    /// Transformer blocks in pipeline order.
+    pub blocks: Vec<TransformerBlock>,
+    /// Output embedding table `[V, h]` (untied from the input, as in all
+    /// paper experiments).
+    pub output_weight: Tensor,
+}
+
+impl FullModel {
+    /// Builds the model deterministically from `config.seed`. The RNG draw
+    /// order (input, positional, blocks, output) is part of the contract:
+    /// every caller with the same config gets identical tensors.
+    pub fn build(config: &TinyConfig) -> Self {
+        assert_eq!(config.hidden % config.heads, 0, "heads must divide hidden");
+        let mut rng = seeded_rng(config.seed);
+        let input_weight = gpt(&mut rng, config.vocab, config.hidden);
+        let pos_weight = gpt(&mut rng, config.seq_len, config.hidden);
+        let blocks = (0..config.layers)
+            .map(|_| TransformerBlock::new(&mut rng, config.hidden, config.heads, config.ffn_mult))
+            .collect();
+        let output_weight = if config.tied {
+            input_weight.clone()
+        } else {
+            gpt(&mut rng, config.vocab, config.hidden)
+        };
+        // Consume one extra draw so future extensions don't silently shift
+        // the stream.
+        let _: f64 = rng.gen();
+        FullModel { input_weight, pos_weight, blocks, output_weight }
+    }
+
+    /// The block range `[start, end)` hosted by `stage` of `devices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer count is not divisible by `devices`.
+    pub fn stage_blocks(&self, stage: usize, devices: usize) -> (usize, usize) {
+        assert_eq!(self.blocks.len() % devices, 0, "layers must divide evenly for the runtime");
+        let per = self.blocks.len() / devices;
+        (stage * per, (stage + 1) * per)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = TinyConfig::default();
+        let a = FullModel::build(&cfg);
+        let b = FullModel::build(&cfg);
+        assert_eq!(a.input_weight, b.input_weight);
+        assert_eq!(a.output_weight, b.output_weight);
+        assert_eq!(a.pos_weight, b.pos_weight);
+        assert_eq!(a.blocks.len(), 4);
+    }
+
+    #[test]
+    fn different_seed_different_model() {
+        let mut cfg = TinyConfig::default();
+        let a = FullModel::build(&cfg);
+        cfg.seed = 999;
+        let b = FullModel::build(&cfg);
+        assert!(a.input_weight.max_abs_diff(&b.input_weight).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stage_blocks_tile() {
+        let model = FullModel::build(&TinyConfig::default());
+        let (s0, e0) = model.stage_blocks(0, 2);
+        let (s1, e1) = model.stage_blocks(1, 2);
+        assert_eq!((s0, e0, s1, e1), (0, 2, 2, 4));
+    }
+}

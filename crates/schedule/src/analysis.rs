@@ -1,0 +1,172 @@
+//! Post-execution schedule analysis: where the bubbles are (warm-up,
+//! steady state, drain), what sits on the critical path, and per-kind time
+//! budgets. The quantitative companion to the timeline renderings.
+
+use crate::exec::ExecReport;
+use crate::pass::{PassKind, Schedule};
+use std::collections::HashMap;
+
+/// Idle-time decomposition for one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleBreakdown {
+    /// Idle before the device's first pass starts (pipeline fill).
+    pub warmup: f64,
+    /// Idle between the first and last pass (dependency stalls).
+    pub steady: f64,
+    /// Idle after the device's last pass until the global makespan (drain).
+    pub drain: f64,
+}
+
+impl IdleBreakdown {
+    /// Total idle time.
+    pub fn total(&self) -> f64 {
+        self.warmup + self.steady + self.drain
+    }
+}
+
+/// Aggregate analysis of an executed schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleAnalysis {
+    /// Per-device idle decomposition.
+    pub idle: Vec<IdleBreakdown>,
+    /// Total busy seconds per pass kind, summed over devices.
+    pub time_by_kind: HashMap<PassKind, f64>,
+    /// End-to-end makespan.
+    pub makespan: f64,
+    /// Number of devices.
+    pub devices: usize,
+}
+
+impl ScheduleAnalysis {
+    /// Computes the analysis from a schedule and its execution report.
+    pub fn new(schedule: &Schedule, report: &ExecReport) -> Self {
+        let p = schedule.devices();
+        let mut idle = Vec::with_capacity(p);
+        let mut time_by_kind: HashMap<PassKind, f64> = HashMap::new();
+        for d in 0..p {
+            let passes = schedule.passes(d);
+            if passes.is_empty() {
+                idle.push(IdleBreakdown { warmup: report.makespan, steady: 0.0, drain: 0.0 });
+                continue;
+            }
+            let first_start = report.start[d][0];
+            let last_end = report.end[d][passes.len() - 1];
+            let mut busy = 0.0;
+            for (i, pass) in passes.iter().enumerate() {
+                let dur = report.end[d][i] - report.start[d][i];
+                busy += dur;
+                *time_by_kind.entry(pass.kind).or_insert(0.0) += dur;
+            }
+            idle.push(IdleBreakdown {
+                warmup: first_start,
+                steady: (last_end - first_start - busy).max(0.0),
+                drain: (report.makespan - last_end).max(0.0),
+            });
+        }
+        ScheduleAnalysis { idle, time_by_kind, makespan: report.makespan, devices: p }
+    }
+
+    /// Mean idle fraction across devices.
+    pub fn mean_bubble(&self) -> f64 {
+        self.idle.iter().map(IdleBreakdown::total).sum::<f64>()
+            / (self.devices as f64 * self.makespan)
+    }
+
+    /// Fraction of total busy time spent in vocabulary passes
+    /// (`S`/`S2`/`T` and the sharded input passes).
+    pub fn vocab_fraction(&self) -> f64 {
+        let vocab: f64 = [PassKind::S, PassKind::S2, PassKind::T, PassKind::InputF, PassKind::InputB]
+            .iter()
+            .filter_map(|k| self.time_by_kind.get(k))
+            .sum();
+        let total: f64 = self.time_by_kind.values().sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            vocab / total
+        }
+    }
+
+    /// Renders a compact text report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "makespan {:.3}, mean bubble {:.1}%, vocab-pass share {:.1}%\n",
+            self.makespan,
+            100.0 * self.mean_bubble(),
+            100.0 * self.vocab_fraction()
+        );
+        for (d, idle) in self.idle.iter().enumerate() {
+            out.push_str(&format!(
+                "dev {d:>2}: warmup {:>7.3}  steady-stall {:>7.3}  drain {:>7.3}\n",
+                idle.warmup, idle.steady, idle.drain
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::PassTimes;
+    use crate::exec::{Executor, UnitCosts};
+    use crate::generators::{one_f_one_b, vocab_1f1b};
+    use crate::pass::VocabVariant;
+
+    fn analyze(schedule: &Schedule, times: PassTimes) -> ScheduleAnalysis {
+        let costs = UnitCosts::new(times, schedule.chunks());
+        let report = Executor::new(&costs).run(schedule).unwrap();
+        ScheduleAnalysis::new(schedule, &report)
+    }
+
+    #[test]
+    fn one_f_one_b_idle_is_warmup_and_drain() {
+        let times = PassTimes::default();
+        let a = analyze(&one_f_one_b(4, 32, times), times);
+        // Device 0 starts first and (receiving the final backward) also
+        // finishes last: no warmup or drain idle. The last device pays
+        // (p−1)·f of warmup and (p−1)·b of drain.
+        assert!(a.idle[0].warmup < 1e-9);
+        assert!(a.idle[0].drain < 0.2, "{:?}", a.idle[0]);
+        assert!((a.idle[3].warmup - 3.0).abs() < 0.2, "{:?}", a.idle[3]);
+        assert!((a.idle[3].drain - 6.0).abs() < 0.3, "{:?}", a.idle[3]);
+        // Steady-state stalls are small in balanced 1F1B.
+        for d in 0..4 {
+            assert!(a.idle[d].steady < 0.15 * a.makespan, "device {d}: {:?}", a.idle[d]);
+        }
+        // Known bubble: (p−1)(f+b) of the (m+p−1)(f+b) makespan.
+        let expected = 3.0 / 35.0;
+        assert!((a.mean_bubble() - expected).abs() < 0.05, "{}", a.mean_bubble());
+    }
+
+    #[test]
+    fn vocab_fraction_tracks_pass_times() {
+        let times = PassTimes { s: 0.3, t: 0.3, ..PassTimes::default() };
+        let a = analyze(&vocab_1f1b(4, 24, VocabVariant::Alg2, times, false), times);
+        let expected = 0.6 / 3.6;
+        assert!((a.vocab_fraction() - expected).abs() < 0.02, "{}", a.vocab_fraction());
+        let plain = analyze(&one_f_one_b(4, 24, times), times);
+        assert_eq!(plain.vocab_fraction(), 0.0);
+    }
+
+    #[test]
+    fn time_by_kind_accounts_all_busy_time() {
+        let times = PassTimes::default();
+        let sched = vocab_1f1b(3, 8, VocabVariant::Alg1, times, true);
+        let costs = UnitCosts::new(times, 1);
+        let report = Executor::new(&costs).run(&sched).unwrap();
+        let a = ScheduleAnalysis::new(&sched, &report);
+        let by_kind: f64 = a.time_by_kind.values().sum();
+        let busy: f64 = report.busy.iter().sum();
+        assert!((by_kind - busy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_mentions_every_device() {
+        let times = PassTimes::default();
+        let a = analyze(&one_f_one_b(3, 6, times), times);
+        let text = a.render();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("mean bubble"));
+    }
+}

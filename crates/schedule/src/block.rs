@@ -1,0 +1,315 @@
+//! Building blocks: the per-microbatch scheduling pattern whose uniform
+//! repetition yields a full pipeline schedule (Qi et al. 2024, used by the
+//! paper in §5.2).
+
+use crate::pass::{PassKind, Schedule, ScheduleKind, ScheduledPass};
+use serde::{Deserialize, Serialize};
+
+/// Relative durations of the pass kinds, in arbitrary units.
+///
+/// The paper's schedules are constructed assuming the backward pass takes
+/// roughly twice the forward pass (§6.1 profiles this and notes deviations
+/// rarely change the schedule); [`PassTimes::default`] encodes that
+/// assumption with small vocabulary passes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PassTimes {
+    /// Transformer forward.
+    pub f: f64,
+    /// Transformer backward (activation grads; includes weight grads unless
+    /// `w > 0` and the generator emits `W` passes).
+    pub b: f64,
+    /// Transformer weight-gradient pass (0 folds it into `b`).
+    pub w: f64,
+    /// Vocabulary output `S` pass.
+    pub s: f64,
+    /// Vocabulary output `T` pass.
+    pub t: f64,
+    /// Sharded input-layer forward.
+    pub input_f: f64,
+    /// Sharded input-layer backward.
+    pub input_b: f64,
+    /// Communication delay modelled between dependent cross-device passes.
+    pub comm: f64,
+}
+
+impl Default for PassTimes {
+    fn default() -> Self {
+        PassTimes { f: 1.0, b: 2.0, w: 0.0, s: 0.3, t: 0.3, input_f: 0.05, input_b: 0.05, comm: 0.01 }
+    }
+}
+
+impl PassTimes {
+    /// Duration of one pass kind.
+    pub fn duration(&self, kind: PassKind) -> f64 {
+        match kind {
+            PassKind::F => self.f,
+            PassKind::B => self.b,
+            PassKind::W => self.w,
+            PassKind::S | PassKind::S2 | PassKind::OutputF => self.s,
+            PassKind::T | PassKind::OutputB => self.t,
+            PassKind::InputF => self.input_f,
+            PassKind::InputB => self.input_b,
+        }
+    }
+}
+
+/// One pass of the building block: its kind, chunk and start offset for
+/// microbatch 0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockEntry {
+    /// What runs.
+    pub kind: PassKind,
+    /// Model chunk.
+    pub chunk: u8,
+    /// Start offset of the microbatch-0 instance, in the same units as
+    /// [`PassTimes`]. May be negative; only relative order matters.
+    pub offset: f64,
+}
+
+/// A building block: per-device pass offsets for one microbatch plus the
+/// repeat interval.
+///
+/// Repeating the block (`offset + k·interval` for microbatch `k`) and
+/// sorting each device's passes by start time yields the schedule's
+/// per-device execution order. The analytic peak activation memory is
+/// `ceil(lifespan / interval)` per §5.2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildingBlock {
+    kind: ScheduleKind,
+    entries: Vec<Vec<BlockEntry>>,
+    interval: f64,
+    times: PassTimes,
+    chunks: u8,
+}
+
+impl BuildingBlock {
+    /// Assembles a building block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or `interval <= 0`.
+    pub fn new(
+        kind: ScheduleKind,
+        entries: Vec<Vec<BlockEntry>>,
+        interval: f64,
+        times: PassTimes,
+        chunks: u8,
+    ) -> Self {
+        assert!(!entries.is_empty(), "building block must cover at least one device");
+        assert!(interval > 0.0, "interval must be positive");
+        BuildingBlock { kind, entries, interval, times, chunks }
+    }
+
+    /// Number of devices the block covers.
+    pub fn devices(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The repeat interval (the per-microbatch workload of one device).
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// The block's entries for device `d`.
+    pub fn entries(&self, d: usize) -> &[BlockEntry] {
+        &self.entries[d]
+    }
+
+    /// The schedule family this block builds.
+    pub fn kind(&self) -> ScheduleKind {
+        self.kind
+    }
+
+    /// Virtual chunks per device.
+    pub fn chunks(&self) -> u8 {
+        self.chunks
+    }
+
+    /// Lifespan on device `d` for `chunk`: time from the start of the `F`
+    /// pass to the end of the matching `B` pass (the window during which
+    /// the microbatch's activations stay resident).
+    ///
+    /// Returns `None` if the device has no `F`/`B` pair for that chunk.
+    pub fn lifespan(&self, d: usize, chunk: u8) -> Option<f64> {
+        let f = self
+            .entries[d]
+            .iter()
+            .find(|e| e.kind == PassKind::F && e.chunk == chunk)?;
+        let b = self
+            .entries[d]
+            .iter()
+            .find(|e| e.kind == PassKind::B && e.chunk == chunk)?;
+        Some(b.offset + self.times.duration(PassKind::B) - f.offset)
+    }
+
+    /// The analytic peak activation memory of the repeated schedule on
+    /// device `d`, in resident microbatches (each counted once per chunk):
+    /// `Σ_chunks ceil(lifespan / interval)` bounded by the microbatch count
+    /// at generation time.
+    pub fn peak_activation_microbatches(&self, d: usize) -> f64 {
+        (0..=self.chunks.saturating_sub(1))
+            .filter_map(|c| self.lifespan(d, c))
+            .map(|l| (l / self.interval).ceil())
+            .sum()
+    }
+
+    /// Uniformly repeats the block for `m` microbatches and extracts each
+    /// device's execution order.
+    ///
+    /// Ties are broken by `(kind-priority, microbatch, chunk)` so the order
+    /// is deterministic and consistent across devices.
+    pub fn generate(&self, m: u32) -> Schedule {
+        let mut device_passes = Vec::with_capacity(self.devices());
+        for d in 0..self.devices() {
+            let mut timed: Vec<(f64, u32, &BlockEntry)> = Vec::new();
+            for entry in &self.entries[d] {
+                for k in 0..m {
+                    timed.push((entry.offset + k as f64 * self.interval, k, entry));
+                }
+            }
+            timed.sort_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then_with(|| kind_priority(a.2.kind).cmp(&kind_priority(b.2.kind)))
+                    .then_with(|| a.1.cmp(&b.1))
+                    .then_with(|| a.2.chunk.cmp(&b.2.chunk))
+            });
+            device_passes.push(
+                timed
+                    .into_iter()
+                    .map(|(_, k, e)| ScheduledPass::with_chunk(e.kind, k, e.chunk))
+                    .collect(),
+            );
+        }
+        Schedule::new(self.kind, m, self.chunks, device_passes)
+    }
+
+    /// The pass times the block was built with.
+    pub fn times(&self) -> &PassTimes {
+        &self.times
+    }
+
+    /// The timed pass instances of device `d` for `m` microbatches, before
+    /// ordering. Generators that need irregular extra passes (e.g. the
+    /// warmup placement of input-layer passes, Appendix C) extend this list
+    /// and feed it to [`order_passes`].
+    pub fn timed_passes(&self, d: usize, m: u32) -> Vec<(f64, ScheduledPass)> {
+        let mut timed = Vec::with_capacity(self.entries[d].len() * m as usize);
+        for entry in &self.entries[d] {
+            for k in 0..m {
+                timed.push((
+                    entry.offset + k as f64 * self.interval,
+                    ScheduledPass::with_chunk(entry.kind, k, entry.chunk),
+                ));
+            }
+        }
+        timed
+    }
+}
+
+/// Sorts timed passes into a deterministic device execution order
+/// (time, then kind priority, then microbatch, then chunk).
+pub fn order_passes(mut timed: Vec<(f64, ScheduledPass)>) -> Vec<ScheduledPass> {
+    timed.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then_with(|| kind_priority(a.1.kind).cmp(&kind_priority(b.1.kind)))
+            .then_with(|| a.1.microbatch.cmp(&b.1.microbatch))
+            .then_with(|| a.1.chunk.cmp(&b.1.chunk))
+    });
+    timed.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Stable tie-breaking priority: consumers (B) before producers of new
+/// work (F) at equal offsets keeps steady-state memory minimal, and input
+/// passes slot in ahead of the heavy passes they feed.
+fn kind_priority(kind: PassKind) -> u8 {
+    match kind {
+        PassKind::InputF => 0,
+        PassKind::S => 1,
+        PassKind::S2 => 2,
+        PassKind::T => 3,
+        PassKind::OutputF => 4,
+        PassKind::OutputB => 5,
+        PassKind::B => 6,
+        PassKind::F => 7,
+        PassKind::W => 8,
+        PassKind::InputB => 9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic 1F1B block: F at `d·f`, B at `p·f + (p−1−d)·b`.
+    fn block_1f1b(p: usize) -> BuildingBlock {
+        let times = PassTimes::default();
+        let entries = (0..p)
+            .map(|d| {
+                vec![
+                    BlockEntry { kind: PassKind::F, chunk: 0, offset: d as f64 * times.f },
+                    BlockEntry {
+                        kind: PassKind::B,
+                        chunk: 0,
+                        offset: p as f64 * times.f + (p - 1 - d) as f64 * times.b,
+                    },
+                ]
+            })
+            .collect();
+        BuildingBlock::new(ScheduleKind::Plain, entries, times.f + times.b, times, 1)
+    }
+
+    #[test]
+    fn one_f_one_b_peak_memory_is_p_minus_d() {
+        let p = 4;
+        let block = block_1f1b(p);
+        for d in 0..p {
+            let peak = block.peak_activation_microbatches(d);
+            assert_eq!(peak, (p - d) as f64, "device {d}");
+        }
+    }
+
+    #[test]
+    fn generate_emits_all_passes_in_order() {
+        let block = block_1f1b(3);
+        let sched = block.generate(5);
+        assert_eq!(sched.devices(), 3);
+        for d in 0..3 {
+            assert_eq!(sched.count_kind(d, PassKind::F), 5);
+            assert_eq!(sched.count_kind(d, PassKind::B), 5);
+            // Microbatches of the same kind appear in increasing order.
+            let fs: Vec<u32> = sched
+                .passes(d)
+                .iter()
+                .filter(|pass| pass.kind == PassKind::F)
+                .map(|pass| pass.microbatch)
+                .collect();
+            assert_eq!(fs, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn last_device_alternates_f_and_b() {
+        let block = block_1f1b(4);
+        let sched = block.generate(6);
+        let seq: String = sched.passes(3).iter().map(|pass| pass.kind.glyph()).collect();
+        // Device p−1 warms up with a single F, then strictly alternates.
+        assert!(seq.starts_with("FB"), "{seq}");
+        assert!(!seq.contains("FF"), "{seq}");
+    }
+
+    #[test]
+    fn first_device_warms_up_with_p_forwards() {
+        let p = 4;
+        let block = block_1f1b(p);
+        let sched = block.generate(8);
+        let seq: String = sched.passes(0).iter().map(|pass| pass.kind.glyph()).collect();
+        assert!(seq.starts_with("FFFFB"), "{seq}");
+    }
+
+    #[test]
+    fn lifespan_missing_for_absent_chunk() {
+        let block = block_1f1b(2);
+        assert!(block.lifespan(0, 1).is_none());
+        assert!(block.lifespan(0, 0).is_some());
+    }
+}

@@ -1,0 +1,463 @@
+//! Cross-device dependency rules (§5.1) and schedule validation.
+//!
+//! The constraints encoded here are exactly the paper's:
+//!
+//! * `S` passes run after the forward of the last (virtual) transformer
+//!   stage completes (`C0` broadcast of `X`).
+//! * `T` passes run after *all* `S` passes (`C1` barrier; the naive
+//!   grouping interposes `S2` with its extra barrier).
+//! * For Algorithm 1 (and naive), the backward of the last transformer
+//!   stage waits for all `T` passes (`C2` reduce of `∇X`); for Algorithm 2
+//!   it waits only for all `S` passes, since `∇X` is assembled inside the
+//!   single `C1` barrier and `T` is freely deferrable.
+//! * Interlaced output passes synchronize all devices per microbatch.
+//! * Sharded input-layer forwards must all complete (and all-reduce)
+//!   before the first stage's forward; input-layer backwards wait for the
+//!   first stage's backward to produce the embedding gradient.
+
+use crate::pass::{placement_device_of, placement_stage_of, ChunkPlacement, PassKind, Schedule, ScheduleKind, ScheduledPass, VocabVariant};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Classification of a dependency edge, used by executors to attach
+/// communication costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Activation transfer between adjacent stages (forward chain).
+    ActivationP2p,
+    /// Gradient transfer between adjacent stages (backward chain).
+    GradP2p,
+    /// `C0`: broadcast of the last transformer output to all shards.
+    C0Broadcast,
+    /// `C1`: all-reduce of softmax statistics (and, for Algorithm 2, the
+    /// `∇X` reduce folded into the same barrier).
+    C1Barrier,
+    /// `C2`: reduce of `∇X` after the `T` passes (Algorithm 1 / naive).
+    C2Reduce,
+    /// Extra barrier of the naive grouping (between `S` and `S2`).
+    NaiveBarrier,
+    /// Synchronous tensor-parallel communication of the interlaced
+    /// pipeline (blocks the compute stream).
+    InterlacedSync,
+    /// All-reduce of sharded input-layer outputs before the first stage.
+    InputAllReduce,
+    /// Broadcast of the embedding gradient to all input shards.
+    InputGradBroadcast,
+    /// Same-device data dependency (zero communication cost), e.g. the
+    /// last stage's backward consuming its own forward's activations.
+    Local,
+}
+
+/// A dependency: the pass at `(device, index)` must finish (plus the edge's
+/// communication cost) before the dependent pass may start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dep {
+    /// Producing device.
+    pub device: usize,
+    /// Index of the producing pass in its device's execution order.
+    pub index: usize,
+    /// Edge classification.
+    pub kind: EdgeKind,
+}
+
+/// The dependency graph of a schedule: `preds[d][i]` lists the cross-device
+/// prerequisites of pass `i` on device `d` (program order within a device
+/// is implicit).
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    preds: Vec<Vec<Vec<Dep>>>,
+}
+
+impl DepGraph {
+    /// Prerequisites of pass `i` on device `d`.
+    pub fn preds(&self, d: usize, i: usize) -> &[Dep] {
+        &self.preds[d][i]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().flatten().map(Vec::len).sum()
+    }
+}
+
+/// Errors produced by schedule validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DepError {
+    /// A pass another pass depends on does not exist in the schedule.
+    MissingPass {
+        /// Human-readable description of the missing pass.
+        what: String,
+    },
+    /// A pass appears more than once on a device.
+    DuplicatePass {
+        /// Device index.
+        device: usize,
+        /// The duplicated pass.
+        pass: ScheduledPass,
+    },
+    /// Execution cannot make progress: every device's next pass waits on a
+    /// pass that never runs (a dependency cycle through the device orders).
+    Deadlock {
+        /// The stuck pass of the lowest-numbered stuck device.
+        device: usize,
+        /// Description of the pass.
+        pass: ScheduledPass,
+    },
+}
+
+impl fmt::Display for DepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepError::MissingPass { what } => write!(f, "missing pass: {what}"),
+            DepError::DuplicatePass { device, pass } => {
+                write!(f, "duplicate pass {pass} on device {device}")
+            }
+            DepError::Deadlock { device, pass } => {
+                write!(f, "deadlock: device {device} stuck before {pass}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DepError {}
+
+/// Identity of a pass: kind, microbatch, chunk, device.
+pub type Key = (PassKind, u32, u8, usize);
+
+/// Structural description of a schedule, sufficient to derive the logical
+/// dependency rules without a concrete pass ordering. Used both by
+/// [`build_deps`] and by the greedy synthesizer in [`crate::synth`].
+#[derive(Debug, Clone, Copy)]
+pub struct DepContext {
+    /// Schedule family.
+    pub kind: ScheduleKind,
+    /// Number of pipeline devices.
+    pub devices: usize,
+    /// Virtual chunks per device.
+    pub chunks: u8,
+    /// Virtual-stage placement for multi-chunk schedules.
+    pub placement: ChunkPlacement,
+    /// Whether sharded input-layer passes are present.
+    pub has_input: bool,
+}
+
+impl DepContext {
+    /// Derives the context from a concrete schedule.
+    pub fn of(schedule: &Schedule) -> Self {
+        let has_input =
+            (0..schedule.devices()).any(|d| schedule.count_kind(d, PassKind::InputF) > 0);
+        DepContext {
+            kind: schedule.kind(),
+            devices: schedule.devices(),
+            chunks: schedule.chunks(),
+            placement: schedule.placement(),
+            has_input,
+        }
+    }
+
+    fn virtual_stages(&self) -> usize {
+        self.devices * self.chunks as usize
+    }
+
+    fn device_of_virtual_stage(&self, stage: usize) -> (usize, u8) {
+        placement_device_of(self.placement, self.devices, stage)
+    }
+
+    fn virtual_stage_of(&self, device: usize, chunk: u8) -> usize {
+        placement_stage_of(self.placement, self.devices, device, chunk)
+    }
+
+    /// The logical prerequisites of `pass` running on `device`, as
+    /// `(producer key, edge kind)` pairs — the §5.1 constraints.
+    pub fn logical_preds(&self, pass: &ScheduledPass, device: usize) -> Vec<(Key, EdgeKind)> {
+        let p = self.devices;
+        let mb = pass.microbatch;
+        let last_vs = self.virtual_stages() - 1;
+        let mut out = Vec::new();
+        match pass.kind {
+            PassKind::F => {
+                let vs = self.virtual_stage_of(device, pass.chunk);
+                if vs == 0 {
+                    if self.has_input {
+                        for src in 0..p {
+                            out.push(((PassKind::InputF, mb, 0, src), EdgeKind::InputAllReduce));
+                        }
+                    }
+                } else {
+                    let (pd, pc) = self.device_of_virtual_stage(vs - 1);
+                    out.push(((PassKind::F, mb, pc, pd), EdgeKind::ActivationP2p));
+                }
+            }
+            PassKind::B => {
+                let vs = self.virtual_stage_of(device, pass.chunk);
+                if vs == last_vs {
+                    out.push(((PassKind::F, mb, pass.chunk, device), EdgeKind::Local));
+                    match self.kind {
+                        ScheduleKind::Plain => {}
+                        ScheduleKind::Vocab(variant) => {
+                            let (gate, kind) = match variant {
+                                VocabVariant::Alg2 => (PassKind::S, EdgeKind::C1Barrier),
+                                VocabVariant::Alg1 | VocabVariant::Naive => {
+                                    (PassKind::T, EdgeKind::C2Reduce)
+                                }
+                            };
+                            for src in 0..p {
+                                out.push(((gate, mb, 0, src), kind));
+                            }
+                        }
+                        ScheduleKind::Interlaced => {
+                            for src in 0..p {
+                                out.push(((PassKind::OutputB, mb, 0, src), EdgeKind::InterlacedSync));
+                            }
+                        }
+                    }
+                } else {
+                    let (nd, nc) = self.device_of_virtual_stage(vs + 1);
+                    out.push(((PassKind::B, mb, nc, nd), EdgeKind::GradP2p));
+                }
+            }
+            PassKind::W => {
+                out.push(((PassKind::B, mb, pass.chunk, device), EdgeKind::Local));
+            }
+            PassKind::S | PassKind::OutputF => {
+                let (ld, lc) = self.device_of_virtual_stage(last_vs);
+                let kind = if pass.kind == PassKind::S {
+                    EdgeKind::C0Broadcast
+                } else {
+                    EdgeKind::InterlacedSync
+                };
+                out.push(((PassKind::F, mb, lc, ld), kind));
+            }
+            PassKind::S2 => {
+                for src in 0..p {
+                    out.push(((PassKind::S, mb, 0, src), EdgeKind::NaiveBarrier));
+                }
+            }
+            PassKind::T => {
+                let (gate, kind) = match self.kind {
+                    ScheduleKind::Vocab(VocabVariant::Naive) => (PassKind::S2, EdgeKind::NaiveBarrier),
+                    _ => (PassKind::S, EdgeKind::C1Barrier),
+                };
+                for src in 0..p {
+                    out.push(((gate, mb, 0, src), kind));
+                }
+            }
+            PassKind::OutputB => {
+                for src in 0..p {
+                    out.push(((PassKind::OutputF, mb, 0, src), EdgeKind::InterlacedSync));
+                }
+            }
+            PassKind::InputF => {}
+            PassKind::InputB => {
+                let (fd, fc) = self.device_of_virtual_stage(0);
+                out.push(((PassKind::B, mb, fc, fd), EdgeKind::InputGradBroadcast));
+            }
+        }
+        out
+    }
+}
+
+fn index_schedule(schedule: &Schedule) -> Result<HashMap<Key, (usize, usize)>, DepError> {
+    let mut map = HashMap::with_capacity(schedule.total_passes());
+    for (d, i, pass) in schedule.iter_all() {
+        let key = (pass.kind, pass.microbatch, pass.chunk, d);
+        if map.insert(key, (d, i)).is_some() {
+            return Err(DepError::DuplicatePass { device: d, pass: *pass });
+        }
+    }
+    Ok(map)
+}
+
+/// Builds the dependency graph of a schedule according to its
+/// [`ScheduleKind`]'s rules.
+///
+/// # Errors
+///
+/// Returns [`DepError::MissingPass`] if a rule references a pass the
+/// schedule does not contain, or [`DepError::DuplicatePass`] for repeated
+/// passes.
+pub fn build_deps(schedule: &Schedule) -> Result<DepGraph, DepError> {
+    let map = index_schedule(schedule)?;
+    let ctx = DepContext::of(schedule);
+    let p = schedule.devices();
+    let mut preds: Vec<Vec<Vec<Dep>>> =
+        (0..p).map(|d| vec![Vec::new(); schedule.passes(d).len()]).collect();
+    for (d, i, pass) in schedule.iter_all() {
+        for (key, kind) in ctx.logical_preds(pass, d) {
+            let (pd, pi) = map.get(&key).copied().ok_or_else(|| DepError::MissingPass {
+                what: format!(
+                    "{:?} mb={} chunk={} on device {} (needed by {pass} on device {d})",
+                    key.0, key.1, key.2, key.3
+                ),
+            })?;
+            preds[d][i].push(Dep { device: pd, index: pi, kind });
+        }
+    }
+    Ok(DepGraph { preds })
+}
+
+/// Validates a schedule: builds its dependency graph and checks that the
+/// per-device execution orders can run to completion without deadlock.
+///
+/// # Errors
+///
+/// Returns the first [`DepError`] encountered.
+pub fn validate(schedule: &Schedule) -> Result<DepGraph, DepError> {
+    let graph = build_deps(schedule)?;
+    let p = schedule.devices();
+    let mut cursor = vec![0usize; p];
+    let mut done: Vec<Vec<bool>> = (0..p).map(|d| vec![false; schedule.passes(d).len()]).collect();
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for d in 0..p {
+            // A device may retire several consecutive ready passes per
+            // sweep; keep going until it blocks.
+            while cursor[d] < schedule.passes(d).len() {
+                all_done = false;
+                let i = cursor[d];
+                let ready = graph.preds(d, i).iter().all(|dep| done[dep.device][dep.index]);
+                if !ready {
+                    break;
+                }
+                done[d][i] = true;
+                cursor[d] += 1;
+                progressed = true;
+            }
+            if cursor[d] < schedule.passes(d).len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            return Ok(graph);
+        }
+        if !progressed {
+            let d = (0..p).find(|&d| cursor[d] < schedule.passes(d).len()).expect("some device is stuck");
+            return Err(DepError::Deadlock { device: d, pass: schedule.passes(d)[cursor[d]] });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::PassTimes;
+    use crate::generators::{interlaced_1f1b, one_f_one_b, vhalf, vhalf_vocab, vocab_1f1b};
+
+    #[test]
+    fn plain_1f1b_validates() {
+        let sched = one_f_one_b(4, 8, PassTimes::default());
+        let graph = validate(&sched).unwrap();
+        assert!(graph.edge_count() > 0);
+    }
+
+    #[test]
+    fn vocab_schedules_validate_for_all_variants() {
+        for variant in [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2] {
+            for include_input in [false, true] {
+                let sched = vocab_1f1b(4, 8, variant, PassTimes::default(), include_input);
+                validate(&sched).unwrap_or_else(|e| panic!("{variant:?} input={include_input}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn interlaced_validates() {
+        validate(&interlaced_1f1b(6, 12, PassTimes::default())).unwrap();
+    }
+
+    #[test]
+    fn vhalf_validates() {
+        validate(&vhalf(4, 8, PassTimes::default())).unwrap();
+        let times = PassTimes { w: 1.0, b: 1.0, ..PassTimes::default() };
+        validate(&vhalf(4, 8, times)).unwrap();
+    }
+
+    #[test]
+    fn vhalf_vocab_validates_with_input() {
+        let sched = vhalf_vocab(4, 8, VocabVariant::Alg1, PassTimes::default(), true);
+        validate(&sched).unwrap();
+    }
+
+    #[test]
+    fn missing_pass_is_reported() {
+        use crate::pass::{Schedule, ScheduledPass};
+        // Device 1's F depends on device 0's F, which is absent.
+        let sched = Schedule::new(
+            ScheduleKind::Plain,
+            1,
+            1,
+            vec![vec![], vec![ScheduledPass::new(PassKind::F, 0)]],
+        );
+        assert!(matches!(build_deps(&sched), Err(DepError::MissingPass { .. })));
+    }
+
+    #[test]
+    fn duplicate_pass_is_reported() {
+        use crate::pass::{Schedule, ScheduledPass};
+        let sched = Schedule::new(
+            ScheduleKind::Plain,
+            1,
+            1,
+            vec![vec![ScheduledPass::new(PassKind::F, 0), ScheduledPass::new(PassKind::F, 0)]],
+        );
+        assert!(matches!(build_deps(&sched), Err(DepError::DuplicatePass { .. })));
+    }
+
+    #[test]
+    fn inverted_order_deadlocks() {
+        use crate::pass::{Schedule, ScheduledPass};
+        // Two devices, each wanting the other's pass first: device 1 has
+        // B0 before F0 — its B waits for its own F placed later (via the
+        // backward chain through device 0's B, which waits for F on
+        // device 1... constructing a real cycle:
+        // dev0: [F0, B0]; dev1: [B0, F0]. dev1.B0 needs dev1.F0 (program
+        // order violated through the cross-device chain).
+        let sched = Schedule::new(
+            ScheduleKind::Plain,
+            1,
+            1,
+            vec![
+                vec![ScheduledPass::new(PassKind::F, 0), ScheduledPass::new(PassKind::B, 0)],
+                vec![ScheduledPass::new(PassKind::B, 0), ScheduledPass::new(PassKind::F, 0)],
+            ],
+        );
+        // dev0.B0 depends on dev1.B0 (grad chain); dev1.B0 is first in its
+        // order but is the *last* virtual stage backward requiring its own
+        // F0 which is behind it → deadlock.
+        assert!(matches!(validate(&sched), Err(DepError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn alg2_backward_does_not_wait_for_t() {
+        let sched = vocab_1f1b(3, 4, VocabVariant::Alg2, PassTimes::default(), false);
+        let graph = build_deps(&sched).unwrap();
+        // Find the last-stage B of microbatch 0 and check its gates are S
+        // passes, not T passes.
+        let d = 2;
+        let (i, _) = sched
+            .passes(d)
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.kind == PassKind::B && p.microbatch == 0)
+            .unwrap();
+        let kinds: Vec<EdgeKind> = graph.preds(d, i).iter().map(|dep| dep.kind).collect();
+        assert!(kinds.contains(&EdgeKind::C1Barrier));
+        assert!(!kinds.contains(&EdgeKind::C2Reduce));
+    }
+
+    #[test]
+    fn alg1_backward_waits_for_t() {
+        let sched = vocab_1f1b(3, 4, VocabVariant::Alg1, PassTimes::default(), false);
+        let graph = build_deps(&sched).unwrap();
+        let d = 2;
+        let (i, _) = sched
+            .passes(d)
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.kind == PassKind::B && p.microbatch == 0)
+            .unwrap();
+        let kinds: Vec<EdgeKind> = graph.preds(d, i).iter().map(|dep| dep.kind).collect();
+        assert!(kinds.contains(&EdgeKind::C2Reduce));
+    }
+}

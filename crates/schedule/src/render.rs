@@ -1,0 +1,116 @@
+//! ASCII rendering of pipeline schedules — the textual analogue of the
+//! paper's schedule figures (1, 9, 10, 15, 16).
+
+use crate::exec::ExecReport;
+use crate::pass::{PassKind, Schedule};
+
+/// Renders the executed schedule as one timeline row per device.
+///
+/// Time is binned into `width` columns across the makespan; each cell shows
+/// the glyph of the pass running there (last writer wins within a bin) or
+/// `.` when the device is idle. Vocabulary passes show as `S`/`T`,
+/// interlaced output passes as `O`/`Q`, input passes as `i`/`j`.
+pub fn render_timeline(schedule: &Schedule, report: &ExecReport, width: usize) -> String {
+    let width = width.max(10);
+    let scale = width as f64 / report.makespan;
+    let mut out = String::new();
+    for d in 0..schedule.devices() {
+        let mut row = vec!['.'; width];
+        for (i, pass) in schedule.passes(d).iter().enumerate() {
+            let s = (report.start[d][i] * scale) as usize;
+            let e = ((report.end[d][i] * scale) as usize).max(s + 1).min(width);
+            for cell in row.iter_mut().take(e).skip(s.min(width - 1)) {
+                *cell = pass.kind.glyph();
+            }
+        }
+        out.push_str(&format!("dev {d:>2} |"));
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-device pass orders compactly (first `limit` passes),
+/// e.g. `F0 F1 B0 S0 F2 B1 T0 …`.
+pub fn render_order(schedule: &Schedule, limit: usize) -> String {
+    let mut out = String::new();
+    for d in 0..schedule.devices() {
+        out.push_str(&format!("dev {d:>2} |"));
+        for pass in schedule.passes(d).iter().take(limit) {
+            out.push(' ');
+            out.push_str(&pass.to_string());
+        }
+        if schedule.passes(d).len() > limit {
+            out.push_str(" …");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a legend for the glyphs used by [`render_timeline`].
+pub fn legend() -> String {
+    let kinds = [
+        (PassKind::F, "transformer forward"),
+        (PassKind::B, "transformer backward"),
+        (PassKind::W, "transformer weight grad"),
+        (PassKind::S, "vocab output S pass"),
+        (PassKind::S2, "vocab output F2 pass (naive)"),
+        (PassKind::T, "vocab output T pass"),
+        (PassKind::InputF, "vocab input forward"),
+        (PassKind::InputB, "vocab input backward"),
+        (PassKind::OutputF, "interlaced output forward"),
+        (PassKind::OutputB, "interlaced output backward"),
+    ];
+    let mut out = String::from("legend: ");
+    for (k, name) in kinds {
+        out.push_str(&format!("{}={} ", k.glyph(), name));
+    }
+    out.push_str(".=idle\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::PassTimes;
+    use crate::exec::{Executor, UnitCosts};
+    use crate::generators::one_f_one_b;
+
+    #[test]
+    fn timeline_has_one_row_per_device() {
+        let sched = one_f_one_b(3, 6, PassTimes::default());
+        let costs = UnitCosts::new(PassTimes::default(), 1);
+        let report = Executor::new(&costs).run(&sched).unwrap();
+        let art = render_timeline(&sched, &report, 80);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains('F') && art.contains('B'));
+    }
+
+    #[test]
+    fn imbalanced_pipeline_shows_idle_cells() {
+        // Figure 1's point: longer last-stage passes leave bubbles
+        // elsewhere. Emulate via unit costs (warmup always idles dev 1).
+        let sched = one_f_one_b(2, 4, PassTimes::default());
+        let costs = UnitCosts::new(PassTimes::default(), 1);
+        let report = Executor::new(&costs).run(&sched).unwrap();
+        let art = render_timeline(&sched, &report, 60);
+        assert!(art.contains('.'));
+    }
+
+    #[test]
+    fn order_rendering_truncates() {
+        let sched = one_f_one_b(2, 50, PassTimes::default());
+        let art = render_order(&sched, 5);
+        assert!(art.contains('…'));
+        assert!(art.contains("F0"));
+    }
+
+    #[test]
+    fn legend_mentions_all_glyphs() {
+        let l = legend();
+        for g in ['F', 'B', 'W', 'S', 'T', 'i', 'j', 'O', 'Q', 'Z'] {
+            assert!(l.contains(g), "missing {g}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over the schedule machinery: for arbitrary device
+//! counts, microbatch counts, pass-time ratios and variants, generated
+//! schedules must validate, complete, respect the §5.2 memory bounds and
+//! sustain steady-state throughput.
+
+use proptest::prelude::*;
+use vp_schedule::block::PassTimes;
+use vp_schedule::exec::{Executor, UnitCosts};
+use vp_schedule::generators;
+use vp_schedule::pass::{PassKind, VocabVariant};
+
+fn times_strategy() -> impl Strategy<Value = PassTimes> {
+    (0.5f64..2.0, 1.0f64..3.0, 0.02f64..0.8, 0.02f64..0.8).prop_map(|(f, b, s, t)| PassTimes {
+        f,
+        b,
+        w: 0.0,
+        s,
+        t,
+        input_f: 0.05,
+        input_b: 0.05,
+        comm: 0.01,
+    })
+}
+
+fn variant_strategy() -> impl Strategy<Value = VocabVariant> {
+    prop_oneof![
+        Just(VocabVariant::Naive),
+        Just(VocabVariant::Alg1),
+        Just(VocabVariant::Alg2)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated vocabulary schedule validates, runs to completion,
+    /// contains exactly `m` of each pass per device, and its simulated
+    /// peak activation stays within `p − d + barriers` microbatches.
+    #[test]
+    fn vocab_schedules_are_valid_and_memory_bounded(
+        p in 2usize..7,
+        m in 4u32..24,
+        variant in variant_strategy(),
+        times in times_strategy(),
+        include_input in proptest::bool::ANY,
+    ) {
+        let schedule = generators::vocab_1f1b(p, m, variant, times, include_input);
+        let graph = vp_schedule::deps::validate(&schedule).expect("schedule validates");
+        let costs = UnitCosts::new(times, 1);
+        let report = Executor::new(&costs).run_with_graph(&schedule, &graph);
+        for d in 0..p {
+            prop_assert_eq!(schedule.count_kind(d, PassKind::F), m as usize);
+            prop_assert_eq!(schedule.count_kind(d, PassKind::B), m as usize);
+            prop_assert_eq!(schedule.count_kind(d, PassKind::T), m as usize);
+            let cap = (p - d + variant.barriers()).min(m as usize);
+            prop_assert!(
+                report.peak_resident_microbatches[d] <= cap,
+                "device {}: {} > {}", d, report.peak_resident_microbatches[d], cap
+            );
+        }
+        // Sanity: the makespan at least covers one device's work.
+        prop_assert!(report.makespan >= report.busy[0] - 1e-9);
+    }
+
+    /// Steady-state throughput: with enough microbatches, the makespan is
+    /// close to work + fill/drain for every variant and time ratio.
+    #[test]
+    fn vocab_schedules_sustain_throughput(
+        p in 2usize..6,
+        variant in variant_strategy(),
+        times in times_strategy(),
+    ) {
+        let m = 48u32;
+        let schedule = generators::vocab_1f1b(p, m, variant, times, false);
+        let costs = UnitCosts::new(times, 1);
+        let report = Executor::new(&costs).run(&schedule).unwrap();
+        let out: f64 = variant.output_passes().iter().map(|&k| times.duration(k)).sum();
+        let interval = times.f + times.b + out;
+        let work = interval * m as f64;
+        let fill = (p as f64 + variant.barriers() as f64 + 2.0) * interval;
+        // Allow a few percent of greedy-packing slack at extreme pass-time
+        // ratios (e.g. b ≈ 5f): the synthesized order is near-optimal, not
+        // optimal.
+        prop_assert!(
+            report.makespan < 1.05 * work + fill,
+            "p={} {:?}: makespan {} vs work {} + fill {}",
+            p, variant, report.makespan, work, fill
+        );
+    }
+
+    /// Plain 1F1B keeps its classical properties under arbitrary times.
+    #[test]
+    fn one_f_one_b_classical_properties(
+        p in 2usize..8,
+        m in 4u32..32,
+        times in times_strategy(),
+    ) {
+        let schedule = generators::one_f_one_b(p, m, times);
+        let costs = UnitCosts::new(times, 1);
+        let report = Executor::new(&costs).run(&schedule).unwrap();
+        for d in 0..p {
+            prop_assert!(report.peak_resident_microbatches[d] <= (p - d).min(m as usize));
+        }
+    }
+
+    /// V-Half: valid, complete, and balanced in activation units across
+    /// devices.
+    #[test]
+    fn vhalf_is_valid_and_balanced(
+        p in 2usize..6,
+        extra_m in 0u32..16,
+        vocab in proptest::bool::ANY,
+    ) {
+        // Balance is a steady-state property: use enough microbatches that
+        // every device reaches its in-flight budget.
+        let m = 4 * p as u32 + extra_m;
+        let times = PassTimes { f: 1.0, b: 1.0, w: 1.0, ..PassTimes::default() };
+        let schedule = if vocab {
+            generators::vhalf_vocab(p, m, VocabVariant::Alg1, times, true)
+        } else {
+            generators::vhalf(p, m, times)
+        };
+        let costs = UnitCosts::new(times, 2);
+        let report = Executor::new(&costs).run(&schedule).unwrap();
+        let max = report.peak_activation_units.iter().cloned().fold(0.0f64, f64::max);
+        let min = report.peak_activation_units.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(max - min <= 2.0, "units {:?}", report.peak_activation_units);
+        for d in 0..p {
+            prop_assert_eq!(schedule.count_kind(d, PassKind::F), 2 * m as usize);
+        }
+    }
+
+    /// The interlaced schedule is valid and its memory exceeds plain
+    /// 1F1B's (the Appendix B.1 claim).
+    #[test]
+    fn interlaced_holds_more_activations(p in 3usize..7, m in 8u32..24) {
+        let times = PassTimes::default();
+        let inter = generators::interlaced_1f1b(p, m, times);
+        let plain = generators::one_f_one_b(p, m, times);
+        let costs = UnitCosts::new(times, 1);
+        let ri = Executor::new(&costs).run(&inter).unwrap();
+        let rp = Executor::new(&costs).run(&plain).unwrap();
+        // Compare mid-pipeline devices (device 0 saturates at m).
+        let d = p / 2;
+        prop_assert!(
+            ri.peak_resident_microbatches[d] >= rp.peak_resident_microbatches[d],
+            "device {}: interlaced {} vs plain {}",
+            d, ri.peak_resident_microbatches[d], rp.peak_resident_microbatches[d]
+        );
+    }
+}

@@ -1,0 +1,544 @@
+//! Experiment runners for the methods compared in the paper's evaluation
+//! (§6.2): Baseline, Redis, Vocab-1, Vocab-2 and Interlaced on 1F1B, and
+//! Baseline / Vocab-1 on V-Half.
+
+use crate::costs::SimCosts;
+use crate::report::SimReport;
+use vp_model::config::ModelConfig;
+use vp_model::cost::{CostModel, Hardware, VocabAlgo};
+use vp_model::partition::{StageLayout, VocabPartition};
+use vp_schedule::exec::{ExecReport, Executor};
+use vp_schedule::generators;
+use vp_schedule::pass::{Schedule, VocabVariant};
+
+/// The five methods compared on the 1F1B schedule (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Megatron's naive layout: vocabulary layers on the first/last stage.
+    Baseline,
+    /// Greedy transformer-layer redistribution.
+    Redis,
+    /// Vocabulary Parallelism with Algorithm 1 (2 barriers).
+    Vocab1,
+    /// Vocabulary Parallelism with Algorithm 2 (1 barrier).
+    Vocab2,
+    /// nnScaler-style interlaced pipeline (synchronous TP vocabulary).
+    Interlaced,
+}
+
+impl Method {
+    /// Lower-case name used in reports and by the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Baseline => "baseline",
+            Method::Redis => "redis",
+            Method::Vocab1 => "vocab-1",
+            Method::Vocab2 => "vocab-2",
+            Method::Interlaced => "interlaced",
+        }
+    }
+
+    /// All methods, in the paper's comparison order.
+    pub fn all() -> [Method; 5] {
+        [Method::Baseline, Method::Redis, Method::Vocab1, Method::Vocab2, Method::Interlaced]
+    }
+}
+
+/// The two methods compared on the V-Half schedule (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VHalfMethod {
+    /// Plain V-Half: both vocabulary layers land on device 0.
+    Baseline,
+    /// V-Half with Vocabulary Parallelism (Algorithm 1).
+    Vocab1,
+}
+
+impl VHalfMethod {
+    /// Lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            VHalfMethod::Baseline => "vhalf-baseline",
+            VHalfMethod::Vocab1 => "vhalf-vocab-1",
+        }
+    }
+}
+
+fn finish(
+    method: &str,
+    costs: &SimCosts,
+    schedule: &Schedule,
+    report: ExecReport,
+    static_bytes: Vec<f64>,
+    extra_transient: Vec<f64>,
+) -> SimReport {
+    let p = schedule.devices();
+    let m = costs.model();
+    let activation_bytes: Vec<f64> =
+        (0..p).map(|d| report.peak_activation_units[d] + extra_transient[d]).collect();
+    let peak_memory_bytes: Vec<f64> =
+        (0..p).map(|d| static_bytes[d] + activation_bytes[d]).collect();
+    SimReport {
+        method: method.to_string(),
+        devices: p,
+        iteration_seconds: report.makespan,
+        mfu: m.mfu(report.makespan, p),
+        peak_memory_bytes,
+        param_bytes: static_bytes,
+        activation_bytes,
+        bubble_fraction: (0..p).map(|d| report.bubble_fraction(d)).collect(),
+        peak_microbatches: report.peak_resident_microbatches.clone(),
+    }
+}
+
+/// Simulates one method on the 1F1B schedule.
+///
+/// # Panics
+///
+/// Panics if the generated schedule fails validation (a generator bug).
+pub fn run_1f1b(method: Method, config: &ModelConfig, devices: usize, hardware: Hardware) -> SimReport {
+    let model = CostModel::new(config.clone(), hardware);
+    let m = config.num_microbatches as u32;
+    let (costs, schedule) = match method {
+        Method::Baseline | Method::Redis => {
+            let layout = if method == Method::Baseline {
+                StageLayout::baseline(config, devices)
+            } else {
+                StageLayout::redistributed(config, devices)
+            };
+            let costs = SimCosts::for_layout(model, &layout, None);
+            let schedule = generators::one_f_one_b(devices, m, costs.pass_times());
+            (costs, schedule)
+        }
+        Method::Vocab1 | Method::Vocab2 => {
+            let variant = if method == Method::Vocab1 { VocabVariant::Alg1 } else { VocabVariant::Alg2 };
+            return run_vocab_variant(variant, config, devices, model.hardware);
+        }
+        Method::Interlaced => {
+            let layout = StageLayout::vocab_parallel(config, devices);
+            let costs = SimCosts::for_layout(model, &layout, Some(VocabAlgo::Alg1));
+            let schedule = generators::interlaced_1f1b(devices, m, costs.pass_times());
+            (costs, schedule)
+        }
+    };
+    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    let (static_bytes, extra) = memory_1f1b(method, &costs, config, devices);
+    finish(method.name(), &costs, &schedule, report, static_bytes, extra)
+}
+
+fn memory_1f1b(
+    method: Method,
+    costs: &SimCosts,
+    config: &ModelConfig,
+    devices: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let m = costs.model();
+    let part = VocabPartition::new(config.vocab, devices);
+    let tokens = (config.microbatch * config.seq_len) as f64;
+    let mut static_bytes = Vec::with_capacity(devices);
+    let mut extra = vec![0.0; devices];
+    #[allow(clippy::needless_range_loop)] // d also indexes the chunk table
+    for d in 0..devices {
+        let spec = costs.chunk(d, 0);
+        let mut params = spec.layers as u64 * config.transformer_layer_params();
+        if spec.full_input {
+            params += config.vocab_layer_params();
+        }
+        if spec.full_output {
+            params += config.vocab_layer_params();
+            // Full-vocabulary logits + softmax held transiently during the
+            // last stage's combined F/B (fp32).
+            extra[d] += 4.0 * tokens * config.vocab as f64;
+        }
+        if matches!(method, Method::Vocab1 | Method::Vocab2 | Method::Interlaced) {
+            params += 2 * (part.shard_width() * config.hidden) as u64;
+        }
+        static_bytes.push(m.param_state_bytes(params));
+    }
+    (static_bytes, extra)
+}
+
+/// Simulates one method on the V-Half schedule.
+///
+/// # Panics
+///
+/// Panics if the generated schedule fails validation (a generator bug).
+pub fn run_vhalf(method: VHalfMethod, config: &ModelConfig, devices: usize, hardware: Hardware) -> SimReport {
+    let model = CostModel::new(config.clone(), hardware);
+    let m = config.num_microbatches as u32;
+    let vocab_parallel = method == VHalfMethod::Vocab1;
+    let algo = vocab_parallel.then_some(VocabAlgo::Alg1);
+    let costs = SimCosts::for_vhalf(model, devices, vocab_parallel, algo);
+    let schedule = if vocab_parallel {
+        generators::vhalf_vocab(devices, m, VocabVariant::Alg1, costs.pass_times(), true)
+    } else {
+        generators::vhalf(devices, m, costs.pass_times())
+    };
+    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    // Static memory.
+    let part = VocabPartition::new(config.vocab, devices);
+    let tokens = (config.microbatch * config.seq_len) as f64;
+    let mut static_bytes = Vec::with_capacity(devices);
+    let mut extra = vec![0.0; devices];
+    #[allow(clippy::needless_range_loop)] // d also indexes the chunk table
+    for d in 0..devices {
+        let mut params = (costs.chunk(d, 0).layers + costs.chunk(d, 1).layers) as u64
+            * config.transformer_layer_params();
+        if vocab_parallel {
+            params += 2 * (part.shard_width() * config.hidden) as u64;
+        } else if d == 0 {
+            params += 2 * config.vocab_layer_params();
+            extra[d] += 4.0 * tokens * config.vocab as f64;
+        }
+        static_bytes.push(costs.model().param_state_bytes(params));
+    }
+    finish(method.name(), &costs, &schedule, report, static_bytes, extra)
+}
+
+/// Simulates Vocabulary Parallelism on 1F1B with an explicit output-layer
+/// grouping — including the *naive* 3-barrier grouping of §4.1, which the
+/// paper motivates but does not carry into Table 5. Used by the
+/// barrier-count ablation.
+///
+/// # Panics
+///
+/// Panics if the generated schedule fails validation (a generator bug).
+pub fn run_vocab_variant(
+    variant: VocabVariant,
+    config: &ModelConfig,
+    devices: usize,
+    hardware: Hardware,
+) -> SimReport {
+    let model = CostModel::new(config.clone(), hardware);
+    let algo = match variant {
+        VocabVariant::Naive => VocabAlgo::Naive,
+        VocabVariant::Alg1 => VocabAlgo::Alg1,
+        VocabVariant::Alg2 => VocabAlgo::Alg2,
+    };
+    let method = match variant {
+        VocabVariant::Naive => "vocab-naive",
+        VocabVariant::Alg1 => "vocab-1",
+        VocabVariant::Alg2 => "vocab-2",
+    };
+    let m = config.num_microbatches as u32;
+    let layout = StageLayout::vocab_parallel(config, devices);
+    let costs = SimCosts::for_layout(model, &layout, Some(algo));
+    let schedule = generators::vocab_1f1b(devices, m, variant, costs.pass_times(), true);
+    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    let part = VocabPartition::new(config.vocab, devices);
+    let static_bytes: Vec<f64> = (0..devices)
+        .map(|d| {
+            let params = costs.chunk(d, 0).layers as u64 * config.transformer_layer_params()
+                + 2 * (part.shard_width() * config.hidden) as u64;
+            costs.model().param_state_bytes(params)
+        })
+        .collect();
+    finish(method, &costs, &schedule, report, static_bytes, vec![0.0; devices])
+}
+
+/// The barrier-count ablation (§4/§5.2): how the number of communication
+/// barriers in the output-layer grouping (3 naive, 2 Algorithm 1,
+/// 1 Algorithm 2) trades activation memory for computation overhead.
+/// Returns one report per grouping, naive first.
+pub fn run_barrier_ablation(config: &ModelConfig, devices: usize, hardware: Hardware) -> Vec<SimReport> {
+    [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2]
+        .into_iter()
+        .map(|v| run_vocab_variant(v, config, devices, hardware.clone()))
+        .collect()
+}
+
+/// Extension experiment: zero-bubble 1F1B (ZB-H1, Qi et al. 2023) with an
+/// optional Vocabulary Parallelism variant. Demonstrates the §4.4 remark
+/// that Algorithm 2's `T` pass is deferrable exactly like the zero-bubble
+/// `W` pass: with both used as fillers, warm-up/drain bubbles shrink
+/// relative to plain 1F1B at the same activation budget.
+///
+/// # Panics
+///
+/// Panics if the generated schedule fails validation (a generator bug).
+pub fn run_zero_bubble(
+    config: &ModelConfig,
+    devices: usize,
+    hardware: Hardware,
+    variant: Option<VocabVariant>,
+) -> SimReport {
+    let model = CostModel::new(config.clone(), hardware);
+    let m = config.num_microbatches as u32;
+    let part = VocabPartition::new(config.vocab, devices);
+    let (costs, schedule, name) = match variant {
+        None => {
+            let layout = StageLayout::baseline(config, devices);
+            let costs = SimCosts::for_layout(model, &layout, None).with_split_w();
+            let schedule = generators::zb_1f1b(devices, m, costs.pass_times());
+            (costs, schedule, "zb-baseline".to_string())
+        }
+        Some(v) => {
+            let algo = match v {
+                VocabVariant::Naive => VocabAlgo::Naive,
+                VocabVariant::Alg1 => VocabAlgo::Alg1,
+                VocabVariant::Alg2 => VocabAlgo::Alg2,
+            };
+            let layout = StageLayout::vocab_parallel(config, devices);
+            let costs = SimCosts::for_layout(model, &layout, Some(algo)).with_split_w();
+            let schedule = generators::zb_vocab_1f1b(devices, m, v, costs.pass_times());
+            let name = match v {
+                VocabVariant::Naive => "zb-vocab-naive",
+                VocabVariant::Alg1 => "zb-vocab-1",
+                VocabVariant::Alg2 => "zb-vocab-2",
+            };
+            (costs, schedule, name.to_string())
+        }
+    };
+    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    let static_bytes: Vec<f64> = (0..devices)
+        .map(|d| {
+            let spec = costs.chunk(d, 0);
+            let mut params = spec.layers as u64 * config.transformer_layer_params();
+            if spec.full_input {
+                params += config.vocab_layer_params();
+            }
+            if spec.full_output {
+                params += config.vocab_layer_params();
+            }
+            if variant.is_some() {
+                params += 2 * (part.shard_width() * config.hidden) as u64;
+            }
+            costs.model().param_state_bytes(params)
+        })
+        .collect();
+    finish(&name, &costs, &schedule, report, static_bytes, vec![0.0; devices])
+}
+
+/// Extension experiment: Vocabulary Parallelism on *interleaved* 1F1B
+/// (Narayanan et al.'s multi-chunk schedule) — the third schedule family,
+/// demonstrating §5's claim that the building-block insertion generalizes.
+///
+/// # Panics
+///
+/// Panics if the generated schedule fails validation (a generator bug).
+pub fn run_interleaved_vocab(
+    config: &ModelConfig,
+    devices: usize,
+    chunks: u8,
+    variant: VocabVariant,
+    hardware: Hardware,
+) -> SimReport {
+    let model = CostModel::new(config.clone(), hardware);
+    let algo = match variant {
+        VocabVariant::Naive => VocabAlgo::Naive,
+        VocabVariant::Alg1 => VocabAlgo::Alg1,
+        VocabVariant::Alg2 => VocabAlgo::Alg2,
+    };
+    let m = config.num_microbatches as u32;
+    let costs = SimCosts::for_interleaved(model, devices, chunks, Some(algo));
+    let schedule =
+        generators::interleaved_vocab_1f1b(devices, chunks, m, variant, costs.pass_times());
+    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    let part = VocabPartition::new(config.vocab, devices);
+    let static_bytes: Vec<f64> = (0..devices)
+        .map(|d| {
+            let layers: usize = (0..chunks).map(|c| costs.chunk(d, c).layers).sum();
+            let params = layers as u64 * config.transformer_layer_params()
+                + 2 * (part.shard_width() * config.hidden) as u64;
+            costs.model().param_state_bytes(params)
+        })
+        .collect();
+    finish(
+        &format!("interleaved{chunks}-vocab-{}", if variant == VocabVariant::Alg1 { 1 } else { 2 }),
+        &costs,
+        &schedule,
+        report,
+        static_bytes,
+        vec![0.0; devices],
+    )
+}
+
+/// The Appendix B.2 ablation: iteration time of the interlaced pipeline
+/// with and without its synchronous collectives. Returns
+/// `(with_sync_seconds, without_sync_seconds)`.
+///
+/// # Panics
+///
+/// Panics if the generated schedule fails validation.
+pub fn run_interlaced_ablation(config: &ModelConfig, devices: usize, hardware: Hardware) -> (f64, f64) {
+    let model = CostModel::new(config.clone(), hardware);
+    let layout = StageLayout::vocab_parallel(config, devices);
+    let m = config.num_microbatches as u32;
+    let mut costs = SimCosts::for_layout(model, &layout, Some(VocabAlgo::Alg1));
+    let schedule = generators::interlaced_1f1b(devices, m, costs.pass_times());
+    let with_sync = Executor::new(&costs).run(&schedule).expect("schedule must validate").makespan;
+    costs.disable_sync_collectives = true;
+    let without = Executor::new(&costs).run(&schedule).expect("schedule must validate").makespan;
+    (with_sync, without)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_model::config::ModelPreset;
+
+    fn cfg(preset: ModelPreset, vocab_k: usize, seq: usize) -> ModelConfig {
+        preset.config().with_vocab(vocab_k * 1024).with_seq_len(seq)
+    }
+
+    /// Table 5's headline: baseline MFU collapses as V grows; Vocab stays
+    /// flat and wins big at 256k.
+    #[test]
+    fn baseline_collapses_with_vocab_size_vocab_methods_do_not() {
+        let hw = Hardware::default();
+        let mfu = |method, v| run_1f1b(method, &cfg(ModelPreset::Gpt4B, v, 2048), 8, hw.clone()).mfu;
+        let base_32k = mfu(Method::Baseline, 32);
+        let base_256k = mfu(Method::Baseline, 256);
+        assert!(base_256k < 0.7 * base_32k, "baseline {base_32k} -> {base_256k}");
+        let v2_32k = mfu(Method::Vocab2, 32);
+        let v2_256k = mfu(Method::Vocab2, 256);
+        assert!((v2_256k - v2_32k).abs() < 0.05 * v2_32k, "vocab-2 {v2_32k} -> {v2_256k}");
+        assert!(v2_256k > 1.5 * base_256k, "vocab-2 {v2_256k} vs baseline {base_256k}");
+    }
+
+    /// Redis sits between baseline and vocab at large vocabularies.
+    #[test]
+    fn redis_partially_recovers() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt4B, 256, 2048);
+        let base = run_1f1b(Method::Baseline, &config, 8, hw.clone()).mfu;
+        let redis = run_1f1b(Method::Redis, &config, 8, hw.clone()).mfu;
+        let vocab = run_1f1b(Method::Vocab1, &config, 8, hw).mfu;
+        assert!(redis > base, "redis {redis} vs baseline {base}");
+        assert!(vocab > redis, "vocab {vocab} vs redis {redis}");
+    }
+
+    /// Figure 12: vocab methods keep peak memory nearly flat in V; the
+    /// baseline's peak grows steeply.
+    #[test]
+    fn vocab_memory_stays_flat() {
+        let hw = Hardware::default();
+        let mem = |method, v: usize| {
+            run_1f1b(method, &cfg(ModelPreset::Gpt4B, v, 2048), 8, hw.clone()).max_memory_gb()
+        };
+        let base_growth = mem(Method::Baseline, 256) - mem(Method::Baseline, 32);
+        let vocab_growth = mem(Method::Vocab2, 256) - mem(Method::Vocab2, 32);
+        assert!(base_growth > 5.0, "baseline growth {base_growth} GB");
+        assert!(vocab_growth < 4.0, "vocab growth {vocab_growth} GB");
+        assert!(mem(Method::Vocab2, 256) < mem(Method::Baseline, 256));
+    }
+
+    /// Vocab-2 uses one fewer in-flight microbatch than Vocab-1 (§5.2).
+    #[test]
+    fn vocab2_holds_fewer_microbatches_than_vocab1() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt4B, 128, 2048);
+        let v1 = run_1f1b(Method::Vocab1, &config, 8, hw.clone());
+        let v2 = run_1f1b(Method::Vocab2, &config, 8, hw);
+        assert!(v2.peak_microbatches[0] < v1.peak_microbatches[0]);
+        assert!(v2.max_memory_gb() < v1.max_memory_gb());
+    }
+
+    /// The interlaced pipeline OOMs on the 21B / seq 4096 configuration
+    /// (Table 5) while Vocab-2 does not.
+    #[test]
+    fn interlaced_ooms_on_21b_4096() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt21B, 256, 4096);
+        let inter = run_1f1b(Method::Interlaced, &config, 32, hw.clone());
+        let vocab = run_1f1b(Method::Vocab2, &config, 32, hw);
+        assert!(inter.would_oom(), "interlaced peak {} GB", inter.max_memory_gb());
+        assert!(!vocab.would_oom(), "vocab-2 peak {} GB", vocab.max_memory_gb());
+    }
+
+    /// Vocabulary Parallelism beats interlaced on multi-node setups
+    /// (Table 5, 16–32 GPUs) thanks to overlapped communication.
+    #[test]
+    fn vocab_beats_interlaced_multi_node() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt21B, 256, 2048);
+        let inter = run_1f1b(Method::Interlaced, &config, 32, hw.clone());
+        let vocab = run_1f1b(Method::Vocab1, &config, 32, hw);
+        assert!(vocab.mfu > inter.mfu, "vocab {} vs interlaced {}", vocab.mfu, inter.mfu);
+    }
+
+    /// Appendix B.2: the synchronous all-reduces cost roughly 10% of the
+    /// interlaced iteration on 32 GPUs.
+    #[test]
+    fn interlaced_sync_ablation() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt21B, 256, 2048);
+        let (with_sync, without) = run_interlaced_ablation(&config, 32, hw);
+        let saving = (with_sync - without) / with_sync;
+        assert!((0.03..0.25).contains(&saving), "saving {saving}");
+    }
+
+    /// Table 6 / Figure 14: V-Half baseline is massively memory-imbalanced
+    /// at 256k; Vocab-1 balances it.
+    #[test]
+    fn vhalf_vocab_balances_memory() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt7B, 256, 2048);
+        let base = run_vhalf(VHalfMethod::Baseline, &config, 16, hw.clone());
+        let vocab = run_vhalf(VHalfMethod::Vocab1, &config, 16, hw);
+        assert!(base.memory_spread_gb() > 10.0, "baseline spread {}", base.memory_spread_gb());
+        assert!(vocab.memory_spread_gb() < 3.0, "vocab spread {}", vocab.memory_spread_gb());
+        assert!(vocab.mfu > base.mfu);
+    }
+
+    /// Interleaved 1F1B accepts the same vocabulary integration: a third
+    /// schedule family sustains flat MFU across vocabulary sizes at higher
+    /// (known) activation cost.
+    #[test]
+    fn interleaved_vocab_is_flat_in_vocab_size() {
+        let hw = Hardware::default();
+        let mfu = |vk: usize| {
+            let cfg = cfg(ModelPreset::Gpt4B, vk, 2048).with_num_microbatches(32);
+            run_interleaved_vocab(&cfg, 8, 2, VocabVariant::Alg2, hw.clone()).mfu
+        };
+        let small = mfu(32);
+        let large = mfu(256);
+        assert!((large - small).abs() < 0.06 * small, "{small} vs {large}");
+        // And it must beat the naive baseline at 256k.
+        let cfg = cfg(ModelPreset::Gpt4B, 256, 2048).with_num_microbatches(32);
+        let base = run_1f1b(Method::Baseline, &cfg, 8, hw).mfu;
+        assert!(large > 1.3 * base, "interleaved {large} vs baseline {base}");
+    }
+
+    /// Zero-bubble 1F1B fills warm-up/drain bubbles with W (and, for
+    /// Algorithm 2, T) passes: higher MFU than plain 1F1B at the same
+    /// in-flight budget.
+    #[test]
+    fn zero_bubble_improves_mfu() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt4B, 128, 2048).with_num_microbatches(32);
+        let plain = run_1f1b(Method::Vocab2, &config, 8, hw.clone());
+        let zb = run_zero_bubble(&config, 8, hw, Some(VocabVariant::Alg2));
+        assert!(zb.mfu > plain.mfu, "zb {} vs plain {}", zb.mfu, plain.mfu);
+        assert!(zb.peak_microbatches[0] <= plain.peak_microbatches[0] + 1);
+    }
+
+    /// The barrier-count ablation: activation memory tracks the barrier
+    /// count (naive > Alg-1 > Alg-2) while all three sustain comparable
+    /// throughput (the naive grouping pays slightly more).
+    #[test]
+    fn barrier_ablation_orders_memory_by_barriers() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt4B, 128, 2048);
+        let reports = run_barrier_ablation(&config, 8, hw);
+        assert_eq!(reports.len(), 3);
+        let naive = &reports[0];
+        let alg1 = &reports[1];
+        let alg2 = &reports[2];
+        assert!(naive.peak_microbatches[0] >= alg1.peak_microbatches[0]);
+        assert!(alg1.peak_microbatches[0] > alg2.peak_microbatches[0]);
+        assert!(naive.max_memory_gb() > alg2.max_memory_gb());
+        // Throughputs within a few percent of each other.
+        assert!((naive.mfu - alg2.mfu).abs() < 0.05 * alg2.mfu);
+    }
+
+    /// V-Half's activation memory is balanced and lower than 1F1B's
+    /// worst device.
+    #[test]
+    fn vhalf_activations_are_balanced() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt7B, 32, 2048);
+        let v = run_vhalf(VHalfMethod::Vocab1, &config, 16, hw.clone());
+        let spread = v.memory_spread_gb();
+        assert!(spread < 3.0, "spread {spread}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Cross-check: the closed-form §5.2 memory estimator in `vp-model` must
+//! agree with the discrete-event simulator's measured peaks — two
+//! independent derivations of the same quantity.
+
+use vp_model::config::ModelPreset;
+use vp_model::cost::Hardware;
+use vp_model::memory::{estimate_1f1b, PlacementKind};
+use vp_model::partition::StageLayout;
+use vp_sim::{run_1f1b, Method};
+
+fn check(method: Method, placement: PlacementKind, vocab_k: usize, tol_gb: f64) {
+    let cfg = ModelPreset::Gpt4B.config().with_vocab(vocab_k * 1024).with_num_microbatches(32);
+    let hw = Hardware::default();
+    let layout = match method {
+        Method::Baseline => StageLayout::baseline(&cfg, 8),
+        _ => StageLayout::vocab_parallel(&cfg, 8),
+    };
+    let analytic = estimate_1f1b(&cfg, &hw, &layout, placement);
+    let simulated = run_1f1b(method, &cfg, 8, hw);
+    #[allow(clippy::needless_range_loop)] // d indexes two parallel reports
+    for d in 0..8 {
+        let a = analytic[d].total_gb();
+        let s = simulated.peak_memory_bytes[d] / 1e9;
+        assert!(
+            (a - s).abs() < tol_gb,
+            "{method:?} {vocab_k}k device {d}: analytic {a:.2} GB vs simulated {s:.2} GB"
+        );
+    }
+}
+
+#[test]
+fn baseline_estimates_match_simulation() {
+    for vocab_k in [32usize, 256] {
+        check(Method::Baseline, PlacementKind::EndToEnd, vocab_k, 1.0);
+    }
+}
+
+#[test]
+fn vocab1_estimates_match_simulation() {
+    for vocab_k in [32usize, 256] {
+        check(Method::Vocab1, PlacementKind::VocabParallel { barriers: 2 }, vocab_k, 1.5);
+    }
+}
+
+#[test]
+fn vocab2_estimates_match_simulation() {
+    for vocab_k in [32usize, 256] {
+        check(Method::Vocab2, PlacementKind::VocabParallel { barriers: 1 }, vocab_k, 1.5);
+    }
+}
+
+#[test]
+fn interlaced_estimates_match_simulation() {
+    check(Method::Interlaced, PlacementKind::Interlaced, 128, 2.5);
+}

@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The provided buffer length did not match `rows * cols`.
+    BadBuffer {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// An argument was invalid for reasons other than shape (e.g. a zero
+    /// dimension where a positive one is required).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::BadBuffer { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape ({expected} elements)")
+            }
+            TensorError::OutOfBounds { op, index, bound } => {
+                write!(f, "index {index} out of bounds for {op} (must be < {bound})")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,87 @@
+//! Finite-difference gradient checking.
+//!
+//! Every manually-derived backward pass in this workspace is validated
+//! against a central-difference approximation. This is the safety net that
+//! lets us trust the equivalence results between the paper's Algorithms 1/2
+//! and the reference implementation.
+
+use crate::Tensor;
+
+/// Result of a gradient check: the largest absolute and relative deviation
+/// between the analytic and numeric gradients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest `|analytic − numeric|` over all coordinates.
+    pub max_abs_err: f64,
+    /// Largest `|analytic − numeric| / max(1, |analytic|, |numeric|)`.
+    pub max_rel_err: f64,
+}
+
+impl GradCheckReport {
+    /// Whether both deviations are below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err <= tol || self.max_rel_err <= tol
+    }
+}
+
+/// Checks the analytic gradient of a scalar-valued function at `x`.
+///
+/// `f` maps a tensor to a scalar loss; `analytic` is the claimed dL/dx.
+/// Uses central differences with step `eps`.
+///
+/// # Panics
+///
+/// Panics if `analytic` has a different shape from `x` (a test bug, not a
+/// data condition).
+pub fn check_scalar_fn(
+    x: &Tensor,
+    analytic: &Tensor,
+    eps: f32,
+    mut f: impl FnMut(&Tensor) -> f64,
+) -> GradCheckReport {
+    assert_eq!(x.shape(), analytic.shape(), "gradient shape must match input shape");
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut probe = x.clone();
+    for i in 0..x.len() {
+        let orig = probe.data()[i];
+        probe.data_mut()[i] = orig + eps;
+        let plus = f(&probe);
+        probe.data_mut()[i] = orig - eps;
+        let minus = f(&probe);
+        probe.data_mut()[i] = orig;
+        let numeric = (plus - minus) / (2.0 * eps as f64);
+        let a = analytic.data()[i] as f64;
+        let abs = (a - numeric).abs();
+        let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_passes_for_correct_gradient() {
+        // L = sum(x^2), dL/dx = 2x.
+        let x = Tensor::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.1]).unwrap();
+        let analytic = x.scale(2.0);
+        let report = check_scalar_fn(&x, &analytic, 1e-3, |t| {
+            t.data().iter().map(|&v| (v as f64) * (v as f64)).sum()
+        });
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn check_fails_for_wrong_gradient() {
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let wrong = x.scale(3.0); // should be 2x
+        let report = check_scalar_fn(&x, &wrong, 1e-3, |t| {
+            t.data().iter().map(|&v| (v as f64) * (v as f64)).sum()
+        });
+        assert!(!report.passes(1e-3), "{report:?}");
+    }
+}

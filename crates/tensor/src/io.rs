@@ -1,0 +1,95 @@
+//! Minimal binary tensor serialization (shape + little-endian `f32`s),
+//! used by checkpointing.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Appends a tensor to `buf`: `rows u32 | cols u32 | data f32-LE…`.
+pub fn write_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    buf.extend_from_slice(&(t.rows() as u32).to_le_bytes());
+    buf.extend_from_slice(&(t.cols() as u32).to_le_bytes());
+    for &v in t.data() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Reads a tensor written by [`write_tensor`], advancing `input`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] on truncation.
+pub fn read_tensor(input: &mut &[u8]) -> Result<Tensor> {
+    let rows = read_u32(input)? as usize;
+    let cols = read_u32(input)? as usize;
+    let n = rows * cols;
+    if input.len() < 4 * n {
+        return Err(TensorError::InvalidArgument(format!(
+            "truncated tensor payload: need {} bytes, have {}",
+            4 * n,
+            input.len()
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for i in 0..n {
+        data.push(f32::from_le_bytes(input[4 * i..4 * i + 4].try_into().expect("4 bytes")));
+    }
+    *input = &input[4 * n..];
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Reads a little-endian `u32`, advancing `input`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] on truncation.
+pub fn read_u32(input: &mut &[u8]) -> Result<u32> {
+    if input.len() < 4 {
+        return Err(TensorError::InvalidArgument("truncated u32".into()));
+    }
+    let v = u32::from_le_bytes(input[..4].try_into().expect("4 bytes"));
+    *input = &input[4..];
+    Ok(v)
+}
+
+/// Appends a little-endian `u32`.
+pub fn write_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{normal, seeded_rng};
+
+    #[test]
+    fn tensor_round_trips() {
+        let t = normal(&mut seeded_rng(1), 3, 5, 1.0);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t);
+        let mut slice = buf.as_slice();
+        let back = read_tensor(&mut slice).unwrap();
+        assert_eq!(back, t);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn multiple_tensors_in_one_buffer() {
+        let a = normal(&mut seeded_rng(2), 2, 2, 1.0);
+        let b = normal(&mut seeded_rng(3), 1, 4, 1.0);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &a);
+        write_tensor(&mut buf, &b);
+        let mut s = buf.as_slice();
+        assert_eq!(read_tensor(&mut s).unwrap(), a);
+        assert_eq!(read_tensor(&mut s).unwrap(), b);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let t = normal(&mut seeded_rng(4), 2, 2, 1.0);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t);
+        buf.truncate(buf.len() - 1);
+        let mut s = buf.as_slice();
+        assert!(read_tensor(&mut s).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! CPU tensor substrate for the Vocabulary Parallelism reproduction.
+//!
+//! The paper's algorithms (online-softmax style communication-barrier
+//! reduction in the partitioned output layer) are numerical re-orderings of
+//! the softmax + cross-entropy computation; verifying them needs a real, if
+//! small, tensor library with exact forward *and* backward passes. This crate
+//! provides:
+//!
+//! * [`Tensor`] — a dense row-major 2-D `f32` tensor with shape checking.
+//! * Matrix multiplication in all transpose layouts ([`Tensor::matmul`],
+//!   [`Tensor::matmul_nt`], [`Tensor::matmul_tn`]).
+//! * Reductions and the safe/online softmax family used by the paper
+//!   ([`ops`]).
+//! * Manual-backprop neural-network layers ([`nn`]): linear, layer-norm,
+//!   GELU, causal multi-head attention, embeddings and softmax
+//!   cross-entropy — everything needed to train a small GPT end to end.
+//! * Optimizers ([`optim`]) and finite-difference gradient checking
+//!   ([`gradcheck`]).
+//!
+//! # Example
+//!
+//! ```
+//! use vp_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Tensor::eye(3);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), vp_tensor::TensorError>(())
+//! ```
+
+mod error;
+pub mod gradcheck;
+pub mod init;
+pub mod io;
+pub mod nn;
+pub mod ops;
+pub mod optim;
+mod tensor;
+
+pub use error::TensorError;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

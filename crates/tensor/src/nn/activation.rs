@@ -1,0 +1,86 @@
+use crate::{Result, Tensor, TensorError};
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+/// GELU activation (tanh approximation), applied elementwise.
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    let inner = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    0.5 * x * (1.0 + inner.tanh())
+}
+
+/// Derivative of [`gelu`] with respect to its input.
+#[inline]
+pub fn gelu_backward(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// The GELU activation as a stateless layer (caches the pre-activation).
+#[derive(Debug, Clone, Default)]
+pub struct Gelu;
+
+impl Gelu {
+    /// Creates the activation layer.
+    pub fn new() -> Self {
+        Gelu
+    }
+
+    /// Applies GELU elementwise; the cache is the input itself.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
+        (x.map(gelu), x.clone())
+    }
+
+    /// Backward pass through the activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `dy` and the cached input
+    /// have different shapes.
+    pub fn backward(&self, cache: &Tensor, dy: &Tensor) -> Result<Tensor> {
+        if cache.shape() != dy.shape() {
+            return Err(TensorError::ShapeMismatch { op: "gelu_bwd", lhs: dy.shape(), rhs: cache.shape() });
+        }
+        cache.map(gelu_backward).mul(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_scalar_fn;
+    use crate::init::{normal, seeded_rng};
+
+    #[test]
+    fn gelu_known_values() {
+        assert!(gelu(0.0).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_is_monotone_near_origin() {
+        let mut prev = gelu(-0.5);
+        let mut x = -0.5;
+        while x < 0.5 {
+            x += 0.01;
+            let cur = gelu(x);
+            assert!(cur >= prev - 1e-6);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn gradient_checks() {
+        let x = normal(&mut seeded_rng(9), 3, 4, 1.0);
+        let layer = Gelu::new();
+        let (_, cache) = layer.forward(&x);
+        let dx = layer.backward(&cache, &Tensor::ones(3, 4)).unwrap();
+        let report = check_scalar_fn(&x, &dx, 1e-3, |t| layer.forward(t).0.sum());
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+}

@@ -1,0 +1,269 @@
+use crate::ops::softmax_rows;
+use crate::optim::Param;
+use crate::{init, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// Causal multi-head self-attention with projection matrices
+/// `W_q, W_k, W_v, W_o: [h, h]` (no biases, GPT-style).
+///
+/// Operates on a single sequence `x: [s, h]`; batching is handled by the
+/// caller (the paper's experiments use microbatch size 1, and pipeline
+/// passes operate per microbatch anyway).
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    wo: Param,
+    heads: usize,
+}
+
+/// Activations cached by [`MultiHeadAttention::forward`].
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    input: Tensor,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Per-head post-softmax attention probabilities, `[s, s]` each.
+    probs: Vec<Tensor>,
+    /// Concatenated per-head context `[s, h]` (input of the output proj).
+    context: Tensor,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads` (a configuration bug).
+    pub fn new(rng: &mut impl Rng, hidden: usize, heads: usize) -> Self {
+        assert!(heads > 0 && hidden.is_multiple_of(heads), "hidden {hidden} must be divisible by heads {heads}");
+        MultiHeadAttention {
+            wq: Param::new(init::gpt(rng, hidden, hidden)),
+            wk: Param::new(init::gpt(rng, hidden, hidden)),
+            wv: Param::new(init::gpt(rng, hidden, hidden)),
+            wo: Param::new(init::gpt(rng, hidden, hidden)),
+            heads,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.wq.value().rows()
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    fn head_dim(&self) -> usize {
+        self.hidden() / self.heads
+    }
+
+    /// Forward pass over one sequence `x: [s, h]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.cols() != hidden`.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, AttentionCache)> {
+        let h = self.hidden();
+        if x.cols() != h {
+            return Err(TensorError::ShapeMismatch { op: "attention", lhs: x.shape(), rhs: (x.rows(), h) });
+        }
+        let s = x.rows();
+        let hd = self.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let q = x.matmul(self.wq.value())?;
+        let k = x.matmul(self.wk.value())?;
+        let v = x.matmul(self.wv.value())?;
+        let mut context = Tensor::zeros(s, h);
+        let mut probs = Vec::with_capacity(self.heads);
+        for head in 0..self.heads {
+            let c0 = head * hd;
+            let c1 = c0 + hd;
+            let qh = q.slice_cols(c0, c1)?;
+            let kh = k.slice_cols(c0, c1)?;
+            let vh = v.slice_cols(c0, c1)?;
+            // scores[i][j] = (q_i · k_j) / sqrt(hd), causally masked (j <= i).
+            let mut scores = qh.matmul_nt(&kh)?;
+            scores.scale_in_place(scale);
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    *scores.at_mut(i, j) = f32::NEG_INFINITY;
+                }
+            }
+            let p = softmax_rows(&scores);
+            let ctx_h = p.matmul(&vh)?;
+            for i in 0..s {
+                context.row_mut(i)[c0..c1].copy_from_slice(ctx_h.row(i));
+            }
+            probs.push(p);
+        }
+        let y = context.matmul(self.wo.value())?;
+        Ok((y, AttentionCache { input: x.clone(), q, k, v, probs, context }))
+    }
+
+    /// Backward pass: accumulates all four weight gradients and returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `dy` does not match the
+    /// forward output shape.
+    pub fn backward(&mut self, cache: &AttentionCache, dy: &Tensor) -> Result<Tensor> {
+        let h = self.hidden();
+        let s = cache.input.rows();
+        if dy.shape() != (s, h) {
+            return Err(TensorError::ShapeMismatch { op: "attention_bwd", lhs: dy.shape(), rhs: (s, h) });
+        }
+        let hd = self.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // Output projection.
+        let d_context = dy.matmul_nt(self.wo.value())?;
+        let dwo = cache.context.matmul_tn(dy)?;
+        self.wo.accumulate(&dwo)?;
+
+        let mut dq = Tensor::zeros(s, h);
+        let mut dk = Tensor::zeros(s, h);
+        let mut dv = Tensor::zeros(s, h);
+        for head in 0..self.heads {
+            let c0 = head * hd;
+            let c1 = c0 + hd;
+            let qh = cache.q.slice_cols(c0, c1)?;
+            let kh = cache.k.slice_cols(c0, c1)?;
+            let vh = cache.v.slice_cols(c0, c1)?;
+            let p = &cache.probs[head];
+            let d_ctx_h = d_context.slice_cols(c0, c1)?;
+            // ctx = P · V  ⇒  dP = dctx · Vᵀ,  dV = Pᵀ · dctx.
+            let dp = d_ctx_h.matmul_nt(&vh)?;
+            let dvh = p.matmul_tn(&d_ctx_h)?;
+            // Softmax backward per row: dS = P ⊙ (dP − Σ_j dP⊙P).
+            let mut ds = Tensor::zeros(s, s);
+            for i in 0..s {
+                let p_row = p.row(i);
+                let dp_row = dp.row(i);
+                let dot: f32 = p_row.iter().zip(dp_row).map(|(&a, &b)| a * b).sum();
+                for ((o, &pv), &dpv) in ds.row_mut(i).iter_mut().zip(p_row).zip(dp_row) {
+                    *o = pv * (dpv - dot);
+                }
+            }
+            // scores = scale · Q Kᵀ  ⇒  dQ = scale · dS · K, dK = scale · dSᵀ · Q.
+            let mut dqh = ds.matmul(&kh)?;
+            dqh.scale_in_place(scale);
+            let mut dkh = ds.matmul_tn(&qh)?;
+            dkh.scale_in_place(scale);
+            for i in 0..s {
+                dq.row_mut(i)[c0..c1].copy_from_slice(dqh.row(i));
+                dk.row_mut(i)[c0..c1].copy_from_slice(dkh.row(i));
+                dv.row_mut(i)[c0..c1].copy_from_slice(dvh.row(i));
+            }
+        }
+
+        // Input projections.
+        let dwq = cache.input.matmul_tn(&dq)?;
+        let dwk = cache.input.matmul_tn(&dk)?;
+        let dwv = cache.input.matmul_tn(&dv)?;
+        self.wq.accumulate(&dwq)?;
+        self.wk.accumulate(&dwk)?;
+        self.wv.accumulate(&dwv)?;
+        let mut dx = dq.matmul_nt(self.wq.value())?;
+        dx.add_assign(&dk.matmul_nt(self.wk.value())?)?;
+        dx.add_assign(&dv.matmul_nt(self.wv.value())?)?;
+        Ok(dx)
+    }
+
+    /// Mutable references to the trainable parameters `[W_q, W_k, W_v, W_o]`.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_scalar_fn;
+    use crate::init::{normal, seeded_rng};
+
+    #[test]
+    fn forward_is_causal() {
+        // Changing a future token must not change earlier outputs.
+        let mut rng = seeded_rng(21);
+        let attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x1 = normal(&mut rng, 5, 8, 1.0);
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(4) {
+            *v += 1.0;
+        }
+        let (y1, _) = attn.forward(&x1).unwrap();
+        let (y2, _) = attn.forward(&x2).unwrap();
+        for i in 0..4 {
+            for c in 0..8 {
+                assert!((y1.at(i, c) - y2.at(i, c)).abs() < 1e-6, "row {i} changed");
+            }
+        }
+        assert!(y1.row(4).iter().zip(y2.row(4)).any(|(a, b)| (a - b).abs() > 1e-6));
+    }
+
+    #[test]
+    fn attention_probs_rows_sum_to_one() {
+        let mut rng = seeded_rng(22);
+        let attn = MultiHeadAttention::new(&mut rng, 4, 1);
+        let x = normal(&mut rng, 3, 4, 1.0);
+        let (_, cache) = attn.forward(&x).unwrap();
+        for r in 0..3 {
+            let sum: f32 = cache.probs[0].row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            // Masked entries are exactly zero.
+            for j in (r + 1)..3 {
+                assert_eq!(cache.probs[0].at(r, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_checks() {
+        let mut rng = seeded_rng(23);
+        let attn = MultiHeadAttention::new(&mut rng, 6, 2);
+        let x = normal(&mut rng, 4, 6, 0.7);
+        let w = normal(&mut rng, 4, 6, 1.0);
+        let (_, cache) = attn.forward(&x).unwrap();
+        let mut attn2 = attn.clone();
+        let dx = attn2.backward(&cache, &w).unwrap();
+        let report = check_scalar_fn(&x, &dx, 1e-2, |t| {
+            attn.forward(t).unwrap().0.mul(&w).unwrap().sum()
+        });
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    fn weight_gradients_check() {
+        let mut rng = seeded_rng(24);
+        let attn = MultiHeadAttention::new(&mut rng, 4, 2);
+        let x = normal(&mut rng, 3, 4, 0.7);
+        let (_, cache) = attn.forward(&x).unwrap();
+        let mut attn2 = attn.clone();
+        attn2.backward(&cache, &Tensor::ones(3, 4)).unwrap();
+        // Check W_q and W_o gradients by perturbation.
+        for (idx, name) in [(0usize, "wq"), (3usize, "wo")] {
+            let analytic = attn2.params_mut()[idx].grad().clone();
+            let base = {
+                let mut a = attn.clone();
+                a.params_mut()[idx].value().clone()
+            };
+            let report = check_scalar_fn(&base, &analytic, 1e-2, |w| {
+                let mut probe = attn.clone();
+                *probe.params_mut()[idx].value_mut() = w.clone();
+                probe.forward(&x).unwrap().0.sum()
+            });
+            assert!(report.passes(2e-2), "{name}: {report:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_heads() {
+        let _ = MultiHeadAttention::new(&mut seeded_rng(0), 6, 4);
+    }
+}

@@ -1,0 +1,134 @@
+use crate::optim::Param;
+use crate::{init, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// Token embedding table `W: [vocab, hidden]`.
+///
+/// The forward pass is a row gather; the backward pass scatter-adds output
+/// gradients into the gathered rows. This is the paper's *input vocabulary
+/// layer* (Appendix C): its compute is negligible (`3bsh` FLOPs) but its
+/// parameter memory `hV` is as large as the output layer's.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    weight: Param,
+}
+
+/// Cache for [`Embedding::forward`]: the gathered token ids.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    ids: Vec<usize>,
+}
+
+impl Embedding {
+    /// Creates an embedding table with GPT-style initialization.
+    pub fn new(rng: &mut impl Rng, vocab: usize, hidden: usize) -> Self {
+        Embedding { weight: Param::new(init::gpt(rng, vocab, hidden)) }
+    }
+
+    /// Wraps an existing weight tensor (used for sharding).
+    pub fn from_weight(weight: Tensor) -> Self {
+        Embedding { weight: Param::new(weight) }
+    }
+
+    /// Vocabulary size (number of rows).
+    pub fn vocab(&self) -> usize {
+        self.weight.value().rows()
+    }
+
+    /// Hidden width (number of columns).
+    pub fn hidden(&self) -> usize {
+        self.weight.value().cols()
+    }
+
+    /// Immutable view of the embedding matrix.
+    pub fn weight(&self) -> &Tensor {
+        self.weight.value()
+    }
+
+    /// Gathers the embedding rows for `ids`, producing `[ids.len(), hidden]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] if any id is `>= vocab`.
+    pub fn forward(&self, ids: &[usize]) -> Result<(Tensor, EmbeddingCache)> {
+        let h = self.hidden();
+        let mut out = Tensor::zeros(ids.len(), h);
+        for (r, &id) in ids.iter().enumerate() {
+            if id >= self.vocab() {
+                return Err(TensorError::OutOfBounds { op: "embedding", index: id, bound: self.vocab() });
+            }
+            out.row_mut(r).copy_from_slice(self.weight.value().row(id));
+        }
+        Ok((out, EmbeddingCache { ids: ids.to_vec() }))
+    }
+
+    /// Scatter-adds `dy` rows into the weight gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `dy` does not have one row
+    /// per cached id and `hidden` columns.
+    pub fn backward(&mut self, cache: &EmbeddingCache, dy: &Tensor) -> Result<()> {
+        if dy.shape() != (cache.ids.len(), self.hidden()) {
+            return Err(TensorError::ShapeMismatch {
+                op: "embedding_bwd",
+                lhs: dy.shape(),
+                rhs: (cache.ids.len(), self.hidden()),
+            });
+        }
+        let mut dw = Tensor::zeros(self.vocab(), self.hidden());
+        for (r, &id) in cache.ids.iter().enumerate() {
+            for (d, &g) in dw.row_mut(id).iter_mut().zip(dy.row(r)) {
+                *d += g;
+            }
+        }
+        self.weight.accumulate(&dw)
+    }
+
+    /// Mutable references to the trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Embedding {
+        Embedding::from_weight(
+            Tensor::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn forward_gathers_rows() {
+        let emb = table();
+        let (y, _) = emb.forward(&[2, 0, 2]).unwrap();
+        assert_eq!(y.data(), &[20., 21., 0., 1., 20., 21.]);
+    }
+
+    #[test]
+    fn forward_rejects_out_of_range() {
+        assert!(table().forward(&[3]).is_err());
+    }
+
+    #[test]
+    fn backward_scatter_adds_duplicates() {
+        let mut emb = table();
+        let (_, cache) = emb.forward(&[1, 1]).unwrap();
+        let dy = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        emb.backward(&cache, &dy).unwrap();
+        let g = emb.params_mut()[0].grad().clone();
+        assert_eq!(g.row(0), &[0., 0.]);
+        assert_eq!(g.row(1), &[4., 6.]);
+        assert_eq!(g.row(2), &[0., 0.]);
+    }
+
+    #[test]
+    fn backward_validates_shape() {
+        let mut emb = table();
+        let (_, cache) = emb.forward(&[0]).unwrap();
+        assert!(emb.backward(&cache, &Tensor::zeros(2, 2)).is_err());
+    }
+}

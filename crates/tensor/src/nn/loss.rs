@@ -1,0 +1,85 @@
+use crate::ops::{cross_entropy_mean, one_hot, softmax_rows};
+use crate::{Result, Tensor};
+
+/// Forward result of the reference (unpartitioned) softmax cross-entropy.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over rows.
+    pub loss: f64,
+    /// Row-wise softmax probabilities (kept for the backward pass).
+    pub probs: Tensor,
+}
+
+/// Gradient of the mean cross-entropy with respect to the logits.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyGrad {
+    /// `(softmax(Y) − G) / N`, shape `[N, V]`.
+    pub dlogits: Tensor,
+}
+
+/// Reference full-vocabulary softmax cross-entropy: the ground truth the
+/// paper's partitioned Algorithms 1 and 2 must reproduce exactly.
+///
+/// Returns the forward output and the logits gradient for *mean* reduction
+/// (gradients are `(softmax − G)/N`, matching a language-model loss averaged
+/// over tokens).
+///
+/// # Errors
+///
+/// Returns an error if `labels.len() != logits.rows()` or any label is out
+/// of range.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(CrossEntropyOutput, CrossEntropyGrad)> {
+    let loss = cross_entropy_mean(logits, labels)?;
+    let probs = softmax_rows(logits);
+    let g = one_hot(labels, logits.cols())?;
+    let mut dlogits = probs.sub(&g)?;
+    dlogits.scale_in_place(1.0 / labels.len() as f32);
+    Ok((CrossEntropyOutput { loss, probs }, CrossEntropyGrad { dlogits }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_scalar_fn;
+    use crate::init::{normal, seeded_rng};
+
+    #[test]
+    fn uniform_logits_loss_is_log_v() {
+        let logits = Tensor::zeros(4, 8);
+        let (out, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((out.loss - (8f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_checks_against_finite_differences() {
+        let logits = normal(&mut seeded_rng(31), 3, 5, 1.0);
+        let labels = [4usize, 0, 2];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let report = check_scalar_fn(&logits, &grad.dlogits, 1e-3, |t| {
+            cross_entropy_mean(t, &labels).unwrap()
+        });
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = normal(&mut seeded_rng(32), 2, 6, 2.0);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 5]).unwrap();
+        for r in 0..2 {
+            let sum: f32 = grad.dlogits.row(r).iter().sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let mut logits = Tensor::zeros(1, 4);
+        *logits.at_mut(0, 2) = 50.0;
+        let (out, grad) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!(out.loss < 1e-6);
+        assert!(grad.dlogits.max_abs() < 1e-6);
+    }
+}

@@ -1,0 +1,22 @@
+//! Manual-backprop neural-network layers.
+//!
+//! Each layer exposes a `forward` returning the output plus an explicit
+//! activation cache, and a `backward` consuming that cache, accumulating
+//! parameter gradients in place and returning the input gradient. Explicit
+//! caches (rather than a tape) mirror how pipeline-parallel training
+//! frameworks account activation memory per microbatch — the resource the
+//! paper's schedules budget for.
+
+mod activation;
+mod attention;
+mod embedding;
+mod linear;
+mod loss;
+mod norm;
+
+pub use activation::{gelu, gelu_backward, Gelu};
+pub use attention::{AttentionCache, MultiHeadAttention};
+pub use embedding::{Embedding, EmbeddingCache};
+pub use linear::{Linear, LinearCache};
+pub use loss::{softmax_cross_entropy, CrossEntropyGrad, CrossEntropyOutput};
+pub use norm::{LayerNorm, LayerNormCache};

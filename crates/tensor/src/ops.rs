@@ -1,0 +1,318 @@
+//! Reductions and the (safe / online) softmax family.
+//!
+//! These free functions are the numerical primitives that the paper's
+//! partitioned output layer is built from: per-row maxima, shifted
+//! exponential sums, locally-normalized softmax and the rescaling identity
+//! (Equation 5)
+//!
+//! ```text
+//! softmax(Y)_ij = softmax'(Y)_ij × (sum'_i · e^{m'_i − m_i}) / sum_i
+//! ```
+//!
+//! that lets each vocabulary shard normalize with *local* statistics first
+//! and correct with *global* statistics after the all-reduce.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Per-row maximum. Returns a vector of length `t.rows()`.
+///
+/// Rows of an empty-width tensor yield `f32::NEG_INFINITY`, matching the
+/// identity element of `max` (an empty vocabulary shard contributes nothing
+/// to the global maximum).
+pub fn row_max(t: &Tensor) -> Vec<f32> {
+    (0..t.rows())
+        .map(|r| t.row(r).iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v)))
+        .collect()
+}
+
+/// Per-row `Σ e^{x − m_r}` for the provided per-row shift `m`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `m.len() != t.rows()`.
+pub fn row_sum_exp(t: &Tensor, m: &[f32]) -> Result<Vec<f32>> {
+    if m.len() != t.rows() {
+        return Err(TensorError::InvalidArgument(format!(
+            "row_sum_exp: {} shifts for {} rows",
+            m.len(),
+            t.rows()
+        )));
+    }
+    Ok((0..t.rows())
+        .map(|r| t.row(r).iter().map(|&v| (v - m[r]).exp()).sum())
+        .collect())
+}
+
+/// Per-row statistics of a *local* (shard) softmax.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftmaxStats {
+    /// Per-row maximum `m'_i` over the local columns.
+    pub max: Vec<f32>,
+    /// Per-row `sum'_i = Σ_k e^{Y_ik − m'_i}` over the local columns.
+    pub sum: Vec<f32>,
+}
+
+/// Computes the locally-normalized softmax and its per-row statistics.
+///
+/// This is the `S`-pass kernel of Algorithms 1 and 2: each device computes
+/// `softmax'(Y)` using only its own vocabulary shard, deferring global
+/// normalization to the communication barrier.
+///
+/// For a zero-width shard the statistics are `(−∞, 0)`, the identity
+/// elements of the max / sum reductions.
+pub fn local_softmax(t: &Tensor) -> (Tensor, SoftmaxStats) {
+    let max = row_max(t);
+    let mut out = Tensor::zeros(t.rows(), t.cols());
+    let mut sum = vec![0.0f32; t.rows()];
+    for r in 0..t.rows() {
+        let m = max[r];
+        let mut s = 0.0f32;
+        let src = t.row(r);
+        let dst = out.row_mut(r);
+        for (d, &v) in dst.iter_mut().zip(src) {
+            let e = (v - m).exp();
+            *d = e;
+            s += e;
+        }
+        if s > 0.0 {
+            let inv = 1.0 / s;
+            for d in dst.iter_mut() {
+                *d *= inv;
+            }
+        }
+        sum[r] = s;
+    }
+    (out, SoftmaxStats { max, sum })
+}
+
+/// Rescales a local softmax into the global softmax (the paper's Eq. 5).
+///
+/// `local` holds `softmax'(Y)` for one shard with statistics
+/// (`local_max`, `local_sum`); (`global_max`, `global_sum`) are the
+/// all-reduced statistics. The correction factor per row is
+/// `local_sum · e^{local_max − global_max} / global_sum`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if any statistics vector has a
+/// length different from `local.rows()`.
+pub fn rescale_softmax(
+    local: &mut Tensor,
+    local_stats: &SoftmaxStats,
+    global_max: &[f32],
+    global_sum: &[f32],
+) -> Result<()> {
+    let rows = local.rows();
+    if local_stats.max.len() != rows
+        || local_stats.sum.len() != rows
+        || global_max.len() != rows
+        || global_sum.len() != rows
+    {
+        return Err(TensorError::InvalidArgument("rescale_softmax: statistics length mismatch".into()));
+    }
+    for r in 0..rows {
+        let factor = softmax_correction(local_stats.max[r], local_stats.sum[r], global_max[r], global_sum[r]);
+        for v in local.row_mut(r) {
+            *v *= factor;
+        }
+    }
+    Ok(())
+}
+
+/// The per-row correction factor of Eq. 5:
+/// `sum' · e^{m' − m} / sum`, with 0 for empty shards.
+#[inline]
+pub fn softmax_correction(local_max: f32, local_sum: f32, global_max: f32, global_sum: f32) -> f32 {
+    if local_sum == 0.0 || global_sum == 0.0 {
+        return 0.0;
+    }
+    local_sum * (local_max - global_max).exp() / global_sum
+}
+
+/// Numerically-safe softmax over every row, returning a new tensor.
+pub fn softmax_rows(t: &Tensor) -> Tensor {
+    let (out, _) = local_softmax(t);
+    out
+}
+
+/// Per-row `log Σ e^{x}` computed stably.
+pub fn log_sum_exp_rows(t: &Tensor) -> Vec<f32> {
+    let max = row_max(t);
+    (0..t.rows())
+        .map(|r| {
+            let m = max[r];
+            if m == f32::NEG_INFINITY {
+                return f32::NEG_INFINITY;
+            }
+            let s: f32 = t.row(r).iter().map(|&v| (v - m).exp()).sum();
+            m + s.ln()
+        })
+        .collect()
+}
+
+/// Mean negative log-likelihood of `labels` under row-wise softmax of
+/// `logits` (the standard language-modelling loss).
+///
+/// # Errors
+///
+/// Returns [`TensorError::OutOfBounds`] if any label is `>= logits.cols()`
+/// or [`TensorError::InvalidArgument`] if `labels.len() != logits.rows()`.
+pub fn cross_entropy_mean(logits: &Tensor, labels: &[usize]) -> Result<f64> {
+    if labels.len() != logits.rows() {
+        return Err(TensorError::InvalidArgument(format!(
+            "cross_entropy: {} labels for {} rows",
+            labels.len(),
+            logits.rows()
+        )));
+    }
+    let lse = log_sum_exp_rows(logits);
+    let mut total = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        if label >= logits.cols() {
+            return Err(TensorError::OutOfBounds { op: "cross_entropy", index: label, bound: logits.cols() });
+        }
+        total += (lse[r] - logits.at(r, label)) as f64;
+    }
+    Ok(total / labels.len() as f64)
+}
+
+/// Per-row index of the maximum element (first on ties).
+///
+/// # Panics
+///
+/// Panics if the tensor has zero columns (no maximum exists).
+pub fn argmax_rows(t: &Tensor) -> Vec<usize> {
+    assert!(t.cols() > 0, "argmax of an empty row");
+    (0..t.rows())
+        .map(|r| {
+            let row = t.row(r);
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate().skip(1) {
+                // Strict comparison keeps the first maximum on ties.
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Builds the one-hot ground-truth matrix `G` (`G[i, g_i] = 1`) used in the
+/// paper's backward formulas.
+///
+/// # Errors
+///
+/// Returns [`TensorError::OutOfBounds`] if any label is `>= cols`.
+pub fn one_hot(labels: &[usize], cols: usize) -> Result<Tensor> {
+    let mut g = Tensor::zeros(labels.len(), cols);
+    for (r, &label) in labels.iter().enumerate() {
+        if label >= cols {
+            return Err(TensorError::OutOfBounds { op: "one_hot", index: label, bound: cols });
+        }
+        *g.at_mut(r, label) = 1.0;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Tensor {
+        Tensor::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 100.0, 100.0]).unwrap()
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_stable() {
+        let s = softmax_rows(&toy());
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(s.row(r).iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+        // The two tied large logits split the mass evenly.
+        assert!((s.at(1, 2) - 0.5).abs() < 1e-6);
+        assert!((s.at(1, 3) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sharded_softmax_rescaled_matches_full() {
+        let t = toy();
+        let full = softmax_rows(&t);
+        // Split columns into two shards, compute local softmax, then merge
+        // statistics as the all-reduce would and rescale.
+        let a = t.slice_cols(0, 1).unwrap();
+        let b = t.slice_cols(1, 4).unwrap();
+        let (mut sa, st_a) = local_softmax(&a);
+        let (mut sb, st_b) = local_softmax(&b);
+        let gmax: Vec<f32> = st_a.max.iter().zip(&st_b.max).map(|(&x, &y)| x.max(y)).collect();
+        let gsum: Vec<f32> = (0..2)
+            .map(|r| {
+                st_a.sum[r] * (st_a.max[r] - gmax[r]).exp() + st_b.sum[r] * (st_b.max[r] - gmax[r]).exp()
+            })
+            .collect();
+        rescale_softmax(&mut sa, &st_a, &gmax, &gsum).unwrap();
+        rescale_softmax(&mut sb, &st_b, &gmax, &gsum).unwrap();
+        for r in 0..2 {
+            assert!((sa.at(r, 0) - full.at(r, 0)).abs() < 1e-6);
+            for c in 0..3 {
+                assert!((sb.at(r, c) - full.at(r, c + 1)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shard_has_identity_stats() {
+        let empty = Tensor::zeros(3, 0);
+        let (_, stats) = local_softmax(&empty);
+        assert!(stats.max.iter().all(|&m| m == f32::NEG_INFINITY));
+        assert!(stats.sum.iter().all(|&s| s == 0.0));
+        assert_eq!(softmax_correction(f32::NEG_INFINITY, 0.0, 5.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let logits = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let p = softmax_rows(&logits);
+        let expected = -(p.at(0, 1) as f64).ln();
+        let got = cross_entropy_mean(&logits, &[1]).unwrap();
+        assert!((got - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_validates_inputs() {
+        let logits = Tensor::zeros(2, 3);
+        assert!(cross_entropy_mean(&logits, &[0]).is_err());
+        assert!(cross_entropy_mean(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn one_hot_basic() {
+        let g = one_hot(&[2, 0], 3).unwrap();
+        assert_eq!(g.data(), &[0., 0., 1., 1., 0., 0.]);
+        assert!(one_hot(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn log_sum_exp_is_shift_invariant() {
+        let t = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let shifted = t.map(|v| v + 1000.0);
+        let a = log_sum_exp_rows(&t)[0];
+        let b = log_sum_exp_rows(&shifted)[0];
+        assert!((b - a - 1000.0).abs() < 1e-3);
+        assert!(b.is_finite());
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_maximum() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 5.0, 5.0, -1.0, -3.0, -2.0]).unwrap();
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn row_sum_exp_validates_shift_length() {
+        let t = Tensor::zeros(2, 2);
+        assert!(row_sum_exp(&t, &[0.0]).is_err());
+    }
+}

@@ -1,0 +1,569 @@
+use crate::{Result, TensorError};
+
+/// A dense, row-major 2-D tensor of `f32` values.
+///
+/// All higher-rank data in this workspace (e.g. `[batch, seq, hidden]`
+/// activations) is stored flattened to two dimensions, which matches how the
+/// paper's output-layer math is written (`X` is `[b·s, h]`, logits are
+/// `[b·s, V]`).
+///
+/// # Example
+///
+/// ```
+/// use vp_tensor::Tensor;
+///
+/// let t = Tensor::zeros(2, 2);
+/// assert_eq!(t.shape(), (2, 2));
+/// assert_eq!(t.data(), &[0.0; 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a tensor of the given shape filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Tensor::full(rows, cols, 1.0)
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n×n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadBuffer`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::BadBuffer { expected: rows * cols, actual: data.len() });
+        }
+        Ok(Tensor { rows, cols, data })
+    }
+
+    /// Creates a `1×n` row vector from a slice.
+    pub fn row_vector(data: &[f32]) -> Self {
+        Tensor { rows: 1, cols: data.len(), data: data.to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Returns the transpose as a new tensor.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Reinterprets the tensor with a new shape of the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BadBuffer`] if the element counts differ.
+    pub fn reshape(self, rows: usize, cols: usize) -> Result<Tensor> {
+        if rows * cols != self.data.len() {
+            return Err(TensorError::BadBuffer { expected: rows * cols, actual: self.data.len() });
+        }
+        Ok(Tensor { rows, cols, data: self.data })
+    }
+
+    /// Copies the columns `[c0, c1)` of every row into a new tensor.
+    ///
+    /// Used to slice a vocabulary shard out of a full embedding matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] if `c1 > cols` or `c0 > c1`.
+    pub fn slice_cols(&self, c0: usize, c1: usize) -> Result<Tensor> {
+        if c1 > self.cols || c0 > c1 {
+            return Err(TensorError::OutOfBounds { op: "slice_cols", index: c1, bound: self.cols + 1 });
+        }
+        let w = c1 - c0;
+        let mut out = Tensor::zeros(self.rows, w);
+        for r in 0..self.rows {
+            out.data[r * w..(r + 1) * w].copy_from_slice(&self.data[r * self.cols + c0..r * self.cols + c1]);
+        }
+        Ok(out)
+    }
+
+    /// Copies the rows `[r0, r1)` into a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] if `r1 > rows` or `r0 > r1`.
+    pub fn slice_rows(&self, r0: usize, r1: usize) -> Result<Tensor> {
+        if r1 > self.rows || r0 > r1 {
+            return Err(TensorError::OutOfBounds { op: "slice_rows", index: r1, bound: self.rows + 1 });
+        }
+        let data = self.data[r0 * self.cols..r1 * self.cols].to_vec();
+        Ok(Tensor { rows: r1 - r0, cols: self.cols, data })
+    }
+
+    /// Concatenates tensors along rows (vertical stack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if column counts differ, or
+    /// [`TensorError::InvalidArgument`] when `parts` is empty.
+    pub fn concat_rows(parts: &[&Tensor]) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat_rows of zero tensors".into()))?;
+        let cols = first.cols;
+        let mut rows = 0;
+        for p in parts {
+            if p.cols != cols {
+                return Err(TensorError::ShapeMismatch { op: "concat_rows", lhs: (rows, cols), rhs: p.shape() });
+            }
+            rows += p.rows;
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Tensor { rows, cols, data })
+    }
+
+    /// Matrix product `self · rhs` where `self` is `[m, k]` and `rhs` is `[k, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch { op: "matmul", lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor::zeros(m, n);
+        // i-k-j loop order: the inner loop streams both `rhs` rows and the
+        // output row, which is the cache-friendly layout for row-major data.
+        for i in 0..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self · rhsᵀ` where `self` is `[m, k]` and `rhs` is `[n, k]`.
+    ///
+    /// This is the layout of the output-layer logits computation
+    /// `Y = X·Wᵀ` where `W` stores one vocabulary row per token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shared dimension differs.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch { op: "matmul_nt", lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `selfᵀ · rhs` where `self` is `[k, m]` and `rhs` is `[k, n]`.
+    ///
+    /// This is the layout of weight-gradient computations such as
+    /// `∇W = (softmax(Y) − G)ᵀ · X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shared dimension differs.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch { op: "matmul_tn", lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor::zeros(m, n);
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &rhs.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Elementwise sum, returning a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference, returning a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product, returning a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// In-place elementwise accumulation `self += rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_assign(&mut self, rhs: &Tensor) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch { op: "add_assign", lhs: self.shape(), rhs: rhs.shape() });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scaled accumulation `self += alpha * rhs` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch { op: "axpy", lhs: self.shape(), rhs: rhs.shape() });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy scaled by `alpha`.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        let mut out = self.clone();
+        out.scale_in_place(alpha);
+        out
+    }
+
+    /// Scales every element in place.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Sum of all elements (in `f64` for accuracy).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Maximum absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute elementwise difference between two tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, rhs: &Tensor) -> Result<f32> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch { op: "max_abs_diff", lhs: self.shape(), rhs: rhs.shape() });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs())))
+    }
+
+    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { rows: self.rows, cols: self.cols, data })
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self.at(r, c))?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_contents() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(matches!(Tensor::from_vec(2, 2, vec![1.0; 3]), Err(TensorError::BadBuffer { .. })));
+    }
+
+    #[test]
+    fn eye_matmul_is_identity() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        let i2 = Tensor::eye(2);
+        assert_eq!(i2.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::from_vec(2, 2, vec![5., 6., 7., 8.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul_nt(&Tensor::zeros(4, 5)).is_err());
+        assert!(a.matmul_tn(&Tensor::zeros(5, 2)).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1., -2., 3., 0.5, 4., -1.]).unwrap();
+        let b = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.3 - 1.0).collect()).unwrap();
+        let via_nt = a.matmul_nt(&b).unwrap();
+        let via_t = a.matmul(&b.transpose()).unwrap();
+        assert!(via_nt.max_abs_diff(&via_t).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1., -2., 3., 0.5, 4., -1.]).unwrap();
+        let b = Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32).sin()).collect()).unwrap();
+        let via_tn = a.matmul_tn(&b).unwrap();
+        let via_t = a.transpose().matmul(&b).unwrap();
+        assert!(via_tn.max_abs_diff(&via_t).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn slice_cols_extracts_shard() {
+        let a = Tensor::from_vec(2, 4, vec![0., 1., 2., 3., 10., 11., 12., 13.]).unwrap();
+        let s = a.slice_cols(1, 3).unwrap();
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.data(), &[1., 2., 11., 12.]);
+    }
+
+    #[test]
+    fn slice_rows_and_concat_round_trip() {
+        let a = Tensor::from_vec(4, 2, (0..8).map(|i| i as f32).collect()).unwrap();
+        let top = a.slice_rows(0, 2).unwrap();
+        let bottom = a.slice_rows(2, 4).unwrap();
+        let back = Tensor::concat_rows(&[&top, &bottom]).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn add_sub_mul_axpy() {
+        let a = Tensor::from_vec(1, 3, vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec(1, 3, vec![4., 5., 6.]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4., 10., 18.]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b).unwrap();
+        assert_eq!(c.data(), &[9., 12., 15.]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = a.clone().reshape(3, 2).unwrap();
+        assert_eq!(b.shape(), (3, 2));
+        assert_eq!(b.data(), a.data());
+        assert!(a.reshape(4, 2).is_err());
+    }
+
+    #[test]
+    fn norm_and_sums() {
+        let a = Tensor::from_vec(1, 2, vec![3., 4.]).unwrap();
+        assert!((a.norm() - 5.0).abs() < 1e-9);
+        assert_eq!(a.sum(), 7.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These pin down the algebraic identities the Vocabulary Parallelism
+//! algorithms rely on: linearity of matmul, the transpose laws behind the
+//! `nt`/`tn` kernels, shift-invariance of safe softmax and — most
+//! importantly — that an arbitrarily sharded softmax rescaled with global
+//! statistics (the paper's Eq. 5) reproduces the full softmax.
+
+use proptest::prelude::*;
+use vp_tensor::ops::{local_softmax, rescale_softmax, softmax_rows};
+use vp_tensor::Tensor;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-50.0f32..50.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data).unwrap())
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..6, 1usize..6, 1usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose(
+        (m, k, n) in dims(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = vp_tensor::init::seeded_rng(seed);
+        let a = vp_tensor::init::normal(&mut rng, m, k, 1.0);
+        let b = vp_tensor::init::normal(&mut rng, n, k, 1.0);
+        let via_nt = a.matmul_nt(&b).unwrap();
+        let via_t = a.matmul(&b.transpose()).unwrap();
+        prop_assert!(via_nt.max_abs_diff(&via_t).unwrap() < 1e-4);
+        let c = vp_tensor::init::normal(&mut rng, m, n, 1.0);
+        let via_tn = a.matmul_tn(&c).unwrap();
+        let via_t2 = a.transpose().matmul(&c).unwrap();
+        prop_assert!(via_tn.max_abs_diff(&via_t2).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_is_linear_in_lhs((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut rng = vp_tensor::init::seeded_rng(seed);
+        let a1 = vp_tensor::init::normal(&mut rng, m, k, 1.0);
+        let a2 = vp_tensor::init::normal(&mut rng, m, k, 1.0);
+        let b = vp_tensor::init::normal(&mut rng, k, n, 1.0);
+        let lhs = a1.add(&a2).unwrap().matmul(&b).unwrap();
+        let rhs = a1.matmul(&b).unwrap().add(&a2.matmul(&b).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(t in tensor_strategy(3, 7)) {
+        let s = softmax_rows(&t);
+        for r in 0..3 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(t in tensor_strategy(2, 5), shift in -100.0f32..100.0) {
+        let a = softmax_rows(&t);
+        let b = softmax_rows(&t.map(|v| v + shift));
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    /// The core identity of the paper (Eq. 5): shard the columns at an
+    /// arbitrary split point, softmax each shard locally, merge statistics
+    /// as the all-reduce would, rescale — and recover the full softmax.
+    #[test]
+    fn sharded_softmax_matches_full(
+        t in tensor_strategy(3, 8),
+        split in 0usize..=8,
+    ) {
+        let full = softmax_rows(&t);
+        let a = t.slice_cols(0, split).unwrap();
+        let b = t.slice_cols(split, 8).unwrap();
+        let (mut sa, st_a) = local_softmax(&a);
+        let (mut sb, st_b) = local_softmax(&b);
+        let rows = t.rows();
+        let gmax: Vec<f32> = (0..rows).map(|r| st_a.max[r].max(st_b.max[r])).collect();
+        let gsum: Vec<f32> = (0..rows)
+            .map(|r| {
+                let fix = |m: f32, s: f32| if s == 0.0 { 0.0 } else { s * (m - gmax[r]).exp() };
+                fix(st_a.max[r], st_a.sum[r]) + fix(st_b.max[r], st_b.sum[r])
+            })
+            .collect();
+        rescale_softmax(&mut sa, &st_a, &gmax, &gsum).unwrap();
+        rescale_softmax(&mut sb, &st_b, &gmax, &gsum).unwrap();
+        for r in 0..rows {
+            for c in 0..split {
+                prop_assert!((sa.at(r, c) - full.at(r, c)).abs() < 1e-5);
+            }
+            for c in split..8 {
+                prop_assert!((sb.at(r, c - split) - full.at(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_slice_concat(t in tensor_strategy(4, 5), cut in 0usize..=4) {
+        prop_assert_eq!(t.transpose().transpose(), t.clone());
+        let top = t.slice_rows(0, cut).unwrap();
+        let bottom = t.slice_rows(cut, 4).unwrap();
+        let glued = Tensor::concat_rows(&[&top, &bottom]).unwrap();
+        prop_assert_eq!(glued, t);
+    }
+}

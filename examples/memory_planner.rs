@@ -1,0 +1,59 @@
+//! A small planning tool built on the public API: given a model and a
+//! device budget, compare all scheduling methods and recommend one.
+//!
+//! ```text
+//! cargo run --release --example memory_planner -- [devices] [vocab_k] [seq]
+//! ```
+//!
+//! Defaults: 16 devices, 256k vocabulary, sequence length 4096.
+
+use vocab_parallelism::prelude::*;
+
+fn main() {
+    let args: Vec<usize> =
+        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let devices = args.first().copied().unwrap_or(16);
+    let vocab_k = args.get(1).copied().unwrap_or(256);
+    let seq = args.get(2).copied().unwrap_or(4096);
+    let preset = match devices {
+        ..=8 => ModelPreset::Gpt4B,
+        9..=16 => ModelPreset::Gpt10B,
+        _ => ModelPreset::Gpt21B,
+    };
+    let config = preset.config().with_vocab(vocab_k * 1024).with_seq_len(seq);
+    let hardware = Hardware::default();
+
+    println!(
+        "Planning: {:?} ({} layers, hidden {}), {} devices, vocab {}k, seq {}\n",
+        preset, config.layers, config.hidden, devices, vocab_k, seq
+    );
+    println!("{:>12} {:>8} {:>10} {:>10} {:>10}", "method", "MFU %", "peak GB", "spread GB", "fits 80G?");
+    let mut best: Option<SimReport> = None;
+    for method in Method::all() {
+        let report = run_1f1b(method, &config, devices, hardware.clone());
+        println!(
+            "{:>12} {:>8.2} {:>10.1} {:>10.1} {:>10}",
+            report.method,
+            report.mfu_pct(),
+            report.max_memory_gb(),
+            report.memory_spread_gb(),
+            if report.would_oom() { "NO" } else { "yes" }
+        );
+        let better = match &best {
+            None => !report.would_oom(),
+            Some(b) => !report.would_oom() && report.mfu > b.mfu,
+        };
+        if better {
+            best = Some(report);
+        }
+    }
+    match best {
+        Some(b) => println!(
+            "\nRecommendation: {} ({:.1}% MFU, {:.1} GB peak).",
+            b.method,
+            b.mfu_pct(),
+            b.max_memory_gb()
+        ),
+        None => println!("\nNo method fits in 80 GB — shrink the model or add devices."),
+    }
+}

@@ -1,0 +1,50 @@
+//! Render the paper's schedule figures as ASCII timelines: plain 1F1B
+//! (Figure 1), 1F1B with Vocabulary Parallelism (Figures 9/10), the
+//! interlaced pipeline (Figure 15b) and V-Half with vocabulary passes
+//! (Figure 16).
+//!
+//! ```text
+//! cargo run --release --example schedule_gallery
+//! ```
+
+use vocab_parallelism::prelude::*;
+use vp_schedule::block::PassTimes;
+use vp_schedule::exec::{Executor, UnitCosts};
+use vp_schedule::render;
+
+fn show(title: &str, schedule: &Schedule, times: PassTimes) {
+    let costs = UnitCosts::new(times, schedule.chunks());
+    let report = Executor::new(&costs).run(schedule).expect("schedules validate");
+    println!("\n== {title} ==");
+    println!(
+        "makespan {:.1} units, mean bubble {:.1}%, peak in-flight microbatches {:?}",
+        report.makespan,
+        100.0 * report.mean_bubble_fraction(),
+        report.peak_resident_microbatches
+    );
+    print!("{}", render::render_timeline(schedule, &report, 100));
+}
+
+fn main() {
+    let times = PassTimes::default();
+    println!("{}", render::legend());
+
+    show("Figure 1: plain 1F1B, p=4 (activation memory p−d microbatches)", &generators::one_f_one_b(4, 8, times), times);
+    show(
+        "Figure 10a: 1F1B + Vocab-1 (Algorithm 1, +2 microbatches)",
+        &generators::vocab_1f1b(4, 8, VocabVariant::Alg1, times, true),
+        times,
+    );
+    show(
+        "Figure 10b: 1F1B + Vocab-2 (Algorithm 2, +1 microbatch)",
+        &generators::vocab_1f1b(4, 8, VocabVariant::Alg2, times, true),
+        times,
+    );
+    show("Figure 15b: interlaced pipeline (sync vocab phases)", &generators::interlaced_1f1b(4, 8, times), times);
+    let vtimes = PassTimes { b: 1.0, w: 1.0, ..times };
+    show(
+        "Figure 16: V-Half + Vocab-1 (two chunks per device)",
+        &generators::vhalf_vocab(4, 8, VocabVariant::Alg1, vtimes, true),
+        vtimes,
+    );
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration tests: the paper's claims exercised through the
+//! facade crate's public API, spanning schedule generation, simulation,
+//! numeric kernels and the training runtime together.
+
+use vocab_parallelism::prelude::*;
+use vp_core::VocabAlgo;
+use vp_schedule::block::PassTimes;
+use vp_schedule::exec::{Executor, UnitCosts};
+
+fn fast(preset: ModelPreset, vocab_k: usize) -> ModelConfig {
+    preset.config().with_vocab(vocab_k * 1024).with_num_microbatches(32)
+}
+
+/// The headline claim, end to end: at 256k vocabulary, Vocabulary
+/// Parallelism improves simulated throughput by a large factor over the
+/// naive baseline while using less peak memory.
+#[test]
+fn headline_throughput_and_memory_win() {
+    let config = fast(ModelPreset::Gpt4B, 256);
+    let baseline = run_1f1b(Method::Baseline, &config, 8, Hardware::default());
+    let vocab = run_1f1b(Method::Vocab2, &config, 8, Hardware::default());
+    assert!(vocab.mfu > 1.5 * baseline.mfu, "vocab {} vs baseline {}", vocab.mfu, baseline.mfu);
+    assert!(vocab.max_memory_gb() < baseline.max_memory_gb());
+    // Improvement shrinks at small vocabularies but never reverses.
+    let config_small = fast(ModelPreset::Gpt4B, 32);
+    let b2 = run_1f1b(Method::Baseline, &config_small, 8, Hardware::default());
+    let v2 = run_1f1b(Method::Vocab2, &config_small, 8, Hardware::default());
+    assert!(v2.mfu > b2.mfu);
+}
+
+/// Every schedule the simulator consumes also validates under the §5.1
+/// dependency rules, and the simulated peak microbatch counts agree with
+/// the building-block analysis within one microbatch.
+#[test]
+fn schedules_validate_and_match_analytic_memory() {
+    let times = PassTimes::default();
+    for p in [2usize, 4, 8] {
+        let m = 24u32;
+        for variant in [VocabVariant::Alg1, VocabVariant::Alg2] {
+            let schedule = generators::vocab_1f1b(p, m, variant, times, true);
+            let graph = vp_schedule::deps::validate(&schedule).expect("valid schedule");
+            let costs = UnitCosts::new(times, 1);
+            let report = Executor::new(&costs).run_with_graph(&schedule, &graph);
+            let block = generators::vocab_1f1b_block(p, variant, times);
+            for d in 0..p {
+                let analytic = block.peak_activation_microbatches(d);
+                let simulated = report.peak_resident_microbatches[d] as f64;
+                assert!(
+                    (simulated - analytic).abs() <= 1.0,
+                    "p={p} {variant:?} d={d}: simulated {simulated} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+}
+
+/// The numeric kernels and the training runtime agree: a pipelined model
+/// using the partitioned output layer trains to the same losses as the
+/// reference, and the three output-layer strategies agree with each other.
+#[test]
+fn numeric_equivalence_end_to_end() {
+    let config = TinyConfig { layers: 2, hidden: 16, heads: 2, microbatches: 2, ..TinyConfig::default() };
+    let reference = train_reference(&config, 4).expect("reference");
+    for mode in [Mode::Baseline, Mode::Vocab(VocabAlgo::Alg1), Mode::Vocab(VocabAlgo::Alg2)] {
+        let pipeline = train_pipeline(&config, 2, mode, 4).expect("pipeline");
+        for (i, (r, p)) in reference.iter().zip(&pipeline).enumerate() {
+            assert!((r - p).abs() < 1e-3 * (1.0 + r.abs()), "{mode:?} iter {i}: {r} vs {p}");
+        }
+    }
+}
+
+/// The partitioner, cost model and simulator compose: redistribution
+/// reduces the imbalance the cost model reports, and the simulator's
+/// throughput ordering follows (baseline ≤ redis ≤ vocab at 256k).
+#[test]
+fn partitioner_and_simulator_agree_on_ordering() {
+    let config = fast(ModelPreset::Gpt4B, 256);
+    let base_layout = StageLayout::baseline(&config, 8);
+    let redis_layout = StageLayout::redistributed(&config, 8);
+    assert!(redis_layout.compute_imbalance(&config) < base_layout.compute_imbalance(&config));
+    let hw = Hardware::default();
+    let b = run_1f1b(Method::Baseline, &config, 8, hw.clone()).mfu;
+    let r = run_1f1b(Method::Redis, &config, 8, hw.clone()).mfu;
+    let v = run_1f1b(Method::Vocab1, &config, 8, hw).mfu;
+    assert!(b < r && r < v, "b={b} r={r} v={v}");
+}
+
+/// V-Half + Vocab-1 balances memory across devices (Table 6's claim),
+/// through the full facade path.
+#[test]
+fn vhalf_memory_balance_through_facade() {
+    let config = fast(ModelPreset::Gpt7B, 256);
+    let base = run_vhalf(VHalfMethod::Baseline, &config, 16, Hardware::default());
+    let vocab = run_vhalf(VHalfMethod::Vocab1, &config, 16, Hardware::default());
+    assert!(base.memory_spread_gb() > 5.0 * vocab.memory_spread_gb());
+    assert!(vocab.mfu > base.mfu);
+}
+
+/// The sharded vocabulary layers verify against the reference through the
+/// public verification API for every algorithm.
+#[test]
+fn vocabulary_layers_verify_via_public_api() {
+    let mut rng = vp_tensor::init::seeded_rng(7);
+    let w = vp_tensor::init::normal(&mut rng, 40, 8, 0.5);
+    let x = vp_tensor::init::normal(&mut rng, 6, 8, 1.0);
+    let labels = [0usize, 39, 13, 20, 7, 1];
+    for algo in [VocabAlgo::Naive, VocabAlgo::Alg1, VocabAlgo::Alg2] {
+        let cmp = vp_core::verify::compare_output_layer(algo, 5, &w, &x, &labels).unwrap();
+        assert!(cmp.passes(1e-4), "{algo:?}: {cmp:?}");
+    }
+    let err = vp_core::verify::compare_input_layer(5, &w, &[0, 39, 13]).unwrap();
+    assert!(err < 1e-6);
+}

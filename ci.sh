@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint and format-check the whole workspace.
+# Runs fully offline (the workspace has no external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace --release"
+cargo test --workspace --release --quiet
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI gate passed."

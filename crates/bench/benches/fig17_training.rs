@@ -1,18 +1,35 @@
-//! Criterion bench for the Figure 17 training comparison: one full tiny
+//! Timing bench for the Figure 17 training comparison: one full tiny
 //! training iteration under each implementation (reference, pipelined
-//! baseline, pipelined Vocab-1/Vocab-2).
+//! baseline, pipelined Vocab-1/Vocab-2). Plain harness: prints median
+//! wall-clock per iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use vp_model::cost::VocabAlgo;
 use vp_runtime::{train_pipeline, train_reference, Mode, TinyConfig};
 
-fn bench_fig17(c: &mut Criterion) {
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{name}: {:.3} ms/iter (median of {} runs)",
+        samples[samples.len() / 2] * 1e3,
+        samples.len()
+    );
+}
+
+fn main() {
     let config = TinyConfig::default();
-    let mut group = c.benchmark_group("fig17_one_iteration");
-    group.sample_size(10);
-    group.bench_function("reference", |b| {
-        b.iter(|| black_box(train_reference(&config, 1).expect("trains")))
+    bench("fig17_one_iteration/reference", 3, || {
+        black_box(train_reference(&config, 1).expect("trains"));
     });
     let modes = [
         ("pipeline-baseline", Mode::Baseline),
@@ -20,12 +37,8 @@ fn bench_fig17(c: &mut Criterion) {
         ("pipeline-vocab-2", Mode::Vocab(VocabAlgo::Alg2)),
     ];
     for (name, mode) in modes {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &m| {
-            b.iter(|| black_box(train_pipeline(&config, 4, m, 1).expect("trains")))
+        bench(&format!("fig17_one_iteration/{name}"), 3, || {
+            black_box(train_pipeline(&config, 4, mode, 1).expect("trains"));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig17);
-criterion_main!(benches);

@@ -1,10 +1,11 @@
-//! Criterion micro-benchmarks of the numeric kernels underlying the
-//! reproduction: matmul layouts, safe softmax, and — most relevantly for
-//! the paper — the three partitioned output-layer algorithms against the
+//! Micro-benchmarks of the numeric kernels underlying the reproduction:
+//! matmul layouts, safe softmax, and — most relevantly for the paper —
+//! the three partitioned output-layer algorithms against the
 //! unpartitioned reference (the CPU analogue of §6.5's kernel analysis).
+//! Plain harness: prints median wall-clock per call.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use vp_core::verify::compare_output_layer;
 use vp_core::{OutputShard, VocabAlgo};
 use vp_model::partition::VocabPartition;
@@ -12,68 +13,82 @@ use vp_tensor::init::{normal, seeded_rng};
 use vp_tensor::nn::softmax_cross_entropy;
 use vp_tensor::ops::softmax_rows;
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    let mut samples: Vec<f64> = (0..7)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{name}: {:.3} µs/iter (median of {} runs)",
+        samples[samples.len() / 2] * 1e6,
+        samples.len()
+    );
+}
+
+fn bench_matmul() {
     let mut rng = seeded_rng(1);
     let a = normal(&mut rng, 64, 128, 1.0);
     let b = normal(&mut rng, 128, 96, 1.0);
     let bt = normal(&mut rng, 96, 128, 1.0);
-    let mut group = c.benchmark_group("matmul_64x128x96");
-    group.bench_function("nn", |bch| bch.iter(|| black_box(a.matmul(&b).unwrap())));
-    group.bench_function("nt", |bch| bch.iter(|| black_box(a.matmul_nt(&bt).unwrap())));
-    group.bench_function("tn", |bch| {
-        let at = a.transpose();
-        bch.iter(|| black_box(at.matmul_tn(&b).unwrap()))
+    bench("matmul_64x128x96/nn", 50, || {
+        black_box(a.matmul(&b).unwrap());
     });
-    group.finish();
+    bench("matmul_64x128x96/nt", 50, || {
+        black_box(a.matmul_nt(&bt).unwrap());
+    });
+    let at = a.transpose();
+    bench("matmul_64x128x96/tn", 50, || {
+        black_box(at.matmul_tn(&b).unwrap());
+    });
 }
 
-fn bench_softmax(c: &mut Criterion) {
+fn bench_softmax() {
     let mut rng = seeded_rng(2);
     let logits = normal(&mut rng, 64, 2048, 3.0);
-    c.bench_function("safe_softmax_64x2048", |b| b.iter(|| black_box(softmax_rows(&logits))));
+    bench("safe_softmax_64x2048", 50, || {
+        black_box(softmax_rows(&logits));
+    });
 }
 
 /// The output-layer strategies on one shard: how much work the S+T passes
 /// of each algorithm do relative to the fused reference.
-fn bench_output_layer(c: &mut Criterion) {
+fn bench_output_layer() {
     let (vocab, hidden, tokens, p) = (1024usize, 64usize, 32usize, 4usize);
     let mut rng = seeded_rng(3);
     let full_w = normal(&mut rng, vocab, hidden, 0.5);
     let x = normal(&mut rng, tokens, hidden, 1.0);
     let labels: Vec<usize> = (0..tokens).map(|i| (i * 31) % vocab).collect();
 
-    let mut group = c.benchmark_group("output_layer");
-    group.sample_size(20);
-    group.bench_function("reference_full_vocab", |b| {
-        b.iter(|| {
-            let logits = x.matmul_nt(&full_w).unwrap();
-            let (out, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
-            let dx = grad.dlogits.matmul(&full_w).unwrap();
-            black_box((out.loss, dx))
-        })
+    bench("output_layer/reference_full_vocab", 20, || {
+        let logits = x.matmul_nt(&full_w).unwrap();
+        let (out, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let dx = grad.dlogits.matmul(&full_w).unwrap();
+        black_box((out.loss, dx));
     });
     // Single-shard S-pass compute (the per-device kernel of §6.5).
     let part = VocabPartition::new(vocab, p);
     let shard = OutputShard::from_full(&full_w, part, 0).unwrap();
     for algo in [VocabAlgo::Alg1, VocabAlgo::Alg2] {
-        group.bench_with_input(
-            BenchmarkId::new("shard_s_pass", format!("{algo:?}")),
-            &algo,
-            |b, &algo| b.iter(|| black_box(shard.s_pass(algo, &x, &labels).unwrap())),
-        );
+        bench(&format!("output_layer/shard_s_pass/{algo:?}"), 20, || {
+            black_box(shard.s_pass(algo, &x, &labels).unwrap());
+        });
     }
     // Full threaded equivalence check (p shards + collectives).
     for algo in [VocabAlgo::Naive, VocabAlgo::Alg1, VocabAlgo::Alg2] {
-        group.bench_with_input(
-            BenchmarkId::new("sharded_e2e", format!("{algo:?}")),
-            &algo,
-            |b, &algo| {
-                b.iter(|| black_box(compare_output_layer(algo, p, &full_w, &x, &labels).unwrap()))
-            },
-        );
+        bench(&format!("output_layer/sharded_e2e/{algo:?}"), 20, || {
+            black_box(compare_output_layer(algo, p, &full_w, &x, &labels).unwrap());
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_softmax, bench_output_layer);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_softmax();
+    bench_output_layer();
+}

@@ -1,33 +1,47 @@
-//! Criterion bench for the Table 3 computation: the analytical scaling
+//! Timing bench for the Table 3 computation: the analytical scaling
 //! factors of the partitioned vocabulary layers at every (model, device)
-//! point of the paper's sweep.
+//! point of the paper's sweep. Plain harness (no external bench
+//! framework): prints median wall-clock per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use vp_model::config::ModelPreset;
 use vp_model::cost::{CostModel, Hardware, VocabAlgo};
 
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.bench_function("all_scaling_factors", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for seq in [2048usize, 4096] {
-                for (preset, p) in
-                    [(ModelPreset::Gpt4B, 8), (ModelPreset::Gpt10B, 16), (ModelPreset::Gpt21B, 32)]
-                {
-                    let cfg = preset.config().with_seq_len(seq).with_vocab(256 * 1024);
-                    let m = CostModel::new(cfg, Hardware::default());
-                    acc += m.output_scaling_factor(VocabAlgo::Alg1, p);
-                    acc += m.output_scaling_factor(VocabAlgo::Alg2, p);
-                    acc += m.input_scaling_factor(p);
-                }
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    let mut samples: Vec<f64> = (0..7)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
             }
-            black_box(acc)
+            start.elapsed().as_secs_f64() / iters as f64
         })
-    });
-    group.finish();
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{name}: {:.3} µs/iter (median of {} runs)",
+        samples[samples.len() / 2] * 1e6,
+        samples.len()
+    );
 }
 
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);
+fn main() {
+    bench("table3/all_scaling_factors", 100, || {
+        let mut acc = 0.0;
+        for seq in [2048usize, 4096] {
+            for (preset, p) in [
+                (ModelPreset::Gpt4B, 8),
+                (ModelPreset::Gpt10B, 16),
+                (ModelPreset::Gpt21B, 32),
+            ] {
+                let cfg = preset.config().with_seq_len(seq).with_vocab(256 * 1024);
+                let m = CostModel::new(cfg, Hardware::default());
+                acc += m.output_scaling_factor(VocabAlgo::Alg1, p);
+                acc += m.output_scaling_factor(VocabAlgo::Alg2, p);
+                acc += m.input_scaling_factor(p);
+            }
+        }
+        black_box(acc);
+    });
+}

@@ -1,25 +1,40 @@
-//! Criterion bench for the Table 5 pipeline simulations: one end-to-end
+//! Timing bench for the Table 5 pipeline simulations: one end-to-end
 //! discrete-event simulation per method (4B model, 8 devices, 256k
 //! vocabulary — the paper's headline cell), measuring the cost of
-//! regenerating a table cell.
+//! regenerating a table cell. Plain harness: prints median wall-clock.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use vp_model::config::ModelPreset;
 use vp_model::cost::Hardware;
 use vp_sim::{run_1f1b, Method};
 
-fn bench_table5(c: &mut Criterion) {
-    let config = ModelPreset::Gpt4B.config().with_vocab(256 * 1024).with_num_microbatches(32);
-    let mut group = c.benchmark_group("table5_cell");
-    group.sample_size(10);
-    for method in Method::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &m| {
-            b.iter(|| black_box(run_1f1b(m, &config, 8, Hardware::default()).mfu))
-        });
-    }
-    group.finish();
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{name}: {:.3} ms/iter (median of {} runs)",
+        samples[samples.len() / 2] * 1e3,
+        samples.len()
+    );
 }
 
-criterion_group!(benches, bench_table5);
-criterion_main!(benches);
+fn main() {
+    let config = ModelPreset::Gpt4B
+        .config()
+        .with_vocab(256 * 1024)
+        .with_num_microbatches(32);
+    for method in Method::all() {
+        bench(&format!("table5_cell/{}", method.name()), 10, || {
+            black_box(run_1f1b(method, &config, 8, Hardware::default()).mfu);
+        });
+    }
+}

@@ -1,23 +1,39 @@
-//! Criterion bench for the Table 6 V-Half simulations (7B model, 16
+//! Timing bench for the Table 6 V-Half simulations (7B model, 16
 //! devices, 256k vocabulary): baseline vs. Vocabulary Parallelism.
+//! Plain harness: prints median wall-clock per simulated cell.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use vp_model::config::ModelPreset;
 use vp_model::cost::Hardware;
 use vp_sim::{run_vhalf, VHalfMethod};
 
-fn bench_table6(c: &mut Criterion) {
-    let config = ModelPreset::Gpt7B.config().with_vocab(256 * 1024).with_num_microbatches(32);
-    let mut group = c.benchmark_group("table6_cell");
-    group.sample_size(10);
-    for method in [VHalfMethod::Baseline, VHalfMethod::Vocab1] {
-        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &m| {
-            b.iter(|| black_box(run_vhalf(m, &config, 16, Hardware::default()).mfu))
-        });
-    }
-    group.finish();
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{name}: {:.3} ms/iter (median of {} runs)",
+        samples[samples.len() / 2] * 1e3,
+        samples.len()
+    );
 }
 
-criterion_group!(benches, bench_table6);
-criterion_main!(benches);
+fn main() {
+    let config = ModelPreset::Gpt7B
+        .config()
+        .with_vocab(256 * 1024)
+        .with_num_microbatches(32);
+    for method in [VHalfMethod::Baseline, VHalfMethod::Vocab1] {
+        bench(&format!("table6_cell/{}", method.name()), 10, || {
+            black_box(run_vhalf(method, &config, 16, Hardware::default()).mfu);
+        });
+    }
+}

@@ -6,9 +6,10 @@
 //!
 //! Experiments: `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
 //! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
-//! `ablation-barriers`, `ablation-zero-bubble`, `generality`, `padding`,
-//! `trace`, `csv`, `fig17`, or `all`. `--quick` runs the throughput sweeps with 32 instead
-//! of 128 microbatches (same shapes, ~4× faster).
+//! `ablation-barriers`, `ablation-zero-bubble`, `generality`,
+//! `generality-numeric`, `padding`, `trace`, `csv`, `fig17`, or `all`.
+//! `--quick` runs the throughput sweeps with 32 instead of 128
+//! microbatches (same shapes, ~4× faster).
 
 use vp_bench::experiments;
 use vp_bench::paper;
@@ -18,12 +19,30 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let microbatches = if quick { 32 } else { 128 };
-    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
     let experiments: Vec<&str> = match which {
         "all" => vec![
-            "fig2", "fig3", "table4", "schedules", "table3", "table3-measured", "table5",
-            "table6", "ablation-interlaced", "ablation-barriers", "ablation-zero-bubble",
-            "generality", "padding", "trace", "csv", "fig17",
+            "fig2",
+            "fig3",
+            "table4",
+            "schedules",
+            "table3",
+            "table3-measured",
+            "table5",
+            "table6",
+            "ablation-interlaced",
+            "ablation-barriers",
+            "ablation-zero-bubble",
+            "generality",
+            "generality-numeric",
+            "padding",
+            "trace",
+            "csv",
+            "fig17",
         ],
         other => vec![other],
     };
@@ -41,6 +60,7 @@ fn main() {
             "ablation-barriers" => ablation_barriers(microbatches),
             "ablation-zero-bubble" => ablation_zero_bubble(microbatches),
             "generality" => generality(microbatches),
+            "generality-numeric" => generality_numeric(),
             "trace" => trace(),
             "csv" => csv(microbatches),
             "padding" => padding(),
@@ -61,10 +81,21 @@ fn fig2() {
     heading("Figure 2 — vocabulary/transformer layer ratios (Gemma2-9B)");
     let rows: Vec<Vec<String>> = experiments::fig2_rows()
         .into_iter()
-        .map(|(v, c, m)| vec![format!("{}k", v / 1024), format!("{c:.2}x"), format!("{m:.2}x")])
+        .map(|(v, c, m)| {
+            vec![
+                format!("{}k", v / 1024),
+                format!("{c:.2}x"),
+                format!("{m:.2}x"),
+            ]
+        })
         .collect();
-    println!("{}", table::render(&["vocab", "compute ratio", "param-memory ratio"], &rows));
-    println!("Paper: at 256k the output layer is ≈5x a transformer layer in both compute and memory.");
+    println!(
+        "{}",
+        table::render(&["vocab", "compute ratio", "param-memory ratio"], &rows)
+    );
+    println!(
+        "Paper: at 256k the output layer is ≈5x a transformer layer in both compute and memory."
+    );
 }
 
 fn fig3() {
@@ -102,7 +133,10 @@ fn table3() {
     }
     println!(
         "{}",
-        table::render(&["seq", "layer", "8 dev — meas (paper) %", "16 dev", "32 dev"], &rows)
+        table::render(
+            &["seq", "layer", "8 dev — meas (paper) %", "16 dev", "32 dev"],
+            &rows
+        )
     );
 }
 
@@ -111,10 +145,17 @@ fn table3_measured() {
     let rows: Vec<Vec<String>> = experiments::table3_measured(64, 64, 4096)
         .into_iter()
         .map(|(p, f1, f2)| {
-            vec![p.to_string(), format!("{:.1}%", 100.0 * f1), format!("{:.1}%", 100.0 * f2)]
+            vec![
+                p.to_string(),
+                format!("{:.1}%", 100.0 * f1),
+                format!("{:.1}%", 100.0 * f2),
+            ]
         })
         .collect();
-    println!("{}", table::render(&["shards", "output-vocab-1", "output-vocab-2"], &rows));
+    println!(
+        "{}",
+        table::render(&["shards", "output-vocab-1", "output-vocab-2"], &rows)
+    );
     println!("Measured on this machine's CPU kernels (methodology of §6.5; absolute values");
     println!("reflect cache behaviour, not A100 kernels — see `repro table3` for the model).");
 }
@@ -122,16 +163,35 @@ fn table3_measured() {
 fn table4() {
     heading("Table 4 — analytical per-layer costs (Appendix A)");
     let rows = vec![
-        vec!["transformer".into(), "bsh(72h + 12s)".into(), "24h² bytes (12h² params)".into()],
-        vec!["input".into(), "3bsh".into(), "2hV bytes (hV params)".into()],
-        vec!["output".into(), "6bshV".into(), "2hV bytes (hV params)".into()],
+        vec![
+            "transformer".into(),
+            "bsh(72h + 12s)".into(),
+            "24h² bytes (12h² params)".into(),
+        ],
+        vec![
+            "input".into(),
+            "3bsh".into(),
+            "2hV bytes (hV params)".into(),
+        ],
+        vec![
+            "output".into(),
+            "6bshV".into(),
+            "2hV bytes (hV params)".into(),
+        ],
     ];
-    println!("{}", table::render(&["layer", "compute FLOPs", "parameter memory"], &rows));
-    println!("These formulas drive the cost model in `vp-model::cost` (validated by its unit tests).");
+    println!(
+        "{}",
+        table::render(&["layer", "compute FLOPs", "parameter memory"], &rows)
+    );
+    println!(
+        "These formulas drive the cost model in `vp-model::cost` (validated by its unit tests)."
+    );
 }
 
 fn table5(microbatches: usize) {
-    heading("Table 5 / Figures 11–12 — methods on 1F1B: MFU % and peak memory GB, measured (paper)");
+    heading(
+        "Table 5 / Figures 11–12 — methods on 1F1B: MFU % and peak memory GB, measured (paper)",
+    );
     let cells = experiments::table5_cells(microbatches);
     for (si, &(_, _, label)) in paper::TABLE5_SETUPS.iter().enumerate() {
         println!("--- {label} ---");
@@ -149,7 +209,10 @@ fn table5(microbatches: usize) {
             rows.push(mfu_row);
             rows.push(mem_row);
         }
-        println!("{}", table::render(&["method", "metric", "32k", "64k", "128k", "256k"], &rows));
+        println!(
+            "{}",
+            table::render(&["method", "metric", "32k", "64k", "128k", "256k"], &rows)
+        );
     }
 }
 
@@ -175,7 +238,10 @@ fn table6(microbatches: usize) {
             rows.push(mem_row);
             rows.push(band_row);
         }
-        println!("{}", table::render(&["method", "metric", "32k", "64k", "128k", "256k"], &rows));
+        println!(
+            "{}",
+            table::render(&["method", "metric", "32k", "64k", "128k", "256k"], &rows)
+        );
     }
     println!("Paper: baseline spreads up to ≈45 GB across devices; Vocab-1 stays within ≈2.5 GB.");
 }
@@ -195,10 +261,21 @@ fn ablation_barriers(microbatches: usize) {
     let rows: Vec<Vec<String>> = experiments::ablation_barriers(microbatches)
         .into_iter()
         .map(|(name, mfu, gb, mbs)| {
-            vec![name, format!("{mfu:.2}"), format!("{gb:.2}"), mbs.to_string()]
+            vec![
+                name,
+                format!("{mfu:.2}"),
+                format!("{gb:.2}"),
+                mbs.to_string(),
+            ]
         })
         .collect();
-    println!("{}", table::render(&["grouping", "MFU %", "peak GB", "in-flight µbatches (dev 0)"], &rows));
+    println!(
+        "{}",
+        table::render(
+            &["grouping", "MFU %", "peak GB", "in-flight µbatches (dev 0)"],
+            &rows
+        )
+    );
     println!("§5.2: the activation overhead equals the barrier count — the motivation for");
     println!("reducing 3 barriers to 2 (Algorithm 1) and then 1 (Algorithm 2).");
 }
@@ -209,7 +286,10 @@ fn ablation_zero_bubble(microbatches: usize) {
         .into_iter()
         .map(|(name, mfu, bubble)| vec![name, format!("{mfu:.2}"), format!("{bubble:.1}")])
         .collect();
-    println!("{}", table::render(&["schedule", "MFU %", "mean bubble %"], &rows));
+    println!(
+        "{}",
+        table::render(&["schedule", "MFU %", "mean bubble %"], &rows)
+    );
 }
 
 fn csv(microbatches: usize) {
@@ -230,15 +310,59 @@ fn generality(microbatches: usize) {
     let rows: Vec<Vec<String>> = experiments::generality_rows(microbatches)
         .into_iter()
         .map(|(name, m32, m256, gb)| {
-            vec![name, format!("{m32:.2}"), format!("{m256:.2}"), format!("{gb:.1}")]
+            vec![
+                name,
+                format!("{m32:.2}"),
+                format!("{m256:.2}"),
+                format!("{gb:.1}"),
+            ]
         })
         .collect();
     println!(
         "{}",
-        table::render(&["schedule family", "MFU % @32k", "MFU % @256k", "peak GB @256k"], &rows)
+        table::render(
+            &[
+                "schedule family",
+                "MFU % @32k",
+                "MFU % @256k",
+                "peak GB @256k"
+            ],
+            &rows
+        )
     );
     println!("The same S/T building-block insertion keeps MFU flat in V on every family,");
     println!("as §5.2 argues (interleaving trades memory for a shorter pipeline fill).");
+}
+
+fn generality_numeric() {
+    heading(
+        "Generality (numeric) — the pass-VM interprets zero-bubble and interleaved vocab schedules",
+    );
+    let rows: Vec<Vec<String>> = experiments::generality_numeric_rows(4)
+        .into_iter()
+        .map(|(name, loss, dev, bubble)| {
+            vec![
+                name,
+                format!("{loss:.5}"),
+                format!("{dev:.2e}"),
+                format!("{bubble:.1}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "schedule family",
+                "final loss",
+                "max |Δloss| vs reference",
+                "mean bubble %"
+            ],
+            &rows
+        )
+    );
+    println!("One interpreter executes all three families numerically (no per-family runtime");
+    println!("code); deviations stay within Figure 17's f32 accumulation-order noise.");
 }
 
 fn trace() {
@@ -265,7 +389,9 @@ fn padding() {
     let (orig, padded, shard) = experiments::padding_example();
     println!("V = {orig} → padded {padded} (multiple of 48), shard width {shard}.");
     println!("(The paper's ≈8% kernel speedup from alignment is a GPU memory-subsystem effect");
-    println!(" outside our cost model; the partition logic it relies on is what is reproduced here.)");
+    println!(
+        " outside our cost model; the partition logic it relies on is what is reproduced here.)"
+    );
 }
 
 fn fig17() {
@@ -280,7 +406,9 @@ fn fig17() {
         }
         rows.push(row);
     }
-    let headers: Vec<&str> = std::iter::once("iter").chain(curves.iter().map(|(n, _)| *n)).collect();
+    let headers: Vec<&str> = std::iter::once("iter")
+        .chain(curves.iter().map(|(n, _)| *n))
+        .collect();
     println!("{}", table::render(&headers, &rows));
     let reference = &curves[0].1;
     let max_dev = curves[1..]

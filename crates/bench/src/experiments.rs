@@ -10,7 +10,10 @@ use vp_schedule::exec::{Executor, UnitCosts};
 use vp_schedule::generators;
 use vp_schedule::pass::VocabVariant;
 use vp_schedule::render;
-use vp_sim::{run_1f1b, run_barrier_ablation, run_interlaced_ablation, run_vhalf, run_zero_bubble, sweep, Method, SimReport, VHalfMethod};
+use vp_sim::{
+    run_1f1b, run_barrier_ablation, run_interlaced_ablation, run_vhalf, run_zero_bubble, sweep,
+    Method, SimReport, VHalfMethod,
+};
 
 /// One measured cell of a throughput/memory table.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +28,11 @@ pub struct MeasuredCell {
 
 impl From<&SimReport> for MeasuredCell {
     fn from(r: &SimReport) -> Self {
-        MeasuredCell { mfu_pct: r.mfu_pct(), mem_gb: r.max_memory_gb(), oom: r.would_oom() }
+        MeasuredCell {
+            mfu_pct: r.mfu_pct(),
+            mem_gb: r.max_memory_gb(),
+            oom: r.would_oom(),
+        }
     }
 }
 
@@ -46,7 +53,11 @@ fn preset_for_table6(devices: usize) -> ModelPreset {
 }
 
 fn config(preset: ModelPreset, seq: usize, vocab_k: usize, microbatches: usize) -> ModelConfig {
-    preset.config().with_seq_len(seq).with_vocab(vocab_k * 1024).with_num_microbatches(microbatches)
+    preset
+        .config()
+        .with_seq_len(seq)
+        .with_vocab(vocab_k * 1024)
+        .with_num_microbatches(microbatches)
 }
 
 /// Figure 2: compute and parameter-memory ratio of the vocabulary layers
@@ -58,8 +69,8 @@ pub fn fig2_rows() -> Vec<(usize, f64, f64)> {
         .into_iter()
         .map(|k| {
             let cfg = base.clone().with_vocab(k * 1024);
-            let compute = 6.0 * cfg.vocab as f64
-                / (72.0 * cfg.hidden as f64 + 12.0 * cfg.seq_len as f64);
+            let compute =
+                6.0 * cfg.vocab as f64 / (72.0 * cfg.hidden as f64 + 12.0 * cfg.seq_len as f64);
             let memory = cfg.vocab_layer_params() as f64 / cfg.transformer_layer_params() as f64;
             (cfg.vocab, compute, memory)
         })
@@ -80,8 +91,9 @@ pub fn fig3_rows() -> Vec<(&'static str, Vec<f64>, f64)> {
     layouts
         .into_iter()
         .map(|(name, layout)| {
-            let loads: Vec<f64> =
-                (0..p).map(|d| layout.stage_relative_compute(&cfg, d)).collect();
+            let loads: Vec<f64> = (0..p)
+                .map(|d| layout.stage_relative_compute(&cfg, d))
+                .collect();
             let mean = loads.iter().sum::<f64>() / p as f64;
             let normalized: Vec<f64> = loads.iter().map(|l| l / mean).collect();
             let imbalance = layout.compute_imbalance(&cfg);
@@ -97,10 +109,13 @@ pub fn table3_rows() -> Vec<(usize, &'static str, [f64; 3])> {
     for seq in [2048usize, 4096] {
         let factors = |algo: Option<VocabAlgo>| -> [f64; 3] {
             let mut out = [0.0; 3];
-            for (i, (preset, p)) in
-                [(ModelPreset::Gpt4B, 8), (ModelPreset::Gpt10B, 16), (ModelPreset::Gpt21B, 32)]
-                    .into_iter()
-                    .enumerate()
+            for (i, (preset, p)) in [
+                (ModelPreset::Gpt4B, 8),
+                (ModelPreset::Gpt10B, 16),
+                (ModelPreset::Gpt21B, 32),
+            ]
+            .into_iter()
+            .enumerate()
             {
                 let cfg = preset.config().with_seq_len(seq).with_vocab(256 * 1024);
                 let m = CostModel::new(cfg, Hardware::default());
@@ -183,7 +198,14 @@ pub fn ablation_barriers(microbatches: usize) -> Vec<(String, f64, f64, usize)> 
     let cfg = config(ModelPreset::Gpt4B, 2048, 256, microbatches);
     run_barrier_ablation(&cfg, 8, Hardware::default())
         .into_iter()
-        .map(|r| (r.method.clone(), r.mfu_pct(), r.max_memory_gb(), r.peak_microbatches[0]))
+        .map(|r| {
+            (
+                r.method.clone(),
+                r.mfu_pct(),
+                r.max_memory_gb(),
+                r.peak_microbatches[0],
+            )
+        })
         .collect()
 }
 
@@ -217,17 +239,35 @@ pub fn export_traces(dir: &std::path::Path) -> std::io::Result<Vec<std::path::Pa
     let mut written = Vec::new();
     let cases: Vec<(&str, vp_schedule::pass::Schedule)> = vec![
         ("1f1b", generators::one_f_one_b(4, 8, times)),
-        ("vocab1-1f1b", generators::vocab_1f1b(4, 8, VocabVariant::Alg1, times, true)),
-        ("vocab2-1f1b", generators::vocab_1f1b(4, 8, VocabVariant::Alg2, times, true)),
+        (
+            "vocab1-1f1b",
+            generators::vocab_1f1b(4, 8, VocabVariant::Alg1, times, true),
+        ),
+        (
+            "vocab2-1f1b",
+            generators::vocab_1f1b(4, 8, VocabVariant::Alg2, times, true),
+        ),
         ("interlaced", generators::interlaced_1f1b(4, 8, times)),
         (
             "vhalf-vocab1",
-            generators::vhalf_vocab(4, 8, VocabVariant::Alg1, PassTimes { b: 1.0, w: 1.0, ..times }, true),
+            generators::vhalf_vocab(
+                4,
+                8,
+                VocabVariant::Alg1,
+                PassTimes {
+                    b: 1.0,
+                    w: 1.0,
+                    ..times
+                },
+                true,
+            ),
         ),
     ];
     for (name, schedule) in cases {
         let costs = UnitCosts::new(times, schedule.chunks());
-        let report = Executor::new(&costs).run(&schedule).expect("gallery schedules validate");
+        let report = Executor::new(&costs)
+            .run(&schedule)
+            .expect("gallery schedules validate");
         let json = to_chrome_trace(&schedule, &report, 1000.0);
         let path = dir.join(format!("{name}.trace.json"));
         std::fs::write(&path, json)?;
@@ -255,7 +295,12 @@ pub fn generality_rows(microbatches: usize) -> Vec<(String, f64, f64, f64)> {
         .map(|(i, name)| {
             let small = run(32, i as u8);
             let large = run(256, i as u8);
-            (name.to_string(), small.mfu_pct(), large.mfu_pct(), large.max_memory_gb())
+            (
+                name.to_string(),
+                small.mfu_pct(),
+                large.mfu_pct(),
+                large.max_memory_gb(),
+            )
         })
         .collect()
 }
@@ -328,7 +373,10 @@ pub fn table3_measured(tokens: usize, hidden: usize, vocab: usize) -> Vec<(usize
 /// # Errors
 ///
 /// Propagates I/O errors.
-pub fn export_csv(dir: &std::path::Path, microbatches: usize) -> std::io::Result<Vec<std::path::PathBuf>> {
+pub fn export_csv(
+    dir: &std::path::Path,
+    microbatches: usize,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let hw = Hardware::default();
     let vocabs: Vec<usize> = crate::paper::VOCABS_K.iter().map(|k| k * 1024).collect();
@@ -342,8 +390,10 @@ pub fn export_csv(dir: &std::path::Path, microbatches: usize) -> std::io::Result
             .iter()
             .map(|&m| (m, sweep::vocab_sweep(m, &cfg, devices, &hw, &vocabs)))
             .collect();
-        let named: Vec<(&str, &[sweep::SweepPoint])> =
-            series.iter().map(|(m, s)| (m.name(), s.as_slice())).collect();
+        let named: Vec<(&str, &[sweep::SweepPoint])> = series
+            .iter()
+            .map(|(m, s)| (m.name(), s.as_slice()))
+            .collect();
         let path = dir.join(format!("fig11_12_{devices}gpu_seq{seq}.csv"));
         std::fs::write(&path, sweep::to_csv("vocab", &named))?;
         written.push(path);
@@ -358,8 +408,10 @@ pub fn export_csv(dir: &std::path::Path, microbatches: usize) -> std::io::Result
                 .iter()
                 .map(|&m| (m, sweep::vocab_sweep_vhalf(m, &cfg, devices, &hw, &vocabs)))
                 .collect();
-        let named: Vec<(&str, &[sweep::SweepPoint])> =
-            series.iter().map(|(m, s)| (m.name(), s.as_slice())).collect();
+        let named: Vec<(&str, &[sweep::SweepPoint])> = series
+            .iter()
+            .map(|(m, s)| (m.name(), s.as_slice()))
+            .collect();
         let path = dir.join(format!("fig13_14_{devices}gpu_seq{seq}.csv"));
         std::fs::write(&path, sweep::to_csv("vocab", &named))?;
         written.push(path);
@@ -374,11 +426,17 @@ pub fn schedule_gallery() -> String {
     out.push_str(&render::legend());
     let show = |title: &str, schedule: &vp_schedule::pass::Schedule, out: &mut String| {
         let costs = UnitCosts::new(times, schedule.chunks());
-        let report = Executor::new(&costs).run(schedule).expect("gallery schedules validate");
+        let report = Executor::new(&costs)
+            .run(schedule)
+            .expect("gallery schedules validate");
         out.push_str(&format!("\n== {title} ==\n"));
         out.push_str(&render::render_timeline(schedule, &report, 100));
     };
-    show("Figure 1: plain 1F1B (p=4, m=6)", &generators::one_f_one_b(4, 6, times), &mut out);
+    show(
+        "Figure 1: plain 1F1B (p=4, m=6)",
+        &generators::one_f_one_b(4, 6, times),
+        &mut out,
+    );
     show(
         "Figure 10a: 1F1B + Vocabulary Parallelism, Algorithm 1 (p=4, m=6)",
         &generators::vocab_1f1b(4, 6, VocabVariant::Alg1, times, false),
@@ -389,9 +447,21 @@ pub fn schedule_gallery() -> String {
         &generators::vocab_1f1b(4, 6, VocabVariant::Alg2, times, false),
         &mut out,
     );
-    show("Figure 15b: interlaced pipeline (p=4, m=6)", &generators::interlaced_1f1b(4, 6, times), &mut out);
-    let vhalf_times = PassTimes { b: 1.0, w: 1.0, ..times };
-    show("Figure 16: V-Half + Vocabulary Parallelism (p=4, m=6)", &generators::vhalf_vocab(4, 6, VocabVariant::Alg1, vhalf_times, false), &mut out);
+    show(
+        "Figure 15b: interlaced pipeline (p=4, m=6)",
+        &generators::interlaced_1f1b(4, 6, times),
+        &mut out,
+    );
+    let vhalf_times = PassTimes {
+        b: 1.0,
+        w: 1.0,
+        ..times
+    };
+    show(
+        "Figure 16: V-Half + Vocabulary Parallelism (p=4, m=6)",
+        &generators::vhalf_vocab(4, 6, VocabVariant::Alg1, vhalf_times, false),
+        &mut out,
+    );
     out
 }
 
@@ -412,20 +482,101 @@ pub fn padding_example() -> (usize, usize, usize) {
 pub fn fig17_curves(iterations: usize) -> Vec<(&'static str, Vec<f64>)> {
     let config = TinyConfig::default();
     vec![
-        ("reference", train_reference(&config, iterations).expect("reference trains")),
+        (
+            "reference",
+            train_reference(&config, iterations).expect("reference trains"),
+        ),
         (
             "pipeline-baseline",
             train_pipeline(&config, 4, Mode::Baseline, iterations).expect("baseline trains"),
         ),
         (
             "pipeline-vocab-1",
-            train_pipeline(&config, 4, Mode::Vocab(VocabAlgo::Alg1), iterations).expect("vocab-1 trains"),
+            train_pipeline(&config, 4, Mode::Vocab(VocabAlgo::Alg1), iterations)
+                .expect("vocab-1 trains"),
         ),
         (
             "pipeline-vocab-2",
-            train_pipeline(&config, 4, Mode::Vocab(VocabAlgo::Alg2), iterations).expect("vocab-2 trains"),
+            train_pipeline(&config, 4, Mode::Vocab(VocabAlgo::Alg2), iterations)
+                .expect("vocab-2 trains"),
         ),
     ]
+}
+
+/// Numeric schedule generality: the runtime interprets zero-bubble and
+/// interleaved vocabulary schedules *directly* (no family-specific code)
+/// and must match the single-device reference, with the measured bubble
+/// reported from the interpreter's real-timing `ExecReport`. Returns
+/// `(family, final_loss, max_deviation_vs_reference, mean_bubble_pct)`
+/// rows.
+///
+/// # Panics
+///
+/// Panics if any trainer fails (configurations are fixed and valid).
+pub fn generality_numeric_rows(iterations: usize) -> Vec<(String, f64, f64, f64)> {
+    use vp_runtime::{train_schedule, DataSource, SyntheticCorpus};
+
+    let base = TinyConfig::default();
+    let m = base.microbatches as u32;
+    let zb_times = PassTimes {
+        f: 1.0,
+        b: 1.0,
+        w: 1.0,
+        ..PassTimes::default()
+    };
+    let il_times = PassTimes {
+        f: 0.5,
+        b: 1.0,
+        ..PassTimes::default()
+    };
+    // Interleaving doubles the virtual stages, so it gets a deeper model
+    // (8 layers over 4 devices × 2 chunks) with its own reference curve.
+    let deep = TinyConfig {
+        layers: 8,
+        ..base.clone()
+    };
+    let runs = [
+        (
+            "vocab 1f1b",
+            base.clone(),
+            generators::vocab_1f1b(4, m, VocabVariant::Alg2, PassTimes::default(), true),
+        ),
+        (
+            "zb vocab 1f1b",
+            base.clone(),
+            generators::zb_vocab_1f1b(4, m, VocabVariant::Alg2, zb_times, true),
+        ),
+        (
+            "interleaved vocab 1f1b (2 chunks)",
+            deep.clone(),
+            generators::interleaved_vocab_1f1b(4, 2, m, VocabVariant::Alg2, il_times, true),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, config, schedule) in runs {
+        let reference = train_reference(&config, iterations).expect("reference trains");
+        let corpus = DataSource::Synthetic(SyntheticCorpus::new(
+            config.vocab,
+            config.seq_len,
+            config.seed,
+        ));
+        let report = train_schedule(&config, &schedule, iterations, &corpus)
+            .expect("schedule interprets numerically");
+        let max_dev = report
+            .losses
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let bubble = 100.0 * report.analysis(&schedule).mean_bubble();
+        rows.push((
+            name.to_string(),
+            *report.losses.last().expect("losses"),
+            max_dev,
+            bubble,
+        ));
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -458,7 +609,10 @@ mod tests {
         let rows = table3_rows();
         for (seq, name, factors) in &rows {
             // Factors decrease with device count.
-            assert!(factors[0] > factors[1] && factors[1] > factors[2], "{seq} {name}: {factors:?}");
+            assert!(
+                factors[0] > factors[1] && factors[1] > factors[2],
+                "{seq} {name}: {factors:?}"
+            );
         }
         // Output factors: within ~8 points of the paper at every cell.
         for (i, seq) in [2048usize, 4096].iter().enumerate() {
@@ -482,7 +636,13 @@ mod tests {
     #[test]
     fn schedule_gallery_renders_all_figures() {
         let g = schedule_gallery();
-        for needle in ["Figure 1", "Figure 10a", "Figure 10b", "Figure 15b", "Figure 16"] {
+        for needle in [
+            "Figure 1",
+            "Figure 10a",
+            "Figure 10b",
+            "Figure 15b",
+            "Figure 16",
+        ] {
             assert!(g.contains(needle), "missing {needle}");
         }
         assert!(g.contains('S') && g.contains('T'));
@@ -568,5 +728,17 @@ mod tests {
         assert!((vocab2[3].mfu_pct - vocab2[0].mfu_pct).abs() < 3.0);
         assert!(vocab2[3].mfu_pct > 1.4 * baseline[3].mfu_pct);
         assert!(vocab2[3].mem_gb < baseline[3].mem_gb);
+    }
+
+    #[test]
+    fn generality_numeric_tracks_reference() {
+        let rows = generality_numeric_rows(3);
+        assert_eq!(rows.len(), 3);
+        for (name, final_loss, dev, bubble) in rows {
+            assert!(final_loss.is_finite(), "{name}");
+            // Figure 17's tolerance: f32 accumulation-order noise only.
+            assert!(dev < 1e-3, "{name}: deviation {dev}");
+            assert!((0.0..100.0).contains(&bubble), "{name}: bubble {bubble}");
+        }
     }
 }

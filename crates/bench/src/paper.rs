@@ -25,50 +25,195 @@ pub const TABLE5_SETUPS: [(usize, usize, &str); 6] = [
 pub const TABLE5: [[[Cell; 4]; 5]; 6] = [
     // 8 GPU, seq 2048
     [
-        [Some((46.16, 14.86)), Some((40.48, 16.32)), Some((33.11, 19.25)), Some((25.23, 25.64))],
-        [Some((46.01, 14.86)), Some((46.37, 16.32)), Some((44.22, 19.25)), Some((38.91, 25.64))],
-        [Some((50.42, 15.63)), Some((50.28, 16.02)), Some((49.93, 16.84)), Some((50.12, 18.59))],
-        [Some((50.23, 14.83)), Some((50.18, 15.23)), Some((49.82, 16.04)), Some((49.69, 17.78))],
-        [Some((51.18, 17.20)), Some((50.94, 17.57)), Some((50.97, 18.43)), Some((50.92, 20.17))],
+        [
+            Some((46.16, 14.86)),
+            Some((40.48, 16.32)),
+            Some((33.11, 19.25)),
+            Some((25.23, 25.64)),
+        ],
+        [
+            Some((46.01, 14.86)),
+            Some((46.37, 16.32)),
+            Some((44.22, 19.25)),
+            Some((38.91, 25.64)),
+        ],
+        [
+            Some((50.42, 15.63)),
+            Some((50.28, 16.02)),
+            Some((49.93, 16.84)),
+            Some((50.12, 18.59)),
+        ],
+        [
+            Some((50.23, 14.83)),
+            Some((50.18, 15.23)),
+            Some((49.82, 16.04)),
+            Some((49.69, 17.78)),
+        ],
+        [
+            Some((51.18, 17.20)),
+            Some((50.94, 17.57)),
+            Some((50.97, 18.43)),
+            Some((50.92, 20.17)),
+        ],
     ],
     // 8 GPU, seq 4096
     [
-        [Some((47.05, 21.39)), Some((41.87, 22.85)), Some((35.00, 25.78)), Some((26.75, 31.64))],
-        [Some((46.93, 21.39)), Some((46.78, 22.85)), Some((47.44, 25.78)), Some((43.01, 31.64))],
-        [Some((50.98, 24.04)), Some((50.98, 24.47)), Some((50.83, 25.41)), Some((50.66, 27.34))],
-        [Some((50.93, 22.44)), Some((50.75, 22.89)), Some((50.56, 23.80)), Some((50.40, 25.73))],
-        [Some((51.41, 27.20)), Some((51.82, 27.64)), Some((51.32, 28.60)), Some((51.38, 30.53))],
+        [
+            Some((47.05, 21.39)),
+            Some((41.87, 22.85)),
+            Some((35.00, 25.78)),
+            Some((26.75, 31.64)),
+        ],
+        [
+            Some((46.93, 21.39)),
+            Some((46.78, 22.85)),
+            Some((47.44, 25.78)),
+            Some((43.01, 31.64)),
+        ],
+        [
+            Some((50.98, 24.04)),
+            Some((50.98, 24.47)),
+            Some((50.83, 25.41)),
+            Some((50.66, 27.34)),
+        ],
+        [
+            Some((50.93, 22.44)),
+            Some((50.75, 22.89)),
+            Some((50.56, 23.80)),
+            Some((50.40, 25.73)),
+        ],
+        [
+            Some((51.41, 27.20)),
+            Some((51.82, 27.64)),
+            Some((51.32, 28.60)),
+            Some((51.38, 30.53)),
+        ],
     ],
     // 16 GPU, seq 2048
     [
-        [Some((45.66, 24.03)), Some((40.09, 25.98)), Some((32.44, 29.92)), Some((24.21, 38.71))],
-        [Some((45.56, 24.03)), Some((42.82, 25.98)), Some((38.65, 29.92)), Some((36.98, 38.71))],
-        [Some((49.02, 24.37)), Some((50.62, 24.63)), Some((50.54, 25.14)), Some((50.66, 26.26))],
-        [Some((48.90, 23.57)), Some((50.49, 23.83)), Some((50.46, 24.35)), Some((50.46, 25.47))],
-        [Some((48.94, 29.23)), Some((48.97, 29.47)), Some((49.19, 29.97)), Some((49.52, 31.10))],
+        [
+            Some((45.66, 24.03)),
+            Some((40.09, 25.98)),
+            Some((32.44, 29.92)),
+            Some((24.21, 38.71)),
+        ],
+        [
+            Some((45.56, 24.03)),
+            Some((42.82, 25.98)),
+            Some((38.65, 29.92)),
+            Some((36.98, 38.71)),
+        ],
+        [
+            Some((49.02, 24.37)),
+            Some((50.62, 24.63)),
+            Some((50.54, 25.14)),
+            Some((50.66, 26.26)),
+        ],
+        [
+            Some((48.90, 23.57)),
+            Some((50.49, 23.83)),
+            Some((50.46, 24.35)),
+            Some((50.46, 25.47)),
+        ],
+        [
+            Some((48.94, 29.23)),
+            Some((48.97, 29.47)),
+            Some((49.19, 29.97)),
+            Some((49.52, 31.10)),
+        ],
     ],
     // 16 GPU, seq 4096
     [
-        [Some((47.56, 36.99)), Some((41.21, 38.94)), Some((33.88, 42.85)), Some((25.33, 50.90))],
-        [Some((47.41, 36.99)), Some((43.07, 38.94)), Some((43.15, 42.85)), Some((40.15, 50.90))],
-        [Some((50.93, 39.46)), Some((50.97, 39.73)), Some((50.71, 40.31)), Some((51.22, 41.53))],
-        [Some((50.97, 37.89)), Some((50.80, 38.18)), Some((50.68, 38.77)), Some((50.90, 39.92))],
-        [Some((49.52, 49.16)), Some((49.53, 49.44)), Some((49.77, 50.05)), Some((49.84, 51.28))],
+        [
+            Some((47.56, 36.99)),
+            Some((41.21, 38.94)),
+            Some((33.88, 42.85)),
+            Some((25.33, 50.90)),
+        ],
+        [
+            Some((47.41, 36.99)),
+            Some((43.07, 38.94)),
+            Some((43.15, 42.85)),
+            Some((40.15, 50.90)),
+        ],
+        [
+            Some((50.93, 39.46)),
+            Some((50.97, 39.73)),
+            Some((50.71, 40.31)),
+            Some((51.22, 41.53)),
+        ],
+        [
+            Some((50.97, 37.89)),
+            Some((50.80, 38.18)),
+            Some((50.68, 38.77)),
+            Some((50.90, 39.92)),
+        ],
+        [
+            Some((49.52, 49.16)),
+            Some((49.53, 49.44)),
+            Some((49.77, 50.05)),
+            Some((49.84, 51.28)),
+        ],
     ],
     // 32 GPU, seq 2048
     [
-        [Some((42.81, 33.45)), Some((37.28, 35.89)), Some((28.97, 41.17)), Some((20.86, 52.16))],
-        [Some((43.48, 33.45)), Some((37.29, 35.89)), Some((36.32, 41.17)), Some((29.16, 52.16))],
-        [Some((45.85, 33.38)), Some((45.92, 33.55)), Some((45.90, 33.86)), Some((46.11, 34.51))],
-        [Some((45.54, 32.72)), Some((45.86, 32.88)), Some((45.86, 33.20)), Some((46.16, 33.84))],
-        [Some((42.40, 42.94)), Some((42.43, 43.09)), Some((42.75, 43.40)), Some((43.25, 44.07))],
+        [
+            Some((42.81, 33.45)),
+            Some((37.28, 35.89)),
+            Some((28.97, 41.17)),
+            Some((20.86, 52.16)),
+        ],
+        [
+            Some((43.48, 33.45)),
+            Some((37.29, 35.89)),
+            Some((36.32, 41.17)),
+            Some((29.16, 52.16)),
+        ],
+        [
+            Some((45.85, 33.38)),
+            Some((45.92, 33.55)),
+            Some((45.90, 33.86)),
+            Some((46.11, 34.51)),
+        ],
+        [
+            Some((45.54, 32.72)),
+            Some((45.86, 32.88)),
+            Some((45.86, 33.20)),
+            Some((46.16, 33.84)),
+        ],
+        [
+            Some((42.40, 42.94)),
+            Some((42.43, 43.09)),
+            Some((42.75, 43.40)),
+            Some((43.25, 44.07)),
+        ],
     ],
     // 32 GPU, seq 4096 (interlaced OOMs everywhere)
     [
-        [Some((43.68, 54.97)), Some((38.11, 57.41)), Some((30.05, 62.29)), Some((21.63, 73.05))],
-        [Some((44.01, 54.97)), Some((38.12, 57.41)), Some((37.87, 62.29)), Some((31.03, 73.05))],
-        [Some((46.41, 57.41)), Some((46.44, 57.56)), Some((46.68, 57.88)), Some((46.83, 58.58))],
-        [Some((46.23, 56.09)), Some((46.35, 56.26)), Some((46.55, 56.61)), Some((46.84, 57.31))],
+        [
+            Some((43.68, 54.97)),
+            Some((38.11, 57.41)),
+            Some((30.05, 62.29)),
+            Some((21.63, 73.05)),
+        ],
+        [
+            Some((44.01, 54.97)),
+            Some((38.12, 57.41)),
+            Some((37.87, 62.29)),
+            Some((31.03, 73.05)),
+        ],
+        [
+            Some((46.41, 57.41)),
+            Some((46.44, 57.56)),
+            Some((46.68, 57.88)),
+            Some((46.83, 58.58)),
+        ],
+        [
+            Some((46.23, 56.09)),
+            Some((46.35, 56.26)),
+            Some((46.55, 56.61)),
+            Some((46.84, 57.31)),
+        ],
         [None, None, None, None],
     ],
 ];
@@ -86,28 +231,88 @@ pub const TABLE6_SETUPS: [(usize, usize, &str); 6] = [
 /// Table 6 data: `[setup][method (baseline, vocab-1)][vocab]`.
 pub const TABLE6: [[[Cell; 4]; 2]; 6] = [
     [
-        [Some((46.41, 15.57)), Some((38.52, 19.77)), Some((28.75, 28.55)), Some((19.99, 46.77))],
-        [Some((52.82, 13.20)), Some((53.11, 13.46)), Some((53.41, 13.98)), Some((52.89, 15.02))],
+        [
+            Some((46.41, 15.57)),
+            Some((38.52, 19.77)),
+            Some((28.75, 28.55)),
+            Some((19.99, 46.77)),
+        ],
+        [
+            Some((52.82, 13.20)),
+            Some((53.11, 13.46)),
+            Some((53.41, 13.98)),
+            Some((52.89, 15.02)),
+        ],
     ],
     [
-        [Some((50.01, 21.22)), Some((41.17, 25.61)), Some((31.36, 34.56)), Some((21.90, 53.11))],
-        [Some((58.69, 20.14)), Some((58.56, 20.41)), Some((58.44, 20.96)), Some((57.59, 22.06))],
+        [
+            Some((50.01, 21.22)),
+            Some((41.17, 25.61)),
+            Some((31.36, 34.56)),
+            Some((21.90, 53.11)),
+        ],
+        [
+            Some((58.69, 20.14)),
+            Some((58.56, 20.41)),
+            Some((58.44, 20.96)),
+            Some((57.59, 22.06)),
+        ],
     ],
     [
-        [Some((51.07, 23.94)), Some((43.13, 29.12)), Some((32.38, 39.98)), Some((22.54, 61.71))],
-        [Some((56.70, 21.08)), Some((56.50, 21.29)), Some((55.72, 21.72)), Some((54.86, 22.57))],
+        [
+            Some((51.07, 23.94)),
+            Some((43.13, 29.12)),
+            Some((32.38, 39.98)),
+            Some((22.54, 61.71)),
+        ],
+        [
+            Some((56.70, 21.08)),
+            Some((56.50, 21.29)),
+            Some((55.72, 21.72)),
+            Some((54.86, 22.57)),
+        ],
     ],
     [
-        [Some((54.53, 33.60)), Some((45.96, 38.97)), Some((34.99, 49.90)), Some((24.31, 72.60))],
-        [Some((60.09, 32.55)), Some((60.09, 32.78)), Some((59.42, 33.22)), Some((58.22, 34.12))],
+        [
+            Some((54.53, 33.60)),
+            Some((45.96, 38.97)),
+            Some((34.99, 49.90)),
+            Some((24.31, 72.60)),
+        ],
+        [
+            Some((60.09, 32.55)),
+            Some((60.09, 32.78)),
+            Some((59.42, 33.22)),
+            Some((58.22, 34.12)),
+        ],
     ],
     [
-        [Some((52.80, 34.11)), Some((45.56, 40.28)), Some((35.69, 53.22)), None],
-        [Some((57.70, 30.85)), Some((57.62, 31.04)), Some((57.69, 31.42)), Some((57.80, 32.18))],
+        [
+            Some((52.80, 34.11)),
+            Some((45.56, 40.28)),
+            Some((35.69, 53.22)),
+            None,
+        ],
+        [
+            Some((57.70, 30.85)),
+            Some((57.62, 31.04)),
+            Some((57.69, 31.42)),
+            Some((57.80, 32.18)),
+        ],
     ],
     [
-        [Some((56.06, 48.84)), Some((48.17, 55.19)), Some((37.85, 68.12)), None],
-        [Some((60.10, 47.99)), Some((60.14, 48.19)), Some((60.72, 48.59)), Some((59.82, 49.38))],
+        [
+            Some((56.06, 48.84)),
+            Some((48.17, 55.19)),
+            Some((37.85, 68.12)),
+            None,
+        ],
+        [
+            Some((60.10, 47.99)),
+            Some((60.14, 48.19)),
+            Some((60.72, 48.59)),
+            Some((59.82, 49.38)),
+        ],
     ],
 ];
 
@@ -115,8 +320,16 @@ pub const TABLE6: [[[Cell; 4]; 2]; 6] = [
 /// to linear scaling. `[seq][layer][devices]` with seqs (2048, 4096),
 /// layers (output-vocab-1, output-vocab-2, input), devices (8, 16, 32).
 pub const TABLE3: [[[f64; 3]; 3]; 2] = [
-    [[91.29, 84.22, 80.59], [86.72, 79.84, 75.93], [39.99, 28.85, 15.18]],
-    [[93.21, 88.02, 85.24], [88.36, 83.42, 79.66], [27.69, 15.52, 8.35]],
+    [
+        [91.29, 84.22, 80.59],
+        [86.72, 79.84, 75.93],
+        [39.99, 28.85, 15.18],
+    ],
+    [
+        [93.21, 88.02, 85.24],
+        [88.36, 83.42, 79.66],
+        [27.69, 15.52, 8.35],
+    ],
 ];
 
 /// Appendix B.2: removing the interlaced pipeline's synchronous

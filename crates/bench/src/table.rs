@@ -18,7 +18,10 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
         line.push('\n');
         line
     };
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
     out.push('|');
     for w in &widths {
         out.push_str(&"-".repeat(w + 2));
@@ -50,7 +53,10 @@ mod tests {
     fn renders_aligned_table() {
         let t = render(
             &["method", "mfu"],
-            &[vec!["baseline".into(), "25.2".into()], vec!["vocab-2".into(), "49.7".into()]],
+            &[
+                vec!["baseline".into(), "25.2".into()],
+                vec!["vocab-2".into(), "49.7".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

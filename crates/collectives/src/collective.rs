@@ -1,6 +1,5 @@
-use parking_lot::{Condvar, Mutex};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Error type for collective operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,8 +25,15 @@ pub enum CollectiveError {
 impl fmt::Display for CollectiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CollectiveError::LengthMismatch { rank, got, expected } => {
-                write!(f, "rank {rank} supplied {got} elements, expected {expected}")
+            CollectiveError::LengthMismatch {
+                rank,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} supplied {got} elements, expected {expected}"
+                )
             }
             CollectiveError::BadRank { rank, world } => {
                 write!(f, "rank {rank} out of range for world size {world}")
@@ -111,7 +117,10 @@ impl CollectiveGroup {
             cv: Condvar::new(),
         });
         (0..world)
-            .map(|rank| Collective { rank, shared: Arc::clone(&shared) })
+            .map(|rank| Collective {
+                rank,
+                shared: Arc::clone(&shared),
+            })
             .collect()
     }
 }
@@ -147,7 +156,7 @@ impl Collective {
     /// a clone of the full set (indexed by rank).
     fn exchange(&self, contribution: Vec<f32>) -> Vec<Vec<f32>> {
         let shared = &*self.shared;
-        let mut round = shared.round.lock();
+        let mut round = shared.round.lock().expect("collective lock poisoned");
         let my_generation = round.generation;
         round.contributions[self.rank] = Some(contribution);
         round.arrived += 1;
@@ -162,7 +171,7 @@ impl Collective {
             shared.cv.notify_all();
         } else {
             while round.generation == my_generation {
-                shared.cv.wait(&mut round);
+                round = shared.cv.wait(round).expect("collective lock poisoned");
             }
         }
         round.published.clone()
@@ -185,11 +194,19 @@ impl Collective {
         let expected = gathered[0].len();
         for (rank, c) in gathered.iter().enumerate() {
             if c.len() != expected {
-                return Err(CollectiveError::LengthMismatch { rank, got: c.len(), expected });
+                return Err(CollectiveError::LengthMismatch {
+                    rank,
+                    got: c.len(),
+                    expected,
+                });
             }
         }
         if data.len() != expected {
-            return Err(CollectiveError::LengthMismatch { rank: self.rank, got: data.len(), expected });
+            return Err(CollectiveError::LengthMismatch {
+                rank: self.rank,
+                got: data.len(),
+                expected,
+            });
         }
         data.fill(op.identity());
         for c in &gathered {
@@ -210,9 +227,17 @@ impl Collective {
     ///
     /// Returns [`CollectiveError::BadRank`] for an invalid root, or a length
     /// mismatch as in [`Self::all_reduce`].
-    pub fn reduce(&self, data: &mut [f32], root: usize, op: ReduceOp) -> Result<(), CollectiveError> {
+    pub fn reduce(
+        &self,
+        data: &mut [f32],
+        root: usize,
+        op: ReduceOp,
+    ) -> Result<(), CollectiveError> {
         if root >= self.world() {
-            return Err(CollectiveError::BadRank { rank: root, world: self.world() });
+            return Err(CollectiveError::BadRank {
+                rank: root,
+                world: self.world(),
+            });
         }
         let mut scratch = data.to_vec();
         self.all_reduce(&mut scratch, op)?;
@@ -231,9 +256,16 @@ impl Collective {
     /// differently from the root's payload.
     pub fn broadcast(&self, data: &mut [f32], root: usize) -> Result<(), CollectiveError> {
         if root >= self.world() {
-            return Err(CollectiveError::BadRank { rank: root, world: self.world() });
+            return Err(CollectiveError::BadRank {
+                rank: root,
+                world: self.world(),
+            });
         }
-        let contribution = if self.rank == root { data.to_vec() } else { Vec::new() };
+        let contribution = if self.rank == root {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
         let gathered = self.exchange(contribution);
         let payload = &gathered[root];
         if payload.len() != data.len() {
@@ -269,7 +301,11 @@ impl Collective {
         let expected = gathered[0].len();
         for (rank, c) in gathered.iter().enumerate() {
             if c.len() != expected {
-                return Err(CollectiveError::LengthMismatch { rank, got: c.len(), expected });
+                return Err(CollectiveError::LengthMismatch {
+                    rank,
+                    got: c.len(),
+                    expected,
+                });
             }
         }
         let seg = expected / world;
@@ -326,7 +362,11 @@ mod tests {
     #[test]
     fn all_reduce_max_with_neg_infinity() {
         let results = run_parallel(3, |c| {
-            let mut data = vec![if c.rank() == 1 { 5.0 } else { f32::NEG_INFINITY }];
+            let mut data = vec![if c.rank() == 1 {
+                5.0
+            } else {
+                f32::NEG_INFINITY
+            }];
             c.all_reduce(&mut data, ReduceOp::Max).unwrap();
             data[0]
         });
@@ -355,7 +395,11 @@ mod tests {
     fn broadcast_from_each_root() {
         for root in 0..3 {
             let results = run_parallel(3, move |c| {
-                let mut data = if c.rank() == root { vec![42.0, 7.0] } else { vec![0.0, 0.0] };
+                let mut data = if c.rank() == root {
+                    vec![42.0, 7.0]
+                } else {
+                    vec![0.0, 0.0]
+                };
                 c.broadcast(&mut data, root).unwrap();
                 data
             });

@@ -1,6 +1,6 @@
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A tagged point-to-point message carrying a 2-D tensor payload.
 ///
@@ -27,8 +27,17 @@ impl Packet {
     ///
     /// Panics if `data.len() != rows * cols` (caller bug).
     pub fn new(tag: u64, rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "packet payload does not match shape");
-        Packet { tag, rows, cols, data }
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "packet payload does not match shape"
+        );
+        Packet {
+            tag,
+            rows,
+            cols,
+            data,
+        }
     }
 }
 
@@ -52,7 +61,9 @@ pub enum P2pError {
 impl fmt::Display for P2pError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            P2pError::BadPeer { peer, world } => write!(f, "peer {peer} out of range for world size {world}"),
+            P2pError::BadPeer { peer, world } => {
+                write!(f, "peer {peer} out of range for world size {world}")
+            }
             P2pError::Disconnected { peer } => write!(f, "channel to peer {peer} disconnected"),
         }
     }
@@ -75,11 +86,15 @@ impl P2pNetwork {
     pub fn new(world: usize) -> Vec<P2pEndpoint> {
         assert!(world > 0, "world size must be positive");
         // senders[src][dst] / receivers[dst][src]
-        let mut senders: Vec<Vec<Option<Sender<Packet>>>> = (0..world).map(|_| vec![None; world]).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<Packet>>>> = (0..world).map(|_| vec![None; world]).collect();
+        let mut senders: Vec<Vec<Option<Sender<Packet>>>> = (0..world)
+            .map(|_| (0..world).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Packet>>>> = (0..world)
+            .map(|_| (0..world).map(|_| None).collect())
+            .collect();
         for src in 0..world {
             for dst in 0..world {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 senders[src][dst] = Some(tx);
                 receivers[dst][src] = Some(rx);
             }
@@ -134,8 +149,12 @@ impl P2pEndpoint {
     /// Returns [`P2pError::BadPeer`] for an unknown destination or
     /// [`P2pError::Disconnected`] if the destination endpoint was dropped.
     pub fn send(&self, dst: usize, packet: Packet) -> Result<(), P2pError> {
-        let tx = self.to_peers.get(dst).ok_or(P2pError::BadPeer { peer: dst, world: self.world() })?;
-        tx.send(packet).map_err(|_| P2pError::Disconnected { peer: dst })
+        let tx = self.to_peers.get(dst).ok_or(P2pError::BadPeer {
+            peer: dst,
+            world: self.world(),
+        })?;
+        tx.send(packet)
+            .map_err(|_| P2pError::Disconnected { peer: dst })
     }
 
     /// Receives the next packet from `src` regardless of tag, blocking until
@@ -147,12 +166,17 @@ impl P2pEndpoint {
     /// [`Self::send`].
     pub fn recv(&mut self, src: usize) -> Result<Packet, P2pError> {
         if src >= self.world() {
-            return Err(P2pError::BadPeer { peer: src, world: self.world() });
+            return Err(P2pError::BadPeer {
+                peer: src,
+                world: self.world(),
+            });
         }
         if let Some(p) = self.stashes[src].pop_front() {
             return Ok(p);
         }
-        self.from_peers[src].recv().map_err(|_| P2pError::Disconnected { peer: src })
+        self.from_peers[src]
+            .recv()
+            .map_err(|_| P2pError::Disconnected { peer: src })
     }
 
     /// Receives the packet with the given tag from `src`, stashing (and
@@ -164,13 +188,18 @@ impl P2pEndpoint {
     /// [`Self::send`].
     pub fn recv_tag(&mut self, src: usize, tag: u64) -> Result<Packet, P2pError> {
         if src >= self.world() {
-            return Err(P2pError::BadPeer { peer: src, world: self.world() });
+            return Err(P2pError::BadPeer {
+                peer: src,
+                world: self.world(),
+            });
         }
         if let Some(pos) = self.stashes[src].iter().position(|p| p.tag == tag) {
             return Ok(self.stashes[src].remove(pos).expect("position just found"));
         }
         loop {
-            let p = self.from_peers[src].recv().map_err(|_| P2pError::Disconnected { peer: src })?;
+            let p = self.from_peers[src]
+                .recv()
+                .map_err(|_| P2pError::Disconnected { peer: src })?;
             if p.tag == tag {
                 return Ok(p);
             }
@@ -224,7 +253,10 @@ mod tests {
     fn bad_peer_is_rejected() {
         let mut eps = P2pNetwork::new(2);
         let mut a = eps.remove(0);
-        assert!(matches!(a.send(7, Packet::new(0, 0, 0, vec![])), Err(P2pError::BadPeer { .. })));
+        assert!(matches!(
+            a.send(7, Packet::new(0, 0, 0, vec![])),
+            Err(P2pError::BadPeer { .. })
+        ));
         assert!(matches!(a.recv(7), Err(P2pError::BadPeer { .. })));
     }
 

@@ -1,5 +1,5 @@
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -24,7 +24,9 @@ pub struct CommStream {
 
 impl fmt::Debug for CommStream {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CommStream").field("alive", &self.tx.is_some()).finish()
+        f.debug_struct("CommStream")
+            .field("alive", &self.tx.is_some())
+            .finish()
     }
 }
 
@@ -54,7 +56,7 @@ impl<T> JobHandle<T> {
 impl CommStream {
     /// Spawns the stream's worker thread.
     pub fn new() -> Self {
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
         let worker = std::thread::Builder::new()
             .name("comm-stream".into())
             .spawn(move || {
@@ -63,7 +65,10 @@ impl CommStream {
                 }
             })
             .expect("failed to spawn comm stream thread");
-        CommStream { tx: Some(tx), worker: Some(worker) }
+        CommStream {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
     }
 
     /// Submits a job; jobs run in submission order on the worker thread.
@@ -72,7 +77,7 @@ impl CommStream {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let (result_tx, result_rx) = unbounded();
+        let (result_tx, result_rx) = channel();
         let job: Job = Box::new(move || {
             let out = f();
             // A dropped handle is fine: the job's effect may be all we need.
@@ -118,16 +123,16 @@ mod tests {
     #[test]
     fn jobs_run_in_submission_order() {
         let stream = CommStream::new();
-        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for i in 0..20 {
             let log = Arc::clone(&log);
-            handles.push(stream.submit(move || log.lock().push(i)));
+            handles.push(stream.submit(move || log.lock().unwrap().push(i)));
         }
         for h in handles {
             h.wait();
         }
-        assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
+        assert_eq!(*log.lock().unwrap(), (0..20).collect::<Vec<_>>());
     }
 
     #[test]

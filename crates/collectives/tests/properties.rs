@@ -1,9 +1,32 @@
-//! Property-based tests for the simulated collectives: results must match
-//! a sequential reduction for arbitrary world sizes, payloads and op
-//! sequences, and repeated rounds must never cross-talk.
+//! Randomized tests for the simulated collectives, driven by a
+//! deterministic seed sweep: results must match a sequential reduction for
+//! arbitrary world sizes, payloads and op sequences, and repeated rounds
+//! must never cross-talk.
 
-use proptest::prelude::*;
 use vp_collectives::{CollectiveGroup, P2pNetwork, Packet, ReduceOp};
+
+/// Minimal SplitMix64 — vp-collectives has no other workspace
+/// dependencies, so the tests carry their own deterministic generator.
+struct Mix(u64);
+
+impl Mix {
+    fn new(seed: u64) -> Self {
+        Mix(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 fn run_all<T: Send>(world: usize, f: impl Fn(vp_collectives::Collective) -> T + Sync) -> Vec<T> {
     let handles = CollectiveGroup::new(world);
@@ -22,7 +45,6 @@ fn run_all<T: Send>(world: usize, f: impl Fn(vp_collectives::Collective) -> T + 
 fn independent_groups_do_not_interfere() {
     // Two collective groups used concurrently by interleaved threads (the
     // per-stream communicator pattern of §6.1) must never cross-talk.
-    use vp_collectives::{CollectiveGroup, ReduceOp};
     let world = 4;
     let group_a = CollectiveGroup::new(world);
     let group_b = CollectiveGroup::new(world);
@@ -49,21 +71,22 @@ fn independent_groups_do_not_interfere() {
     });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn all_reduce_matches_sequential_reduction(
-        world in 1usize..6,
-        len in 1usize..20,
-        seed in 0u64..1000,
-        use_max in proptest::bool::ANY,
-    ) {
+#[test]
+fn all_reduce_matches_sequential_reduction() {
+    for seed in 0..32u64 {
+        let mut rng = Mix::new(seed);
+        let world = rng.range(1, 6);
+        let len = rng.range(1, 20);
+        let salt = rng.range(0, 1000);
+        let use_max = rng.bool();
         // Deterministic per-rank payloads.
-        let payload = |rank: usize, i: usize| -> f32 {
-            ((seed as usize + rank * 31 + i * 7) % 100) as f32 - 50.0
+        let payload =
+            |rank: usize, i: usize| -> f32 { ((salt + rank * 31 + i * 7) % 100) as f32 - 50.0 };
+        let op = if use_max {
+            ReduceOp::Max
+        } else {
+            ReduceOp::Sum
         };
-        let op = if use_max { ReduceOp::Max } else { ReduceOp::Sum };
         let expected: Vec<f32> = (0..len)
             .map(|i| {
                 (0..world)
@@ -77,12 +100,17 @@ proptest! {
             data
         });
         for r in results {
-            prop_assert_eq!(&r, &expected);
+            assert_eq!(&r, &expected, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn many_rounds_never_cross_talk(world in 2usize..5, rounds in 1usize..30) {
+#[test]
+fn many_rounds_never_cross_talk() {
+    for seed in 100..132u64 {
+        let mut rng = Mix::new(seed);
+        let world = rng.range(2, 5);
+        let rounds = rng.range(1, 30);
         let results = run_all(world, |c| {
             let mut outputs = Vec::new();
             for round in 0..rounds {
@@ -95,14 +123,19 @@ proptest! {
         for r in results {
             for (round, v) in r.iter().enumerate() {
                 let expected: f32 = (0..world).map(|rank| (rank * 10 + round) as f32).sum();
-                prop_assert_eq!(*v, expected);
+                assert_eq!(*v, expected, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn broadcast_from_any_root(world in 1usize..6, root_pick in 0usize..6, len in 1usize..10) {
-        let root = root_pick % world;
+#[test]
+fn broadcast_from_any_root() {
+    for seed in 200..232u64 {
+        let mut rng = Mix::new(seed);
+        let world = rng.range(1, 6);
+        let root = rng.range(0, 6) % world;
+        let len = rng.range(1, 10);
         let results = run_all(world, |c| {
             let mut data = if c.rank() == root {
                 (0..len).map(|i| i as f32 + 0.5).collect()
@@ -113,15 +146,21 @@ proptest! {
             data
         });
         for r in results {
-            prop_assert_eq!(r, (0..len).map(|i| i as f32 + 0.5).collect::<Vec<_>>());
+            assert_eq!(
+                r,
+                (0..len).map(|i| i as f32 + 0.5).collect::<Vec<_>>(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn p2p_tagged_delivery_is_order_independent(
-        perm_seed in 0u64..1000,
-        n_msgs in 1usize..12,
-    ) {
+#[test]
+fn p2p_tagged_delivery_is_order_independent() {
+    for seed in 300..332u64 {
+        let mut rng = Mix::new(seed);
+        let perm_seed = rng.next_u64() % 1000;
+        let n_msgs = rng.range(1, 12);
         let mut eps = P2pNetwork::new(2);
         let mut receiver = eps.pop().unwrap();
         let sender = eps.pop().unwrap();
@@ -133,11 +172,13 @@ proptest! {
             tags.swap(i, (s as usize) % (i + 1));
         }
         for &tag in &tags {
-            sender.send(1, Packet::new(tag, 1, 1, vec![tag as f32])).unwrap();
+            sender
+                .send(1, Packet::new(tag, 1, 1, vec![tag as f32]))
+                .unwrap();
         }
         for want in 0..n_msgs as u64 {
             let p = receiver.recv_tag(0, want).unwrap();
-            prop_assert_eq!(p.data, vec![want as f32]);
+            assert_eq!(p.data, vec![want as f32], "seed {seed}");
         }
     }
 }

@@ -34,7 +34,11 @@ impl InputShard {
                 partition.real_width(rank)
             )));
         }
-        Ok(InputShard { weight: Param::new(weight), partition, rank })
+        Ok(InputShard {
+            weight: Param::new(weight),
+            partition,
+            rank,
+        })
     }
 
     /// Slices this rank's shard out of the full `[V, h]` table.
@@ -85,7 +89,8 @@ impl InputShard {
                 });
             }
             if id >= start && id < start + width {
-                out.row_mut(row).copy_from_slice(self.weight.value().row(id - start));
+                out.row_mut(row)
+                    .copy_from_slice(self.weight.value().row(id - start));
             }
         }
         Ok(out)
@@ -146,7 +151,10 @@ mod tests {
         let mut rng = seeded_rng(42);
         let full = normal(&mut rng, vocab, h, 1.0);
         let ids = vec![0, 5, 19, 5, 7];
-        let reference = Embedding::from_weight(full.clone()).forward(&ids).unwrap().0;
+        let reference = Embedding::from_weight(full.clone())
+            .forward(&ids)
+            .unwrap()
+            .0;
         let part = VocabPartition::new(vocab, p);
         let comms = CollectiveGroup::new(p);
         let outputs: Vec<Tensor> = std::thread::scope(|scope| {

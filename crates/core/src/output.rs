@@ -109,7 +109,8 @@ impl SState {
         self.labels
             .iter()
             .enumerate()
-            .filter(|&(_row, &label)| label >= start && label < start + width).map(|(row, &label)| (row, label - start))
+            .filter(|&(_row, &label)| label >= start && label < start + width)
+            .map(|(row, &label)| (row, label - start))
             .collect()
     }
 
@@ -118,7 +119,8 @@ impl SState {
     fn reduce_stats(&self, comm: &Collective) -> Result<(Vec<f32>, Vec<f32>, f64)> {
         let n = self.labels.len();
         let mut gmax = self.stats.max.clone();
-        comm.all_reduce(&mut gmax, ReduceOp::Max).map_err(comm_err)?;
+        comm.all_reduce(&mut gmax, ReduceOp::Max)
+            .map_err(comm_err)?;
         let mut gsum: Vec<f32> = (0..n)
             .map(|i| {
                 if self.stats.sum[i] == 0.0 {
@@ -128,11 +130,13 @@ impl SState {
                 }
             })
             .collect();
-        comm.all_reduce(&mut gsum, ReduceOp::Sum).map_err(comm_err)?;
+        comm.all_reduce(&mut gsum, ReduceOp::Sum)
+            .map_err(comm_err)?;
         // Loss: mean_i (m_i + ln(sum_i) − y_{i,label}), with the label
         // logit captured exactly during the S pass.
         let mut label_logit = self.label_logit.clone();
-        comm.all_reduce(&mut label_logit, ReduceOp::Sum).map_err(comm_err)?;
+        comm.all_reduce(&mut label_logit, ReduceOp::Sum)
+            .map_err(comm_err)?;
         let loss = (0..n)
             .map(|i| (gmax[i] + gsum[i].ln() - label_logit[i]) as f64)
             .sum::<f64>()
@@ -167,7 +171,8 @@ impl SState {
     pub fn barrier_local(&mut self) {
         let gmax = self.stats.max.clone();
         let gsum = self.stats.sum.clone();
-        self.rescale(&gmax, &gsum).expect("matching lengths by construction");
+        self.rescale(&gmax, &gsum)
+            .expect("matching lengths by construction");
     }
 
     /// Algorithm 2's single `C1` barrier, self-contained (see
@@ -184,18 +189,26 @@ impl SState {
             ));
         }
         let (gmax, gsum, loss) = self.reduce_stats(comm)?;
-        let (a, b) = (self.a.as_ref().expect("checked"), self.b.as_ref().expect("checked"));
+        let (a, b) = (
+            self.a.as_ref().expect("checked"),
+            self.b.as_ref().expect("checked"),
+        );
         let n = self.labels.len() as f32;
         let mut dx = Tensor::zeros(a.rows(), a.cols());
         for row in 0..a.rows() {
             // ∇X_row = corr·A_row/N − B_row (Eq. 6, with B pre-divided by N).
-            let corr =
-                softmax_correction(self.stats.max[row], self.stats.sum[row], gmax[row], gsum[row]) / n;
+            let corr = softmax_correction(
+                self.stats.max[row],
+                self.stats.sum[row],
+                gmax[row],
+                gsum[row],
+            ) / n;
             for ((o, &av), &bv) in dx.row_mut(row).iter_mut().zip(a.row(row)).zip(b.row(row)) {
                 *o = corr * av - bv;
             }
         }
-        comm.all_reduce(dx.data_mut(), ReduceOp::Sum).map_err(comm_err)?;
+        comm.all_reduce(dx.data_mut(), ReduceOp::Sum)
+            .map_err(comm_err)?;
         self.rescale(&gmax, &gsum)?;
         Ok(BarrierOutput { loss, dx: Some(dx) })
     }
@@ -227,7 +240,11 @@ impl OutputShard {
                 partition.real_width(rank)
             )));
         }
-        Ok(OutputShard { weight: Param::new(weight), partition, rank })
+        Ok(OutputShard {
+            weight: Param::new(weight),
+            partition,
+            rank,
+        })
     }
 
     /// Slices this rank's shard out of the full `[V, h]` weight matrix.
@@ -276,7 +293,8 @@ impl OutputShard {
         labels
             .iter()
             .enumerate()
-            .filter(|&(_row, &label)| label >= start && label < start + width).map(|(row, &label)| (row, label - start))
+            .filter(|&(_row, &label)| label >= start && label < start + width)
+            .map(|(row, &label)| (row, label - start))
             .collect()
     }
 
@@ -377,7 +395,8 @@ impl OutputShard {
     ///
     /// Returns an error if the collective fails.
     pub fn barrier_c2(&self, comm: &Collective, mut dx_partial: Tensor) -> Result<Tensor> {
-        comm.all_reduce(dx_partial.data_mut(), ReduceOp::Sum).map_err(comm_err)?;
+        comm.all_reduce(dx_partial.data_mut(), ReduceOp::Sum)
+            .map_err(comm_err)?;
         Ok(dx_partial)
     }
 
@@ -450,7 +469,8 @@ impl OutputShard {
         // F1: logits and global max.
         let y = x.matmul_nt(self.weight.value())?;
         let mut gmax = vp_tensor::ops::row_max(&y);
-        comm.all_reduce(&mut gmax, ReduceOp::Max).map_err(comm_err)?;
+        comm.all_reduce(&mut gmax, ReduceOp::Max)
+            .map_err(comm_err)?;
         // F2: shifted exponentials and global sum.
         let mut softmax = Tensor::zeros(y.rows(), y.cols());
         let mut local_sum = vec![0.0f32; y.rows()];
@@ -464,7 +484,8 @@ impl OutputShard {
             local_sum[r] = acc;
         }
         let mut gsum = local_sum.clone();
-        comm.all_reduce(&mut gsum, ReduceOp::Sum).map_err(comm_err)?;
+        comm.all_reduce(&mut gsum, ReduceOp::Sum)
+            .map_err(comm_err)?;
         #[allow(clippy::needless_range_loop)] // r indexes softmax rows and gsum together
         for r in 0..y.rows() {
             if gsum[r] > 0.0 {
@@ -480,7 +501,8 @@ impl OutputShard {
         for (row, local) in self.local_labels(labels) {
             label_logit[row] = y.at(row, local);
         }
-        comm.all_reduce(&mut label_logit, ReduceOp::Sum).map_err(comm_err)?;
+        comm.all_reduce(&mut label_logit, ReduceOp::Sum)
+            .map_err(comm_err)?;
         let loss = (0..n)
             .map(|i| (gmax[i] + gsum[i].ln() - label_logit[i]) as f64)
             .sum::<f64>()
@@ -493,7 +515,8 @@ impl OutputShard {
         let mut dx = dy.matmul(self.weight.value())?;
         let dw = dy.matmul_tn(x)?;
         self.weight.accumulate(&dw)?;
-        comm.all_reduce(dx.data_mut(), ReduceOp::Sum).map_err(comm_err)?;
+        comm.all_reduce(dx.data_mut(), ReduceOp::Sum)
+            .map_err(comm_err)?;
         Ok((loss, dx))
     }
 
@@ -592,8 +615,14 @@ mod tests {
         let labels: Vec<usize> = (0..n).map(|i| (i * 7 + seed as usize) % vocab).collect();
         let (ref_loss, ref_dx, ref_dw) = reference(&full_w, &x, &labels);
         let (loss, dx, dws) = run_sharded(algo, p, &full_w, &x, &labels);
-        assert!((loss - ref_loss).abs() < 1e-4, "{algo:?}: loss {loss} vs {ref_loss}");
-        assert!(dx.max_abs_diff(&ref_dx).unwrap() < 1e-4, "{algo:?}: dx mismatch");
+        assert!(
+            (loss - ref_loss).abs() < 1e-4,
+            "{algo:?}: loss {loss} vs {ref_loss}"
+        );
+        assert!(
+            dx.max_abs_diff(&ref_dx).unwrap() < 1e-4,
+            "{algo:?}: dx mismatch"
+        );
         // Stitch shard weight gradients back together.
         let part = VocabPartition::new(vocab, p);
         for (rank, dw) in dws.iter().enumerate() {

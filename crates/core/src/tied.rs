@@ -32,7 +32,9 @@ impl TiedShard {
     ///
     /// Propagates slicing errors if `full` has fewer than `V` rows.
     pub fn from_full(full: &Tensor, partition: VocabPartition, rank: usize) -> Result<Self> {
-        Ok(TiedShard { output: OutputShard::from_full(full, partition, rank)? })
+        Ok(TiedShard {
+            output: OutputShard::from_full(full, partition, rank)?,
+        })
     }
 
     /// The shared weight parameter.
@@ -76,7 +78,8 @@ impl TiedShard {
                 });
             }
             if id >= start && id < end {
-                out.row_mut(row).copy_from_slice(self.weight().value().row(id - start));
+                out.row_mut(row)
+                    .copy_from_slice(self.weight().value().row(id - start));
             }
         }
         Ok(out)
@@ -214,7 +217,8 @@ mod tests {
             comms
                 .into_iter()
                 .map(|comm| {
-                    let (full_w, ids, labels, x_out, d_emb) = (&full_w, &ids, &labels, &x_out, &d_emb);
+                    let (full_w, ids, labels, x_out, d_emb) =
+                        (&full_w, &ids, &labels, &x_out, &d_emb);
                     scope.spawn(move || {
                         let rank = comm.rank();
                         let mut shard = TiedShard::from_full(full_w, part, rank).unwrap();
@@ -246,7 +250,10 @@ mod tests {
         let full_w = normal(&mut rng, 16, 4, 1.0);
         let ids = vec![0, 15, 7, 7];
         let part = VocabPartition::new(16, 2);
-        let reference = Embedding::from_weight(full_w.clone()).forward(&ids).unwrap().0;
+        let reference = Embedding::from_weight(full_w.clone())
+            .forward(&ids)
+            .unwrap()
+            .0;
         let comms = CollectiveGroup::new(2);
         let outs: Vec<Tensor> = std::thread::scope(|scope| {
             comms

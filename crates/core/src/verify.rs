@@ -84,7 +84,12 @@ pub fn compare_output_layer(
         let expected = ref_dw.slice_rows(start.min(end), end)?;
         dw_max_err = dw_max_err.max(dw.max_abs_diff(&expected)?);
     }
-    Ok(OutputComparison { ref_loss: ref_out.loss, sharded_loss, dx_max_err, dw_max_err })
+    Ok(OutputComparison {
+        ref_loss: ref_out.loss,
+        sharded_loss,
+        dx_max_err,
+        dw_max_err,
+    })
 }
 
 /// Runs the partitioned input layer on `devices` threads and returns the
@@ -98,7 +103,9 @@ pub fn compare_output_layer(
 ///
 /// Panics if a shard thread panics.
 pub fn compare_input_layer(devices: usize, full_weight: &Tensor, ids: &[usize]) -> Result<f32> {
-    let reference = vp_tensor::nn::Embedding::from_weight(full_weight.clone()).forward(ids)?.0;
+    let reference = vp_tensor::nn::Embedding::from_weight(full_weight.clone())
+        .forward(ids)?
+        .0;
     let part = VocabPartition::new(full_weight.rows(), devices);
     let comms = CollectiveGroup::new(devices);
     let outputs: Vec<Tensor> = std::thread::scope(|scope| {

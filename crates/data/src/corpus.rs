@@ -4,30 +4,64 @@
 //! enough lexical structure that BPE finds meaningful merges and a language
 //! model has something to learn, fully reproducible from `(seed, index)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vp_tensor::rng::{Rng, StdRng};
 
 const SUBJECTS: &[&str] = &[
-    "the pipeline", "a device", "the scheduler", "the model", "a microbatch", "the vocabulary",
-    "the softmax", "an embedding", "the gradient", "a transformer layer", "the optimizer",
+    "the pipeline",
+    "a device",
+    "the scheduler",
+    "the model",
+    "a microbatch",
+    "the vocabulary",
+    "the softmax",
+    "an embedding",
+    "the gradient",
+    "a transformer layer",
+    "the optimizer",
     "the communicator",
 ];
 
 const VERBS: &[&str] = &[
-    "computes", "sends", "receives", "overlaps", "partitions", "balances", "reduces",
-    "schedules", "accumulates", "broadcasts", "synchronizes", "defers",
+    "computes",
+    "sends",
+    "receives",
+    "overlaps",
+    "partitions",
+    "balances",
+    "reduces",
+    "schedules",
+    "accumulates",
+    "broadcasts",
+    "synchronizes",
+    "defers",
 ];
 
 const OBJECTS: &[&str] = &[
-    "the activations", "a barrier", "the logits", "its weights", "the passes", "the shards",
-    "a building block", "the statistics", "the loss", "the bubbles", "the memory",
+    "the activations",
+    "a barrier",
+    "the logits",
+    "its weights",
+    "the passes",
+    "the shards",
+    "a building block",
+    "the statistics",
+    "the loss",
+    "the bubbles",
+    "the memory",
     "the interval",
 ];
 
 const MODIFIERS: &[&str] = &[
-    "across all devices", "in the steady state", "during warm-up", "with one barrier",
-    "without synchronization", "per microbatch", "on the last stage", "in parallel",
-    "after the forward pass", "before the backward pass",
+    "across all devices",
+    "in the steady state",
+    "during warm-up",
+    "with one barrier",
+    "without synchronization",
+    "per microbatch",
+    "on the last stage",
+    "in parallel",
+    "after the forward pass",
+    "before the backward pass",
 ];
 
 /// A deterministic stream of pseudo-English documents.
@@ -44,9 +78,8 @@ impl TextCorpus {
 
     /// The document at `index` — a pure function of `(seed, index)`.
     pub fn document(&self, index: u64) -> String {
-        let mut rng: StdRng =
-            SeedableRng::seed_from_u64(self.seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
-        let sentences = rng.gen_range(3..9);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+        let sentences = rng.gen_range(3..9usize);
         let mut doc = String::new();
         for s in 0..sentences {
             if s > 0 {

@@ -6,7 +6,6 @@
 //! order is shuffled deterministically per epoch, exactly how GPT
 //! pretraining dataloaders (including the paper's) iterate.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// One training sample: `seq_len` inputs and their next-token labels.
@@ -61,7 +60,10 @@ impl PackedDataset {
     /// are available.
     pub fn new(stream: Vec<u32>, seq_len: usize) -> Result<Self, DataError> {
         if stream.len() < seq_len + 1 {
-            return Err(DataError::TooShort { have: stream.len(), need: seq_len + 1 });
+            return Err(DataError::TooShort {
+                have: stream.len(),
+                need: seq_len + 1,
+            });
         }
         Ok(PackedDataset { stream, seq_len })
     }
@@ -113,7 +115,10 @@ impl PackedDataset {
 
     /// The samples of one epoch, shuffled deterministically.
     pub fn epoch(&self, epoch: u64) -> Vec<Sample> {
-        self.epoch_order(epoch).into_iter().map(|i| self.sample(i)).collect()
+        self.epoch_order(epoch)
+            .into_iter()
+            .map(|i| self.sample(i))
+            .collect()
     }
 }
 
@@ -140,14 +145,14 @@ const MAGIC: u32 = 0x5650_544B; // "VPTK"
 
 impl TokenFile {
     /// Serializes to the binary format.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + 4 * self.tokens.len());
-        buf.put_u32_le(MAGIC);
-        buf.put_u32_le(self.vocab_size);
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + 4 * self.tokens.len());
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&self.vocab_size.to_le_bytes());
         for &t in &self.tokens {
-            buf.put_u32_le(t);
+            buf.extend_from_slice(&t.to_le_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Parses the binary format.
@@ -156,23 +161,29 @@ impl TokenFile {
     ///
     /// Returns [`DataError::BadFormat`] for a truncated or mislabeled blob
     /// or tokens outside the declared vocabulary.
-    pub fn from_bytes(mut data: Bytes) -> Result<Self, DataError> {
+    pub fn from_bytes(data: impl AsRef<[u8]>) -> Result<Self, DataError> {
+        let data = data.as_ref();
         if data.len() < 8 {
             return Err(DataError::BadFormat("missing header".into()));
         }
-        let magic = data.get_u32_le();
+        let word =
+            |i: usize| u32::from_le_bytes(data[4 * i..4 * i + 4].try_into().expect("4-byte word"));
+        let magic = word(0);
         if magic != MAGIC {
             return Err(DataError::BadFormat(format!("bad magic {magic:#x}")));
         }
-        let vocab_size = data.get_u32_le();
+        let vocab_size = word(1);
         if !data.len().is_multiple_of(4) {
             return Err(DataError::BadFormat("truncated token payload".into()));
         }
-        let mut tokens = Vec::with_capacity(data.len() / 4);
-        while data.has_remaining() {
-            let t = data.get_u32_le();
+        let words = data.len() / 4;
+        let mut tokens = Vec::with_capacity(words - 2);
+        for i in 2..words {
+            let t = word(i);
             if t >= vocab_size {
-                return Err(DataError::BadFormat(format!("token {t} >= vocab {vocab_size}")));
+                return Err(DataError::BadFormat(format!(
+                    "token {t} >= vocab {vocab_size}"
+                )));
             }
             tokens.push(t);
         }
@@ -200,7 +211,10 @@ mod tests {
 
     #[test]
     fn too_short_stream_is_rejected() {
-        assert!(matches!(PackedDataset::new(stream(8), 8), Err(DataError::TooShort { .. })));
+        assert!(matches!(
+            PackedDataset::new(stream(8), 8),
+            Err(DataError::TooShort { .. })
+        ));
         assert!(PackedDataset::new(stream(9), 8).is_ok());
     }
 
@@ -218,21 +232,27 @@ mod tests {
 
     #[test]
     fn token_file_round_trips() {
-        let tf = TokenFile { vocab_size: 300, tokens: stream(50) };
+        let tf = TokenFile {
+            vocab_size: 300,
+            tokens: stream(50),
+        };
         let parsed = TokenFile::from_bytes(tf.to_bytes()).unwrap();
         assert_eq!(parsed, tf);
     }
 
     #[test]
     fn token_file_rejects_corruption() {
-        let tf = TokenFile { vocab_size: 10, tokens: vec![3, 9] };
-        let mut raw = tf.to_bytes().to_vec();
+        let tf = TokenFile {
+            vocab_size: 10,
+            tokens: vec![3, 9],
+        };
+        let mut raw = tf.to_bytes();
         raw[4] = 2; // vocab_size = 2 < tokens
         assert!(matches!(
-            TokenFile::from_bytes(Bytes::from(raw)),
+            TokenFile::from_bytes(raw),
             Err(DataError::BadFormat(_))
         ));
-        assert!(TokenFile::from_bytes(Bytes::from_static(&[1, 2, 3])).is_err());
+        assert!(TokenFile::from_bytes([1u8, 2, 3]).is_err());
     }
 
     #[test]
@@ -250,7 +270,10 @@ mod tests {
             assert!(s.tokens.iter().all(|&t| t < tok.vocab_size()));
         }
         // The file format preserves the stream.
-        let tf = TokenFile { vocab_size: tok.vocab_size() as u32, tokens: ids };
+        let tf = TokenFile {
+            vocab_size: tok.vocab_size() as u32,
+            tokens: ids,
+        };
         assert_eq!(TokenFile::from_bytes(tf.to_bytes()).unwrap(), tf);
     }
 }

@@ -5,9 +5,11 @@
 //! activation cache — the unit of activation memory the paper's pipeline
 //! schedules hold per in-flight microbatch.
 
-use rand::Rng;
-use vp_tensor::nn::{Gelu, Linear, LinearCache, AttentionCache, LayerNorm, LayerNormCache, MultiHeadAttention};
+use vp_tensor::nn::{
+    AttentionCache, Gelu, LayerNorm, LayerNormCache, Linear, LinearCache, MultiHeadAttention,
+};
 use vp_tensor::optim::Param;
+use vp_tensor::rng::Rng;
 use vp_tensor::{Result, Tensor};
 
 /// One pre-norm transformer block.
@@ -70,7 +72,17 @@ impl TransformerBlock {
         let (h2, gelu_cache) = gelu.forward(&h1);
         let (mlp_out, fc2_cache) = self.fc2.forward(&h2)?;
         let y = mid.add(&mlp_out)?;
-        Ok((y, BlockCache { ln1: ln1_cache, attn: attn_cache, ln2: ln2_cache, fc1: fc1_cache, gelu: gelu_cache, fc2: fc2_cache }))
+        Ok((
+            y,
+            BlockCache {
+                ln1: ln1_cache,
+                attn: attn_cache,
+                ln2: ln2_cache,
+                fc1: fc1_cache,
+                gelu: gelu_cache,
+                fc2: fc2_cache,
+            },
+        ))
     }
 
     /// Backward pass: accumulates all parameter gradients, returns `dx`.
@@ -170,7 +182,9 @@ mod tests {
         let mut block = TransformerBlock::new(&mut rng, 8, 2, 2);
         let x = normal(&mut rng, 3, 8, 0.5);
         let (y, cache) = block.forward(&x).unwrap();
-        block.backward(&cache, &Tensor::ones(y.rows(), y.cols())).unwrap();
+        block
+            .backward(&cache, &Tensor::ones(y.rows(), y.cols()))
+            .unwrap();
         for (i, p) in block.params_mut().into_iter().enumerate() {
             assert!(p.grad().max_abs() > 0.0, "param {i} has zero gradient");
         }

@@ -1,11 +1,9 @@
-use serde::{Deserialize, Serialize};
-
 /// Hyper-parameters of a GPT-style decoder-only transformer, plus the
 /// training-batch geometry the paper's schedules operate on.
 ///
 /// Matches the quantities in the paper's notation: microbatch size `b`,
 /// sequence length `s`, hidden dimension `h` and vocabulary size `V`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Number of transformer layers (`L`).
     pub layers: usize,
@@ -70,7 +68,7 @@ impl ModelConfig {
 }
 
 /// The named model presets used in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelPreset {
     /// ≈4B model of Table 1 (8 pipeline devices).
     Gpt4B,
@@ -148,7 +146,11 @@ mod tests {
             c.layers as u64 * c.transformer_layer_params()
         };
         let b = 1_000_000_000u64;
-        assert!((3 * b..5 * b).contains(&trunk(ModelPreset::Gpt4B)), "{}", trunk(ModelPreset::Gpt4B));
+        assert!(
+            (3 * b..5 * b).contains(&trunk(ModelPreset::Gpt4B)),
+            "{}",
+            trunk(ModelPreset::Gpt4B)
+        );
         assert!((9 * b..11 * b).contains(&trunk(ModelPreset::Gpt10B)));
         assert!((19 * b..22 * b).contains(&trunk(ModelPreset::Gpt21B)));
         assert!((6 * b..8 * b).contains(&trunk(ModelPreset::Gpt7B)));
@@ -185,7 +187,11 @@ mod tests {
 
     #[test]
     fn with_overrides_compose() {
-        let c = ModelPreset::Gpt4B.config().with_vocab(7).with_seq_len(4096).with_num_microbatches(3);
+        let c = ModelPreset::Gpt4B
+            .config()
+            .with_vocab(7)
+            .with_seq_len(4096)
+            .with_num_microbatches(3);
         assert_eq!(c.vocab, 7);
         assert_eq!(c.seq_len, 4096);
         assert_eq!(c.num_microbatches, 3);

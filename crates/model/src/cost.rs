@@ -31,12 +31,11 @@
 
 use crate::config::ModelConfig;
 use crate::partition::VocabPartition;
-use serde::{Deserialize, Serialize};
 
 /// Which variant of the partitioned output layer a pass belongs to
 /// (§4: the naive 3-barrier grouping, Algorithm 1 with 2 barriers, or
 /// Algorithm 2 with 1 barrier).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VocabAlgo {
     /// §4.1: all-reduce max, then all-reduce sum, then reduce ∇X.
     Naive,
@@ -50,7 +49,7 @@ pub enum VocabAlgo {
 
 /// Machine description: an A100-SXM-80GB-like device with RoCE inter-node
 /// links, as used in the paper's testbed (§6.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hardware {
     /// Peak dense throughput per device, FLOP/s (A100 bf16: 312 TFLOP/s).
     pub peak_flops: f64,
@@ -165,7 +164,7 @@ impl Hardware {
 }
 
 /// Per-microbatch cost model binding a [`ModelConfig`] to a [`Hardware`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Model configuration the costs are computed for.
     pub config: ModelConfig,
@@ -220,8 +219,9 @@ impl CostModel {
     pub fn model_flops_per_iteration(&self) -> f64 {
         let c = &self.config;
         let per_layer = self.bsh() * (72.0 * c.hidden as f64 + 12.0 * c.seq_len as f64);
-        let per_microbatch =
-            c.layers as f64 * per_layer + self.output_total_flops(c.vocab) + self.input_total_flops();
+        let per_microbatch = c.layers as f64 * per_layer
+            + self.output_total_flops(c.vocab)
+            + self.input_total_flops();
         per_microbatch * c.num_microbatches as f64
     }
 
@@ -235,37 +235,53 @@ impl CostModel {
 
     /// Transformer-layer forward time for `layers` layers on a stage.
     pub fn transformer_f_seconds(&self, layers: usize) -> f64 {
-        layers as f64 * self.hardware.compute_seconds(self.transformer_f_flops(), self.config.hidden)
+        layers as f64
+            * self
+                .hardware
+                .compute_seconds(self.transformer_f_flops(), self.config.hidden)
     }
 
     /// Transformer-layer activation-gradient (`B`-only) time for `layers`
     /// layers (zero-bubble split).
     pub fn transformer_b_only_seconds(&self, layers: usize) -> f64 {
-        layers as f64 * self.hardware.compute_seconds(self.transformer_b_flops(), self.config.hidden)
+        layers as f64
+            * self
+                .hardware
+                .compute_seconds(self.transformer_b_flops(), self.config.hidden)
     }
 
     /// Transformer-layer weight-gradient (`W`) time for `layers` layers
     /// (zero-bubble split).
     pub fn transformer_w_seconds(&self, layers: usize) -> f64 {
-        layers as f64 * self.hardware.compute_seconds(self.transformer_w_flops(), self.config.hidden)
+        layers as f64
+            * self
+                .hardware
+                .compute_seconds(self.transformer_w_flops(), self.config.hidden)
     }
 
     /// Transformer-layer combined backward (B + W) time for `layers` layers.
     pub fn transformer_bw_seconds(&self, layers: usize) -> f64 {
         layers as f64
-            * self
-                .hardware
-                .compute_seconds(self.transformer_b_flops() + self.transformer_w_flops(), self.config.hidden)
+            * self.hardware.compute_seconds(
+                self.transformer_b_flops() + self.transformer_w_flops(),
+                self.config.hidden,
+            )
     }
 
     /// Full (unpartitioned) output-layer forward time, including loss.
     pub fn output_full_f_seconds(&self) -> f64 {
-        self.hardware.compute_seconds(2.0 * self.bsh() * self.config.vocab as f64, self.config.hidden)
+        self.hardware.compute_seconds(
+            2.0 * self.bsh() * self.config.vocab as f64,
+            self.config.hidden,
+        )
     }
 
     /// Full (unpartitioned) output-layer backward time (∇X and ∇W).
     pub fn output_full_bw_seconds(&self) -> f64 {
-        self.hardware.compute_seconds(4.0 * self.bsh() * self.config.vocab as f64, self.config.hidden)
+        self.hardware.compute_seconds(
+            4.0 * self.bsh() * self.config.vocab as f64,
+            self.config.hidden,
+        )
     }
 
     /// Full (unpartitioned) input-layer forward time (memory bound).
@@ -291,7 +307,9 @@ impl CostModel {
         let matmul = 2.0 * self.bsh() * shard_cols as f64;
         let base = match algo {
             VocabAlgo::Naive | VocabAlgo::Alg1 => hw.compute_seconds(matmul, self.config.hidden),
-            VocabAlgo::Alg2 => hw.compute_seconds(2.0 * matmul, self.config.hidden) + hw.alg2_extra_overhead,
+            VocabAlgo::Alg2 => {
+                hw.compute_seconds(2.0 * matmul, self.config.hidden) + hw.alg2_extra_overhead
+            }
         };
         base + hw.vocab_pass_overhead
     }
@@ -379,10 +397,10 @@ impl CostModel {
     pub fn output_scaling_factor(&self, algo: VocabAlgo, p: usize) -> f64 {
         let part = VocabPartition::new(self.config.vocab, p);
         let shard = part.shard_width();
-        let ideal = self
-            .hardware
-            .compute_seconds(self.output_total_flops(self.config.vocab), self.config.hidden)
-            / p as f64;
+        let ideal = self.hardware.compute_seconds(
+            self.output_total_flops(self.config.vocab),
+            self.config.hidden,
+        ) / p as f64;
         let actual = self.vocab_s_seconds(algo, shard) + self.vocab_t_seconds(algo, shard);
         ideal / actual
     }
@@ -402,7 +420,10 @@ mod tests {
     use crate::config::ModelPreset;
 
     fn model() -> CostModel {
-        CostModel::new(ModelPreset::Gpt4B.config().with_vocab(256 * 1024), Hardware::default())
+        CostModel::new(
+            ModelPreset::Gpt4B.config().with_vocab(256 * 1024),
+            Hardware::default(),
+        )
     }
 
     #[test]
@@ -410,10 +431,13 @@ mod tests {
         let m = model();
         let c = &m.config;
         let total = m.transformer_f_flops() + m.transformer_b_flops() + m.transformer_w_flops();
-        let expected =
-            (c.microbatch * c.seq_len * c.hidden) as f64 * (72.0 * c.hidden as f64 + 12.0 * c.seq_len as f64);
+        let expected = (c.microbatch * c.seq_len * c.hidden) as f64
+            * (72.0 * c.hidden as f64 + 12.0 * c.seq_len as f64);
         assert!((total - expected).abs() / expected < 1e-12);
-        assert_eq!(m.output_total_flops(c.vocab), 6.0 * (c.seq_len * c.hidden) as f64 * c.vocab as f64);
+        assert_eq!(
+            m.output_total_flops(c.vocab),
+            6.0 * (c.seq_len * c.hidden) as f64 * c.vocab as f64
+        );
     }
 
     #[test]
@@ -430,10 +454,17 @@ mod tests {
         let cfg = ModelPreset::Gemma2_9B.config().with_vocab(256 * 1024);
         let m = CostModel::new(cfg.clone(), Hardware::default());
         let compute_ratio = m.output_total_flops(cfg.vocab)
-            / ((cfg.seq_len * cfg.hidden) as f64 * (72.0 * cfg.hidden as f64 + 12.0 * cfg.seq_len as f64));
+            / ((cfg.seq_len * cfg.hidden) as f64
+                * (72.0 * cfg.hidden as f64 + 12.0 * cfg.seq_len as f64));
         let memory_ratio = cfg.vocab_layer_params() as f64 / cfg.transformer_layer_params() as f64;
-        assert!((4.5..6.5).contains(&compute_ratio), "compute ratio {compute_ratio}");
-        assert!((5.0..7.0).contains(&memory_ratio), "memory ratio {memory_ratio}");
+        assert!(
+            (4.5..6.5).contains(&compute_ratio),
+            "compute ratio {compute_ratio}"
+        );
+        assert!(
+            (5.0..7.0).contains(&memory_ratio),
+            "memory ratio {memory_ratio}"
+        );
     }
 
     #[test]
@@ -448,7 +479,11 @@ mod tests {
         // Table 3 (seq 2048, 256k vocab): Vocab-1 ≈ 91/84/81 % at 8/16/32
         // devices; Vocab-2 consistently a few points lower; both decrease
         // with device count.
-        let presets = [(ModelPreset::Gpt4B, 8), (ModelPreset::Gpt10B, 16), (ModelPreset::Gpt21B, 32)];
+        let presets = [
+            (ModelPreset::Gpt4B, 8),
+            (ModelPreset::Gpt10B, 16),
+            (ModelPreset::Gpt21B, 32),
+        ];
         let mut prev = f64::INFINITY;
         for (preset, p) in presets {
             let m = CostModel::new(preset.config().with_vocab(256 * 1024), Hardware::default());

@@ -15,7 +15,7 @@
 
 use crate::config::ModelConfig;
 use crate::cost::{CostModel, Hardware};
-use crate::partition::{StageLayout, VocabPlacement, VocabPartition};
+use crate::partition::{StageLayout, VocabPartition, VocabPlacement};
 
 /// Per-device memory estimate, in bytes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,9 +77,7 @@ pub fn estimate_1f1b(
             let in_flight = match placement {
                 PlacementKind::EndToEnd => (p - d).min(m),
                 PlacementKind::VocabParallel { barriers } => (p - d + barriers).min(m),
-                PlacementKind::Interlaced => {
-                    (((1.5 * (p - d) as f64).ceil() as usize) + 1).min(m)
-                }
+                PlacementKind::Interlaced => (((1.5 * (p - d) as f64).ceil() as usize) + 1).min(m),
             };
             let activations =
                 in_flight as f64 * spec.transformer_layers as f64 * model.act_bytes_per_layer();
@@ -91,7 +89,11 @@ pub fn estimate_1f1b(
             if spec.output == Some(VocabPlacement::Shard) {
                 transients += model.vocab_transient_bytes(part.shard_width());
             }
-            MemoryEstimate { params, activations, transients }
+            MemoryEstimate {
+                params,
+                activations,
+                transients,
+            }
         })
         .collect()
 }
@@ -102,7 +104,10 @@ mod tests {
     use crate::config::ModelPreset;
 
     fn setup(vocab_k: usize) -> (ModelConfig, Hardware) {
-        (ModelPreset::Gpt4B.config().with_vocab(vocab_k * 1024), Hardware::default())
+        (
+            ModelPreset::Gpt4B.config().with_vocab(vocab_k * 1024),
+            Hardware::default(),
+        )
     }
 
     #[test]
@@ -110,7 +115,9 @@ mod tests {
         let (cfg, hw) = setup(256);
         let layout = StageLayout::baseline(&cfg, 8);
         let est = estimate_1f1b(&cfg, &hw, &layout, PlacementKind::EndToEnd);
-        let max_dev = (0..8).max_by(|&a, &b| est[a].total().total_cmp(&est[b].total())).unwrap();
+        let max_dev = (0..8)
+            .max_by(|&a, &b| est[a].total().total_cmp(&est[b].total()))
+            .unwrap();
         assert!(max_dev == 0 || max_dev == 7, "peak at {max_dev}");
         // At 256k, the last stage's vocabulary parameters dominate.
         assert!(est[7].params > est[3].params * 1.5);
@@ -120,7 +127,12 @@ mod tests {
     fn vocab_parallel_estimate_is_balanced() {
         let (cfg, hw) = setup(256);
         let layout = StageLayout::vocab_parallel(&cfg, 8);
-        let est = estimate_1f1b(&cfg, &hw, &layout, PlacementKind::VocabParallel { barriers: 1 });
+        let est = estimate_1f1b(
+            &cfg,
+            &hw,
+            &layout,
+            PlacementKind::VocabParallel { barriers: 1 },
+        );
         let params: Vec<f64> = est.iter().map(|e| e.params).collect();
         let spread = params.iter().cloned().fold(0.0f64, f64::max)
             - params.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -133,9 +145,24 @@ mod tests {
     fn barrier_count_orders_activation_estimates() {
         let (cfg, hw) = setup(128);
         let layout = StageLayout::vocab_parallel(&cfg, 8);
-        let one = estimate_1f1b(&cfg, &hw, &layout, PlacementKind::VocabParallel { barriers: 1 });
-        let two = estimate_1f1b(&cfg, &hw, &layout, PlacementKind::VocabParallel { barriers: 2 });
-        let three = estimate_1f1b(&cfg, &hw, &layout, PlacementKind::VocabParallel { barriers: 3 });
+        let one = estimate_1f1b(
+            &cfg,
+            &hw,
+            &layout,
+            PlacementKind::VocabParallel { barriers: 1 },
+        );
+        let two = estimate_1f1b(
+            &cfg,
+            &hw,
+            &layout,
+            PlacementKind::VocabParallel { barriers: 2 },
+        );
+        let three = estimate_1f1b(
+            &cfg,
+            &hw,
+            &layout,
+            PlacementKind::VocabParallel { barriers: 3 },
+        );
         assert!(one[0].activations < two[0].activations);
         assert!(two[0].activations < three[0].activations);
     }
@@ -145,7 +172,12 @@ mod tests {
         let (cfg, hw) = setup(128);
         let layout = StageLayout::vocab_parallel(&cfg, 8);
         let inter = estimate_1f1b(&cfg, &hw, &layout, PlacementKind::Interlaced);
-        let vocab = estimate_1f1b(&cfg, &hw, &layout, PlacementKind::VocabParallel { barriers: 2 });
+        let vocab = estimate_1f1b(
+            &cfg,
+            &hw,
+            &layout,
+            PlacementKind::VocabParallel { barriers: 2 },
+        );
         assert!(inter[0].activations > vocab[0].activations);
     }
 

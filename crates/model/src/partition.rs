@@ -15,7 +15,6 @@
 //!   the layout but synchronizes differently.
 
 use crate::config::ModelConfig;
-use serde::{Deserialize, Serialize};
 
 /// An even partition of the vocabulary across `p` devices, padded to a
 /// multiple of `2p` for memory alignment as in §6.1 of the paper.
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(part.shard_width(), 256_032 / 24);
 /// assert_eq!(part.owner_of(0), Some(0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VocabPartition {
     vocab: usize,
     padded: usize,
@@ -49,7 +48,11 @@ impl VocabPartition {
         assert!(devices > 0, "device count must be positive");
         let align = 2 * devices;
         let padded = vocab.div_ceil(align) * align;
-        VocabPartition { vocab, padded, devices }
+        VocabPartition {
+            vocab,
+            padded,
+            devices,
+        }
     }
 
     /// The unpadded vocabulary size.
@@ -96,7 +99,7 @@ impl VocabPartition {
 }
 
 /// Placement of a vocabulary layer on a stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VocabPlacement {
     /// The stage holds the entire vocabulary layer.
     Full,
@@ -105,7 +108,7 @@ pub enum VocabPlacement {
 }
 
 /// What one pipeline stage holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageSpec {
     /// Number of transformer layers on this stage.
     pub transformer_layers: usize,
@@ -116,7 +119,7 @@ pub struct StageSpec {
 }
 
 /// A full pipeline layout: one [`StageSpec`] per device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageLayout {
     stages: Vec<StageSpec>,
     vocab_partition: VocabPartition,
@@ -139,7 +142,10 @@ impl StageLayout {
                 output: (i == devices - 1).then_some(VocabPlacement::Full),
             })
             .collect();
-        StageLayout { stages, vocab_partition: VocabPartition::new(config.vocab, devices) }
+        StageLayout {
+            stages,
+            vocab_partition: VocabPartition::new(config.vocab, devices),
+        }
     }
 
     /// *Redis*: re-balances transformer layers so that the most loaded
@@ -152,7 +158,11 @@ impl StageLayout {
     /// Panics if `devices == 0` or the model has fewer layers than devices.
     pub fn redistributed(config: &ModelConfig, devices: usize) -> Self {
         assert!(devices > 0, "device count must be positive");
-        let (s, h, v) = (config.seq_len as f64, config.hidden as f64, config.vocab as f64);
+        let (s, h, v) = (
+            config.seq_len as f64,
+            config.hidden as f64,
+            config.vocab as f64,
+        );
         // Relative FLOPs (fwd+bwd), constants factored out of bsh.
         let layer_cost = 72.0 * h + 12.0 * s;
         let output_cost = 6.0 * v;
@@ -211,7 +221,10 @@ impl StageLayout {
                 output: (i == devices - 1).then_some(VocabPlacement::Full),
             })
             .collect();
-        StageLayout { stages, vocab_partition: VocabPartition::new(config.vocab, devices) }
+        StageLayout {
+            stages,
+            vocab_partition: VocabPartition::new(config.vocab, devices),
+        }
     }
 
     /// The paper's Vocabulary Parallelism layout: even transformer layers,
@@ -231,7 +244,10 @@ impl StageLayout {
                 output: Some(VocabPlacement::Shard),
             })
             .collect();
-        StageLayout { stages, vocab_partition: VocabPartition::new(config.vocab, devices) }
+        StageLayout {
+            stages,
+            vocab_partition: VocabPartition::new(config.vocab, devices),
+        }
     }
 
     fn spread_evenly(layers: usize, devices: usize) -> Vec<usize> {
@@ -239,7 +255,9 @@ impl StageLayout {
         assert!(layers >= devices, "need at least one layer per stage");
         let base = layers / devices;
         let extra = layers % devices;
-        (0..devices).map(|i| base + usize::from(i < extra)).collect()
+        (0..devices)
+            .map(|i| base + usize::from(i < extra))
+            .collect()
     }
 
     /// Number of pipeline stages.
@@ -286,7 +304,11 @@ impl StageLayout {
     /// (Figure 3) and by the *Redis* construction test.
     pub fn stage_relative_compute(&self, config: &ModelConfig, i: usize) -> f64 {
         let spec = &self.stages[i];
-        let (s, h, v) = (config.seq_len as f64, config.hidden as f64, config.vocab as f64);
+        let (s, h, v) = (
+            config.seq_len as f64,
+            config.hidden as f64,
+            config.vocab as f64,
+        );
         let mut cost = spec.transformer_layers as f64 * (72.0 * h + 12.0 * s);
         let vocab_cols = |placement: Option<VocabPlacement>| -> f64 {
             match placement {
@@ -303,8 +325,9 @@ impl StageLayout {
     /// Compute imbalance: the most loaded stage's relative compute divided
     /// by the mean (1.0 = perfectly balanced).
     pub fn compute_imbalance(&self, config: &ModelConfig) -> f64 {
-        let loads: Vec<f64> =
-            (0..self.devices()).map(|i| self.stage_relative_compute(config, i)).collect();
+        let loads: Vec<f64> = (0..self.devices())
+            .map(|i| self.stage_relative_compute(config, i))
+            .collect();
         let max = loads.iter().cloned().fold(0.0f64, f64::max);
         let mean = loads.iter().sum::<f64>() / loads.len() as f64;
         max / mean
@@ -375,7 +398,9 @@ mod tests {
         // With a 256k vocabulary the output layer outweighs several
         // transformer layers, so the last stage must shed layers.
         assert!(layout.stage(7).transformer_layers < 4);
-        assert!(layout.compute_imbalance(&cfg) < StageLayout::baseline(&cfg, 8).compute_imbalance(&cfg));
+        assert!(
+            layout.compute_imbalance(&cfg) < StageLayout::baseline(&cfg, 8).compute_imbalance(&cfg)
+        );
     }
 
     #[test]
@@ -384,7 +409,11 @@ mod tests {
         // stage load, redistribution still leaves imbalance.
         let cfg = ModelPreset::Gpt4B.config().with_vocab(256 * 1024);
         let layout = StageLayout::redistributed(&cfg, 8);
-        assert!(layout.compute_imbalance(&cfg) > 1.15, "imbalance {}", layout.compute_imbalance(&cfg));
+        assert!(
+            layout.compute_imbalance(&cfg) > 1.15,
+            "imbalance {}",
+            layout.compute_imbalance(&cfg)
+        );
     }
 
     #[test]
@@ -418,9 +447,9 @@ mod tests {
         cfg.layers = 30;
         let layout = StageLayout::baseline(&cfg, 8);
         assert_eq!(layout.total_layers(), 30);
-        let (min, max) = layout
-            .iter()
-            .fold((usize::MAX, 0), |(lo, hi), s| (lo.min(s.transformer_layers), hi.max(s.transformer_layers)));
+        let (min, max) = layout.iter().fold((usize::MAX, 0), |(lo, hi), s| {
+            (lo.min(s.transformer_layers), hi.max(s.transformer_layers))
+        });
         assert!(max - min <= 1);
     }
 }

@@ -1,115 +1,154 @@
-//! Property-based tests for partitioning and the cost model.
+//! Randomized tests for partitioning and the cost model, driven by a
+//! deterministic seed sweep.
 
-use proptest::prelude::*;
 use vp_model::config::ModelConfig;
 use vp_model::cost::{CostModel, Hardware, VocabAlgo};
 use vp_model::partition::{StageLayout, VocabPartition};
+use vp_tensor::init::seeded_rng;
+use vp_tensor::rng::Rng;
 
-fn any_config() -> impl Strategy<Value = ModelConfig> {
-    (2usize..8, 1usize..6, 1usize..6, 1usize..9).prop_map(|(lp, h128, s256, v1k)| ModelConfig {
-        layers: lp * 8,
-        hidden: h128 * 128,
+fn random_config(rng: &mut impl Rng) -> ModelConfig {
+    ModelConfig {
+        layers: rng.gen_range(2..8usize) * 8,
+        hidden: rng.gen_range(1..6usize) * 128,
         heads: 4,
         ffn_mult: 4,
-        seq_len: s256 * 256,
-        vocab: v1k * 1024,
+        seq_len: rng.gen_range(1..6usize) * 256,
+        vocab: rng.gen_range(1..9usize) * 1024,
         microbatch: 1,
         num_microbatches: 32,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Shards tile the padded vocabulary exactly; real widths sum to the
-    /// unpadded size; the padded size is the smallest multiple of 2p ≥ V.
-    #[test]
-    fn partition_invariants(vocab in 1usize..500_000, p in 1usize..64) {
+/// Shards tile the padded vocabulary exactly; real widths sum to the
+/// unpadded size; the padded size is the smallest multiple of 2p ≥ V.
+#[test]
+fn partition_invariants() {
+    for seed in 0..64u64 {
+        let mut rng = seeded_rng(seed);
+        let vocab = rng.gen_range(1..500_000usize);
+        let p = rng.gen_range(1..64usize);
         let part = VocabPartition::new(vocab, p);
-        prop_assert_eq!(part.padded() % (2 * p), 0);
-        prop_assert!(part.padded() >= vocab);
-        prop_assert!(part.padded() < vocab + 2 * p);
+        assert_eq!(part.padded() % (2 * p), 0, "seed {seed}");
+        assert!(part.padded() >= vocab);
+        assert!(part.padded() < vocab + 2 * p);
         let mut end_prev = 0;
         let mut real_total = 0;
         for rank in 0..p {
             let (start, end) = part.shard_range(rank);
-            prop_assert_eq!(start, end_prev);
-            prop_assert_eq!(end - start, part.shard_width());
+            assert_eq!(start, end_prev, "seed {seed}");
+            assert_eq!(end - start, part.shard_width(), "seed {seed}");
             end_prev = end;
             real_total += part.real_width(rank);
         }
-        prop_assert_eq!(end_prev, part.padded());
-        prop_assert_eq!(real_total, vocab);
+        assert_eq!(end_prev, part.padded(), "seed {seed}");
+        assert_eq!(real_total, vocab, "seed {seed}");
     }
+}
 
-    /// Every token is owned by exactly the shard whose range contains it.
-    #[test]
-    fn owner_is_consistent_with_ranges(vocab in 1usize..10_000, p in 1usize..32, probe in 0usize..10_000) {
+/// Every token is owned by exactly the shard whose range contains it.
+#[test]
+fn owner_is_consistent_with_ranges() {
+    for seed in 100..164u64 {
+        let mut rng = seeded_rng(seed);
+        let vocab = rng.gen_range(1..10_000usize);
+        let p = rng.gen_range(1..32usize);
+        let probe = rng.gen_range(0..10_000usize);
         let part = VocabPartition::new(vocab, p);
         if probe < vocab {
             let owner = part.owner_of(probe).unwrap();
             let (start, end) = part.shard_range(owner);
-            prop_assert!((start..end).contains(&probe));
+            assert!((start..end).contains(&probe), "seed {seed}");
         } else {
-            prop_assert_eq!(part.owner_of(probe), None);
+            assert_eq!(part.owner_of(probe), None, "seed {seed}");
         }
     }
+}
 
-    /// Layouts conserve layers, and redistribution never increases the
-    /// compute imbalance.
-    #[test]
-    fn layouts_conserve_layers_and_redis_helps(cfg in any_config(), p in 2usize..8) {
-        prop_assume!(cfg.layers >= p);
+/// Layouts conserve layers, and redistribution never increases the
+/// compute imbalance.
+#[test]
+fn layouts_conserve_layers_and_redis_helps() {
+    for seed in 200..264u64 {
+        let mut rng = seeded_rng(seed);
+        let cfg = random_config(&mut rng);
+        let p = rng.gen_range(2..8usize);
+        if cfg.layers < p {
+            continue;
+        }
         let baseline = StageLayout::baseline(&cfg, p);
         let redis = StageLayout::redistributed(&cfg, p);
         let vocab = StageLayout::vocab_parallel(&cfg, p);
-        prop_assert_eq!(baseline.total_layers(), cfg.layers);
-        prop_assert_eq!(redis.total_layers(), cfg.layers);
-        prop_assert_eq!(vocab.total_layers(), cfg.layers);
-        prop_assert!(redis.compute_imbalance(&cfg) <= baseline.compute_imbalance(&cfg) + 1e-9);
+        assert_eq!(baseline.total_layers(), cfg.layers, "seed {seed}");
+        assert_eq!(redis.total_layers(), cfg.layers, "seed {seed}");
+        assert_eq!(vocab.total_layers(), cfg.layers, "seed {seed}");
+        assert!(
+            redis.compute_imbalance(&cfg) <= baseline.compute_imbalance(&cfg) + 1e-9,
+            "seed {seed}"
+        );
         // Vocabulary Parallelism balances perfectly only when the
         // transformer layers divide evenly (the paper's configurations);
         // with a ragged split its imbalance is the layer raggedness itself.
-        if cfg.layers % p == 0 {
-            prop_assert!(vocab.compute_imbalance(&cfg) <= redis.compute_imbalance(&cfg) + 1e-9);
-            prop_assert!(vocab.compute_imbalance(&cfg) < 1.05);
+        if cfg.layers.is_multiple_of(p) {
+            assert!(
+                vocab.compute_imbalance(&cfg) <= redis.compute_imbalance(&cfg) + 1e-9,
+                "seed {seed}"
+            );
+            assert!(vocab.compute_imbalance(&cfg) < 1.05, "seed {seed}");
         }
     }
+}
 
-    /// Output-layer scaling factors are in (0, 1] and decrease with the
-    /// device count; Algorithm 2 never scales better than Algorithm 1.
-    #[test]
-    fn scaling_factors_behave(cfg in any_config()) {
-        let m = CostModel::new(cfg, Hardware::default());
+/// Output-layer scaling factors are in (0, 1] and decrease with the
+/// device count; Algorithm 2 never scales better than Algorithm 1.
+#[test]
+fn scaling_factors_behave() {
+    for seed in 300..364u64 {
+        let mut rng = seeded_rng(seed);
+        let m = CostModel::new(random_config(&mut rng), Hardware::default());
         let mut prev1 = f64::INFINITY;
         for p in [2usize, 4, 8, 16, 32] {
             let f1 = m.output_scaling_factor(VocabAlgo::Alg1, p);
             let f2 = m.output_scaling_factor(VocabAlgo::Alg2, p);
-            prop_assert!(f1 > 0.0 && f1 <= 1.0 + 1e-9, "f1 {f1}");
-            prop_assert!(f2 <= f1 + 1e-9, "f2 {f2} vs f1 {f1}");
-            prop_assert!(f1 <= prev1 + 1e-9);
+            assert!(f1 > 0.0 && f1 <= 1.0 + 1e-9, "seed {seed}: f1 {f1}");
+            assert!(f2 <= f1 + 1e-9, "seed {seed}: f2 {f2} vs f1 {f1}");
+            assert!(f1 <= prev1 + 1e-9, "seed {seed}");
             prev1 = f1;
         }
     }
+}
 
-    /// The FLOPs split sums to the paper's totals for any configuration.
-    #[test]
-    fn flops_split_sums(cfg in any_config()) {
+/// The FLOPs split sums to the paper's totals for any configuration.
+#[test]
+fn flops_split_sums() {
+    for seed in 400..464u64 {
+        let mut rng = seeded_rng(seed);
+        let cfg = random_config(&mut rng);
         let m = CostModel::new(cfg.clone(), Hardware::default());
         let total = m.transformer_f_flops() + m.transformer_b_flops() + m.transformer_w_flops();
         let bsh = (cfg.microbatch * cfg.seq_len * cfg.hidden) as f64;
         let expected = bsh * (72.0 * cfg.hidden as f64 + 12.0 * cfg.seq_len as f64);
-        prop_assert!((total - expected).abs() < 1e-6 * expected);
-        prop_assert!((m.output_total_flops(cfg.vocab) - 6.0 * bsh * cfg.vocab as f64).abs() < 1.0);
+        assert!((total - expected).abs() < 1e-6 * expected, "seed {seed}");
+        assert!(
+            (m.output_total_flops(cfg.vocab) - 6.0 * bsh * cfg.vocab as f64).abs() < 1.0,
+            "seed {seed}"
+        );
     }
+}
 
-    /// MFU is inversely proportional to iteration time.
-    #[test]
-    fn mfu_scales_inversely_with_time(cfg in any_config(), p in 2usize..16) {
-        let m = CostModel::new(cfg, Hardware::default());
+/// MFU is inversely proportional to iteration time.
+#[test]
+fn mfu_scales_inversely_with_time() {
+    for seed in 500..564u64 {
+        let mut rng = seeded_rng(seed);
+        let m = CostModel::new(random_config(&mut rng), Hardware::default());
+        let p = rng.gen_range(2..16usize);
         let t = 10.0;
         let a = m.mfu(t, p);
         let b = m.mfu(2.0 * t, p);
-        prop_assert!((a - 2.0 * b).abs() < 1e-9 * a.max(1e-12));
+        assert!(
+            (a - 2.0 * b).abs() < 1e-9 * a.max(1e-12),
+            "seed {seed} p {p}"
+        );
     }
 }

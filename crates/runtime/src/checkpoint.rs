@@ -212,7 +212,11 @@ mod tests {
     use crate::data::SyntheticCorpus;
 
     fn source(config: &TinyConfig) -> DataSource {
-        DataSource::Synthetic(SyntheticCorpus::new(config.vocab, config.seq_len, config.seed))
+        DataSource::Synthetic(SyntheticCorpus::new(
+            config.vocab,
+            config.seq_len,
+            config.seed,
+        ))
     }
 
     #[test]
@@ -247,7 +251,10 @@ mod tests {
         let config = TinyConfig::default();
         let mut t = ReferenceTrainer::new(&config);
         let blob = t.save();
-        let other = TinyConfig { hidden: 64, ..config };
+        let other = TinyConfig {
+            hidden: 64,
+            ..config
+        };
         assert!(ReferenceTrainer::load(&other, &blob).is_err());
     }
 
@@ -263,7 +270,10 @@ mod tests {
 
     #[test]
     fn tied_trainer_checkpoints_too() {
-        let config = TinyConfig { tied: true, ..TinyConfig::default() };
+        let config = TinyConfig {
+            tied: true,
+            ..TinyConfig::default()
+        };
         let src = source(&config);
         let mut straight = ReferenceTrainer::new(&config);
         let full = straight.train(6, &src).unwrap();

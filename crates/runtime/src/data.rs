@@ -5,8 +5,8 @@
 //! as long as both sides see identical tokens, and a structured synthetic
 //! stream gives the model something learnable so the loss actually falls.
 
-use rand::Rng;
 use vp_tensor::init::seeded_rng;
+use vp_tensor::rng::Rng;
 
 /// One microbatch: input token ids and next-token labels, both `seq_len`
 /// long.
@@ -38,7 +38,11 @@ impl SyntheticCorpus {
     pub fn new(vocab: usize, seq_len: usize, seed: u64) -> Self {
         assert!(vocab >= 2, "vocabulary must have at least two tokens");
         assert!(seq_len > 0, "sequences must be non-empty");
-        SyntheticCorpus { vocab, seq_len, seed }
+        SyntheticCorpus {
+            vocab,
+            seq_len,
+            seed,
+        }
     }
 
     /// The microbatch at global index `index` (iteration-major). Pure
@@ -51,19 +55,24 @@ impl SyntheticCorpus {
         stream.push(tok);
         for _ in 0..self.seq_len {
             // Mostly-deterministic transition with 10% uniform noise.
-            tok = if rng.gen_range(0..10) == 0 {
+            tok = if rng.gen_range(0..10usize) == 0 {
                 rng.gen_range(0..self.vocab)
             } else {
                 (tok * 5 + 7) % self.vocab
             };
             stream.push(tok);
         }
-        Microbatch { tokens: stream[..self.seq_len].to_vec(), labels: stream[1..].to_vec() }
+        Microbatch {
+            tokens: stream[..self.seq_len].to_vec(),
+            labels: stream[1..].to_vec(),
+        }
     }
 
     /// All microbatches of one iteration.
     pub fn iteration(&self, iter: u64, microbatches: usize) -> Vec<Microbatch> {
-        (0..microbatches as u64).map(|k| self.microbatch(iter * microbatches as u64 + k)).collect()
+        (0..microbatches as u64)
+            .map(|k| self.microbatch(iter * microbatches as u64 + k))
+            .collect()
     }
 }
 
@@ -134,9 +143,18 @@ mod tests {
     #[test]
     fn fixed_source_wraps_around() {
         let samples = vec![
-            Microbatch { tokens: vec![1], labels: vec![2] },
-            Microbatch { tokens: vec![3], labels: vec![4] },
-            Microbatch { tokens: vec![5], labels: vec![6] },
+            Microbatch {
+                tokens: vec![1],
+                labels: vec![2],
+            },
+            Microbatch {
+                tokens: vec![3],
+                labels: vec![4],
+            },
+            Microbatch {
+                tokens: vec![5],
+                labels: vec![6],
+            },
         ];
         let src = DataSource::Fixed(std::sync::Arc::new(samples.clone()));
         let it0 = src.iteration(0, 2);

@@ -5,8 +5,10 @@
 //! against an uninterrupted run.
 
 use crate::data::{DataSource, Microbatch};
+use crate::engine::{check_schedule, device_loop, DeviceOutcome};
 use crate::model::TinyConfig;
-use crate::pipeline::{device_loop_ckpt, Mode, ScheduleFamily};
+use crate::pipeline::{build_schedule, Mode, ScheduleFamily};
+use std::time::Instant;
 use vp_collectives::{Collective, CollectiveGroup, P2pNetwork};
 use vp_tensor::{Result, TensorError};
 
@@ -56,10 +58,14 @@ pub fn train_pipeline_checkpointed(
             )));
         }
     }
+    let schedule = build_schedule(mode, family, devices, config.microbatches as u32)?;
+    let schedule = &schedule;
+    check_schedule(config, schedule)?;
+    let epoch = Instant::now();
     let endpoints = P2pNetwork::new(devices);
     let c1_comms: Vec<Collective> = CollectiveGroup::new(devices);
     let iterations_done = checkpoint.map(|c| c.iterations_done).unwrap_or(0);
-    let results: Vec<Result<(Vec<f64>, Vec<u8>)>> = std::thread::scope(|scope| {
+    let results: Vec<Result<DeviceOutcome>> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for (endpoint, comm) in endpoints.into_iter().zip(c1_comms) {
             let rank = endpoint.rank();
@@ -68,24 +74,33 @@ pub fn train_pipeline_checkpointed(
             joins.push(scope.spawn(move || {
                 let select =
                     move |iter: u64, m: usize| -> Vec<Microbatch> { corpus.iteration(iter, m) };
-                device_loop_ckpt(
-                    config, devices, mode, family, iterations, rank, endpoint, comm, None,
-                    &select, restore,
+                device_loop(
+                    config, schedule, iterations, rank, endpoint, comm, None, &select, restore,
+                    epoch,
                 )
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("device thread panicked")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("device thread panicked"))
+            .collect()
     });
     let mut losses = Vec::new();
     let mut shards = Vec::with_capacity(devices);
     for r in results {
-        let (device_losses, shard) = r?;
-        if !device_losses.is_empty() {
-            losses = device_losses;
+        let outcome = r?;
+        if !outcome.losses.is_empty() {
+            losses = outcome.losses;
         }
-        shards.push(shard);
+        shards.push(outcome.shard);
     }
-    Ok((losses, PipelineCheckpoint { shards, iterations_done: iterations_done + iterations as u64 }))
+    Ok((
+        losses,
+        PipelineCheckpoint {
+            shards,
+            iterations_done: iterations_done + iterations as u64,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -95,7 +110,11 @@ mod tests {
     use vp_core::VocabAlgo;
 
     fn source(config: &TinyConfig) -> DataSource {
-        DataSource::Synthetic(SyntheticCorpus::new(config.vocab, config.seq_len, config.seed))
+        DataSource::Synthetic(SyntheticCorpus::new(
+            config.vocab,
+            config.seq_len,
+            config.seed,
+        ))
     }
 
     fn run_split(mode: Mode, family: ScheduleFamily, devices: usize) {

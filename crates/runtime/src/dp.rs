@@ -14,8 +14,10 @@
 //! reference.
 
 use crate::data::{DataSource, Microbatch};
+use crate::engine::{check_schedule, device_loop, DeviceOutcome};
 use crate::model::TinyConfig;
-use crate::pipeline::{device_loop_dp, Mode, ScheduleFamily};
+use crate::pipeline::{build_schedule, Mode, ScheduleFamily};
+use std::time::Instant;
 use vp_collectives::{Collective, CollectiveGroup, P2pNetwork};
 use vp_tensor::{Result, TensorError};
 
@@ -56,9 +58,17 @@ pub fn train_pipeline_dp(
     let mut dp_per_stage: Vec<Vec<Collective>> =
         (0..devices).map(|_| CollectiveGroup::new(dp)).collect();
 
-    let local_config =
-        TinyConfig { microbatches: config.microbatches / dp, ..config.clone() };
-    let results: Vec<Result<Vec<f64>>> = std::thread::scope(|scope| {
+    let local_config = TinyConfig {
+        microbatches: config.microbatches / dp,
+        ..config.clone()
+    };
+    // Every replica interprets the same schedule; build and validate it
+    // once and share it into the device threads.
+    let schedule = build_schedule(mode, family, devices, local_config.microbatches as u32)?;
+    let schedule = &schedule;
+    check_schedule(&local_config, schedule)?;
+    let epoch = Instant::now();
+    let results: Vec<Result<DeviceOutcome>> = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for group in (0..dp).rev() {
             for rank in (0..devices).rev() {
@@ -75,22 +85,25 @@ pub fn train_pipeline_dp(
                         let global = corpus.iteration(iter, m * dp);
                         global.into_iter().skip(group).step_by(dp).collect()
                     };
-                    device_loop_dp(
+                    device_loop(
                         &local_config,
-                        devices,
-                        mode,
-                        family,
+                        schedule,
                         iterations,
                         rank,
                         endpoint,
                         c1,
                         Some((dp_comm, dp)),
                         &select,
+                        None,
+                        epoch,
                     )
                 }));
             }
         }
-        joins.into_iter().map(|j| j.join().expect("device thread panicked")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("device thread panicked"))
+            .collect()
     });
 
     // Threads were spawned in reverse (group, rank) order; the group-0
@@ -98,9 +111,9 @@ pub fn train_pipeline_dp(
     // the device loop already aggregated across replicas).
     let mut losses = Vec::new();
     for r in results {
-        let device_losses = r?;
-        if !device_losses.is_empty() {
-            losses = device_losses;
+        let outcome = r?;
+        if !outcome.losses.is_empty() {
+            losses = outcome.losses;
         }
     }
     Ok(losses)
@@ -114,13 +127,20 @@ mod tests {
     use vp_core::VocabAlgo;
 
     fn source(config: &TinyConfig) -> DataSource {
-        DataSource::Synthetic(SyntheticCorpus::new(config.vocab, config.seq_len, config.seed))
+        DataSource::Synthetic(SyntheticCorpus::new(
+            config.vocab,
+            config.seq_len,
+            config.seed,
+        ))
     }
 
     fn assert_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() < tol * (1.0 + x.abs()), "iteration {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < tol * (1.0 + x.abs()),
+                "iteration {i}: {x} vs {y}"
+            );
         }
     }
 

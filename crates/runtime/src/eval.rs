@@ -48,7 +48,12 @@ impl ReferenceTrainer {
     /// # Errors
     ///
     /// Propagates forward-pass errors.
-    pub fn evaluate(&self, source: &DataSource, offset: u64, microbatches: usize) -> Result<EvalReport> {
+    pub fn evaluate(
+        &self,
+        source: &DataSource,
+        offset: u64,
+        microbatches: usize,
+    ) -> Result<EvalReport> {
         let mut total_loss = 0.0;
         let mut correct = 0usize;
         let mut total = 0usize;
@@ -61,7 +66,11 @@ impl ReferenceTrainer {
             }
         }
         let loss = total_loss / microbatches as f64;
-        Ok(EvalReport { loss, perplexity: loss.exp(), accuracy: correct as f64 / total.max(1) as f64 })
+        Ok(EvalReport {
+            loss,
+            perplexity: loss.exp(),
+            accuracy: correct as f64 / total.max(1) as f64,
+        })
     }
 
     /// Greedily decodes `new_tokens` continuations of `prompt`, using a
@@ -72,7 +81,9 @@ impl ReferenceTrainer {
     /// Returns an error for an empty prompt or out-of-vocabulary ids.
     pub fn generate(&self, prompt: &[usize], new_tokens: usize) -> Result<Vec<usize>> {
         if prompt.is_empty() {
-            return Err(TensorError::InvalidArgument("prompt must be non-empty".into()));
+            return Err(TensorError::InvalidArgument(
+                "prompt must be non-empty".into(),
+            ));
         }
         let seq_len = self.config().seq_len;
         let mut out = prompt.to_vec();
@@ -95,8 +106,11 @@ mod tests {
 
     fn trained(iters: usize) -> (ReferenceTrainer, DataSource, TinyConfig) {
         let config = TinyConfig::default();
-        let src =
-            DataSource::Synthetic(SyntheticCorpus::new(config.vocab, config.seq_len, config.seed));
+        let src = DataSource::Synthetic(SyntheticCorpus::new(
+            config.vocab,
+            config.seq_len,
+            config.seed,
+        ));
         let mut t = ReferenceTrainer::new(&config);
         t.train(iters, &src).unwrap();
         (t, src, config)
@@ -110,7 +124,10 @@ mod tests {
         let offset = 1000;
         let before = fresh.evaluate(&src, offset, 4).unwrap();
         let after = tuned.evaluate(&src, offset, 4).unwrap();
-        assert!(after.loss < before.loss, "before {before:?} after {after:?}");
+        assert!(
+            after.loss < before.loss,
+            "before {before:?} after {after:?}"
+        );
         assert!(after.perplexity < before.perplexity);
         assert!((before.loss - (config.vocab as f64).ln()).abs() < 0.5);
     }

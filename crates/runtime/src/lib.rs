@@ -21,25 +21,40 @@
 //! * [`distributed_ckpt`] — per-device shard checkpointing of the
 //!   *pipelined* trainer, resuming bit-identically.
 //! * [`dp`] — data-parallel composition (§6.2's orthogonality claim).
-//! * [`pipeline`] — the pipelined trainer: per-device threads interpret a
-//!   `vp-schedule` pass list, exchange activations over `vp-collectives`
-//!   point-to-point channels, overlap the `C1` barrier on a per-device
-//!   communication stream, and step Adam locally.
+//! * [`engine`] — the generic schedule interpreter (pass-VM): per-device
+//!   threads walk *any* validated `vp-schedule` pass list, dispatching on
+//!   pass kind alone — `F`/`B`/`W` transformer passes, the vocabulary
+//!   `S`/`T` passes, sharded input passes — exchange activations over
+//!   `vp-collectives` point-to-point channels, overlap the `C1` barrier on
+//!   a per-device communication stream, and step Adam locally. Its
+//!   [`train_schedule`](engine::train_schedule) entry point reports real
+//!   pass timings in the simulator's `ExecReport` shape.
+//! * [`pipeline`] — schedule-family front end over the engine: maps a
+//!   `(Mode, ScheduleFamily)` selection onto the matching generator.
+//!
+//! Internal engine modules: `comm` (tag spaces, stage geometry), `state`
+//! (activation/vocabulary stores, barrier slots), `vocab`
+//! (vocabulary-layer pass handlers).
 
 pub mod checkpoint;
-pub mod eval;
+mod comm;
 pub mod data;
 pub mod distributed_ckpt;
 pub mod dp;
+pub mod engine;
+pub mod eval;
 pub mod model;
 pub mod pipeline;
 pub mod reference;
+mod state;
+mod vocab;
 
 pub use checkpoint::ReferenceTrainer;
-pub use eval::EvalReport;
 pub use data::{DataSource, SyntheticCorpus};
 pub use distributed_ckpt::{train_pipeline_checkpointed, PipelineCheckpoint};
 pub use dp::train_pipeline_dp;
+pub use engine::{mode_of_schedule, train_schedule, TrainReport};
+pub use eval::EvalReport;
 pub use model::{FullModel, TinyConfig};
 pub use pipeline::{train_pipeline, train_pipeline_on, train_pipeline_with, Mode, ScheduleFamily};
 pub use reference::{train_reference, train_reference_on};

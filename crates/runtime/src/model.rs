@@ -2,9 +2,9 @@
 //! and the pipeline shards, so both start from bit-identical weights (the
 //! precondition for the Appendix E convergence comparison).
 
-use rand::Rng;
 use vp_model::block::TransformerBlock;
 use vp_tensor::init::{gpt, seeded_rng};
+use vp_tensor::rng::Rng;
 use vp_tensor::Tensor;
 
 /// Hyper-parameters of the tiny training runs (the runtime analogue of the
@@ -87,8 +87,13 @@ impl FullModel {
         };
         // Consume one extra draw so future extensions don't silently shift
         // the stream.
-        let _: f64 = rng.gen();
-        FullModel { input_weight, pos_weight, blocks, output_weight }
+        let _ = rng.gen_f64();
+        FullModel {
+            input_weight,
+            pos_weight,
+            blocks,
+            output_weight,
+        }
     }
 
     /// The block range `[start, end)` hosted by `stage` of `devices`.
@@ -97,7 +102,11 @@ impl FullModel {
     ///
     /// Panics if the layer count is not divisible by `devices`.
     pub fn stage_blocks(&self, stage: usize, devices: usize) -> (usize, usize) {
-        assert_eq!(self.blocks.len() % devices, 0, "layers must divide evenly for the runtime");
+        assert_eq!(
+            self.blocks.len() % devices,
+            0,
+            "layers must divide evenly for the runtime"
+        );
         let per = self.blocks.len() / devices;
         (stage * per, (stage + 1) * per)
     }

@@ -1,53 +1,19 @@
-//! The pipelined trainer: one thread per device interpreting a
-//! `vp-schedule` pass list with real numerics. Supports 1F1B (one chunk
-//! per device) and V-Half (two chunks in a V-shape, §6.4) schedules.
-//!
-//! Communication mapping (mirroring §6.1's implementation):
-//!
-//! * stage-boundary activations and gradients: tagged point-to-point
-//!   packets between the devices hosting adjacent *virtual* stages;
-//! * `C0` (broadcast of the last virtual stage's output to all vocabulary
-//!   shards): point-to-point fan-out from its host device;
-//! * `C1` (softmax statistics all-reduce, plus the `∇X` all-reduce for
-//!   Algorithm 2): a true collective, submitted to a per-device
-//!   communication stream so it overlaps with compute exactly as the paper
-//!   overlaps NCCL kernels;
-//! * `C2` (Algorithm 1's `∇X` reduce): point-to-point fan-in to the last
-//!   virtual stage's device (the paper uses an NCCL AllReduce for volume
-//!   balance; the fan-in is numerically identical);
-//! * input-layer all-reduce / gradient broadcast: fan-in to and fan-out
-//!   from the first virtual stage's device.
+//! Schedule-family front end over the generic interpreter in
+//! [`crate::engine`]: maps a `(Mode, ScheduleFamily)` selection onto the
+//! matching `vp-schedule` generator and delegates execution to
+//! [`train_schedule`](crate::engine::train_schedule). The interpreter
+//! itself is family-agnostic — these wrappers only exist so callers can
+//! ask for "1F1B with Vocab-2" without touching generators.
 
-use crate::data::{DataSource, Microbatch, SyntheticCorpus};
-use crate::model::{FullModel, TinyConfig};
-use crate::reference::{backward_blocks, forward_blocks};
-use std::collections::HashMap;
-use std::sync::Arc;
-use vp_collectives::{Collective, CollectiveGroup, CommStream, JobHandle, P2pEndpoint, P2pNetwork, Packet};
-use vp_core::output::{BarrierOutput, OutputShard, SState};
-use vp_core::{InputShard, TiedShard, VocabAlgo};
-use vp_model::block::{BlockCache, TransformerBlock};
-use vp_model::partition::VocabPartition;
+use crate::data::{DataSource, SyntheticCorpus};
+use crate::engine::train_schedule;
+pub use crate::engine::Mode;
+use crate::model::TinyConfig;
+use vp_core::VocabAlgo;
 use vp_schedule::block::PassTimes;
 use vp_schedule::generators;
-use vp_schedule::pass::{
-    placement_device_of, placement_stage_of, ChunkPlacement, PassKind, Schedule, VocabVariant,
-};
-use vp_tensor::nn::{softmax_cross_entropy, CrossEntropyGrad, Embedding, EmbeddingCache};
-use vp_tensor::optim::{Adam, Optimizer, Param};
-use vp_tensor::{Result, Tensor, TensorError};
-
-/// How the vocabulary layers are placed and executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Mode {
-    /// Megatron-style: full input layer with the first virtual stage, full
-    /// output layer with the last (in V-Half, both on device 0).
-    Baseline,
-    /// Vocabulary Parallelism with Algorithm 1 or 2 (the naive 3-barrier
-    /// grouping is only supported by the fused verification path in
-    /// `vp-core`, not by the streamed runtime).
-    Vocab(VocabAlgo),
-}
+use vp_schedule::pass::{Schedule, VocabVariant};
+use vp_tensor::{Result, TensorError};
 
 /// Which pipeline schedule the trainer executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,483 +24,26 @@ pub enum ScheduleFamily {
     VHalf,
 }
 
-impl ScheduleFamily {
-    fn chunks(self) -> u8 {
-        match self {
-            ScheduleFamily::OneFOneB => 1,
-            ScheduleFamily::VHalf => 2,
-        }
-    }
-}
-
-// Tag spaces for point-to-point traffic (high bits select the channel;
-// bits 24.. carry the destination virtual stage for boundary traffic).
-const TAG_ACT: u64 = 1 << 40;
-const TAG_GRAD: u64 = 2 << 40;
-const TAG_C0: u64 = 3 << 40;
-const TAG_C2: u64 = 4 << 40;
-const TAG_INPART: u64 = 5 << 40;
-const TAG_INGRAD: u64 = 6 << 40;
-
-fn stage_tag(base: u64, vs: usize, k: u32) -> u64 {
-    base | ((vs as u64) << 24) | k as u64
-}
-
-fn to_packet(tag: u64, t: &Tensor) -> Packet {
-    Packet::new(tag, t.rows(), t.cols(), t.data().to_vec())
-}
-
-fn from_packet(p: Packet) -> Tensor {
-    Tensor::from_vec(p.rows, p.cols, p.data).expect("packet carries a consistent shape")
-}
-
-/// Virtual-stage geometry shared by all handlers.
-#[derive(Debug, Clone, Copy)]
-struct StageMap {
-    devices: usize,
-    chunks: u8,
-    placement: ChunkPlacement,
-}
-
-impl StageMap {
-    fn last_vs(&self) -> usize {
-        self.devices * self.chunks as usize - 1
-    }
-
-    fn device_of(&self, vs: usize) -> (usize, u8) {
-        placement_device_of(self.placement, self.devices, vs)
-    }
-
-    fn vs_of(&self, device: usize, chunk: u8) -> usize {
-        placement_stage_of(self.placement, self.devices, device, chunk)
-    }
-}
-
-/// Per-microbatch vocabulary/output state on one device.
-#[derive(Default)]
-struct MbState {
-    emb_cache: Option<EmbeddingCache>,
-    x_c0: Option<Tensor>,
-    barrier: BarrierSlot,
-    h_last: Option<Tensor>,
-    out_grad: Option<CrossEntropyGrad>,
-}
-
-#[derive(Default)]
-#[allow(clippy::large_enum_variant)] // one slot per in-flight microbatch; size is fine
-enum BarrierSlot {
-    #[default]
-    Empty,
-    Pending(JobHandle<Result<(SState, BarrierOutput)>>),
-    /// Resolved barrier. The deferred `T` pass takes the softmax state;
-    /// the last stage's `B` takes the `∇X` — in either order, so both are
-    /// stored independently.
-    Ready {
-        state: Option<SState>,
-        out: BarrierOutput,
-    },
-}
-
-impl BarrierSlot {
-    /// Waits for the in-flight barrier if necessary.
-    fn resolve(&mut self) -> Result<()> {
-        if let BarrierSlot::Pending(_) = self {
-            let BarrierSlot::Pending(handle) = std::mem::take(self) else { unreachable!() };
-            let (state, out) = handle.wait()?;
-            *self = BarrierSlot::Ready { state: Some(state), out };
-        }
-        match self {
-            BarrierSlot::Ready { .. } => Ok(()),
-            _ => Err(TensorError::InvalidArgument("barrier consumed before S pass submitted it".into())),
-        }
-    }
-
-    /// The globally rescaled softmax state (consumed by the `T` pass).
-    fn take_state(&mut self) -> Result<(SState, f64)> {
-        self.resolve()?;
-        let BarrierSlot::Ready { state, out } = self else { unreachable!("just resolved") };
-        let loss = out.loss;
-        state
-            .take()
-            .map(|s| (s, loss))
-            .ok_or_else(|| TensorError::InvalidArgument("barrier state consumed twice".into()))
-    }
-
-    /// The reduced `∇X` (consumed by the last stage's `B`, Algorithm 2).
-    fn take_dx(&mut self) -> Result<Tensor> {
-        self.resolve()?;
-        let BarrierSlot::Ready { out, .. } = self else { unreachable!("just resolved") };
-        out.dx.take().ok_or_else(|| {
-            TensorError::InvalidArgument("barrier did not produce ∇X (or it was consumed twice)".into())
-        })
-    }
-}
-
-struct Device {
-    rank: usize,
+/// Builds the concrete schedule for a `(mode, family)` selection. The
+/// schedule is the single source of truth downstream: device count, chunk
+/// count, placement and microbatches are all read back from it.
+pub(crate) fn build_schedule(
     mode: Mode,
-    config: TinyConfig,
-    map: StageMap,
-    /// Transformer blocks per chunk hosted by this device.
-    blocks_by_chunk: Vec<Vec<TransformerBlock>>,
-    pos: Option<Param>,
-    full_input: Option<Embedding>,
-    full_output: Option<Param>,
-    input_shard: Option<InputShard>,
-    output_shard: Option<OutputShard>,
-    /// Tied-embedding shard (§6.1): replaces both `input_shard` and
-    /// `output_shard` when `config.tied` is set.
-    tied_shard: Option<TiedShard>,
-    p2p: P2pEndpoint,
-    c1_comm: Arc<Collective>,
-    c1_stream: CommStream,
-    /// Block-activation caches per (microbatch, chunk).
-    caches: HashMap<(u32, u8), Vec<BlockCache>>,
-    states: HashMap<u32, MbState>,
-    losses: Vec<f64>,
-}
-
-impl Device {
-    fn state(&mut self, k: u32) -> &mut MbState {
-        self.states.entry(k).or_default()
-    }
-
-    fn algo(&self) -> VocabAlgo {
-        match self.mode {
-            Mode::Vocab(a) => a,
-            Mode::Baseline => VocabAlgo::Alg1,
-        }
-    }
-
-    fn c0_root(&self) -> usize {
-        self.map.device_of(self.map.last_vs()).0
-    }
-
-    fn recv(&mut self, src: usize, tag: u64) -> Result<Tensor> {
-        let packet = self
-            .p2p
-            .recv_tag(src, tag)
-            .map_err(|e| TensorError::InvalidArgument(format!("p2p recv failed: {e}")))?;
-        Ok(from_packet(packet))
-    }
-
-    fn send(&self, dst: usize, tag: u64, t: &Tensor) -> Result<()> {
-        self.p2p
-            .send(dst, to_packet(tag, t))
-            .map_err(|e| TensorError::InvalidArgument(format!("p2p send failed: {e}")))
-    }
-
-    fn run_pass(&mut self, kind: PassKind, k: u32, chunk: u8, mb: &Microbatch) -> Result<()> {
-        match kind {
-            PassKind::InputF => self.input_f(k, mb),
-            PassKind::F => self.forward(k, chunk, mb),
-            PassKind::S => self.s_pass(k, mb),
-            PassKind::T => self.t_pass(k),
-            PassKind::B => self.backward(k, chunk, mb),
-            PassKind::InputB => self.input_b(k, mb),
-            PassKind::W | PassKind::S2 | PassKind::OutputF | PassKind::OutputB => {
-                Err(TensorError::InvalidArgument(format!("runtime does not execute {kind:?} passes")))
-            }
-        }
-    }
-
-    fn input_f(&mut self, k: u32, mb: &Microbatch) -> Result<()> {
-        let partial = match (&self.tied_shard, &self.input_shard) {
-            (Some(tied), _) => tied.input_forward_local(&mb.tokens)?,
-            (None, Some(shard)) => shard.forward_local(&mb.tokens)?,
-            (None, None) => unreachable!("vocab mode has input shards"),
-        };
-        let first_dev = self.map.device_of(0).0;
-        self.send(first_dev, TAG_INPART | k as u64, &partial)
-    }
-
-    fn embed_input(&mut self, k: u32, mb: &Microbatch) -> Result<Tensor> {
-        let mut x = match self.mode {
-            Mode::Baseline => {
-                let input = self.full_input.as_ref().expect("baseline hosts the input layer");
-                let (embedded, cache) = input.forward(&mb.tokens)?;
-                self.state(k).emb_cache = Some(cache);
-                embedded
-            }
-            Mode::Vocab(_) => {
-                // Sum the p partial embeddings (the input all-reduce).
-                let mut acc = Tensor::zeros(mb.tokens.len(), self.config.hidden);
-                for src in 0..self.map.devices {
-                    let part = self.recv(src, TAG_INPART | k as u64)?;
-                    acc.add_assign(&part)?;
-                }
-                acc
-            }
-        };
-        let pos = self.pos.as_ref().expect("first-stage device owns the positional embedding");
-        x.add_assign(pos.value())?;
-        Ok(x)
-    }
-
-    fn forward(&mut self, k: u32, chunk: u8, mb: &Microbatch) -> Result<()> {
-        let vs = self.map.vs_of(self.rank, chunk);
-        let x0 = if vs == 0 {
-            self.embed_input(k, mb)?
-        } else {
-            let (src, _) = self.map.device_of(vs - 1);
-            self.recv(src, stage_tag(TAG_ACT, vs, k))?
-        };
-        let (h, caches) = forward_blocks(&self.blocks_by_chunk[chunk as usize], &x0)?;
-        self.caches.insert((k, chunk), caches);
-        if vs < self.map.last_vs() {
-            let (dst, _) = self.map.device_of(vs + 1);
-            self.send(dst, stage_tag(TAG_ACT, vs + 1, k), &h)?;
-        } else {
-            match self.mode {
-                Mode::Baseline => {
-                    let w = self.full_output.as_ref().expect("baseline hosts the output layer");
-                    let logits = h.matmul_nt(w.value())?;
-                    let (out, grad) = softmax_cross_entropy(&logits, &mb.labels)?;
-                    self.losses.push(out.loss);
-                    let st = self.state(k);
-                    st.h_last = Some(h);
-                    st.out_grad = Some(grad);
-                }
-                Mode::Vocab(_) => {
-                    // C0: fan the last transformer output out to every
-                    // vocabulary shard (including ourselves).
-                    for dst in 0..self.map.devices {
-                        self.send(dst, TAG_C0 | k as u64, &h)?;
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn s_pass(&mut self, k: u32, mb: &Microbatch) -> Result<()> {
-        let algo = self.algo();
-        let root = self.c0_root();
-        let x = self.recv(root, TAG_C0 | k as u64)?;
-        let labels = mb.labels.clone();
-        let mut state = Some(match (&self.tied_shard, &self.output_shard) {
-            (Some(tied), _) => tied.s_pass(algo, &x, &labels)?,
-            (None, Some(shard)) => shard.s_pass(algo, &x, &labels)?,
-            (None, None) => unreachable!("vocab mode has output shards"),
-        });
-        let comm = Arc::clone(&self.c1_comm);
-        let handle = self.c1_stream.submit(move || -> Result<(SState, BarrierOutput)> {
-            let mut state = state.take().expect("state moved into job");
-            let out = match algo {
-                VocabAlgo::Alg1 => state.barrier_alg1(&comm)?,
-                VocabAlgo::Alg2 => state.barrier_alg2(&comm)?,
-                VocabAlgo::Naive => {
-                    return Err(TensorError::InvalidArgument("naive grouping is not streamed".into()))
-                }
-            };
-            Ok((state, out))
-        });
-        let st = self.state(k);
-        st.x_c0 = Some(x);
-        st.barrier = BarrierSlot::Pending(handle);
-        Ok(())
-    }
-
-    fn t_pass(&mut self, k: u32) -> Result<()> {
-        let algo = self.algo();
-        let record_loss = self.rank == 0;
-        let st = self.states.get_mut(&k).expect("T after S");
-        let (state, loss) = st.barrier.take_state()?;
-        let x = st.x_c0.take().expect("S stored the broadcast activation");
-        if record_loss {
-            self.losses.push(loss);
-        }
-        match algo {
-            VocabAlgo::Alg1 => {
-                let dx_partial = match (&mut self.tied_shard, &mut self.output_shard) {
-                    (Some(tied), _) => tied.t_pass_alg1(&state, &x)?,
-                    (None, Some(shard)) => shard.t_pass_alg1(&state, &x)?,
-                    (None, None) => unreachable!("vocab mode has output shards"),
-                };
-                let root = self.c0_root();
-                self.send(root, TAG_C2 | k as u64, &dx_partial)?;
-            }
-            VocabAlgo::Alg2 => match (&mut self.tied_shard, &mut self.output_shard) {
-                (Some(tied), _) => tied.t_pass_alg2(&state, &x)?,
-                (None, Some(shard)) => shard.t_pass_alg2(&state, &x)?,
-                (None, None) => unreachable!("vocab mode has output shards"),
-            },
-            VocabAlgo::Naive => unreachable!("rejected at submission"),
-        }
-        Ok(())
-    }
-
-    fn backward(&mut self, k: u32, chunk: u8, mb: &Microbatch) -> Result<()> {
-        let vs = self.map.vs_of(self.rank, chunk);
-        let dy = if vs == self.map.last_vs() {
-            match self.mode {
-                Mode::Baseline => {
-                    let st = self.states.get_mut(&k).expect("B after F");
-                    let grad = st.out_grad.take().expect("last stage stored the loss gradient");
-                    let h = st.h_last.take().expect("last stage stored its output");
-                    let w = self.full_output.as_mut().expect("baseline output layer");
-                    let dw = grad.dlogits.matmul_tn(&h)?;
-                    w.accumulate(&dw)?;
-                    grad.dlogits.matmul(w.value())?
-                }
-                Mode::Vocab(VocabAlgo::Alg2) => {
-                    self.states.get_mut(&k).expect("B after S").barrier.take_dx()?
-                }
-                Mode::Vocab(VocabAlgo::Alg1) => {
-                    // C2: sum the p partial ∇X contributions.
-                    let mut acc = Tensor::zeros(mb.labels.len(), self.config.hidden);
-                    for src in 0..self.map.devices {
-                        let part = self.recv(src, TAG_C2 | k as u64)?;
-                        acc.add_assign(&part)?;
-                    }
-                    acc
-                }
-                Mode::Vocab(VocabAlgo::Naive) => unreachable!("rejected at construction"),
-            }
-        } else {
-            let (src, _) = self.map.device_of(vs + 1);
-            self.recv(src, stage_tag(TAG_GRAD, vs, k))?
-        };
-        let caches = self.caches.remove(&(k, chunk)).expect("F stored caches");
-        let dx0 = backward_blocks(&mut self.blocks_by_chunk[chunk as usize], &caches, &dy)?;
-        if vs > 0 {
-            let (dst, _) = self.map.device_of(vs - 1);
-            self.send(dst, stage_tag(TAG_GRAD, vs - 1, k), &dx0)?;
-        } else {
-            self.pos.as_mut().expect("first-stage device owns pos").accumulate(&dx0)?;
-            match self.mode {
-                Mode::Baseline => {
-                    let cache =
-                        self.states.get_mut(&k).expect("B after F").emb_cache.take().expect("F cached ids");
-                    self.full_input.as_mut().expect("baseline input layer").backward(&cache, &dx0)?;
-                }
-                Mode::Vocab(_) => {
-                    // Broadcast the embedding gradient to every input shard.
-                    for dst in 0..self.map.devices {
-                        self.send(dst, TAG_INGRAD | k as u64, &dx0)?;
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn input_b(&mut self, k: u32, mb: &Microbatch) -> Result<()> {
-        let first_dev = self.map.device_of(0).0;
-        let dy = self.recv(first_dev, TAG_INGRAD | k as u64)?;
-        match (&mut self.tied_shard, &mut self.input_shard) {
-            (Some(tied), _) => tied.input_backward(&mb.tokens, &dy),
-            (None, Some(shard)) => shard.backward(&mb.tokens, &dy),
-            (None, None) => unreachable!("vocab mode has input shards"),
-        }
-    }
-
-    /// All trainable parameters on this device, in a deterministic order
-    /// (shared by the optimizer step and data-parallel gradient sync).
-    fn params_mut(&mut self) -> Vec<&mut Param> {
-        let mut params: Vec<&mut Param> = Vec::new();
-        for blocks in &mut self.blocks_by_chunk {
-            for block in blocks {
-                params.extend(block.params_mut());
-            }
-        }
-        if let Some(p) = &mut self.pos {
-            params.push(p);
-        }
-        if let Some(e) = &mut self.full_input {
-            params.extend(e.params_mut());
-        }
-        if let Some(w) = &mut self.full_output {
-            params.push(w);
-        }
-        if let Some(s) = &mut self.input_shard {
-            params.push(s.weight_mut());
-        }
-        if let Some(s) = &mut self.output_shard {
-            params.push(s.weight_mut());
-        }
-        if let Some(s) = &mut self.tied_shard {
-            params.push(s.weight_mut());
-        }
-        params
-    }
-
-    /// Data-parallel gradient synchronization: sum-all-reduce every
-    /// parameter gradient across this stage's replicas.
-    fn sync_grads(&mut self, comm: &Collective) -> Result<()> {
-        for p in self.params_mut() {
-            comm.all_reduce(p.grad_mut().data_mut(), vp_collectives::ReduceOp::Sum)
-                .map_err(|e| TensorError::InvalidArgument(format!("gradient sync failed: {e}")))?;
-        }
-        Ok(())
-    }
-
-    fn optimizer_step(&mut self, adam: &mut Adam) -> Result<()> {
-        for p in self.params_mut() {
-            adam.step(p)?;
-        }
-        adam.next_iteration();
-        Ok(())
-    }
-
-    /// Serializes this device's parameter state (values + Adam moments) in
-    /// the deterministic `params_mut` order — one shard of a distributed
-    /// checkpoint.
-    fn save_state(&mut self, adam_timestep: i32) -> Vec<u8> {
-        use vp_tensor::io::{write_tensor, write_u32};
-        let mut buf = Vec::new();
-        write_u32(&mut buf, adam_timestep as u32);
-        let params = self.params_mut();
-        write_u32(&mut buf, params.len() as u32);
-        for p in params {
-            write_tensor(&mut buf, p.value());
-            let (m, v) = p.moments();
-            write_tensor(&mut buf, m);
-            write_tensor(&mut buf, v);
-        }
-        buf
-    }
-
-    /// Restores this device's parameter state from a shard produced by
-    /// [`Self::save_state`]. Returns the Adam timestep to resume from.
-    fn load_state(&mut self, blob: &[u8]) -> Result<i32> {
-        use vp_tensor::io::{read_tensor, read_u32};
-        let mut input = blob;
-        let timestep = read_u32(&mut input)? as i32;
-        let n = read_u32(&mut input)? as usize;
-        let params = self.params_mut();
-        if params.len() != n {
-            return Err(TensorError::InvalidArgument(format!(
-                "checkpoint shard has {n} parameters, device expects {}",
-                params.len()
-            )));
-        }
-        for p in params {
-            let value = read_tensor(&mut input)?;
-            let m = read_tensor(&mut input)?;
-            let v = read_tensor(&mut input)?;
-            if value.shape() != p.value().shape() {
-                return Err(TensorError::InvalidArgument("checkpoint shard shape mismatch".into()));
-            }
-            *p = Param::from_state(value, m, v)?;
-        }
-        Ok(timestep)
-    }
-}
-
-fn build_schedule(mode: Mode, family: ScheduleFamily, devices: usize, m: u32) -> Result<Schedule> {
+    family: ScheduleFamily,
+    devices: usize,
+    m: u32,
+) -> Result<Schedule> {
     let times = PassTimes::default();
-    let variant = match mode {
-        Mode::Baseline => None,
-        Mode::Vocab(VocabAlgo::Alg1) => Some(VocabVariant::Alg1),
-        Mode::Vocab(VocabAlgo::Alg2) => Some(VocabVariant::Alg2),
-        Mode::Vocab(VocabAlgo::Naive) => {
-            return Err(TensorError::InvalidArgument(
+    let variant =
+        match mode {
+            Mode::Baseline => None,
+            Mode::Vocab(VocabAlgo::Alg1) => Some(VocabVariant::Alg1),
+            Mode::Vocab(VocabAlgo::Alg2) => Some(VocabVariant::Alg2),
+            Mode::Vocab(VocabAlgo::Naive) => return Err(TensorError::InvalidArgument(
                 "the streamed runtime supports Algorithms 1 and 2; use vp-core's fused naive path"
                     .into(),
-            ))
-        }
-    };
+            )),
+        };
     Ok(match (family, variant) {
         (ScheduleFamily::OneFOneB, None) => generators::one_f_one_b(devices, m, times),
         (ScheduleFamily::OneFOneB, Some(v)) => generators::vocab_1f1b(devices, m, v, times, true),
@@ -581,8 +90,11 @@ pub fn train_pipeline_with(
     family: ScheduleFamily,
     iterations: usize,
 ) -> Result<Vec<f64>> {
-    let corpus =
-        DataSource::Synthetic(SyntheticCorpus::new(config.vocab, config.seq_len, config.seed));
+    let corpus = DataSource::Synthetic(SyntheticCorpus::new(
+        config.vocab,
+        config.seq_len,
+        config.seed,
+    ));
     train_pipeline_on(config, devices, mode, family, iterations, &corpus)
 }
 
@@ -605,187 +117,8 @@ pub fn train_pipeline_on(
     iterations: usize,
     corpus: &DataSource,
 ) -> Result<Vec<f64>> {
-    let endpoints = P2pNetwork::new(devices);
-    let c1_comms = CollectiveGroup::new(devices);
-    let results: Vec<Result<Vec<f64>>> = std::thread::scope(|scope| {
-        let mut joins = Vec::new();
-        for (endpoint, comm) in endpoints.into_iter().zip(c1_comms) {
-            let rank = endpoint.rank();
-            let corpus = corpus.clone();
-            joins.push(scope.spawn(move || {
-                let select =
-                    move |iter: u64, m: usize| -> Vec<Microbatch> { corpus.iteration(iter, m) };
-                device_loop_dp(
-                    config, devices, mode, family, iterations, rank, endpoint, comm, None, &select,
-                )
-            }));
-        }
-        joins.into_iter().map(|j| j.join().expect("device thread panicked")).collect()
-    });
-    let mut losses = Vec::new();
-    for r in results {
-        let device_losses = r?;
-        if !device_losses.is_empty() {
-            losses = device_losses;
-        }
-    }
-    Ok(losses)
-}
-
-/// The per-device training loop, shared by the single-pipeline and
-/// data-parallel entry points. Returns per-iteration mean losses on the
-/// loss-reporting rank and an empty vector elsewhere.
-///
-/// `dp` carries the stage's gradient-sync collective and the replica count
-/// when data parallelism is active; `select` yields this replica's
-/// microbatches for an iteration.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn device_loop_dp(
-    config: &TinyConfig,
-    devices: usize,
-    mode: Mode,
-    family: ScheduleFamily,
-    iterations: usize,
-    rank: usize,
-    endpoint: P2pEndpoint,
-    c1: Collective,
-    dp: Option<(Collective, usize)>,
-    select: &dyn Fn(u64, usize) -> Vec<Microbatch>,
-) -> Result<Vec<f64>> {
-    device_loop_ckpt(
-        config, devices, mode, family, iterations, rank, endpoint, c1, dp, select, None,
-    )
-    .map(|(losses, _)| losses)
-}
-
-/// [`device_loop_dp`] with distributed-checkpoint hooks: restores this
-/// device's shard from `restore` (if provided, including the stream
-/// offset) and returns the end-of-run shard alongside the losses.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn device_loop_ckpt(
-    config: &TinyConfig,
-    devices: usize,
-    mode: Mode,
-    family: ScheduleFamily,
-    iterations: usize,
-    rank: usize,
-    endpoint: P2pEndpoint,
-    c1: Collective,
-    dp: Option<(Collective, usize)>,
-    select: &dyn Fn(u64, usize) -> Vec<Microbatch>,
-    restore: Option<(&[u8], u64)>,
-) -> Result<(Vec<f64>, Vec<u8>)> {
-    let chunks = family.chunks();
-    let virtual_stages = devices * chunks as usize;
-    if !config.layers.is_multiple_of(virtual_stages) {
-        return Err(TensorError::InvalidArgument(format!(
-            "{} layers not divisible by {} virtual stages",
-            config.layers, virtual_stages
-        )));
-    }
-    if config.tied && mode == Mode::Baseline {
-        return Err(TensorError::InvalidArgument(
-            "tied embeddings require Vocabulary Parallelism (the naive baseline would need a \
-             cross-stage gradient synchronization — the very cost §6.1 removes)"
-                .into(),
-        ));
-    }
     let schedule = build_schedule(mode, family, devices, config.microbatches as u32)?;
-    vp_schedule::deps::validate(&schedule)
-        .map_err(|e| TensorError::InvalidArgument(format!("schedule invalid: {e}")))?;
-    let map = StageMap { devices, chunks, placement: schedule.placement() };
-    let full = FullModel::build(config);
-    let part = VocabPartition::new(config.vocab, devices);
-    let loss_reporter_rank = match mode {
-        Mode::Baseline => map.device_of(map.last_vs()).0,
-        Mode::Vocab(_) => 0,
-    };
-    let first_dev = map.device_of(0).0;
-    let last_dev = map.device_of(map.last_vs()).0;
-    let per_stage = config.layers / virtual_stages;
-    let blocks_by_chunk: Vec<Vec<TransformerBlock>> = (0..chunks)
-        .map(|c| {
-            let vs = map.vs_of(rank, c);
-            full.blocks[vs * per_stage..(vs + 1) * per_stage].to_vec()
-        })
-        .collect();
-    let mut device = Device {
-        rank,
-        mode,
-        config: config.clone(),
-        map,
-        blocks_by_chunk,
-        pos: (rank == first_dev).then(|| Param::new(full.pos_weight.clone())),
-        full_input: (mode == Mode::Baseline && rank == first_dev)
-            .then(|| Embedding::from_weight(full.input_weight.clone())),
-        full_output: (mode == Mode::Baseline && rank == last_dev)
-            .then(|| Param::new(full.output_weight.clone())),
-        input_shard: (matches!(mode, Mode::Vocab(_)) && !config.tied)
-            .then(|| InputShard::from_full(&full.input_weight, part, rank))
-            .transpose()?,
-        output_shard: (matches!(mode, Mode::Vocab(_)) && !config.tied)
-            .then(|| OutputShard::from_full(&full.output_weight, part, rank))
-            .transpose()?,
-        tied_shard: (matches!(mode, Mode::Vocab(_)) && config.tied)
-            .then(|| TiedShard::from_full(&full.output_weight, part, rank))
-            .transpose()?,
-        p2p: endpoint,
-        c1_comm: Arc::new(c1),
-        c1_stream: CommStream::new(),
-        caches: HashMap::new(),
-        states: HashMap::new(),
-        losses: Vec::new(),
-    };
-    let mut adam = Adam::new(config.lr);
-    let mut start_iter = 0u64;
-    if let Some((blob, done)) = restore {
-        let timestep = device.load_state(blob)?;
-        adam.set_timestep(timestep);
-        start_iter = done;
-    }
-    let mut iteration_losses = Vec::with_capacity(iterations);
-    let trace = std::env::var_os("VP_RUNTIME_TRACE").is_some();
-    let replicas = dp.as_ref().map(|(_, n)| *n).unwrap_or(1);
-    for iter in start_iter..start_iter + iterations as u64 {
-        let mbs = select(iter as u64, config.microbatches);
-        for pass in schedule.passes(rank) {
-            if trace {
-                eprintln!("[iter {iter}] rank {rank}: {pass}");
-            }
-            device.run_pass(pass.kind, pass.microbatch, pass.chunk, &mbs[pass.microbatch as usize])?;
-        }
-        // Wait for deferred barriers still in flight before touching
-        // gradients or weights.
-        device.c1_stream.synchronize();
-        if let Some((dp_comm, _)) = &dp {
-            device.sync_grads(dp_comm)?;
-        }
-        device.optimizer_step(&mut adam)?;
-        if device.rank == loss_reporter_rank {
-            let mut total: f64 = device.losses.drain(..).sum();
-            if let Some((dp_comm, _)) = &dp {
-                // Sum the replicas' loss contributions (all reporter-stage
-                // devices participate, in the same position of the group's
-                // op sequence).
-                let mut buf = [total as f32];
-                dp_comm
-                    .all_reduce(&mut buf, vp_collectives::ReduceOp::Sum)
-                    .map_err(|e| TensorError::InvalidArgument(format!("loss sync failed: {e}")))?;
-                total = buf[0] as f64;
-            }
-            iteration_losses.push(total / (config.microbatches * replicas) as f64);
-        } else {
-            device.losses.clear();
-        }
-        device.states.clear();
-        device.caches.clear();
-    }
-    let blob = device.save_state(adam.timestep());
-    if rank == loss_reporter_rank {
-        Ok((iteration_losses, blob))
-    } else {
-        Ok((Vec::new(), blob))
-    }
+    Ok(train_schedule(config, &schedule, iterations, corpus)?.losses)
 }
 
 #[cfg(test)]
@@ -855,7 +188,10 @@ mod tests {
     #[test]
     fn vhalf_vocab_matches_reference() {
         // The paper's §6.4 configuration in miniature: V-Half + Vocab-1/2.
-        let config = TinyConfig { layers: 8, ..TinyConfig::default() };
+        let config = TinyConfig {
+            layers: 8,
+            ..TinyConfig::default()
+        };
         let reference = train_reference(&config, 5).unwrap();
         for algo in [VocabAlgo::Alg1, VocabAlgo::Alg2] {
             let pipeline =
@@ -867,7 +203,10 @@ mod tests {
 
     #[test]
     fn tied_pipeline_matches_tied_reference() {
-        let config = TinyConfig { tied: true, ..TinyConfig::default() };
+        let config = TinyConfig {
+            tied: true,
+            ..TinyConfig::default()
+        };
         let reference = train_reference(&config, 6).unwrap();
         for algo in [VocabAlgo::Alg1, VocabAlgo::Alg2] {
             let pipeline = train_pipeline(&config, 4, Mode::Vocab(algo), 6).unwrap();
@@ -877,7 +216,10 @@ mod tests {
 
     #[test]
     fn tied_baseline_is_rejected() {
-        let config = TinyConfig { tied: true, ..TinyConfig::default() };
+        let config = TinyConfig {
+            tied: true,
+            ..TinyConfig::default()
+        };
         let err = train_pipeline(&config, 2, Mode::Baseline, 1).unwrap_err();
         assert!(err.to_string().contains("tied"));
     }
@@ -888,7 +230,10 @@ mod tests {
         assert!(train_pipeline(&config, 3, Mode::Baseline, 1).is_err());
         // V-Half needs divisibility by 2·devices.
         assert!(train_pipeline_with(
-            &TinyConfig { layers: 6, ..TinyConfig::default() },
+            &TinyConfig {
+                layers: 6,
+                ..TinyConfig::default()
+            },
             2,
             Mode::Baseline,
             ScheduleFamily::VHalf,

@@ -45,8 +45,11 @@ pub(crate) fn backward_blocks(
 ///
 /// Propagates tensor-shape errors (which indicate a configuration bug).
 pub fn train_reference(config: &TinyConfig, iterations: usize) -> Result<Vec<f64>> {
-    let corpus =
-        DataSource::Synthetic(SyntheticCorpus::new(config.vocab, config.seq_len, config.seed));
+    let corpus = DataSource::Synthetic(SyntheticCorpus::new(
+        config.vocab,
+        config.seq_len,
+        config.seed,
+    ));
     train_reference_on(config, iterations, &corpus)
 }
 

@@ -1,0 +1,153 @@
+//! Vocabulary-layer pass handlers of the schedule interpreter: the
+//! sharded input layer (`InputF`/`InputB`) and the §4 output-layer `S`/`T`
+//! passes with their `C0`/`C1`/`C2` traffic.
+//!
+//! Communication mapping (mirroring §6.1's implementation):
+//!
+//! * `C0` (broadcast of the last virtual stage's output to all vocabulary
+//!   shards): point-to-point fan-out from its host device;
+//! * `C1` (softmax statistics all-reduce, plus the `∇X` all-reduce for
+//!   Algorithm 2): a true collective, submitted to a per-device
+//!   communication stream so it overlaps with compute exactly as the paper
+//!   overlaps NCCL kernels;
+//! * `C2` (Algorithm 1's `∇X` reduce): point-to-point fan-in to the last
+//!   virtual stage's device (the paper uses an NCCL AllReduce for volume
+//!   balance; the fan-in is numerically identical);
+//! * input-layer all-reduce / gradient broadcast: fan-in to and fan-out
+//!   from the first virtual stage's device.
+
+use crate::comm::{TAG_C0, TAG_C2, TAG_INGRAD, TAG_INPART};
+use crate::data::Microbatch;
+use crate::engine::{Device, Mode};
+use crate::state::BarrierSlot;
+use std::sync::Arc;
+use vp_core::output::{BarrierOutput, SState};
+use vp_core::VocabAlgo;
+use vp_tensor::{Result, Tensor, TensorError};
+
+impl Device {
+    /// Sharded input-layer forward: embed this shard's slice of the
+    /// vocabulary and fan the partial embedding in to the first virtual
+    /// stage's device (the input all-reduce of §6.1).
+    pub(crate) fn input_f(&mut self, k: u32, mb: &Microbatch) -> Result<()> {
+        let partial = match (&self.tied_shard, &self.input_shard) {
+            (Some(tied), _) => tied.input_forward_local(&mb.tokens)?,
+            (None, Some(shard)) => shard.forward_local(&mb.tokens)?,
+            (None, None) => unreachable!("vocab mode has input shards"),
+        };
+        let first_dev = self.map.device_of(0).0;
+        self.send(first_dev, TAG_INPART | k as u64, &partial)
+    }
+
+    /// Produces the first virtual stage's input: the full embedding in
+    /// baseline mode, the summed partial embeddings in vocab mode — plus
+    /// the positional embedding either way.
+    pub(crate) fn embed_input(&mut self, k: u32, mb: &Microbatch) -> Result<Tensor> {
+        let mut x = match self.mode {
+            Mode::Baseline => {
+                let input = self
+                    .full_input
+                    .as_ref()
+                    .expect("baseline hosts the input layer");
+                let (embedded, cache) = input.forward(&mb.tokens)?;
+                self.state(k).emb_cache = Some(cache);
+                embedded
+            }
+            Mode::Vocab(_) => {
+                // Sum the p partial embeddings (the input all-reduce).
+                let mut acc = Tensor::zeros(mb.tokens.len(), self.config.hidden);
+                for src in 0..self.map.devices {
+                    let part = self.recv(src, TAG_INPART | k as u64)?;
+                    acc.add_assign(&part)?;
+                }
+                acc
+            }
+        };
+        let pos = self
+            .pos
+            .as_ref()
+            .expect("first-stage device owns the positional embedding");
+        x.add_assign(pos.value())?;
+        Ok(x)
+    }
+
+    /// Output-layer `S` pass: local softmax statistics on this shard's
+    /// logits, then the `C1` barrier submitted asynchronously on the
+    /// communication stream.
+    pub(crate) fn s_pass(&mut self, k: u32, mb: &Microbatch) -> Result<()> {
+        let algo = self.algo();
+        let root = self.c0_root();
+        let x = self.recv(root, TAG_C0 | k as u64)?;
+        let labels = mb.labels.clone();
+        let mut state = Some(match (&self.tied_shard, &self.output_shard) {
+            (Some(tied), _) => tied.s_pass(algo, &x, &labels)?,
+            (None, Some(shard)) => shard.s_pass(algo, &x, &labels)?,
+            (None, None) => unreachable!("vocab mode has output shards"),
+        });
+        let comm = Arc::clone(&self.c1_comm);
+        let handle = self
+            .c1_stream
+            .submit(move || -> Result<(SState, BarrierOutput)> {
+                let mut state = state.take().expect("state moved into job");
+                let out = match algo {
+                    VocabAlgo::Alg1 => state.barrier_alg1(&comm)?,
+                    VocabAlgo::Alg2 => state.barrier_alg2(&comm)?,
+                    VocabAlgo::Naive => {
+                        return Err(TensorError::InvalidArgument(
+                            "naive grouping is not streamed".into(),
+                        ))
+                    }
+                };
+                Ok((state, out))
+            });
+        let st = self.state(k);
+        st.x_c0 = Some(x);
+        st.barrier = BarrierSlot::Pending(handle);
+        Ok(())
+    }
+
+    /// Output-layer `T` pass: consume the resolved barrier, accumulate the
+    /// shard's weight gradient, and produce its `∇X` contribution (sent
+    /// over `C2` for Algorithm 1; all-reduced inside the barrier for
+    /// Algorithm 2).
+    pub(crate) fn t_pass(&mut self, k: u32) -> Result<()> {
+        let algo = self.algo();
+        let record_loss = self.rank == 0;
+        let st = self.states.get_mut(&k).expect("T after S");
+        let (state, loss) = st.barrier.take_state()?;
+        let x = st.x_c0.take().expect("S stored the broadcast activation");
+        if record_loss {
+            self.losses.push(loss);
+        }
+        match algo {
+            VocabAlgo::Alg1 => {
+                let dx_partial = match (&mut self.tied_shard, &mut self.output_shard) {
+                    (Some(tied), _) => tied.t_pass_alg1(&state, &x)?,
+                    (None, Some(shard)) => shard.t_pass_alg1(&state, &x)?,
+                    (None, None) => unreachable!("vocab mode has output shards"),
+                };
+                let root = self.c0_root();
+                self.send(root, TAG_C2 | k as u64, &dx_partial)?;
+            }
+            VocabAlgo::Alg2 => match (&mut self.tied_shard, &mut self.output_shard) {
+                (Some(tied), _) => tied.t_pass_alg2(&state, &x)?,
+                (None, Some(shard)) => shard.t_pass_alg2(&state, &x)?,
+                (None, None) => unreachable!("vocab mode has output shards"),
+            },
+            VocabAlgo::Naive => unreachable!("rejected at submission"),
+        }
+        Ok(())
+    }
+
+    /// Sharded input-layer backward: receive the broadcast embedding
+    /// gradient and scatter it into this shard's rows.
+    pub(crate) fn input_b(&mut self, k: u32, mb: &Microbatch) -> Result<()> {
+        let first_dev = self.map.device_of(0).0;
+        let dy = self.recv(first_dev, TAG_INGRAD | k as u64)?;
+        match (&mut self.tied_shard, &mut self.input_shard) {
+            (Some(tied), _) => tied.input_backward(&mb.tokens, &dy),
+            (None, Some(shard)) => shard.backward(&mb.tokens, &dy),
+            (None, None) => unreachable!("vocab mode has input shards"),
+        }
+    }
+}

@@ -19,7 +19,10 @@ fn bpe_source(seq_len: usize, vocab_target: usize) -> (DataSource, usize) {
     let samples: Vec<Microbatch> = ds
         .epoch(0)
         .into_iter()
-        .map(|s| Microbatch { tokens: s.tokens, labels: s.labels })
+        .map(|s| Microbatch {
+            tokens: s.tokens,
+            labels: s.labels,
+        })
         .collect();
     (DataSource::Fixed(Arc::new(samples)), tok.vocab_size())
 }
@@ -27,7 +30,10 @@ fn bpe_source(seq_len: usize, vocab_target: usize) -> (DataSource, usize) {
 #[test]
 fn pipelined_training_on_bpe_data_matches_reference() {
     let (source, vocab) = bpe_source(16, 320);
-    let config = TinyConfig { vocab, ..TinyConfig::default() };
+    let config = TinyConfig {
+        vocab,
+        ..TinyConfig::default()
+    };
     let reference = train_reference_on(&config, 5, &source).unwrap();
     for algo in [VocabAlgo::Alg1, VocabAlgo::Alg2] {
         let pipeline = train_pipeline_on(
@@ -51,10 +57,19 @@ fn pipelined_training_on_bpe_data_matches_reference() {
 #[test]
 fn loss_decreases_on_real_text() {
     let (source, vocab) = bpe_source(16, 320);
-    let config = TinyConfig { vocab, ..TinyConfig::default() };
-    let losses =
-        train_pipeline_on(&config, 2, Mode::Vocab(VocabAlgo::Alg2), ScheduleFamily::OneFOneB, 12, &source)
-            .unwrap();
+    let config = TinyConfig {
+        vocab,
+        ..TinyConfig::default()
+    };
+    let losses = train_pipeline_on(
+        &config,
+        2,
+        Mode::Vocab(VocabAlgo::Alg2),
+        ScheduleFamily::OneFOneB,
+        12,
+        &source,
+    )
+    .unwrap();
     assert!(
         losses.last().unwrap() < &losses[0],
         "loss should fall on structured text: {losses:?}"

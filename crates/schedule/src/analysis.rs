@@ -46,7 +46,11 @@ impl ScheduleAnalysis {
         for d in 0..p {
             let passes = schedule.passes(d);
             if passes.is_empty() {
-                idle.push(IdleBreakdown { warmup: report.makespan, steady: 0.0, drain: 0.0 });
+                idle.push(IdleBreakdown {
+                    warmup: report.makespan,
+                    steady: 0.0,
+                    drain: 0.0,
+                });
                 continue;
             }
             let first_start = report.start[d][0];
@@ -63,7 +67,12 @@ impl ScheduleAnalysis {
                 drain: (report.makespan - last_end).max(0.0),
             });
         }
-        ScheduleAnalysis { idle, time_by_kind, makespan: report.makespan, devices: p }
+        ScheduleAnalysis {
+            idle,
+            time_by_kind,
+            makespan: report.makespan,
+            devices: p,
+        }
     }
 
     /// Mean idle fraction across devices.
@@ -75,10 +84,16 @@ impl ScheduleAnalysis {
     /// Fraction of total busy time spent in vocabulary passes
     /// (`S`/`S2`/`T` and the sharded input passes).
     pub fn vocab_fraction(&self) -> f64 {
-        let vocab: f64 = [PassKind::S, PassKind::S2, PassKind::T, PassKind::InputF, PassKind::InputB]
-            .iter()
-            .filter_map(|k| self.time_by_kind.get(k))
-            .sum();
+        let vocab: f64 = [
+            PassKind::S,
+            PassKind::S2,
+            PassKind::T,
+            PassKind::InputF,
+            PassKind::InputB,
+        ]
+        .iter()
+        .filter_map(|k| self.time_by_kind.get(k))
+        .sum();
         let total: f64 = self.time_by_kind.values().sum();
         if total == 0.0 {
             0.0
@@ -132,19 +147,35 @@ mod tests {
         assert!((a.idle[3].drain - 6.0).abs() < 0.3, "{:?}", a.idle[3]);
         // Steady-state stalls are small in balanced 1F1B.
         for d in 0..4 {
-            assert!(a.idle[d].steady < 0.15 * a.makespan, "device {d}: {:?}", a.idle[d]);
+            assert!(
+                a.idle[d].steady < 0.15 * a.makespan,
+                "device {d}: {:?}",
+                a.idle[d]
+            );
         }
         // Known bubble: (p−1)(f+b) of the (m+p−1)(f+b) makespan.
         let expected = 3.0 / 35.0;
-        assert!((a.mean_bubble() - expected).abs() < 0.05, "{}", a.mean_bubble());
+        assert!(
+            (a.mean_bubble() - expected).abs() < 0.05,
+            "{}",
+            a.mean_bubble()
+        );
     }
 
     #[test]
     fn vocab_fraction_tracks_pass_times() {
-        let times = PassTimes { s: 0.3, t: 0.3, ..PassTimes::default() };
+        let times = PassTimes {
+            s: 0.3,
+            t: 0.3,
+            ..PassTimes::default()
+        };
         let a = analyze(&vocab_1f1b(4, 24, VocabVariant::Alg2, times, false), times);
         let expected = 0.6 / 3.6;
-        assert!((a.vocab_fraction() - expected).abs() < 0.02, "{}", a.vocab_fraction());
+        assert!(
+            (a.vocab_fraction() - expected).abs() < 0.02,
+            "{}",
+            a.vocab_fraction()
+        );
         let plain = analyze(&one_f_one_b(4, 24, times), times);
         assert_eq!(plain.vocab_fraction(), 0.0);
     }

@@ -3,7 +3,6 @@
 //! paper in §5.2).
 
 use crate::pass::{PassKind, Schedule, ScheduleKind, ScheduledPass};
-use serde::{Deserialize, Serialize};
 
 /// Relative durations of the pass kinds, in arbitrary units.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// roughly twice the forward pass (§6.1 profiles this and notes deviations
 /// rarely change the schedule); [`PassTimes::default`] encodes that
 /// assumption with small vocabulary passes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PassTimes {
     /// Transformer forward.
     pub f: f64,
@@ -34,7 +33,16 @@ pub struct PassTimes {
 
 impl Default for PassTimes {
     fn default() -> Self {
-        PassTimes { f: 1.0, b: 2.0, w: 0.0, s: 0.3, t: 0.3, input_f: 0.05, input_b: 0.05, comm: 0.01 }
+        PassTimes {
+            f: 1.0,
+            b: 2.0,
+            w: 0.0,
+            s: 0.3,
+            t: 0.3,
+            input_f: 0.05,
+            input_b: 0.05,
+            comm: 0.01,
+        }
     }
 }
 
@@ -55,7 +63,7 @@ impl PassTimes {
 
 /// One pass of the building block: its kind, chunk and start offset for
 /// microbatch 0.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockEntry {
     /// What runs.
     pub kind: PassKind,
@@ -73,7 +81,7 @@ pub struct BlockEntry {
 /// sorting each device's passes by start time yields the schedule's
 /// per-device execution order. The analytic peak activation memory is
 /// `ceil(lifespan / interval)` per §5.2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BuildingBlock {
     kind: ScheduleKind,
     entries: Vec<Vec<BlockEntry>>,
@@ -95,9 +103,18 @@ impl BuildingBlock {
         times: PassTimes,
         chunks: u8,
     ) -> Self {
-        assert!(!entries.is_empty(), "building block must cover at least one device");
+        assert!(
+            !entries.is_empty(),
+            "building block must cover at least one device"
+        );
         assert!(interval > 0.0, "interval must be positive");
-        BuildingBlock { kind, entries, interval, times, chunks }
+        BuildingBlock {
+            kind,
+            entries,
+            interval,
+            times,
+            chunks,
+        }
     }
 
     /// Number of devices the block covers.
@@ -131,12 +148,10 @@ impl BuildingBlock {
     ///
     /// Returns `None` if the device has no `F`/`B` pair for that chunk.
     pub fn lifespan(&self, d: usize, chunk: u8) -> Option<f64> {
-        let f = self
-            .entries[d]
+        let f = self.entries[d]
             .iter()
             .find(|e| e.kind == PassKind::F && e.chunk == chunk)?;
-        let b = self
-            .entries[d]
+        let b = self.entries[d]
             .iter()
             .find(|e| e.kind == PassKind::B && e.chunk == chunk)?;
         Some(b.offset + self.times.duration(PassKind::B) - f.offset)
@@ -246,7 +261,11 @@ mod tests {
         let entries = (0..p)
             .map(|d| {
                 vec![
-                    BlockEntry { kind: PassKind::F, chunk: 0, offset: d as f64 * times.f },
+                    BlockEntry {
+                        kind: PassKind::F,
+                        chunk: 0,
+                        offset: d as f64 * times.f,
+                    },
                     BlockEntry {
                         kind: PassKind::B,
                         chunk: 0,
@@ -291,7 +310,11 @@ mod tests {
     fn last_device_alternates_f_and_b() {
         let block = block_1f1b(4);
         let sched = block.generate(6);
-        let seq: String = sched.passes(3).iter().map(|pass| pass.kind.glyph()).collect();
+        let seq: String = sched
+            .passes(3)
+            .iter()
+            .map(|pass| pass.kind.glyph())
+            .collect();
         // Device p−1 warms up with a single F, then strictly alternates.
         assert!(seq.starts_with("FB"), "{seq}");
         assert!(!seq.contains("FF"), "{seq}");
@@ -302,7 +325,11 @@ mod tests {
         let p = 4;
         let block = block_1f1b(p);
         let sched = block.generate(8);
-        let seq: String = sched.passes(0).iter().map(|pass| pass.kind.glyph()).collect();
+        let seq: String = sched
+            .passes(0)
+            .iter()
+            .map(|pass| pass.kind.glyph())
+            .collect();
         assert!(seq.starts_with("FFFFB"), "{seq}");
     }
 

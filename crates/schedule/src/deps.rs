@@ -15,7 +15,10 @@
 //!   before the first stage's forward; input-layer backwards wait for the
 //!   first stage's backward to produce the embedding gradient.
 
-use crate::pass::{placement_device_of, placement_stage_of, ChunkPlacement, PassKind, Schedule, ScheduleKind, ScheduledPass, VocabVariant};
+use crate::pass::{
+    placement_device_of, placement_stage_of, ChunkPlacement, PassKind, Schedule, ScheduleKind,
+    ScheduledPass, VocabVariant,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -207,7 +210,10 @@ impl DepContext {
                         }
                         ScheduleKind::Interlaced => {
                             for src in 0..p {
-                                out.push(((PassKind::OutputB, mb, 0, src), EdgeKind::InterlacedSync));
+                                out.push((
+                                    (PassKind::OutputB, mb, 0, src),
+                                    EdgeKind::InterlacedSync,
+                                ));
                             }
                         }
                     }
@@ -235,7 +241,9 @@ impl DepContext {
             }
             PassKind::T => {
                 let (gate, kind) = match self.kind {
-                    ScheduleKind::Vocab(VocabVariant::Naive) => (PassKind::S2, EdgeKind::NaiveBarrier),
+                    ScheduleKind::Vocab(VocabVariant::Naive) => {
+                        (PassKind::S2, EdgeKind::NaiveBarrier)
+                    }
                     _ => (PassKind::S, EdgeKind::C1Barrier),
                 };
                 for src in 0..p {
@@ -262,7 +270,10 @@ fn index_schedule(schedule: &Schedule) -> Result<HashMap<Key, (usize, usize)>, D
     for (d, i, pass) in schedule.iter_all() {
         let key = (pass.kind, pass.microbatch, pass.chunk, d);
         if map.insert(key, (d, i)).is_some() {
-            return Err(DepError::DuplicatePass { device: d, pass: *pass });
+            return Err(DepError::DuplicatePass {
+                device: d,
+                pass: *pass,
+            });
         }
     }
     Ok(map)
@@ -280,17 +291,25 @@ pub fn build_deps(schedule: &Schedule) -> Result<DepGraph, DepError> {
     let map = index_schedule(schedule)?;
     let ctx = DepContext::of(schedule);
     let p = schedule.devices();
-    let mut preds: Vec<Vec<Vec<Dep>>> =
-        (0..p).map(|d| vec![Vec::new(); schedule.passes(d).len()]).collect();
+    let mut preds: Vec<Vec<Vec<Dep>>> = (0..p)
+        .map(|d| vec![Vec::new(); schedule.passes(d).len()])
+        .collect();
     for (d, i, pass) in schedule.iter_all() {
         for (key, kind) in ctx.logical_preds(pass, d) {
-            let (pd, pi) = map.get(&key).copied().ok_or_else(|| DepError::MissingPass {
-                what: format!(
-                    "{:?} mb={} chunk={} on device {} (needed by {pass} on device {d})",
-                    key.0, key.1, key.2, key.3
-                ),
-            })?;
-            preds[d][i].push(Dep { device: pd, index: pi, kind });
+            let (pd, pi) = map
+                .get(&key)
+                .copied()
+                .ok_or_else(|| DepError::MissingPass {
+                    what: format!(
+                        "{:?} mb={} chunk={} on device {} (needed by {pass} on device {d})",
+                        key.0, key.1, key.2, key.3
+                    ),
+                })?;
+            preds[d][i].push(Dep {
+                device: pd,
+                index: pi,
+                kind,
+            });
         }
     }
     Ok(DepGraph { preds })
@@ -306,7 +325,9 @@ pub fn validate(schedule: &Schedule) -> Result<DepGraph, DepError> {
     let graph = build_deps(schedule)?;
     let p = schedule.devices();
     let mut cursor = vec![0usize; p];
-    let mut done: Vec<Vec<bool>> = (0..p).map(|d| vec![false; schedule.passes(d).len()]).collect();
+    let mut done: Vec<Vec<bool>> = (0..p)
+        .map(|d| vec![false; schedule.passes(d).len()])
+        .collect();
     loop {
         let mut progressed = false;
         let mut all_done = true;
@@ -316,7 +337,10 @@ pub fn validate(schedule: &Schedule) -> Result<DepGraph, DepError> {
             while cursor[d] < schedule.passes(d).len() {
                 all_done = false;
                 let i = cursor[d];
-                let ready = graph.preds(d, i).iter().all(|dep| done[dep.device][dep.index]);
+                let ready = graph
+                    .preds(d, i)
+                    .iter()
+                    .all(|dep| done[dep.device][dep.index]);
                 if !ready {
                     break;
                 }
@@ -332,8 +356,13 @@ pub fn validate(schedule: &Schedule) -> Result<DepGraph, DepError> {
             return Ok(graph);
         }
         if !progressed {
-            let d = (0..p).find(|&d| cursor[d] < schedule.passes(d).len()).expect("some device is stuck");
-            return Err(DepError::Deadlock { device: d, pass: schedule.passes(d)[cursor[d]] });
+            let d = (0..p)
+                .find(|&d| cursor[d] < schedule.passes(d).len())
+                .expect("some device is stuck");
+            return Err(DepError::Deadlock {
+                device: d,
+                pass: schedule.passes(d)[cursor[d]],
+            });
         }
     }
 }
@@ -356,7 +385,8 @@ mod tests {
         for variant in [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2] {
             for include_input in [false, true] {
                 let sched = vocab_1f1b(4, 8, variant, PassTimes::default(), include_input);
-                validate(&sched).unwrap_or_else(|e| panic!("{variant:?} input={include_input}: {e}"));
+                validate(&sched)
+                    .unwrap_or_else(|e| panic!("{variant:?} input={include_input}: {e}"));
             }
         }
     }
@@ -369,7 +399,11 @@ mod tests {
     #[test]
     fn vhalf_validates() {
         validate(&vhalf(4, 8, PassTimes::default())).unwrap();
-        let times = PassTimes { w: 1.0, b: 1.0, ..PassTimes::default() };
+        let times = PassTimes {
+            w: 1.0,
+            b: 1.0,
+            ..PassTimes::default()
+        };
         validate(&vhalf(4, 8, times)).unwrap();
     }
 
@@ -389,7 +423,10 @@ mod tests {
             1,
             vec![vec![], vec![ScheduledPass::new(PassKind::F, 0)]],
         );
-        assert!(matches!(build_deps(&sched), Err(DepError::MissingPass { .. })));
+        assert!(matches!(
+            build_deps(&sched),
+            Err(DepError::MissingPass { .. })
+        ));
     }
 
     #[test]
@@ -399,9 +436,15 @@ mod tests {
             ScheduleKind::Plain,
             1,
             1,
-            vec![vec![ScheduledPass::new(PassKind::F, 0), ScheduledPass::new(PassKind::F, 0)]],
+            vec![vec![
+                ScheduledPass::new(PassKind::F, 0),
+                ScheduledPass::new(PassKind::F, 0),
+            ]],
         );
-        assert!(matches!(build_deps(&sched), Err(DepError::DuplicatePass { .. })));
+        assert!(matches!(
+            build_deps(&sched),
+            Err(DepError::DuplicatePass { .. })
+        ));
     }
 
     #[test]
@@ -418,8 +461,14 @@ mod tests {
             1,
             1,
             vec![
-                vec![ScheduledPass::new(PassKind::F, 0), ScheduledPass::new(PassKind::B, 0)],
-                vec![ScheduledPass::new(PassKind::B, 0), ScheduledPass::new(PassKind::F, 0)],
+                vec![
+                    ScheduledPass::new(PassKind::F, 0),
+                    ScheduledPass::new(PassKind::B, 0),
+                ],
+                vec![
+                    ScheduledPass::new(PassKind::B, 0),
+                    ScheduledPass::new(PassKind::F, 0),
+                ],
             ],
         );
         // dev0.B0 depends on dev1.B0 (grad chain); dev1.B0 is first in its

@@ -51,7 +51,11 @@ pub struct UnitCosts {
 impl UnitCosts {
     /// Creates unit costs for a schedule with the given chunk count.
     pub fn new(times: PassTimes, chunks: u8) -> Self {
-        UnitCosts { times, chunks: chunks.max(1), barrier_comm: times.comm }
+        UnitCosts {
+            times,
+            chunks: chunks.max(1),
+            barrier_comm: times.comm,
+        }
     }
 
     /// Overrides the cost of collective (barrier) edges, modelling slow
@@ -117,7 +121,10 @@ impl ExecReport {
     /// Mean idle fraction across devices.
     pub fn mean_bubble_fraction(&self) -> f64 {
         let p = self.busy.len() as f64;
-        (0..self.busy.len()).map(|d| self.bubble_fraction(d)).sum::<f64>() / p
+        (0..self.busy.len())
+            .map(|d| self.bubble_fraction(d))
+            .sum::<f64>()
+            / p
     }
 }
 
@@ -148,9 +155,13 @@ impl<'a, C: Costs> Executor<'a, C> {
     /// Executes a schedule whose dependency graph was already validated.
     pub fn run_with_graph(&self, schedule: &Schedule, graph: &DepGraph) -> ExecReport {
         let p = schedule.devices();
-        let mut start: Vec<Vec<f64>> = (0..p).map(|d| vec![0.0; schedule.passes(d).len()]).collect();
+        let mut start: Vec<Vec<f64>> = (0..p)
+            .map(|d| vec![0.0; schedule.passes(d).len()])
+            .collect();
         let mut end: Vec<Vec<f64>> = start.clone();
-        let mut done: Vec<Vec<bool>> = (0..p).map(|d| vec![false; schedule.passes(d).len()]).collect();
+        let mut done: Vec<Vec<bool>> = (0..p)
+            .map(|d| vec![false; schedule.passes(d).len()])
+            .collect();
         let mut cursor = vec![0usize; p];
         let mut free_at = vec![0.0f64; p];
         let mut busy = vec![0.0f64; p];
@@ -216,7 +227,14 @@ impl<'a, C: Costs> Executor<'a, C> {
             assert!(progressed, "validated schedule cannot deadlock");
         }
         let makespan = end.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
-        ExecReport { start, end, busy, makespan, peak_activation_units: peak_units, peak_resident_microbatches: peak_resident }
+        ExecReport {
+            start,
+            end,
+            busy,
+            makespan,
+            peak_activation_units: peak_units,
+            peak_resident_microbatches: peak_resident,
+        }
     }
 }
 
@@ -232,8 +250,16 @@ mod tests {
     }
 
     fn passes_times(_s: &Schedule) -> &'static PassTimes {
-        static TIMES: PassTimes =
-            PassTimes { f: 1.0, b: 2.0, w: 0.0, s: 0.3, t: 0.3, input_f: 0.05, input_b: 0.05, comm: 0.01 };
+        static TIMES: PassTimes = PassTimes {
+            f: 1.0,
+            b: 2.0,
+            w: 0.0,
+            s: 0.3,
+            t: 0.3,
+            input_f: 0.05,
+            input_b: 0.05,
+            comm: 0.01,
+        };
         &TIMES
     }
 
@@ -241,7 +267,11 @@ mod tests {
     fn one_f_one_b_makespan_matches_theory() {
         // 1F1B: makespan ≈ (p−1)(f+b) warmup/drain + m(f+b) steady state.
         let (p, m) = (4, 16);
-        let sched = one_f_one_b(p, m as u32, *passes_times(&one_f_one_b(1, 1, PassTimes::default())));
+        let sched = one_f_one_b(
+            p,
+            m as u32,
+            *passes_times(&one_f_one_b(1, 1, PassTimes::default())),
+        );
         let report = unit_run(&sched);
         let expected = (p - 1) as f64 * 3.0 + m as f64 * 3.0;
         assert!(
@@ -265,9 +295,18 @@ mod tests {
     fn vocab_alg1_adds_two_microbatches_alg2_one() {
         let p = 4;
         let m = 16;
-        let times = PassTimes { s: 0.05, t: 0.05, comm: 0.001, ..PassTimes::default() };
+        let times = PassTimes {
+            s: 0.05,
+            t: 0.05,
+            comm: 0.001,
+            ..PassTimes::default()
+        };
         let plain = unit_run(&one_f_one_b(p, m, times));
-        for (variant, extra) in [(VocabVariant::Alg1, 2), (VocabVariant::Alg2, 1), (VocabVariant::Naive, 3)] {
+        for (variant, extra) in [
+            (VocabVariant::Alg1, 2),
+            (VocabVariant::Alg2, 1),
+            (VocabVariant::Naive, 3),
+        ] {
             let sched = vocab_1f1b(p, m, variant, times, false);
             let costs = UnitCosts::new(times, 1);
             let report = Executor::new(&costs).run(&sched).unwrap();
@@ -289,7 +328,11 @@ mod tests {
         // Each device only idles during warmup/drain: ≈(p−1)(f+b) of the
         // ≈(m+p−1)(f+b) makespan.
         for d in 0..4 {
-            assert!(report.bubble_fraction(d) < 0.10, "device {d}: {}", report.bubble_fraction(d));
+            assert!(
+                report.bubble_fraction(d) < 0.10,
+                "device {d}: {}",
+                report.bubble_fraction(d)
+            );
         }
     }
 
@@ -303,7 +346,11 @@ mod tests {
         let p = 4;
         let m = 32;
         let inter = unit_run_barrier(&interlaced_1f1b(p, m, times), times, 0.2);
-        let vocab = unit_run_barrier(&vocab_1f1b(p, m, VocabVariant::Alg2, times, false), times, 0.2);
+        let vocab = unit_run_barrier(
+            &vocab_1f1b(p, m, VocabVariant::Alg2, times, false),
+            times,
+            0.2,
+        );
         assert!(
             inter.makespan > vocab.makespan * 1.05,
             "interlaced {} vs vocab {}",
@@ -323,18 +370,35 @@ mod tests {
 
     #[test]
     fn vhalf_halves_device0_activation_units() {
-        let times = PassTimes { f: 1.0, b: 1.0, w: 1.0, ..PassTimes::default() };
+        let times = PassTimes {
+            f: 1.0,
+            b: 1.0,
+            w: 1.0,
+            ..PassTimes::default()
+        };
         let p = 8;
         let m = 32;
-        let plain_1f1b = unit_run_barrier(&one_f_one_b(p, m, PassTimes::default()), PassTimes::default(), 0.01);
+        let plain_1f1b = unit_run_barrier(
+            &one_f_one_b(p, m, PassTimes::default()),
+            PassTimes::default(),
+            0.01,
+        );
         let v = unit_run_barrier(&vhalf(p, m, times), times, 0.01);
         // In units of one device's layers: V-Half's device-0 peak should be
         // well below 1F1B's p.
         let ratio = v.peak_activation_units[0] / plain_1f1b.peak_activation_units[0];
         assert!(ratio < 0.75, "ratio {ratio}");
         // And balanced across devices.
-        let max = v.peak_activation_units.iter().cloned().fold(0.0f64, f64::max);
-        let min = v.peak_activation_units.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v
+            .peak_activation_units
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let min = v
+            .peak_activation_units
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(max - min <= 1.0, "peaks {:?}", v.peak_activation_units);
     }
 

@@ -17,6 +17,39 @@ use crate::synth::{synthesize, NominalPass, SynthInput};
 /// same nominal time.
 const EPS: f64 = 1e-6;
 
+/// Nominal priorities for the sharded input-layer passes of Appendix C,
+/// shared by every vocabulary-parallel generator.
+///
+/// `interval` is the block's repeat interval, `s0` the offset of the first
+/// `S` pass, `t_offset` the offset of the (possibly deferred) `T` pass and
+/// `b0_end` the finish time of the first virtual stage's backward for
+/// microbatch 0.
+fn input_pass_priorities(
+    m: u32,
+    times: &PassTimes,
+    interval: f64,
+    s0: f64,
+    t_offset: f64,
+    b0_end: f64,
+) -> Vec<(f64, ScheduledPass)> {
+    let mut v = Vec::new();
+    for k in 0..m {
+        // Warm-up: one microbatch ahead of the first stage's F_k
+        // (which runs at k·f during warm-up); steady state:
+        // piggybacked one interval before the S pass (Appendix C).
+        let warmup = k as f64 * times.f - times.input_f - times.comm - EPS;
+        let steady = s0 + k as f64 * interval - interval;
+        v.push((warmup.min(steady), ScheduledPass::new(PassKind::InputF, k)));
+        // Backward: piggybacked one interval after T, but never before
+        // the first stage's backward has produced the gradient
+        // (cool-down handling).
+        let grad_ready = b0_end + k as f64 * interval + EPS;
+        let b_time = (t_offset + k as f64 * interval + interval).max(grad_ready);
+        v.push((b_time, ScheduledPass::new(PassKind::InputB, k)));
+    }
+    v
+}
+
 fn synthesize_block(
     block: &BuildingBlock,
     m: u32,
@@ -40,7 +73,11 @@ fn synthesize_block_placed(
                 .into_iter()
                 .map(|(priority, pass)| NominalPass { pass, priority })
                 .collect();
-            v.extend(extra(d).into_iter().map(|(priority, pass)| NominalPass { pass, priority }));
+            v.extend(
+                extra(d)
+                    .into_iter()
+                    .map(|(priority, pass)| NominalPass { pass, priority }),
+            );
             v
         })
         .collect();
@@ -66,7 +103,11 @@ pub fn one_f_one_b_block(p: usize, times: PassTimes) -> BuildingBlock {
     let entries = (0..p)
         .map(|d| {
             vec![
-                BlockEntry { kind: PassKind::F, chunk: 0, offset: d as f64 * times.f },
+                BlockEntry {
+                    kind: PassKind::F,
+                    chunk: 0,
+                    offset: d as f64 * times.f,
+                },
                 BlockEntry {
                     kind: PassKind::B,
                     chunk: 0,
@@ -99,14 +140,22 @@ pub fn one_f_one_b(p: usize, m: u32, times: PassTimes) -> Schedule {
 /// overhead in microbatches (§5.2).
 pub fn vocab_1f1b_block(p: usize, variant: VocabVariant, times: PassTimes) -> BuildingBlock {
     assert!(p > 0, "need at least one device");
-    let out_time: f64 = variant.output_passes().iter().map(|&k| times.duration(k)).sum();
+    let out_time: f64 = variant
+        .output_passes()
+        .iter()
+        .map(|&k| times.duration(k))
+        .sum();
     let interval = times.f + times.b + out_time;
     let n = variant.barriers() as f64;
     let s0 = p as f64 * times.f + times.comm;
     let entries = (0..p)
         .map(|d| {
             let mut v = vec![
-                BlockEntry { kind: PassKind::F, chunk: 0, offset: d as f64 * times.f },
+                BlockEntry {
+                    kind: PassKind::F,
+                    chunk: 0,
+                    offset: d as f64 * times.f,
+                },
                 BlockEntry {
                     kind: PassKind::B,
                     chunk: 0,
@@ -117,7 +166,11 @@ pub fn vocab_1f1b_block(p: usize, variant: VocabVariant, times: PassTimes) -> Bu
                 },
             ];
             for (i, &kind) in variant.output_passes().iter().enumerate() {
-                v.push(BlockEntry { kind, chunk: 0, offset: s0 + i as f64 * interval });
+                v.push(BlockEntry {
+                    kind,
+                    chunk: 0,
+                    offset: s0 + i as f64 * interval,
+                });
             }
             v
         })
@@ -162,22 +215,7 @@ pub fn vocab_1f1b(
         if !include_input {
             return Vec::new();
         }
-        let mut v = Vec::new();
-        for k in 0..m {
-            // Warm-up: one microbatch ahead of the first stage's F_k
-            // (which runs at k·f during warm-up); steady state:
-            // piggybacked one interval before the S pass (Appendix C).
-            let warmup = k as f64 * times.f - times.input_f - times.comm - EPS;
-            let steady = s0 + k as f64 * interval - interval;
-            v.push((warmup.min(steady), ScheduledPass::new(PassKind::InputF, k)));
-            // Backward: piggybacked one interval after T, but never before
-            // the first stage's backward has produced the gradient
-            // (cool-down handling).
-            let grad_ready = b0_end + k as f64 * interval + EPS;
-            let b_time = (t_offset + k as f64 * interval + interval).max(grad_ready);
-            v.push((b_time, ScheduledPass::new(PassKind::InputB, k)));
-        }
-        v
+        input_pass_priorities(m, &times, interval, s0, t_offset, b0_end)
     })
 }
 
@@ -194,16 +232,31 @@ pub fn vocab_1f1b(
 /// bubbles.
 pub fn zb_1f1b_block(p: usize, times: PassTimes) -> BuildingBlock {
     assert!(p > 0, "need at least one device");
-    assert!(times.w > 0.0, "zero-bubble schedules require a split W pass time");
+    assert!(
+        times.w > 0.0,
+        "zero-bubble schedules require a split W pass time"
+    );
     let interval = times.f + times.b + times.w;
     let entries = (0..p)
         .map(|d| {
             let b_off = p as f64 * times.f + (p - 1 - d) as f64 * times.b + times.comm;
             vec![
-                BlockEntry { kind: PassKind::F, chunk: 0, offset: d as f64 * times.f },
-                BlockEntry { kind: PassKind::B, chunk: 0, offset: b_off },
+                BlockEntry {
+                    kind: PassKind::F,
+                    chunk: 0,
+                    offset: d as f64 * times.f,
+                },
+                BlockEntry {
+                    kind: PassKind::B,
+                    chunk: 0,
+                    offset: b_off,
+                },
                 // Deferred by one interval: a pure filler.
-                BlockEntry { kind: PassKind::W, chunk: 0, offset: b_off + interval },
+                BlockEntry {
+                    kind: PassKind::W,
+                    chunk: 0,
+                    offset: b_off + interval,
+                },
             ]
         })
         .collect();
@@ -222,8 +275,15 @@ pub fn zb_1f1b(p: usize, m: u32, times: PassTimes) -> Schedule {
 /// zero-bubble affinity the paper points out in §4.4.
 pub fn zb_vocab_1f1b_block(p: usize, variant: VocabVariant, times: PassTimes) -> BuildingBlock {
     assert!(p > 0, "need at least one device");
-    assert!(times.w > 0.0, "zero-bubble schedules require a split W pass time");
-    let out_time: f64 = variant.output_passes().iter().map(|&k| times.duration(k)).sum();
+    assert!(
+        times.w > 0.0,
+        "zero-bubble schedules require a split W pass time"
+    );
+    let out_time: f64 = variant
+        .output_passes()
+        .iter()
+        .map(|&k| times.duration(k))
+        .sum();
     let interval = times.f + times.b + times.w + out_time;
     let n = variant.barriers() as f64;
     let s0 = p as f64 * times.f + times.comm;
@@ -232,9 +292,21 @@ pub fn zb_vocab_1f1b_block(p: usize, variant: VocabVariant, times: PassTimes) ->
             let b_off =
                 p as f64 * times.f + n * interval + (p - 1 - d) as f64 * times.b + times.comm;
             let mut v = vec![
-                BlockEntry { kind: PassKind::F, chunk: 0, offset: d as f64 * times.f },
-                BlockEntry { kind: PassKind::B, chunk: 0, offset: b_off },
-                BlockEntry { kind: PassKind::W, chunk: 0, offset: b_off + interval },
+                BlockEntry {
+                    kind: PassKind::F,
+                    chunk: 0,
+                    offset: d as f64 * times.f,
+                },
+                BlockEntry {
+                    kind: PassKind::B,
+                    chunk: 0,
+                    offset: b_off,
+                },
+                BlockEntry {
+                    kind: PassKind::W,
+                    chunk: 0,
+                    offset: b_off + interval,
+                },
             ];
             for (i, &kind) in variant.output_passes().iter().enumerate() {
                 let defer = if kind == PassKind::T && variant == VocabVariant::Alg2 {
@@ -243,7 +315,11 @@ pub fn zb_vocab_1f1b_block(p: usize, variant: VocabVariant, times: PassTimes) ->
                 } else {
                     i as f64 * interval
                 };
-                v.push(BlockEntry { kind, chunk: 0, offset: s0 + defer });
+                v.push(BlockEntry {
+                    kind,
+                    chunk: 0,
+                    offset: s0 + defer,
+                });
             }
             v
         })
@@ -251,11 +327,38 @@ pub fn zb_vocab_1f1b_block(p: usize, variant: VocabVariant, times: PassTimes) ->
     BuildingBlock::new(ScheduleKind::Vocab(variant), entries, interval, times, 1)
 }
 
-/// Zero-bubble 1F1B with Vocabulary Parallelism.
-pub fn zb_vocab_1f1b(p: usize, m: u32, variant: VocabVariant, times: PassTimes) -> Schedule {
+/// Zero-bubble 1F1B with Vocabulary Parallelism, optionally including the
+/// sharded input-layer passes of Appendix C (required when the schedule is
+/// executed numerically by `vp-runtime`).
+pub fn zb_vocab_1f1b(
+    p: usize,
+    m: u32,
+    variant: VocabVariant,
+    times: PassTimes,
+    include_input: bool,
+) -> Schedule {
     let block = zb_vocab_1f1b_block(p, variant, times);
+    let interval = block.interval();
+    let s0 = p as f64 * times.f + times.comm;
+    // Algorithm 2's T is deferred two intervals in the block above; the
+    // InputB piggyback must track the deferred offset.
+    let t_offset = if variant == VocabVariant::Alg2 {
+        s0 + 2.0 * interval
+    } else {
+        s0 + (variant.output_passes().len() - 1) as f64 * interval
+    };
+    let b0_end = p as f64 * times.f
+        + variant.barriers() as f64 * interval
+        + (p - 1) as f64 * times.b
+        + times.comm
+        + times.b;
     let caps = (0..p).map(|d| vec![p - d + variant.barriers()]).collect();
-    synthesize_block(&block, m, caps, |_| Vec::new())
+    synthesize_block(&block, m, caps, |_d| {
+        if !include_input {
+            return Vec::new();
+        }
+        input_pass_priorities(m, &times, interval, s0, t_offset, b0_end)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -281,9 +384,21 @@ pub fn interlaced_block(p: usize, times: PassTimes) -> BuildingBlock {
             let plain_lifespan = (p - d) as f64 * (times.f + times.b);
             let b_offset = d as f64 * times.f + 1.5 * plain_lifespan - times.b;
             vec![
-                BlockEntry { kind: PassKind::F, chunk: 0, offset: d as f64 * times.f },
-                BlockEntry { kind: PassKind::OutputF, chunk: 0, offset: out_f },
-                BlockEntry { kind: PassKind::OutputB, chunk: 0, offset: out_b },
+                BlockEntry {
+                    kind: PassKind::F,
+                    chunk: 0,
+                    offset: d as f64 * times.f,
+                },
+                BlockEntry {
+                    kind: PassKind::OutputF,
+                    chunk: 0,
+                    offset: out_f,
+                },
+                BlockEntry {
+                    kind: PassKind::OutputB,
+                    chunk: 0,
+                    offset: out_b,
+                },
                 BlockEntry {
                     kind: PassKind::B,
                     chunk: 0,
@@ -351,7 +466,11 @@ fn interleaved_block_inner(
             let mut list = Vec::new();
             for c in 0..chunks {
                 let vs = c as usize * p + d;
-                list.push(BlockEntry { kind: PassKind::F, chunk: c, offset: vs as f64 * times.f });
+                list.push(BlockEntry {
+                    kind: PassKind::F,
+                    chunk: c,
+                    offset: vs as f64 * times.f,
+                });
                 list.push(BlockEntry {
                     kind: PassKind::B,
                     chunk: c,
@@ -360,7 +479,11 @@ fn interleaved_block_inner(
             }
             if let Some(var) = variant {
                 for (i, &kind) in var.output_passes().iter().enumerate() {
-                    list.push(BlockEntry { kind, chunk: 0, offset: s0 + i as f64 * interval });
+                    list.push(BlockEntry {
+                        kind,
+                        chunk: 0,
+                        offset: s0 + i as f64 * interval,
+                    });
                 }
             }
             list
@@ -397,17 +520,35 @@ pub fn interleaved_1f1b(p: usize, chunks: u8, m: u32, times: PassTimes) -> Sched
 /// Interleaved 1F1B with Vocabulary Parallelism: the last virtual stage
 /// lives on device `p−1`, so `C0` broadcasts from there exactly as in the
 /// plain 1F1B integration; everything else is the same building-block
-/// insertion.
+/// insertion. `include_input` adds the sharded input-layer passes of
+/// Appendix C (required for numeric execution by `vp-runtime`).
 pub fn interleaved_vocab_1f1b(
     p: usize,
     chunks: u8,
     m: u32,
     variant: VocabVariant,
     times: PassTimes,
+    include_input: bool,
 ) -> Schedule {
     let block = interleaved_vocab_block(p, chunks, variant, times);
+    let interval = block.interval();
+    let v = p * chunks as usize;
+    let f_last_end = v as f64 * times.f;
+    let s0 = f_last_end + times.comm;
+    let t_offset = s0 + (variant.output_passes().len() - 1) as f64 * interval;
+    // First virtual stage (device 0, chunk 0) backward finish time.
+    let b0_end = f_last_end
+        + variant.barriers() as f64 * interval
+        + (v - 1) as f64 * times.b
+        + times.comm
+        + times.b;
     let caps = interleaved_caps(&block, variant.barriers());
-    synthesize_block_placed(&block, m, caps, ChunkPlacement::RoundRobin, |_| Vec::new())
+    synthesize_block_placed(&block, m, caps, ChunkPlacement::RoundRobin, |_d| {
+        if !include_input {
+            return Vec::new();
+        }
+        input_pass_priorities(m, &times, interval, s0, t_offset, b0_end)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -448,9 +589,21 @@ fn vhalf_block_inner(p: usize, times: PassTimes, variant: Option<VocabVariant>) 
     let entries = (0..p)
         .map(|d| {
             let mut v = vec![
-                BlockEntry { kind: PassKind::F, chunk: 0, offset: d as f64 * times.f },
-                BlockEntry { kind: PassKind::F, chunk: 1, offset: (2 * p - 1 - d) as f64 * times.f },
-                BlockEntry { kind: PassKind::B, chunk: 1, offset: b_start + d as f64 * times.b },
+                BlockEntry {
+                    kind: PassKind::F,
+                    chunk: 0,
+                    offset: d as f64 * times.f,
+                },
+                BlockEntry {
+                    kind: PassKind::F,
+                    chunk: 1,
+                    offset: (2 * p - 1 - d) as f64 * times.f,
+                },
+                BlockEntry {
+                    kind: PassKind::B,
+                    chunk: 1,
+                    offset: b_start + d as f64 * times.b,
+                },
                 BlockEntry {
                     kind: PassKind::B,
                     chunk: 0,
@@ -474,7 +627,11 @@ fn vhalf_block_inner(p: usize, times: PassTimes, variant: Option<VocabVariant>) 
             }
             if let Some(var) = variant {
                 for (i, &kind) in var.output_passes().iter().enumerate() {
-                    v.push(BlockEntry { kind, chunk: 0, offset: s0 + i as f64 * interval });
+                    v.push(BlockEntry {
+                        kind,
+                        chunk: 0,
+                        offset: s0 + i as f64 * interval,
+                    });
                 }
             }
             v
@@ -536,16 +693,7 @@ pub fn vhalf_vocab(
         if !include_input {
             return Vec::new();
         }
-        let mut v = Vec::new();
-        for k in 0..m {
-            let warmup = k as f64 * times.f - times.input_f - times.comm - EPS;
-            let steady = s0 + k as f64 * interval - interval;
-            v.push((warmup.min(steady), ScheduledPass::new(PassKind::InputF, k)));
-            let grad_ready = b0_end + k as f64 * interval + EPS;
-            let b_time = (t_offset + k as f64 * interval + interval).max(grad_ready);
-            v.push((b_time, ScheduledPass::new(PassKind::InputB, k)));
-        }
-        v
+        input_pass_priorities(m, &times, interval, s0, t_offset, b0_end)
     })
 }
 
@@ -559,14 +707,20 @@ mod tests {
         // number of communication barriers. Use zero comm and tiny vocab
         // pass times so the analytic bound is tight: the vocab block's
         // lifespan is exactly `plain lifespan + barriers·interval`.
-        let times = PassTimes { s: 0.01, t: 0.01, comm: 0.0, ..PassTimes::default() };
+        let times = PassTimes {
+            s: 0.01,
+            t: 0.01,
+            comm: 0.0,
+            ..PassTimes::default()
+        };
         let p = 8;
         let plain = one_f_one_b_block(p, times);
         for variant in [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2] {
             let block = vocab_1f1b_block(p, variant, times);
             for d in 0..p {
                 let plain_lifespan = plain.lifespan(d, 0).unwrap();
-                let expected = (plain_lifespan / block.interval()).ceil() + variant.barriers() as f64;
+                let expected =
+                    (plain_lifespan / block.interval()).ceil() + variant.barriers() as f64;
                 let got = block.peak_activation_microbatches(d);
                 assert_eq!(got, expected, "{variant:?} device {d}");
                 // And the overhead never exceeds the barrier count.
@@ -605,7 +759,10 @@ mod tests {
                 .iter()
                 .position(|p| p.kind == PassKind::F && p.microbatch == k)
                 .unwrap();
-            assert!(input_pos < f0_pos, "mb {k}: input at {input_pos}, F at {f0_pos}");
+            assert!(
+                input_pos < f0_pos,
+                "mb {k}: input at {input_pos}, F at {f0_pos}"
+            );
         }
     }
 
@@ -623,12 +780,18 @@ mod tests {
 
     #[test]
     fn vhalf_activation_is_balanced_and_halved() {
-        let times = PassTimes { w: 1.0, b: 1.0, ..PassTimes::default() };
+        let times = PassTimes {
+            w: 1.0,
+            b: 1.0,
+            ..PassTimes::default()
+        };
         let p = 8;
         let block = vhalf_block(p, times);
         // Per-device resident microbatch-chunks must be (near) identical
         // across devices — the balance property.
-        let peaks: Vec<f64> = (0..p).map(|d| block.peak_activation_microbatches(d)).collect();
+        let peaks: Vec<f64> = (0..p)
+            .map(|d| block.peak_activation_microbatches(d))
+            .collect();
         let max = peaks.iter().cloned().fold(0.0f64, f64::max);
         let min = peaks.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max - min <= 1.0, "peaks {peaks:?}");
@@ -658,7 +821,10 @@ mod tests {
             .position(|p| p.kind == PassKind::F && p.microbatch == 0 && p.chunk == 1)
             .unwrap();
         assert!(f1 > f0);
-        assert!(f1 - f0 <= 2, "chunk-1 forward should closely follow chunk-0");
+        assert!(
+            f1 - f0 <= 2,
+            "chunk-1 forward should closely follow chunk-0"
+        );
     }
 
     #[test]
@@ -676,12 +842,20 @@ mod tests {
         // Per-device work is equal: each of the 2 chunks holds half the
         // layers, so its passes take half the time.
         let plain_times = PassTimes::default();
-        let chunk_times = PassTimes { f: 0.5, b: 1.0, ..PassTimes::default() };
+        let chunk_times = PassTimes {
+            f: 0.5,
+            b: 1.0,
+            ..PassTimes::default()
+        };
         let (p, m) = (4usize, 16);
         let plain = one_f_one_b(p, m, plain_times);
         let inter = interleaved_1f1b(p, 2, m, chunk_times);
-        let rp = Executor::new(&UnitCosts::new(plain_times, 1)).run(&plain).unwrap();
-        let ri = Executor::new(&UnitCosts::new(chunk_times, 2)).run(&inter).unwrap();
+        let rp = Executor::new(&UnitCosts::new(plain_times, 1))
+            .run(&plain)
+            .unwrap();
+        let ri = Executor::new(&UnitCosts::new(chunk_times, 2))
+            .run(&inter)
+            .unwrap();
         // The last device starts computing after (p−1)·f/chunks instead of
         // (p−1)·f — the fill-bubble reduction interleaving buys.
         assert!(
@@ -694,7 +868,12 @@ mod tests {
         // of plain 1F1B (Megatron's hand-tuned warmup pattern would
         // convert the earlier start into a net win; our synthesized order
         // trades part of it back — documented limitation).
-        assert!(ri.makespan < 1.05 * rp.makespan, "interleaved {} vs plain {}", ri.makespan, rp.makespan);
+        assert!(
+            ri.makespan < 1.05 * rp.makespan,
+            "interleaved {} vs plain {}",
+            ri.makespan,
+            rp.makespan
+        );
         // More resident microbatch-chunks on device 0 (each holding half
         // the activations) — the known memory cost of interleaving.
         assert!(ri.peak_resident_microbatches[0] > rp.peak_resident_microbatches[0]);
@@ -705,8 +884,12 @@ mod tests {
         use crate::deps::validate;
         use crate::exec::{Executor, UnitCosts};
         for variant in [VocabVariant::Alg1, VocabVariant::Alg2] {
-            let chunk_times = PassTimes { f: 0.5, b: 1.0, ..PassTimes::default() };
-            let sched = interleaved_vocab_1f1b(4, 2, 24, variant, chunk_times);
+            let chunk_times = PassTimes {
+                f: 0.5,
+                b: 1.0,
+                ..PassTimes::default()
+            };
+            let sched = interleaved_vocab_1f1b(4, 2, 24, variant, chunk_times, false);
             validate(&sched).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
             let costs = UnitCosts::new(chunk_times, 2);
             let report = Executor::new(&costs).run(&sched).unwrap();
@@ -727,10 +910,20 @@ mod tests {
     #[test]
     fn zero_bubble_fills_warmup_with_w_passes() {
         use crate::exec::{Executor, UnitCosts};
-        let times = PassTimes { f: 1.0, b: 1.0, w: 1.0, ..PassTimes::default() };
+        let times = PassTimes {
+            f: 1.0,
+            b: 1.0,
+            w: 1.0,
+            ..PassTimes::default()
+        };
         let p = 6;
         let m = 48;
-        let plain_times = PassTimes { f: 1.0, b: 2.0, w: 0.0, ..PassTimes::default() };
+        let plain_times = PassTimes {
+            f: 1.0,
+            b: 2.0,
+            w: 0.0,
+            ..PassTimes::default()
+        };
         let plain = one_f_one_b(p, m, plain_times);
         let zb = zb_1f1b(p, m, times);
         let costs_plain = UnitCosts::new(plain_times, 1);
@@ -750,9 +943,16 @@ mod tests {
     #[test]
     fn zb_vocab_schedules_validate_and_sustain_throughput() {
         use crate::exec::{Executor, UnitCosts};
-        let times = PassTimes { f: 1.0, b: 1.0, w: 1.0, s: 0.3, t: 0.3, ..PassTimes::default() };
+        let times = PassTimes {
+            f: 1.0,
+            b: 1.0,
+            w: 1.0,
+            s: 0.3,
+            t: 0.3,
+            ..PassTimes::default()
+        };
         for variant in [VocabVariant::Alg1, VocabVariant::Alg2] {
-            let sched = zb_vocab_1f1b(4, 48, variant, times);
+            let sched = zb_vocab_1f1b(4, 48, variant, times, false);
             let costs = UnitCosts::new(times, 1);
             let report = Executor::new(&costs).run(&sched).unwrap();
             let interval = 3.0 + 0.6;
@@ -765,6 +965,54 @@ mod tests {
             for d in 0..4 {
                 assert_eq!(sched.count_kind(d, PassKind::W), 48);
                 assert_eq!(sched.count_kind(d, PassKind::T), 48);
+            }
+        }
+    }
+
+    #[test]
+    fn zb_and_interleaved_vocab_input_passes_validate() {
+        use crate::deps::validate;
+        let zb_times = PassTimes {
+            f: 1.0,
+            b: 1.0,
+            w: 1.0,
+            s: 0.3,
+            t: 0.3,
+            ..PassTimes::default()
+        };
+        for variant in [VocabVariant::Alg1, VocabVariant::Alg2] {
+            let sched = zb_vocab_1f1b(4, 12, variant, zb_times, true);
+            validate(&sched).unwrap_or_else(|e| panic!("zb {variant:?}: {e}"));
+            for d in 0..4 {
+                assert_eq!(
+                    sched.count_kind(d, PassKind::InputF),
+                    12,
+                    "zb {variant:?} device {d}"
+                );
+                assert_eq!(
+                    sched.count_kind(d, PassKind::InputB),
+                    12,
+                    "zb {variant:?} device {d}"
+                );
+            }
+            let chunk_times = PassTimes {
+                f: 0.5,
+                b: 1.0,
+                ..PassTimes::default()
+            };
+            let sched = interleaved_vocab_1f1b(4, 2, 12, variant, chunk_times, true);
+            validate(&sched).unwrap_or_else(|e| panic!("interleaved {variant:?}: {e}"));
+            for d in 0..4 {
+                assert_eq!(
+                    sched.count_kind(d, PassKind::InputF),
+                    12,
+                    "il {variant:?} device {d}"
+                );
+                assert_eq!(
+                    sched.count_kind(d, PassKind::InputB),
+                    12,
+                    "il {variant:?} device {d}"
+                );
             }
         }
     }

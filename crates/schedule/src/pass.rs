@@ -1,6 +1,5 @@
 //! Typed pipeline passes and the [`Schedule`] container.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of work a pipeline pass performs.
@@ -9,7 +8,7 @@ use std::fmt;
 /// `F` (forward), `B` (activation gradients) and `W` (weight gradients);
 /// plain 1F1B schedules fold `W` into `B`. The vocabulary passes are the
 /// paper's §4 groupings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PassKind {
     /// Transformer-chunk forward.
     F,
@@ -74,7 +73,7 @@ impl fmt::Display for PassKind {
 }
 
 /// Which output-layer grouping a vocabulary schedule uses (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VocabVariant {
     /// Naive 3-barrier grouping (`F1`/`F2`/`B` of §4.1).
     Naive,
@@ -107,7 +106,7 @@ impl VocabVariant {
 
 /// How a schedule maps virtual pipeline stages onto `(device, chunk)`
 /// pairs when each device hosts several model chunks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChunkPlacement {
     /// V-shape (Qi et al. 2024): chunk 0 descends devices `0..p`, chunk 1
     /// ascends back `p−1..0`. Used by V-Half.
@@ -119,7 +118,7 @@ pub enum ChunkPlacement {
 
 /// The schedule family a [`Schedule`] belongs to; determines the
 /// cross-device dependency rules of [`crate::deps`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {
     /// Plain 1F1B (Baseline / Redis layouts): output layer folded into the
     /// last stage's `F`/`B` passes.
@@ -131,7 +130,7 @@ pub enum ScheduleKind {
 }
 
 /// One pass instance scheduled on a device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScheduledPass {
     /// What the pass computes.
     pub kind: PassKind,
@@ -144,12 +143,20 @@ pub struct ScheduledPass {
 impl ScheduledPass {
     /// Convenience constructor for chunk-0 passes.
     pub fn new(kind: PassKind, microbatch: u32) -> Self {
-        ScheduledPass { kind, microbatch, chunk: 0 }
+        ScheduledPass {
+            kind,
+            microbatch,
+            chunk: 0,
+        }
     }
 
     /// Constructor including the chunk index.
     pub fn with_chunk(kind: PassKind, microbatch: u32, chunk: u8) -> Self {
-        ScheduledPass { kind, microbatch, chunk }
+        ScheduledPass {
+            kind,
+            microbatch,
+            chunk,
+        }
     }
 }
 
@@ -169,7 +176,7 @@ impl fmt::Display for ScheduledPass {
 /// its passes strictly in sequence, blocking on cross-device dependencies);
 /// the dependency relation itself is derived from
 /// [`ScheduleKind`] by [`crate::deps`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     kind: ScheduleKind,
     num_microbatches: u32,
@@ -191,8 +198,17 @@ impl Schedule {
         chunks: u8,
         device_passes: Vec<Vec<ScheduledPass>>,
     ) -> Self {
-        assert!(!device_passes.is_empty(), "schedule must have at least one device");
-        Schedule { kind, num_microbatches, chunks, placement: ChunkPlacement::VShape, device_passes }
+        assert!(
+            !device_passes.is_empty(),
+            "schedule must have at least one device"
+        );
+        Schedule {
+            kind,
+            num_microbatches,
+            chunks,
+            placement: ChunkPlacement::VShape,
+            device_passes,
+        }
     }
 
     /// Overrides the virtual-stage placement (default: V-shape).
@@ -250,7 +266,10 @@ impl Schedule {
 
     /// Number of passes of `kind` on device `d`.
     pub fn count_kind(&self, d: usize, kind: PassKind) -> usize {
-        self.device_passes[d].iter().filter(|p| p.kind == kind).count()
+        self.device_passes[d]
+            .iter()
+            .filter(|p| p.kind == kind)
+            .count()
     }
 
     /// The number of virtual pipeline stages (`devices × chunks`).
@@ -290,7 +309,12 @@ pub fn placement_device_of(placement: ChunkPlacement, devices: usize, stage: usi
 }
 
 /// Maps `(device, chunk)` to a virtual stage under `placement`.
-pub fn placement_stage_of(placement: ChunkPlacement, devices: usize, device: usize, chunk: u8) -> usize {
+pub fn placement_stage_of(
+    placement: ChunkPlacement,
+    devices: usize,
+    device: usize,
+    chunk: u8,
+) -> usize {
     match placement {
         ChunkPlacement::VShape => match chunk {
             0 => device,
@@ -350,6 +374,9 @@ mod tests {
     #[test]
     fn display_formats_compactly() {
         assert_eq!(ScheduledPass::new(PassKind::F, 3).to_string(), "F3");
-        assert_eq!(ScheduledPass::with_chunk(PassKind::B, 2, 1).to_string(), "B2'1");
+        assert_eq!(
+            ScheduledPass::with_chunk(PassKind::B, 2, 1).to_string(),
+            "B2'1"
+        );
     }
 }

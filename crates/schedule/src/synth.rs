@@ -197,7 +197,8 @@ pub fn synthesize(input: &SynthInput) -> Schedule {
             }
         }
     }
-    Schedule::new(input.kind, input.num_microbatches, input.chunks, order).with_placement(input.placement)
+    Schedule::new(input.kind, input.num_microbatches, input.chunks, order)
+        .with_placement(input.placement)
 }
 
 #[cfg(test)]
@@ -220,7 +221,9 @@ mod tests {
                 });
                 v.push(NominalPass {
                     pass: ScheduledPass::new(PassKind::B, k),
-                    priority: p as f64 * times.f + (p - 1 - d) as f64 * times.b + k as f64 * interval,
+                    priority: p as f64 * times.f
+                        + (p - 1 - d) as f64 * times.b
+                        + k as f64 * interval,
                 });
             }
             passes.push(v);
@@ -246,7 +249,11 @@ mod tests {
         let report = Executor::new(&costs).run(&sched).unwrap();
         // Throughput within 6% of the work bound m·(f+b) + pipeline fill.
         let bound = 8.0 * 3.0 + 3.0 * 3.0;
-        assert!(report.makespan < bound * 1.06, "makespan {}", report.makespan);
+        assert!(
+            report.makespan < bound * 1.06,
+            "makespan {}",
+            report.makespan
+        );
         for d in 0..4 {
             assert!(report.peak_resident_microbatches[d] <= 4 - d);
         }
@@ -310,15 +317,22 @@ mod tests {
     #[test]
     fn vocab_variants_sustain_throughput() {
         for (s, t) in [(0.1, 0.1), (0.3, 0.3), (0.75, 0.75), (0.4, 0.2)] {
-            let times = PassTimes { s, t, ..PassTimes::default() };
+            let times = PassTimes {
+                s,
+                t,
+                ..PassTimes::default()
+            };
             for variant in [VocabVariant::Alg1, VocabVariant::Alg2, VocabVariant::Naive] {
                 let p = 4;
                 let m = 64u32;
                 let sched = crate::generators::vocab_1f1b(p, m, variant, times, false);
                 let costs = UnitCosts::new(times, 1);
                 let report = Executor::new(&costs).run(&sched).unwrap();
-                let out_time: f64 =
-                    variant.output_passes().iter().map(|&k| times.duration(k)).sum();
+                let out_time: f64 = variant
+                    .output_passes()
+                    .iter()
+                    .map(|&k| times.duration(k))
+                    .sum();
                 let interval = times.f + times.b + out_time;
                 let work = interval * m as f64;
                 // Pipeline fill/drain plus the inserted barrier intervals.

@@ -49,14 +49,26 @@ impl SimCosts {
                 }]
             })
             .collect();
-        SimCosts { model, chunks, algo, shard_width, disable_sync_collectives: false, split_w: false }
+        SimCosts {
+            model,
+            chunks,
+            algo,
+            shard_width,
+            disable_sync_collectives: false,
+            split_w: false,
+        }
     }
 
     /// Builds costs for a V-Half layout: `2p` virtual stages of
     /// `layers / 2p` transformer layers; in the baseline, device 0 hosts
     /// the full input layer (virtual stage 0, chunk 0) *and* the full
     /// output layer (virtual stage `2p−1`, chunk 1).
-    pub fn for_vhalf(model: CostModel, devices: usize, vocab_parallel: bool, algo: Option<VocabAlgo>) -> Self {
+    pub fn for_vhalf(
+        model: CostModel,
+        devices: usize,
+        vocab_parallel: bool,
+        algo: Option<VocabAlgo>,
+    ) -> Self {
         let config = model.config.clone();
         let per_chunk = config.layers / (2 * devices);
         let remainder = config.layers % (2 * devices);
@@ -160,7 +172,9 @@ impl SimCosts {
     }
 
     fn collective_seconds(&self, bytes: f64) -> f64 {
-        self.model.hardware.all_reduce_seconds(bytes, self.devices())
+        self.model
+            .hardware
+            .all_reduce_seconds(bytes, self.devices())
     }
 
     /// Average relative pass times, used by generators for nominal
@@ -180,7 +194,11 @@ impl SimCosts {
             } else {
                 m.transformer_bw_seconds(1) * mean_layers
             },
-            w: if self.split_w { m.transformer_w_seconds(1) * mean_layers } else { 0.0 },
+            w: if self.split_w {
+                m.transformer_w_seconds(1) * mean_layers
+            } else {
+                0.0
+            },
             s: m.vocab_s_seconds(algo, self.shard_width),
             t: m.vocab_t_seconds(algo, self.shard_width),
             input_f: m.vocab_input_f_seconds(p),
@@ -232,9 +250,7 @@ impl Costs for SimCosts {
             // Interlaced TP-style output passes compute the same shard
             // matmuls (forward 2bshV′; backward 4bshV′).
             PassKind::OutputF => m.vocab_s_seconds(VocabAlgo::Alg1, self.shard_width),
-            PassKind::OutputB => {
-                m.vocab_t_seconds(VocabAlgo::Alg1, self.shard_width)
-            }
+            PassKind::OutputB => m.vocab_t_seconds(VocabAlgo::Alg1, self.shard_width),
             PassKind::InputF => m.vocab_input_f_seconds(self.devices()),
             PassKind::InputB => m.vocab_input_b_seconds(self.devices()),
         }
@@ -248,8 +264,10 @@ impl Costs for SimCosts {
                 if from_device == to_device {
                     0.0
                 } else {
-                    m.hardware
-                        .p2p_seconds(m.boundary_activation_bytes(), self.crosses_node(from_device, to_device))
+                    m.hardware.p2p_seconds(
+                        m.boundary_activation_bytes(),
+                        self.crosses_node(from_device, to_device),
+                    )
                 }
             }
             EdgeKind::C0Broadcast => self.collective_seconds(m.boundary_activation_bytes()),
@@ -270,7 +288,9 @@ impl Costs for SimCosts {
                 } else {
                     // Broadcast of X / stats all-reduce / ∇X reduce — the
                     // synchronous communications of Appendix B.2.
-                    self.collective_seconds(m.boundary_activation_bytes().max(2.0 * m.stats_bytes()))
+                    self.collective_seconds(
+                        m.boundary_activation_bytes().max(2.0 * m.stats_bytes()),
+                    )
                 }
             }
             EdgeKind::InputAllReduce | EdgeKind::InputGradBroadcast => {
@@ -305,7 +325,10 @@ mod tests {
     use vp_schedule::pass::ScheduledPass;
 
     fn model(vocab: usize) -> CostModel {
-        CostModel::new(ModelPreset::Gpt4B.config().with_vocab(vocab), Hardware::default())
+        CostModel::new(
+            ModelPreset::Gpt4B.config().with_vocab(vocab),
+            Hardware::default(),
+        )
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub mod report;
 pub mod sweep;
 
 pub use costs::SimCosts;
-pub use method::{run_1f1b, run_barrier_ablation, run_interlaced_ablation, run_interleaved_vocab, run_vhalf, run_vocab_variant, run_zero_bubble, Method, VHalfMethod};
+pub use method::{
+    run_1f1b, run_barrier_ablation, run_interlaced_ablation, run_interleaved_vocab, run_vhalf,
+    run_vocab_variant, run_zero_bubble, Method, VHalfMethod,
+};
 pub use report::SimReport;
 pub use sweep::{microbatch_sweep, to_csv, vocab_sweep, vocab_sweep_vhalf, SweepPoint};

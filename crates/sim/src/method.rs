@@ -40,7 +40,13 @@ impl Method {
 
     /// All methods, in the paper's comparison order.
     pub fn all() -> [Method; 5] {
-        [Method::Baseline, Method::Redis, Method::Vocab1, Method::Vocab2, Method::Interlaced]
+        [
+            Method::Baseline,
+            Method::Redis,
+            Method::Vocab1,
+            Method::Vocab2,
+            Method::Interlaced,
+        ]
     }
 }
 
@@ -73,10 +79,12 @@ fn finish(
 ) -> SimReport {
     let p = schedule.devices();
     let m = costs.model();
-    let activation_bytes: Vec<f64> =
-        (0..p).map(|d| report.peak_activation_units[d] + extra_transient[d]).collect();
-    let peak_memory_bytes: Vec<f64> =
-        (0..p).map(|d| static_bytes[d] + activation_bytes[d]).collect();
+    let activation_bytes: Vec<f64> = (0..p)
+        .map(|d| report.peak_activation_units[d] + extra_transient[d])
+        .collect();
+    let peak_memory_bytes: Vec<f64> = (0..p)
+        .map(|d| static_bytes[d] + activation_bytes[d])
+        .collect();
     SimReport {
         method: method.to_string(),
         devices: p,
@@ -95,7 +103,12 @@ fn finish(
 /// # Panics
 ///
 /// Panics if the generated schedule fails validation (a generator bug).
-pub fn run_1f1b(method: Method, config: &ModelConfig, devices: usize, hardware: Hardware) -> SimReport {
+pub fn run_1f1b(
+    method: Method,
+    config: &ModelConfig,
+    devices: usize,
+    hardware: Hardware,
+) -> SimReport {
     let model = CostModel::new(config.clone(), hardware);
     let m = config.num_microbatches as u32;
     let (costs, schedule) = match method {
@@ -110,7 +123,11 @@ pub fn run_1f1b(method: Method, config: &ModelConfig, devices: usize, hardware: 
             (costs, schedule)
         }
         Method::Vocab1 | Method::Vocab2 => {
-            let variant = if method == Method::Vocab1 { VocabVariant::Alg1 } else { VocabVariant::Alg2 };
+            let variant = if method == Method::Vocab1 {
+                VocabVariant::Alg1
+            } else {
+                VocabVariant::Alg2
+            };
             return run_vocab_variant(variant, config, devices, model.hardware);
         }
         Method::Interlaced => {
@@ -120,9 +137,18 @@ pub fn run_1f1b(method: Method, config: &ModelConfig, devices: usize, hardware: 
             (costs, schedule)
         }
     };
-    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    let report = Executor::new(&costs)
+        .run(&schedule)
+        .expect("generated schedule must validate");
     let (static_bytes, extra) = memory_1f1b(method, &costs, config, devices);
-    finish(method.name(), &costs, &schedule, report, static_bytes, extra)
+    finish(
+        method.name(),
+        &costs,
+        &schedule,
+        report,
+        static_bytes,
+        extra,
+    )
 }
 
 fn memory_1f1b(
@@ -162,7 +188,12 @@ fn memory_1f1b(
 /// # Panics
 ///
 /// Panics if the generated schedule fails validation (a generator bug).
-pub fn run_vhalf(method: VHalfMethod, config: &ModelConfig, devices: usize, hardware: Hardware) -> SimReport {
+pub fn run_vhalf(
+    method: VHalfMethod,
+    config: &ModelConfig,
+    devices: usize,
+    hardware: Hardware,
+) -> SimReport {
     let model = CostModel::new(config.clone(), hardware);
     let m = config.num_microbatches as u32;
     let vocab_parallel = method == VHalfMethod::Vocab1;
@@ -173,7 +204,9 @@ pub fn run_vhalf(method: VHalfMethod, config: &ModelConfig, devices: usize, hard
     } else {
         generators::vhalf(devices, m, costs.pass_times())
     };
-    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    let report = Executor::new(&costs)
+        .run(&schedule)
+        .expect("generated schedule must validate");
     // Static memory.
     let part = VocabPartition::new(config.vocab, devices);
     let tokens = (config.microbatch * config.seq_len) as f64;
@@ -191,7 +224,14 @@ pub fn run_vhalf(method: VHalfMethod, config: &ModelConfig, devices: usize, hard
         }
         static_bytes.push(costs.model().param_state_bytes(params));
     }
-    finish(method.name(), &costs, &schedule, report, static_bytes, extra)
+    finish(
+        method.name(),
+        &costs,
+        &schedule,
+        report,
+        static_bytes,
+        extra,
+    )
 }
 
 /// Simulates Vocabulary Parallelism on 1F1B with an explicit output-layer
@@ -223,7 +263,9 @@ pub fn run_vocab_variant(
     let layout = StageLayout::vocab_parallel(config, devices);
     let costs = SimCosts::for_layout(model, &layout, Some(algo));
     let schedule = generators::vocab_1f1b(devices, m, variant, costs.pass_times(), true);
-    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    let report = Executor::new(&costs)
+        .run(&schedule)
+        .expect("generated schedule must validate");
     let part = VocabPartition::new(config.vocab, devices);
     let static_bytes: Vec<f64> = (0..devices)
         .map(|d| {
@@ -232,14 +274,25 @@ pub fn run_vocab_variant(
             costs.model().param_state_bytes(params)
         })
         .collect();
-    finish(method, &costs, &schedule, report, static_bytes, vec![0.0; devices])
+    finish(
+        method,
+        &costs,
+        &schedule,
+        report,
+        static_bytes,
+        vec![0.0; devices],
+    )
 }
 
 /// The barrier-count ablation (§4/§5.2): how the number of communication
 /// barriers in the output-layer grouping (3 naive, 2 Algorithm 1,
 /// 1 Algorithm 2) trades activation memory for computation overhead.
 /// Returns one report per grouping, naive first.
-pub fn run_barrier_ablation(config: &ModelConfig, devices: usize, hardware: Hardware) -> Vec<SimReport> {
+pub fn run_barrier_ablation(
+    config: &ModelConfig,
+    devices: usize,
+    hardware: Hardware,
+) -> Vec<SimReport> {
     [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2]
         .into_iter()
         .map(|v| run_vocab_variant(v, config, devices, hardware.clone()))
@@ -279,7 +332,7 @@ pub fn run_zero_bubble(
             };
             let layout = StageLayout::vocab_parallel(config, devices);
             let costs = SimCosts::for_layout(model, &layout, Some(algo)).with_split_w();
-            let schedule = generators::zb_vocab_1f1b(devices, m, v, costs.pass_times());
+            let schedule = generators::zb_vocab_1f1b(devices, m, v, costs.pass_times(), false);
             let name = match v {
                 VocabVariant::Naive => "zb-vocab-naive",
                 VocabVariant::Alg1 => "zb-vocab-1",
@@ -288,7 +341,9 @@ pub fn run_zero_bubble(
             (costs, schedule, name.to_string())
         }
     };
-    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+    let report = Executor::new(&costs)
+        .run(&schedule)
+        .expect("generated schedule must validate");
     let static_bytes: Vec<f64> = (0..devices)
         .map(|d| {
             let spec = costs.chunk(d, 0);
@@ -305,7 +360,14 @@ pub fn run_zero_bubble(
             costs.model().param_state_bytes(params)
         })
         .collect();
-    finish(&name, &costs, &schedule, report, static_bytes, vec![0.0; devices])
+    finish(
+        &name,
+        &costs,
+        &schedule,
+        report,
+        static_bytes,
+        vec![0.0; devices],
+    )
 }
 
 /// Extension experiment: Vocabulary Parallelism on *interleaved* 1F1B
@@ -331,8 +393,10 @@ pub fn run_interleaved_vocab(
     let m = config.num_microbatches as u32;
     let costs = SimCosts::for_interleaved(model, devices, chunks, Some(algo));
     let schedule =
-        generators::interleaved_vocab_1f1b(devices, chunks, m, variant, costs.pass_times());
-    let report = Executor::new(&costs).run(&schedule).expect("generated schedule must validate");
+        generators::interleaved_vocab_1f1b(devices, chunks, m, variant, costs.pass_times(), false);
+    let report = Executor::new(&costs)
+        .run(&schedule)
+        .expect("generated schedule must validate");
     let part = VocabPartition::new(config.vocab, devices);
     let static_bytes: Vec<f64> = (0..devices)
         .map(|d| {
@@ -343,7 +407,10 @@ pub fn run_interleaved_vocab(
         })
         .collect();
     finish(
-        &format!("interleaved{chunks}-vocab-{}", if variant == VocabVariant::Alg1 { 1 } else { 2 }),
+        &format!(
+            "interleaved{chunks}-vocab-{}",
+            if variant == VocabVariant::Alg1 { 1 } else { 2 }
+        ),
         &costs,
         &schedule,
         report,
@@ -359,15 +426,25 @@ pub fn run_interleaved_vocab(
 /// # Panics
 ///
 /// Panics if the generated schedule fails validation.
-pub fn run_interlaced_ablation(config: &ModelConfig, devices: usize, hardware: Hardware) -> (f64, f64) {
+pub fn run_interlaced_ablation(
+    config: &ModelConfig,
+    devices: usize,
+    hardware: Hardware,
+) -> (f64, f64) {
     let model = CostModel::new(config.clone(), hardware);
     let layout = StageLayout::vocab_parallel(config, devices);
     let m = config.num_microbatches as u32;
     let mut costs = SimCosts::for_layout(model, &layout, Some(VocabAlgo::Alg1));
     let schedule = generators::interlaced_1f1b(devices, m, costs.pass_times());
-    let with_sync = Executor::new(&costs).run(&schedule).expect("schedule must validate").makespan;
+    let with_sync = Executor::new(&costs)
+        .run(&schedule)
+        .expect("schedule must validate")
+        .makespan;
     costs.disable_sync_collectives = true;
-    let without = Executor::new(&costs).run(&schedule).expect("schedule must validate").makespan;
+    let without = Executor::new(&costs)
+        .run(&schedule)
+        .expect("schedule must validate")
+        .makespan;
     (with_sync, without)
 }
 
@@ -385,14 +462,24 @@ mod tests {
     #[test]
     fn baseline_collapses_with_vocab_size_vocab_methods_do_not() {
         let hw = Hardware::default();
-        let mfu = |method, v| run_1f1b(method, &cfg(ModelPreset::Gpt4B, v, 2048), 8, hw.clone()).mfu;
+        let mfu =
+            |method, v| run_1f1b(method, &cfg(ModelPreset::Gpt4B, v, 2048), 8, hw.clone()).mfu;
         let base_32k = mfu(Method::Baseline, 32);
         let base_256k = mfu(Method::Baseline, 256);
-        assert!(base_256k < 0.7 * base_32k, "baseline {base_32k} -> {base_256k}");
+        assert!(
+            base_256k < 0.7 * base_32k,
+            "baseline {base_32k} -> {base_256k}"
+        );
         let v2_32k = mfu(Method::Vocab2, 32);
         let v2_256k = mfu(Method::Vocab2, 256);
-        assert!((v2_256k - v2_32k).abs() < 0.05 * v2_32k, "vocab-2 {v2_32k} -> {v2_256k}");
-        assert!(v2_256k > 1.5 * base_256k, "vocab-2 {v2_256k} vs baseline {base_256k}");
+        assert!(
+            (v2_256k - v2_32k).abs() < 0.05 * v2_32k,
+            "vocab-2 {v2_32k} -> {v2_256k}"
+        );
+        assert!(
+            v2_256k > 1.5 * base_256k,
+            "vocab-2 {v2_256k} vs baseline {base_256k}"
+        );
     }
 
     /// Redis sits between baseline and vocab at large vocabularies.
@@ -441,8 +528,16 @@ mod tests {
         let config = cfg(ModelPreset::Gpt21B, 256, 4096);
         let inter = run_1f1b(Method::Interlaced, &config, 32, hw.clone());
         let vocab = run_1f1b(Method::Vocab2, &config, 32, hw);
-        assert!(inter.would_oom(), "interlaced peak {} GB", inter.max_memory_gb());
-        assert!(!vocab.would_oom(), "vocab-2 peak {} GB", vocab.max_memory_gb());
+        assert!(
+            inter.would_oom(),
+            "interlaced peak {} GB",
+            inter.max_memory_gb()
+        );
+        assert!(
+            !vocab.would_oom(),
+            "vocab-2 peak {} GB",
+            vocab.max_memory_gb()
+        );
     }
 
     /// Vocabulary Parallelism beats interlaced on multi-node setups
@@ -453,7 +548,12 @@ mod tests {
         let config = cfg(ModelPreset::Gpt21B, 256, 2048);
         let inter = run_1f1b(Method::Interlaced, &config, 32, hw.clone());
         let vocab = run_1f1b(Method::Vocab1, &config, 32, hw);
-        assert!(vocab.mfu > inter.mfu, "vocab {} vs interlaced {}", vocab.mfu, inter.mfu);
+        assert!(
+            vocab.mfu > inter.mfu,
+            "vocab {} vs interlaced {}",
+            vocab.mfu,
+            inter.mfu
+        );
     }
 
     /// Appendix B.2: the synchronous all-reduces cost roughly 10% of the
@@ -475,8 +575,16 @@ mod tests {
         let config = cfg(ModelPreset::Gpt7B, 256, 2048);
         let base = run_vhalf(VHalfMethod::Baseline, &config, 16, hw.clone());
         let vocab = run_vhalf(VHalfMethod::Vocab1, &config, 16, hw);
-        assert!(base.memory_spread_gb() > 10.0, "baseline spread {}", base.memory_spread_gb());
-        assert!(vocab.memory_spread_gb() < 3.0, "vocab spread {}", vocab.memory_spread_gb());
+        assert!(
+            base.memory_spread_gb() > 10.0,
+            "baseline spread {}",
+            base.memory_spread_gb()
+        );
+        assert!(
+            vocab.memory_spread_gb() < 3.0,
+            "vocab spread {}",
+            vocab.memory_spread_gb()
+        );
         assert!(vocab.mfu > base.mfu);
     }
 

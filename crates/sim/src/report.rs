@@ -1,9 +1,7 @@
 //! Simulation reports: the quantities the paper's tables record.
 
-use serde::{Deserialize, Serialize};
-
 /// Result of simulating one (method, model, devices, vocabulary) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Human-readable method name ("baseline", "vocab-2", …).
     pub method: String,
@@ -36,7 +34,11 @@ impl SimReport {
     /// Minimum peak memory across devices, in GB (Figure 14 plots the
     /// min–max band to show memory balance).
     pub fn min_memory_gb(&self) -> f64 {
-        self.peak_memory_bytes.iter().cloned().fold(f64::INFINITY, f64::min) / 1e9
+        self.peak_memory_bytes
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            / 1e9
     }
 
     /// Memory imbalance: max − min across devices, GB.

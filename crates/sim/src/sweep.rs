@@ -27,7 +27,12 @@ pub fn vocab_sweep(
         .iter()
         .map(|&v| SweepPoint {
             x: v as f64,
-            report: run_1f1b(method, &config.clone().with_vocab(v), devices, hardware.clone()),
+            report: run_1f1b(
+                method,
+                &config.clone().with_vocab(v),
+                devices,
+                hardware.clone(),
+            ),
         })
         .collect()
 }
@@ -44,7 +49,12 @@ pub fn vocab_sweep_vhalf(
         .iter()
         .map(|&v| SweepPoint {
             x: v as f64,
-            report: run_vhalf(method, &config.clone().with_vocab(v), devices, hardware.clone()),
+            report: run_vhalf(
+                method,
+                &config.clone().with_vocab(v),
+                devices,
+                hardware.clone(),
+            ),
         })
         .collect()
 }
@@ -61,7 +71,12 @@ pub fn microbatch_sweep(
         .iter()
         .map(|&m| SweepPoint {
             x: m as f64,
-            report: run_1f1b(method, &config.clone().with_num_microbatches(m), devices, hardware.clone()),
+            report: run_1f1b(
+                method,
+                &config.clone().with_num_microbatches(m),
+                devices,
+                hardware.clone(),
+            ),
         })
         .collect()
 }
@@ -84,8 +99,15 @@ pub fn to_csv(x_name: &str, series: &[(&str, &[SweepPoint])]) -> String {
         out.push_str(&format!("{x}"));
         for (name, s) in series {
             assert_eq!(s.len(), rows, "series {name} has a different length");
-            assert!((s[i].x - x).abs() < 1e-9, "series {name} has mismatched x values");
-            out.push_str(&format!(",{:.3},{:.3}", s[i].report.mfu_pct(), s[i].report.max_memory_gb()));
+            assert!(
+                (s[i].x - x).abs() < 1e-9,
+                "series {name} has mismatched x values"
+            );
+            out.push_str(&format!(
+                ",{:.3},{:.3}",
+                s[i].report.mfu_pct(),
+                s[i].report.max_memory_gb()
+            ));
         }
         out.push('\n');
     }
@@ -137,7 +159,10 @@ mod tests {
         let csv = to_csv("vocab", &[("baseline", &a), ("vocab2", &b)]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "vocab,baseline_mfu_pct,baseline_peak_gb,vocab2_mfu_pct,vocab2_peak_gb");
+        assert_eq!(
+            lines[0],
+            "vocab,baseline_mfu_pct,baseline_peak_gb,vocab2_mfu_pct,vocab2_peak_gb"
+        );
         assert_eq!(lines[1].split(',').count(), 5);
     }
 

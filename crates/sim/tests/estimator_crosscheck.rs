@@ -9,7 +9,10 @@ use vp_model::partition::StageLayout;
 use vp_sim::{run_1f1b, Method};
 
 fn check(method: Method, placement: PlacementKind, vocab_k: usize, tol_gb: f64) {
-    let cfg = ModelPreset::Gpt4B.config().with_vocab(vocab_k * 1024).with_num_microbatches(32);
+    let cfg = ModelPreset::Gpt4B
+        .config()
+        .with_vocab(vocab_k * 1024)
+        .with_num_microbatches(32);
     let hw = Hardware::default();
     let layout = match method {
         Method::Baseline => StageLayout::baseline(&cfg, 8),
@@ -38,14 +41,24 @@ fn baseline_estimates_match_simulation() {
 #[test]
 fn vocab1_estimates_match_simulation() {
     for vocab_k in [32usize, 256] {
-        check(Method::Vocab1, PlacementKind::VocabParallel { barriers: 2 }, vocab_k, 1.5);
+        check(
+            Method::Vocab1,
+            PlacementKind::VocabParallel { barriers: 2 },
+            vocab_k,
+            1.5,
+        );
     }
 }
 
 #[test]
 fn vocab2_estimates_match_simulation() {
     for vocab_k in [32usize, 256] {
-        check(Method::Vocab2, PlacementKind::VocabParallel { barriers: 1 }, vocab_k, 1.5);
+        check(
+            Method::Vocab2,
+            PlacementKind::VocabParallel { barriers: 1 },
+            vocab_k,
+            1.5,
+        );
     }
 }
 

@@ -42,10 +42,16 @@ impl fmt::Display for TensorError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             TensorError::BadBuffer { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape ({expected} elements)")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape ({expected} elements)"
+                )
             }
             TensorError::OutOfBounds { op, index, bound } => {
-                write!(f, "index {index} out of bounds for {op} (must be < {bound})")
+                write!(
+                    f,
+                    "index {index} out of bounds for {op} (must be < {bound})"
+                )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

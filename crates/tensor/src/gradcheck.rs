@@ -39,7 +39,11 @@ pub fn check_scalar_fn(
     eps: f32,
     mut f: impl FnMut(&Tensor) -> f64,
 ) -> GradCheckReport {
-    assert_eq!(x.shape(), analytic.shape(), "gradient shape must match input shape");
+    assert_eq!(
+        x.shape(),
+        analytic.shape(),
+        "gradient shape must match input shape"
+    );
     let mut max_abs: f64 = 0.0;
     let mut max_rel: f64 = 0.0;
     let mut probe = x.clone();
@@ -57,7 +61,10 @@ pub fn check_scalar_fn(
         max_abs = max_abs.max(abs);
         max_rel = max_rel.max(rel);
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }
 
 #[cfg(test)]

@@ -1,13 +1,12 @@
 //! Seeded parameter initializers.
 //!
-//! All randomness in the workspace flows through explicit [`rand::Rng`]
+//! All randomness in the workspace flows through explicit [`Rng`]
 //! instances so that the pipeline-parallel runtime and the single-device
 //! reference build *bit-identical* initial weights (a precondition for the
 //! paper's convergence-equivalence evaluation, Appendix E).
 
+use crate::rng::{Rng, StdRng};
 use crate::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Returns a deterministic RNG for the given seed.
 pub fn seeded_rng(seed: u64) -> StdRng {
@@ -65,7 +64,12 @@ mod tests {
         let t = normal(&mut seeded_rng(3), 100, 100, 1.0);
         let n = t.len() as f64;
         let mean = t.sum() / n;
-        let var = t.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = t
+            .data()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
@@ -74,9 +78,8 @@ mod tests {
     fn xavier_scales_with_fan() {
         let small = xavier(&mut seeded_rng(4), 10, 10);
         let large = xavier(&mut seeded_rng(4), 1000, 1000);
-        let var = |t: &Tensor| {
-            t.data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / t.len() as f64
-        };
+        let var =
+            |t: &Tensor| t.data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / t.len() as f64;
         assert!(var(&small) > var(&large));
     }
 }

@@ -30,7 +30,9 @@ pub fn read_tensor(input: &mut &[u8]) -> Result<Tensor> {
     }
     let mut data = Vec::with_capacity(n);
     for i in 0..n {
-        data.push(f32::from_le_bytes(input[4 * i..4 * i + 4].try_into().expect("4 bytes")));
+        data.push(f32::from_le_bytes(
+            input[4 * i..4 * i + 4].try_into().expect("4 bytes"),
+        ));
     }
     *input = &input[4 * n..];
     Tensor::from_vec(rows, cols, data)

@@ -38,6 +38,7 @@ pub mod io;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+pub mod rng;
 mod tensor;
 
 pub use error::TensorError;

@@ -42,7 +42,11 @@ impl Gelu {
     /// have different shapes.
     pub fn backward(&self, cache: &Tensor, dy: &Tensor) -> Result<Tensor> {
         if cache.shape() != dy.shape() {
-            return Err(TensorError::ShapeMismatch { op: "gelu_bwd", lhs: dy.shape(), rhs: cache.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "gelu_bwd",
+                lhs: dy.shape(),
+                rhs: cache.shape(),
+            });
         }
         cache.map(gelu_backward).mul(dy)
     }

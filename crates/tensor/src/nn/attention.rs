@@ -1,7 +1,7 @@
 use crate::ops::softmax_rows;
 use crate::optim::Param;
+use crate::rng::Rng;
 use crate::{init, Result, Tensor, TensorError};
-use rand::Rng;
 
 /// Causal multi-head self-attention with projection matrices
 /// `W_q, W_k, W_v, W_o: [h, h]` (no biases, GPT-style).
@@ -38,7 +38,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if `hidden` is not divisible by `heads` (a configuration bug).
     pub fn new(rng: &mut impl Rng, hidden: usize, heads: usize) -> Self {
-        assert!(heads > 0 && hidden.is_multiple_of(heads), "hidden {hidden} must be divisible by heads {heads}");
+        assert!(
+            heads > 0 && hidden.is_multiple_of(heads),
+            "hidden {hidden} must be divisible by heads {heads}"
+        );
         MultiHeadAttention {
             wq: Param::new(init::gpt(rng, hidden, hidden)),
             wk: Param::new(init::gpt(rng, hidden, hidden)),
@@ -70,7 +73,11 @@ impl MultiHeadAttention {
     pub fn forward(&self, x: &Tensor) -> Result<(Tensor, AttentionCache)> {
         let h = self.hidden();
         if x.cols() != h {
-            return Err(TensorError::ShapeMismatch { op: "attention", lhs: x.shape(), rhs: (x.rows(), h) });
+            return Err(TensorError::ShapeMismatch {
+                op: "attention",
+                lhs: x.shape(),
+                rhs: (x.rows(), h),
+            });
         }
         let s = x.rows();
         let hd = self.head_dim();
@@ -102,7 +109,17 @@ impl MultiHeadAttention {
             probs.push(p);
         }
         let y = context.matmul(self.wo.value())?;
-        Ok((y, AttentionCache { input: x.clone(), q, k, v, probs, context }))
+        Ok((
+            y,
+            AttentionCache {
+                input: x.clone(),
+                q,
+                k,
+                v,
+                probs,
+                context,
+            },
+        ))
     }
 
     /// Backward pass: accumulates all four weight gradients and returns `dx`.
@@ -115,7 +132,11 @@ impl MultiHeadAttention {
         let h = self.hidden();
         let s = cache.input.rows();
         if dy.shape() != (s, h) {
-            return Err(TensorError::ShapeMismatch { op: "attention_bwd", lhs: dy.shape(), rhs: (s, h) });
+            return Err(TensorError::ShapeMismatch {
+                op: "attention_bwd",
+                lhs: dy.shape(),
+                rhs: (s, h),
+            });
         }
         let hd = self.head_dim();
         let scale = 1.0 / (hd as f32).sqrt();
@@ -203,7 +224,11 @@ mod tests {
                 assert!((y1.at(i, c) - y2.at(i, c)).abs() < 1e-6, "row {i} changed");
             }
         }
-        assert!(y1.row(4).iter().zip(y2.row(4)).any(|(a, b)| (a - b).abs() > 1e-6));
+        assert!(y1
+            .row(4)
+            .iter()
+            .zip(y2.row(4))
+            .any(|(a, b)| (a - b).abs() > 1e-6));
     }
 
     #[test]

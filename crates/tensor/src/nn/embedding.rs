@@ -1,6 +1,6 @@
 use crate::optim::Param;
+use crate::rng::Rng;
 use crate::{init, Result, Tensor, TensorError};
-use rand::Rng;
 
 /// Token embedding table `W: [vocab, hidden]`.
 ///
@@ -22,12 +22,16 @@ pub struct EmbeddingCache {
 impl Embedding {
     /// Creates an embedding table with GPT-style initialization.
     pub fn new(rng: &mut impl Rng, vocab: usize, hidden: usize) -> Self {
-        Embedding { weight: Param::new(init::gpt(rng, vocab, hidden)) }
+        Embedding {
+            weight: Param::new(init::gpt(rng, vocab, hidden)),
+        }
     }
 
     /// Wraps an existing weight tensor (used for sharding).
     pub fn from_weight(weight: Tensor) -> Self {
-        Embedding { weight: Param::new(weight) }
+        Embedding {
+            weight: Param::new(weight),
+        }
     }
 
     /// Vocabulary size (number of rows).
@@ -55,7 +59,11 @@ impl Embedding {
         let mut out = Tensor::zeros(ids.len(), h);
         for (r, &id) in ids.iter().enumerate() {
             if id >= self.vocab() {
-                return Err(TensorError::OutOfBounds { op: "embedding", index: id, bound: self.vocab() });
+                return Err(TensorError::OutOfBounds {
+                    op: "embedding",
+                    index: id,
+                    bound: self.vocab(),
+                });
             }
             out.row_mut(r).copy_from_slice(self.weight.value().row(id));
         }
@@ -96,9 +104,7 @@ mod tests {
     use super::*;
 
     fn table() -> Embedding {
-        Embedding::from_weight(
-            Tensor::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]).unwrap(),
-        )
+        Embedding::from_weight(Tensor::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]).unwrap())
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::optim::Param;
+use crate::rng::Rng;
 use crate::{init, Result, Tensor};
-use rand::Rng;
 
 /// A fully-connected layer `y = x·W + b` with `W: [in, out]`, `b: [1, out]`.
 ///
@@ -46,7 +46,10 @@ impl Linear {
 
     /// Creates a layer from explicit tensors (used for sharding and tests).
     pub fn from_parts(weight: Tensor, bias: Option<Tensor>) -> Self {
-        Linear { weight: Param::new(weight), bias: bias.map(Param::new) }
+        Linear {
+            weight: Param::new(weight),
+            bias: bias.map(Param::new),
+        }
     }
 
     /// Input dimension.
@@ -127,7 +130,10 @@ mod tests {
 
     #[test]
     fn forward_shape_and_bias() {
-        let layer = Linear::from_parts(Tensor::eye(3), Some(Tensor::from_vec(1, 3, vec![1., 2., 3.]).unwrap()));
+        let layer = Linear::from_parts(
+            Tensor::eye(3),
+            Some(Tensor::from_vec(1, 3, vec![1., 2., 3.]).unwrap()),
+        );
         let x = Tensor::zeros(2, 3);
         let (y, _) = layer.forward(&x).unwrap();
         assert_eq!(y.row(0), &[1., 2., 3.]);
@@ -159,7 +165,11 @@ mod tests {
         let analytic = layer2.params_mut()[0].grad().clone();
         let w0 = layer.weight().clone();
         let report = check_scalar_fn(&w0, &analytic, 1e-2, |w| {
-            Linear::from_parts(w.clone(), None).forward(&x).unwrap().0.sum()
+            Linear::from_parts(w.clone(), None)
+                .forward(&x)
+                .unwrap()
+                .0
+                .sum()
         });
         assert!(report.passes(1e-2), "{report:?}");
     }

@@ -37,7 +37,10 @@ pub fn softmax_cross_entropy(
     let g = one_hot(labels, logits.cols())?;
     let mut dlogits = probs.sub(&g)?;
     dlogits.scale_in_place(1.0 / labels.len() as f32);
-    Ok((CrossEntropyOutput { loss, probs }, CrossEntropyGrad { dlogits }))
+    Ok((
+        CrossEntropyOutput { loss, probs },
+        CrossEntropyGrad { dlogits },
+    ))
 }
 
 #[cfg(test)]

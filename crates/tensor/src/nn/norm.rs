@@ -20,7 +20,11 @@ pub struct LayerNormCache {
 impl LayerNorm {
     /// Creates a layer norm over vectors of width `dim` (γ=1, β=0).
     pub fn new(dim: usize) -> Self {
-        LayerNorm { gamma: Param::new(Tensor::ones(1, dim)), beta: Param::new(Tensor::zeros(1, dim)), eps: 1e-5 }
+        LayerNorm {
+            gamma: Param::new(Tensor::ones(1, dim)),
+            beta: Param::new(Tensor::zeros(1, dim)),
+            eps: 1e-5,
+        }
     }
 
     /// Normalized width.
@@ -36,7 +40,11 @@ impl LayerNorm {
     pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LayerNormCache)> {
         let dim = self.dim();
         if x.cols() != dim {
-            return Err(TensorError::ShapeMismatch { op: "layernorm", lhs: x.shape(), rhs: (1, dim) });
+            return Err(TensorError::ShapeMismatch {
+                op: "layernorm",
+                lhs: x.shape(),
+                rhs: (1, dim),
+            });
         }
         let mut normalized = Tensor::zeros(x.rows(), dim);
         let mut inv_std = vec![0.0f32; x.rows()];
@@ -54,13 +62,22 @@ impl LayerNorm {
             for (n, &v) in n_row.iter_mut().zip(row) {
                 *n = (v - mean) * is;
             }
-            for ((o, n), (&g, &b)) in
-                y.row_mut(r).iter_mut().zip(normalized.row(r)).zip(gamma.iter().zip(beta))
+            for ((o, n), (&g, &b)) in y
+                .row_mut(r)
+                .iter_mut()
+                .zip(normalized.row(r))
+                .zip(gamma.iter().zip(beta))
             {
                 *o = g * *n + b;
             }
         }
-        Ok((y, LayerNormCache { normalized, inv_std }))
+        Ok((
+            y,
+            LayerNormCache {
+                normalized,
+                inv_std,
+            },
+        ))
     }
 
     /// Backward pass: accumulates `dγ`, `dβ` and returns `dx`.
@@ -72,7 +89,11 @@ impl LayerNorm {
     pub fn backward(&mut self, cache: &LayerNormCache, dy: &Tensor) -> Result<Tensor> {
         let dim = self.dim();
         if dy.shape() != cache.normalized.shape() {
-            return Err(TensorError::ShapeMismatch { op: "layernorm_bwd", lhs: dy.shape(), rhs: cache.normalized.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "layernorm_bwd",
+                lhs: dy.shape(),
+                rhs: cache.normalized.shape(),
+            });
         }
         let gamma = self.gamma.value().row(0).to_vec();
         let mut dgamma = Tensor::zeros(1, dim);
@@ -127,7 +148,12 @@ mod tests {
         let (y, _) = ln.forward(&x).unwrap();
         for r in 0..4 {
             let mean = y.row(r).iter().sum::<f32>() / 8.0;
-            let var = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var = y
+                .row(r)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-5);
             assert!((var - 1.0).abs() < 1e-3);
         }
@@ -164,7 +190,8 @@ mod tests {
         let x = normal(&mut rng, 3, 5, 1.0);
         let mut ln = LayerNorm::new(5);
         let (y, cache) = ln.forward(&x).unwrap();
-        ln.backward(&cache, &Tensor::ones(y.rows(), y.cols())).unwrap();
+        ln.backward(&cache, &Tensor::ones(y.rows(), y.cols()))
+            .unwrap();
         let dgamma = ln.params_mut()[0].grad().clone();
         let report = check_scalar_fn(&Tensor::ones(1, 5), &dgamma, 1e-2, |g| {
             let mut probe = LayerNorm::new(5);

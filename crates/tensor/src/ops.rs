@@ -108,10 +108,17 @@ pub fn rescale_softmax(
         || global_max.len() != rows
         || global_sum.len() != rows
     {
-        return Err(TensorError::InvalidArgument("rescale_softmax: statistics length mismatch".into()));
+        return Err(TensorError::InvalidArgument(
+            "rescale_softmax: statistics length mismatch".into(),
+        ));
     }
     for r in 0..rows {
-        let factor = softmax_correction(local_stats.max[r], local_stats.sum[r], global_max[r], global_sum[r]);
+        let factor = softmax_correction(
+            local_stats.max[r],
+            local_stats.sum[r],
+            global_max[r],
+            global_sum[r],
+        );
         for v in local.row_mut(r) {
             *v *= factor;
         }
@@ -169,7 +176,11 @@ pub fn cross_entropy_mean(logits: &Tensor, labels: &[usize]) -> Result<f64> {
     let mut total = 0.0f64;
     for (r, &label) in labels.iter().enumerate() {
         if label >= logits.cols() {
-            return Err(TensorError::OutOfBounds { op: "cross_entropy", index: label, bound: logits.cols() });
+            return Err(TensorError::OutOfBounds {
+                op: "cross_entropy",
+                index: label,
+                bound: logits.cols(),
+            });
         }
         total += (lse[r] - logits.at(r, label)) as f64;
     }
@@ -208,7 +219,11 @@ pub fn one_hot(labels: &[usize], cols: usize) -> Result<Tensor> {
     let mut g = Tensor::zeros(labels.len(), cols);
     for (r, &label) in labels.iter().enumerate() {
         if label >= cols {
-            return Err(TensorError::OutOfBounds { op: "one_hot", index: label, bound: cols });
+            return Err(TensorError::OutOfBounds {
+                op: "one_hot",
+                index: label,
+                bound: cols,
+            });
         }
         *g.at_mut(r, label) = 1.0;
     }
@@ -246,10 +261,16 @@ mod tests {
         let b = t.slice_cols(1, 4).unwrap();
         let (mut sa, st_a) = local_softmax(&a);
         let (mut sb, st_b) = local_softmax(&b);
-        let gmax: Vec<f32> = st_a.max.iter().zip(&st_b.max).map(|(&x, &y)| x.max(y)).collect();
+        let gmax: Vec<f32> = st_a
+            .max
+            .iter()
+            .zip(&st_b.max)
+            .map(|(&x, &y)| x.max(y))
+            .collect();
         let gsum: Vec<f32> = (0..2)
             .map(|r| {
-                st_a.sum[r] * (st_a.max[r] - gmax[r]).exp() + st_b.sum[r] * (st_b.max[r] - gmax[r]).exp()
+                st_a.sum[r] * (st_a.max[r] - gmax[r]).exp()
+                    + st_b.sum[r] * (st_b.max[r] - gmax[r]).exp()
             })
             .collect();
         rescale_softmax(&mut sa, &st_a, &gmax, &gsum).unwrap();

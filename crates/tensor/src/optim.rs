@@ -22,7 +22,12 @@ impl Param {
     /// gradient and moments.
     pub fn new(value: Tensor) -> Self {
         let (r, c) = value.shape();
-        Param { value, grad: Tensor::zeros(r, c), m: Tensor::zeros(r, c), v: Tensor::zeros(r, c) }
+        Param {
+            value,
+            grad: Tensor::zeros(r, c),
+            m: Tensor::zeros(r, c),
+            v: Tensor::zeros(r, c),
+        }
     }
 
     /// The current value.
@@ -73,10 +78,19 @@ impl Param {
     /// the value's shape.
     pub fn from_state(value: Tensor, m: Tensor, v: Tensor) -> Result<Self> {
         if m.shape() != value.shape() || v.shape() != value.shape() {
-            return Err(TensorError::ShapeMismatch { op: "param_from_state", lhs: value.shape(), rhs: m.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "param_from_state",
+                lhs: value.shape(),
+                rhs: m.shape(),
+            });
         }
         let (r, c) = value.shape();
-        Ok(Param { value, grad: Tensor::zeros(r, c), m, v })
+        Ok(Param {
+            value,
+            grad: Tensor::zeros(r, c),
+            m,
+            v,
+        })
     }
 
     /// Number of scalar elements in the parameter.
@@ -153,7 +167,13 @@ impl Adam {
     /// Creates Adam with the given learning rate and default
     /// `(β1, β2, ε) = (0.9, 0.999, 1e-8)`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 1 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 1,
+        }
     }
 
     /// Overrides the exponential decay rates.

@@ -26,7 +26,11 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a tensor of the given shape filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a tensor of the given shape filled with ones.
@@ -36,7 +40,11 @@ impl Tensor {
 
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n×n` identity matrix.
@@ -55,14 +63,21 @@ impl Tensor {
     /// Returns [`TensorError::BadBuffer`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(TensorError::BadBuffer { expected: rows * cols, actual: data.len() });
+            return Err(TensorError::BadBuffer {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Tensor { rows, cols, data })
     }
 
     /// Creates a `1×n` row vector from a slice.
     pub fn row_vector(data: &[f32]) -> Self {
-        Tensor { rows: 1, cols: data.len(), data: data.to_vec() }
+        Tensor {
+            rows: 1,
+            cols: data.len(),
+            data: data.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -163,9 +178,16 @@ impl Tensor {
     /// Returns [`TensorError::BadBuffer`] if the element counts differ.
     pub fn reshape(self, rows: usize, cols: usize) -> Result<Tensor> {
         if rows * cols != self.data.len() {
-            return Err(TensorError::BadBuffer { expected: rows * cols, actual: self.data.len() });
+            return Err(TensorError::BadBuffer {
+                expected: rows * cols,
+                actual: self.data.len(),
+            });
         }
-        Ok(Tensor { rows, cols, data: self.data })
+        Ok(Tensor {
+            rows,
+            cols,
+            data: self.data,
+        })
     }
 
     /// Copies the columns `[c0, c1)` of every row into a new tensor.
@@ -177,12 +199,17 @@ impl Tensor {
     /// Returns [`TensorError::OutOfBounds`] if `c1 > cols` or `c0 > c1`.
     pub fn slice_cols(&self, c0: usize, c1: usize) -> Result<Tensor> {
         if c1 > self.cols || c0 > c1 {
-            return Err(TensorError::OutOfBounds { op: "slice_cols", index: c1, bound: self.cols + 1 });
+            return Err(TensorError::OutOfBounds {
+                op: "slice_cols",
+                index: c1,
+                bound: self.cols + 1,
+            });
         }
         let w = c1 - c0;
         let mut out = Tensor::zeros(self.rows, w);
         for r in 0..self.rows {
-            out.data[r * w..(r + 1) * w].copy_from_slice(&self.data[r * self.cols + c0..r * self.cols + c1]);
+            out.data[r * w..(r + 1) * w]
+                .copy_from_slice(&self.data[r * self.cols + c0..r * self.cols + c1]);
         }
         Ok(out)
     }
@@ -194,10 +221,18 @@ impl Tensor {
     /// Returns [`TensorError::OutOfBounds`] if `r1 > rows` or `r0 > r1`.
     pub fn slice_rows(&self, r0: usize, r1: usize) -> Result<Tensor> {
         if r1 > self.rows || r0 > r1 {
-            return Err(TensorError::OutOfBounds { op: "slice_rows", index: r1, bound: self.rows + 1 });
+            return Err(TensorError::OutOfBounds {
+                op: "slice_rows",
+                index: r1,
+                bound: self.rows + 1,
+            });
         }
         let data = self.data[r0 * self.cols..r1 * self.cols].to_vec();
-        Ok(Tensor { rows: r1 - r0, cols: self.cols, data })
+        Ok(Tensor {
+            rows: r1 - r0,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Concatenates tensors along rows (vertical stack).
@@ -214,7 +249,11 @@ impl Tensor {
         let mut rows = 0;
         for p in parts {
             if p.cols != cols {
-                return Err(TensorError::ShapeMismatch { op: "concat_rows", lhs: (rows, cols), rhs: p.shape() });
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_rows",
+                    lhs: (rows, cols),
+                    rhs: p.shape(),
+                });
             }
             rows += p.rows;
         }
@@ -232,7 +271,11 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if inner dimensions differ.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.cols != rhs.rows {
-            return Err(TensorError::ShapeMismatch { op: "matmul", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
@@ -264,7 +307,11 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shared dimension differs.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.cols != rhs.cols {
-            return Err(TensorError::ShapeMismatch { op: "matmul_nt", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
         let mut out = Tensor::zeros(m, n);
@@ -293,7 +340,11 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shared dimension differs.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rows != rhs.rows {
-            return Err(TensorError::ShapeMismatch { op: "matmul_tn", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
@@ -347,7 +398,11 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn add_assign(&mut self, rhs: &Tensor) -> Result<()> {
         if self.shape() != rhs.shape() {
-            return Err(TensorError::ShapeMismatch { op: "add_assign", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
@@ -362,7 +417,11 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<()> {
         if self.shape() != rhs.shape() {
-            return Err(TensorError::ShapeMismatch { op: "axpy", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += alpha * b;
@@ -391,7 +450,11 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Sum of all elements (in `f64` for accuracy).
@@ -406,7 +469,11 @@ impl Tensor {
 
     /// Frobenius norm.
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Largest absolute elementwise difference between two tensors.
@@ -416,7 +483,11 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn max_abs_diff(&self, rhs: &Tensor) -> Result<f32> {
         if self.shape() != rhs.shape() {
-            return Err(TensorError::ShapeMismatch { op: "max_abs_diff", lhs: self.shape(), rhs: rhs.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
         Ok(self
             .data
@@ -425,12 +496,30 @@ impl Tensor {
             .fold(0.0f32, |m, (&a, &b)| m.max((a - b).abs())))
     }
 
-    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
         if self.shape() != rhs.shape() {
-            return Err(TensorError::ShapeMismatch { op, lhs: self.shape(), rhs: rhs.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 }
 
@@ -468,7 +557,10 @@ mod tests {
 
     #[test]
     fn from_vec_rejects_bad_len() {
-        assert!(matches!(Tensor::from_vec(2, 2, vec![1.0; 3]), Err(TensorError::BadBuffer { .. })));
+        assert!(matches!(
+            Tensor::from_vec(2, 2, vec![1.0; 3]),
+            Err(TensorError::BadBuffer { .. })
+        ));
     }
 
     #[test]

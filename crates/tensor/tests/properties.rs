@@ -1,4 +1,5 @@
-//! Property-based tests for the tensor substrate.
+//! Randomized-property tests for the tensor substrate, driven by a
+//! deterministic seed sweep (no external property-testing framework).
 //!
 //! These pin down the algebraic identities the Vocabulary Parallelism
 //! algorithms rely on: linearity of matmul, the transpose laws behind the
@@ -6,75 +7,98 @@
 //! importantly — that an arbitrarily sharded softmax rescaled with global
 //! statistics (the paper's Eq. 5) reproduces the full softmax.
 
-use proptest::prelude::*;
+use vp_tensor::init::{normal, seeded_rng};
 use vp_tensor::ops::{local_softmax, rescale_softmax, softmax_rows};
+use vp_tensor::rng::Rng;
 use vp_tensor::Tensor;
 
-fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-50.0f32..50.0, rows * cols)
-        .prop_map(move |data| Tensor::from_vec(rows, cols, data).unwrap())
+fn random_tensor(rng: &mut impl Rng, rows: usize, cols: usize) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.gen_range(-50.0f32..50.0))
+        .collect();
+    Tensor::from_vec(rows, cols, data).unwrap()
 }
 
-fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..6, 1usize..6, 1usize..6)
+fn random_dims(rng: &mut impl Rng) -> (usize, usize, usize) {
+    (
+        rng.gen_range(1..6usize),
+        rng.gen_range(1..6usize),
+        rng.gen_range(1..6usize),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn matmul_nt_equals_matmul_with_transpose(
-        (m, k, n) in dims(),
-        seed in 0u64..1000,
-    ) {
-        let mut rng = vp_tensor::init::seeded_rng(seed);
-        let a = vp_tensor::init::normal(&mut rng, m, k, 1.0);
-        let b = vp_tensor::init::normal(&mut rng, n, k, 1.0);
+#[test]
+fn matmul_nt_equals_matmul_with_transpose() {
+    for seed in 0..64u64 {
+        let mut rng = seeded_rng(seed);
+        let (m, k, n) = random_dims(&mut rng);
+        let a = normal(&mut rng, m, k, 1.0);
+        let b = normal(&mut rng, n, k, 1.0);
         let via_nt = a.matmul_nt(&b).unwrap();
         let via_t = a.matmul(&b.transpose()).unwrap();
-        prop_assert!(via_nt.max_abs_diff(&via_t).unwrap() < 1e-4);
-        let c = vp_tensor::init::normal(&mut rng, m, n, 1.0);
+        assert!(via_nt.max_abs_diff(&via_t).unwrap() < 1e-4, "seed {seed}");
+        let c = normal(&mut rng, m, n, 1.0);
         let via_tn = a.matmul_tn(&c).unwrap();
         let via_t2 = a.transpose().matmul(&c).unwrap();
-        prop_assert!(via_tn.max_abs_diff(&via_t2).unwrap() < 1e-4);
+        assert!(via_tn.max_abs_diff(&via_t2).unwrap() < 1e-4, "seed {seed}");
     }
+}
 
-    #[test]
-    fn matmul_is_linear_in_lhs((m, k, n) in dims(), seed in 0u64..1000) {
-        let mut rng = vp_tensor::init::seeded_rng(seed);
-        let a1 = vp_tensor::init::normal(&mut rng, m, k, 1.0);
-        let a2 = vp_tensor::init::normal(&mut rng, m, k, 1.0);
-        let b = vp_tensor::init::normal(&mut rng, k, n, 1.0);
+#[test]
+fn matmul_is_linear_in_lhs() {
+    for seed in 100..164u64 {
+        let mut rng = seeded_rng(seed);
+        let (m, k, n) = random_dims(&mut rng);
+        let a1 = normal(&mut rng, m, k, 1.0);
+        let a2 = normal(&mut rng, m, k, 1.0);
+        let b = normal(&mut rng, k, n, 1.0);
         let lhs = a1.add(&a2).unwrap().matmul(&b).unwrap();
         let rhs = a1.matmul(&b).unwrap().add(&a2.matmul(&b).unwrap()).unwrap();
-        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3, "seed {seed}");
     }
+}
 
-    #[test]
-    fn softmax_rows_are_probability_distributions(t in tensor_strategy(3, 7)) {
+#[test]
+fn softmax_rows_are_probability_distributions() {
+    for seed in 200..264u64 {
+        let mut rng = seeded_rng(seed);
+        let t = random_tensor(&mut rng, 3, 7);
         let s = softmax_rows(&t);
         for r in 0..3 {
             let sum: f32 = s.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+            assert!((sum - 1.0).abs() < 1e-4, "seed {seed} row {r}");
+            assert!(
+                s.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn softmax_is_shift_invariant(t in tensor_strategy(2, 5), shift in -100.0f32..100.0) {
+#[test]
+fn softmax_is_shift_invariant() {
+    for seed in 300..364u64 {
+        let mut rng = seeded_rng(seed);
+        let t = random_tensor(&mut rng, 2, 5);
+        let shift = rng.gen_range(-100.0f32..100.0);
         let a = softmax_rows(&t);
         let b = softmax_rows(&t.map(|v| v + shift));
-        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+        assert!(
+            a.max_abs_diff(&b).unwrap() < 1e-4,
+            "seed {seed} shift {shift}"
+        );
     }
+}
 
-    /// The core identity of the paper (Eq. 5): shard the columns at an
-    /// arbitrary split point, softmax each shard locally, merge statistics
-    /// as the all-reduce would, rescale — and recover the full softmax.
-    #[test]
-    fn sharded_softmax_matches_full(
-        t in tensor_strategy(3, 8),
-        split in 0usize..=8,
-    ) {
+/// The core identity of the paper (Eq. 5): shard the columns at an
+/// arbitrary split point, softmax each shard locally, merge statistics
+/// as the all-reduce would, rescale — and recover the full softmax.
+#[test]
+fn sharded_softmax_matches_full() {
+    for seed in 400..464u64 {
+        let mut rng = seeded_rng(seed);
+        let t = random_tensor(&mut rng, 3, 8);
+        let split = rng.gen_range(0..9usize);
         let full = softmax_rows(&t);
         let a = t.slice_cols(0, split).unwrap();
         let b = t.slice_cols(split, 8).unwrap();
@@ -84,7 +108,13 @@ proptest! {
         let gmax: Vec<f32> = (0..rows).map(|r| st_a.max[r].max(st_b.max[r])).collect();
         let gsum: Vec<f32> = (0..rows)
             .map(|r| {
-                let fix = |m: f32, s: f32| if s == 0.0 { 0.0 } else { s * (m - gmax[r]).exp() };
+                let fix = |m: f32, s: f32| {
+                    if s == 0.0 {
+                        0.0
+                    } else {
+                        s * (m - gmax[r]).exp()
+                    }
+                };
                 fix(st_a.max[r], st_a.sum[r]) + fix(st_b.max[r], st_b.sum[r])
             })
             .collect();
@@ -92,20 +122,28 @@ proptest! {
         rescale_softmax(&mut sb, &st_b, &gmax, &gsum).unwrap();
         for r in 0..rows {
             for c in 0..split {
-                prop_assert!((sa.at(r, c) - full.at(r, c)).abs() < 1e-5);
+                assert!((sa.at(r, c) - full.at(r, c)).abs() < 1e-5, "seed {seed}");
             }
             for c in split..8 {
-                prop_assert!((sb.at(r, c - split) - full.at(r, c)).abs() < 1e-5);
+                assert!(
+                    (sb.at(r, c - split) - full.at(r, c)).abs() < 1e-5,
+                    "seed {seed}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn transpose_involution_and_slice_concat(t in tensor_strategy(4, 5), cut in 0usize..=4) {
-        prop_assert_eq!(t.transpose().transpose(), t.clone());
+#[test]
+fn transpose_involution_and_slice_concat() {
+    for seed in 500..564u64 {
+        let mut rng = seeded_rng(seed);
+        let t = random_tensor(&mut rng, 4, 5);
+        let cut = rng.gen_range(0..5usize);
+        assert_eq!(t.transpose().transpose(), t.clone());
         let top = t.slice_rows(0, cut).unwrap();
         let bottom = t.slice_rows(cut, 4).unwrap();
         let glued = Tensor::concat_rows(&[&top, &bottom]).unwrap();
-        prop_assert_eq!(glued, t);
+        assert_eq!(glued, t);
     }
 }

@@ -22,17 +22,28 @@ fn main() {
     let samples: Vec<Microbatch> = dataset
         .epoch(0)
         .into_iter()
-        .map(|s| Microbatch { tokens: s.tokens, labels: s.labels })
+        .map(|s| Microbatch {
+            tokens: s.tokens,
+            labels: s.labels,
+        })
         .collect();
     let source = DataSource::Fixed(Arc::new(samples));
 
     // Train, checkpoint, resume (exactness is tested in the suite; here we
     // just exercise the workflow).
-    let config = TinyConfig { vocab: tokenizer.vocab_size(), microbatches: 8, ..TinyConfig::default() };
+    let config = TinyConfig {
+        vocab: tokenizer.vocab_size(),
+        microbatches: 8,
+        ..TinyConfig::default()
+    };
     let mut trainer = ReferenceTrainer::new(&config);
     trainer.train(30, &source).expect("first training leg");
     let checkpoint = trainer.save();
-    println!("checkpoint: {} bytes after {} iterations", checkpoint.len(), trainer.iterations_done());
+    println!(
+        "checkpoint: {} bytes after {} iterations",
+        checkpoint.len(),
+        trainer.iterations_done()
+    );
     let mut trainer = ReferenceTrainer::load(&config, &checkpoint).expect("restore");
     trainer.train(30, &source).expect("second training leg");
 
@@ -47,7 +58,11 @@ fn main() {
 
     // Generate.
     let prompt_text = "the pipeline ";
-    let prompt: Vec<usize> = tokenizer.encode(prompt_text).iter().map(|&t| t as usize).collect();
+    let prompt: Vec<usize> = tokenizer
+        .encode(prompt_text)
+        .iter()
+        .map(|&t| t as usize)
+        .collect();
     let generated = trainer.generate(&prompt, 24).expect("generation");
     let generated_u32: Vec<u32> = generated.iter().map(|&t| t as u32).collect();
     println!("\nprompt:    {prompt_text:?}");

@@ -10,8 +10,10 @@
 use vocab_parallelism::prelude::*;
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let devices = args.first().copied().unwrap_or(16);
     let vocab_k = args.get(1).copied().unwrap_or(256);
     let seq = args.get(2).copied().unwrap_or(4096);
@@ -27,7 +29,10 @@ fn main() {
         "Planning: {:?} ({} layers, hidden {}), {} devices, vocab {}k, seq {}\n",
         preset, config.layers, config.hidden, devices, vocab_k, seq
     );
-    println!("{:>12} {:>8} {:>10} {:>10} {:>10}", "method", "MFU %", "peak GB", "spread GB", "fits 80G?");
+    println!(
+        "{:>12} {:>8} {:>10} {:>10} {:>10}",
+        "method", "MFU %", "peak GB", "spread GB", "fits 80G?"
+    );
     let mut best: Option<SimReport> = None;
     for method in Method::all() {
         let report = run_1f1b(method, &config, devices, hardware.clone());

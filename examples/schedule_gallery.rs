@@ -14,7 +14,9 @@ use vp_schedule::render;
 
 fn show(title: &str, schedule: &Schedule, times: PassTimes) {
     let costs = UnitCosts::new(times, schedule.chunks());
-    let report = Executor::new(&costs).run(schedule).expect("schedules validate");
+    let report = Executor::new(&costs)
+        .run(schedule)
+        .expect("schedules validate");
     println!("\n== {title} ==");
     println!(
         "makespan {:.1} units, mean bubble {:.1}%, peak in-flight microbatches {:?}",
@@ -29,7 +31,11 @@ fn main() {
     let times = PassTimes::default();
     println!("{}", render::legend());
 
-    show("Figure 1: plain 1F1B, p=4 (activation memory p−d microbatches)", &generators::one_f_one_b(4, 8, times), times);
+    show(
+        "Figure 1: plain 1F1B, p=4 (activation memory p−d microbatches)",
+        &generators::one_f_one_b(4, 8, times),
+        times,
+    );
     show(
         "Figure 10a: 1F1B + Vocab-1 (Algorithm 1, +2 microbatches)",
         &generators::vocab_1f1b(4, 8, VocabVariant::Alg1, times, true),
@@ -40,8 +46,16 @@ fn main() {
         &generators::vocab_1f1b(4, 8, VocabVariant::Alg2, times, true),
         times,
     );
-    show("Figure 15b: interlaced pipeline (sync vocab phases)", &generators::interlaced_1f1b(4, 8, times), times);
-    let vtimes = PassTimes { b: 1.0, w: 1.0, ..times };
+    show(
+        "Figure 15b: interlaced pipeline (sync vocab phases)",
+        &generators::interlaced_1f1b(4, 8, times),
+        times,
+    );
+    let vtimes = PassTimes {
+        b: 1.0,
+        w: 1.0,
+        ..times
+    };
     show(
         "Figure 16: V-Half + Vocab-1 (two chunks per device)",
         &generators::vhalf_vocab(4, 8, VocabVariant::Alg1, vtimes, true),

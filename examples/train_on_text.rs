@@ -29,10 +29,17 @@ fn main() {
     );
 
     // 2. Binary round-trip (the Megatron-style on-disk format).
-    let file = TokenFile { vocab_size: tokenizer.vocab_size() as u32, tokens: ids.clone() };
+    let file = TokenFile {
+        vocab_size: tokenizer.vocab_size() as u32,
+        tokens: ids.clone(),
+    };
     let blob = file.to_bytes();
     let parsed = TokenFile::from_bytes(blob.clone()).expect("round trip");
-    println!("token file: {} bytes on disk, parses back identically: {}", blob.len(), parsed == file);
+    println!(
+        "token file: {} bytes on disk, parses back identically: {}",
+        blob.len(),
+        parsed == file
+    );
 
     // 3. Pack into training samples.
     let seq_len = 16;
@@ -40,12 +47,18 @@ fn main() {
     let samples: Vec<Microbatch> = dataset
         .epoch(0)
         .into_iter()
-        .map(|s| Microbatch { tokens: s.tokens, labels: s.labels })
+        .map(|s| Microbatch {
+            tokens: s.tokens,
+            labels: s.labels,
+        })
         .collect();
     println!("packed {} samples of {seq_len} tokens", samples.len());
 
     // 4. Train with pipeline + vocabulary parallelism on 4 devices.
-    let config = TinyConfig { vocab: tokenizer.vocab_size(), ..TinyConfig::default() };
+    let config = TinyConfig {
+        vocab: tokenizer.vocab_size(),
+        ..TinyConfig::default()
+    };
     let source = DataSource::Fixed(Arc::new(samples));
     let losses = train_pipeline_on(
         &config,

@@ -19,13 +19,20 @@ fn main() {
     );
 
     let reference = train_reference(&config, iterations).expect("reference training");
-    let baseline = train_pipeline(&config, 4, Mode::Baseline, iterations).expect("baseline pipeline");
-    let vocab2 =
-        train_pipeline(&config, 4, Mode::Vocab(VocabAlgo::Alg2), iterations).expect("vocab-2 pipeline");
+    let baseline =
+        train_pipeline(&config, 4, Mode::Baseline, iterations).expect("baseline pipeline");
+    let vocab2 = train_pipeline(&config, 4, Mode::Vocab(VocabAlgo::Alg2), iterations)
+        .expect("vocab-2 pipeline");
 
-    println!("{:>5} {:>12} {:>12} {:>12}", "iter", "reference", "pp-baseline", "pp-vocab-2");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}",
+        "iter", "reference", "pp-baseline", "pp-vocab-2"
+    );
     for i in 0..iterations {
-        println!("{:>5} {:>12.6} {:>12.6} {:>12.6}", i, reference[i], baseline[i], vocab2[i]);
+        println!(
+            "{:>5} {:>12.6} {:>12.6} {:>12.6}",
+            i, reference[i], baseline[i], vocab2[i]
+        );
     }
     let max_dev = reference
         .iter()

@@ -26,7 +26,7 @@
 //! | [`vp_schedule`] | pass/building-block framework, 1F1B / V-Half / interlaced generators, validator, executor |
 //! | [`vp_core`] | **the paper's contribution**: partitioned vocabulary layers (naive / Alg 1 / Alg 2) |
 //! | [`vp_sim`] | discrete-event simulator regenerating the paper's tables |
-//! | [`vp_runtime`] | thread-per-stage pipeline trainer with real numerics (1F1B and V-Half) |
+//! | [`vp_runtime`] | generic schedule interpreter training real numerics on any validated schedule |
 //! | [`vp_data`] | dataset substrate: BPE tokenizer, text corpus, packed GPT samples |
 //!
 //! # Quickstart
@@ -62,7 +62,9 @@ pub mod prelude {
     pub use vp_model::config::{ModelConfig, ModelPreset};
     pub use vp_model::cost::{CostModel, Hardware};
     pub use vp_model::partition::{StageLayout, VocabPartition};
-    pub use vp_runtime::{train_pipeline, train_reference, Mode, TinyConfig};
+    pub use vp_runtime::{
+        train_pipeline, train_reference, train_schedule, Mode, TinyConfig, TrainReport,
+    };
     pub use vp_schedule::generators;
     pub use vp_schedule::pass::{PassKind, Schedule, VocabVariant};
     pub use vp_sim::{run_1f1b, run_vhalf, Method, SimReport, VHalfMethod};

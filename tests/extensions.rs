@@ -11,7 +11,10 @@ use vp_schedule::exec::{Executor, UnitCosts};
 /// bubbles, beating plain 1F1B+Vocab-2 in simulated MFU at equal memory.
 #[test]
 fn zero_bubble_vocab_beats_plain_vocab() {
-    let config = ModelPreset::Gpt4B.config().with_vocab(256 * 1024).with_num_microbatches(32);
+    let config = ModelPreset::Gpt4B
+        .config()
+        .with_vocab(256 * 1024)
+        .with_num_microbatches(32);
     let plain = run_1f1b(Method::Vocab2, &config, 8, Hardware::default());
     let zb = vp_sim::run_zero_bubble(&config, 8, Hardware::default(), Some(VocabVariant::Alg2));
     assert!(zb.mfu > plain.mfu, "zb {} vs plain {}", zb.mfu, plain.mfu);
@@ -21,7 +24,10 @@ fn zero_bubble_vocab_beats_plain_vocab() {
 /// barriers at comparable throughput.
 #[test]
 fn barrier_ablation_shape_via_facade() {
-    let config = ModelPreset::Gpt4B.config().with_vocab(256 * 1024).with_num_microbatches(32);
+    let config = ModelPreset::Gpt4B
+        .config()
+        .with_vocab(256 * 1024)
+        .with_num_microbatches(32);
     let reports = vp_sim::run_barrier_ablation(&config, 8, Hardware::default());
     assert!(reports[0].max_memory_gb() > reports[2].max_memory_gb());
     assert!((reports[0].mfu - reports[2].mfu).abs() < 0.06 * reports[2].mfu);
@@ -31,9 +37,13 @@ fn barrier_ablation_shape_via_facade() {
 /// validates and sustains throughput under the same dependency rules.
 #[test]
 fn interleaved_vocab_schedules_validate() {
-    let times = PassTimes { f: 0.5, b: 1.0, ..PassTimes::default() };
+    let times = PassTimes {
+        f: 0.5,
+        b: 1.0,
+        ..PassTimes::default()
+    };
     for variant in [VocabVariant::Alg1, VocabVariant::Alg2] {
-        let sched = generators::interleaved_vocab_1f1b(4, 2, 16, variant, times);
+        let sched = generators::interleaved_vocab_1f1b(4, 2, 16, variant, times, false);
         vp_schedule::deps::validate(&sched).expect("interleaved vocab schedule validates");
         let costs = UnitCosts::new(times, 2);
         let report = Executor::new(&costs).run(&sched).unwrap();
@@ -53,10 +63,17 @@ fn tied_training_on_bpe_text_matches_reference() {
     let samples: Vec<Microbatch> = ds
         .epoch(0)
         .into_iter()
-        .map(|s| Microbatch { tokens: s.tokens, labels: s.labels })
+        .map(|s| Microbatch {
+            tokens: s.tokens,
+            labels: s.labels,
+        })
         .collect();
     let source = DataSource::Fixed(Arc::new(samples));
-    let config = TinyConfig { vocab: tok.vocab_size(), tied: true, ..TinyConfig::default() };
+    let config = TinyConfig {
+        vocab: tok.vocab_size(),
+        tied: true,
+        ..TinyConfig::default()
+    };
     let reference = vp_runtime::train_reference_on(&config, 4, &source).unwrap();
     let pipeline = vp_runtime::train_pipeline_on(
         &config,
@@ -94,7 +111,10 @@ fn dp_vhalf_vocab_matches_reference() {
     )
     .unwrap();
     for (i, (r, p)) in reference.iter().zip(&dp_run).enumerate() {
-        assert!((r - p).abs() < 1e-3 * (1.0 + r.abs()), "iter {i}: {r} vs {p}");
+        assert!(
+            (r - p).abs() < 1e-3 * (1.0 + r.abs()),
+            "iter {i}: {r} vs {p}"
+        );
     }
 }
 
@@ -121,7 +141,10 @@ fn checkpoint_resume_via_facade() {
 /// public API.
 #[test]
 fn estimator_matches_simulator_via_facade() {
-    let config = ModelPreset::Gpt4B.config().with_vocab(128 * 1024).with_num_microbatches(32);
+    let config = ModelPreset::Gpt4B
+        .config()
+        .with_vocab(128 * 1024)
+        .with_num_microbatches(32);
     let hw = Hardware::default();
     let layout = StageLayout::vocab_parallel(&config, 8);
     let analytic = vp_model::memory::estimate_1f1b(

@@ -8,7 +8,10 @@ use vp_schedule::block::PassTimes;
 use vp_schedule::exec::{Executor, UnitCosts};
 
 fn fast(preset: ModelPreset, vocab_k: usize) -> ModelConfig {
-    preset.config().with_vocab(vocab_k * 1024).with_num_microbatches(32)
+    preset
+        .config()
+        .with_vocab(vocab_k * 1024)
+        .with_num_microbatches(32)
 }
 
 /// The headline claim, end to end: at 256k vocabulary, Vocabulary
@@ -19,7 +22,12 @@ fn headline_throughput_and_memory_win() {
     let config = fast(ModelPreset::Gpt4B, 256);
     let baseline = run_1f1b(Method::Baseline, &config, 8, Hardware::default());
     let vocab = run_1f1b(Method::Vocab2, &config, 8, Hardware::default());
-    assert!(vocab.mfu > 1.5 * baseline.mfu, "vocab {} vs baseline {}", vocab.mfu, baseline.mfu);
+    assert!(
+        vocab.mfu > 1.5 * baseline.mfu,
+        "vocab {} vs baseline {}",
+        vocab.mfu,
+        baseline.mfu
+    );
     assert!(vocab.max_memory_gb() < baseline.max_memory_gb());
     // Improvement shrinks at small vocabularies but never reverses.
     let config_small = fast(ModelPreset::Gpt4B, 32);
@@ -59,12 +67,25 @@ fn schedules_validate_and_match_analytic_memory() {
 /// reference, and the three output-layer strategies agree with each other.
 #[test]
 fn numeric_equivalence_end_to_end() {
-    let config = TinyConfig { layers: 2, hidden: 16, heads: 2, microbatches: 2, ..TinyConfig::default() };
+    let config = TinyConfig {
+        layers: 2,
+        hidden: 16,
+        heads: 2,
+        microbatches: 2,
+        ..TinyConfig::default()
+    };
     let reference = train_reference(&config, 4).expect("reference");
-    for mode in [Mode::Baseline, Mode::Vocab(VocabAlgo::Alg1), Mode::Vocab(VocabAlgo::Alg2)] {
+    for mode in [
+        Mode::Baseline,
+        Mode::Vocab(VocabAlgo::Alg1),
+        Mode::Vocab(VocabAlgo::Alg2),
+    ] {
         let pipeline = train_pipeline(&config, 2, mode, 4).expect("pipeline");
         for (i, (r, p)) in reference.iter().zip(&pipeline).enumerate() {
-            assert!((r - p).abs() < 1e-3 * (1.0 + r.abs()), "{mode:?} iter {i}: {r} vs {p}");
+            assert!(
+                (r - p).abs() < 1e-3 * (1.0 + r.abs()),
+                "{mode:?} iter {i}: {r} vs {p}"
+            );
         }
     }
 }

@@ -16,4 +16,47 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> repro kernels --json smoke run"
+cargo run -p vp-bench --release --bin repro -- kernels --json --quick
+
+echo "==> BENCH_kernels.json structure check"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'PY'
+import json
+
+with open("BENCH_kernels.json") as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "kernels", doc.get("bench")
+assert doc["threads"] >= 1 and doc["cores"] >= 1
+kernels = {k["name"]: k for k in doc["kernels"]}
+expected = {"matmul_nn", "matmul_nt", "matmul_tn", "softmax_rows",
+            "local_softmax", "layer_norm", "gelu"}
+missing = expected - kernels.keys()
+assert not missing, f"kernels missing from BENCH_kernels.json: {missing}"
+for name, k in kernels.items():
+    assert k["serial_us"] > 0, f"{name}: no serial timing"
+    assert k["threaded_us"] > 0, f"{name}: no threaded timing"
+    assert k["bitwise_identical"] is True, f"{name}: threaded output diverged"
+print(f"BENCH_kernels.json OK: {len(kernels)} kernels, serial+threaded covered, "
+      f"all bitwise identical ({doc['threads']} threads on {doc['cores']} cores)")
+PY
+else
+    # Fallback when python3 is unavailable: structural greps.
+    grep -q '"bench": "kernels"' BENCH_kernels.json
+    for k in matmul_nn matmul_nt matmul_tn softmax_rows local_softmax layer_norm gelu; do
+        grep -q "\"name\": \"$k\"" BENCH_kernels.json || {
+            echo "missing kernel $k in BENCH_kernels.json" >&2
+            exit 1
+        }
+    done
+    grep -q '"serial_us"' BENCH_kernels.json
+    grep -q '"threaded_us"' BENCH_kernels.json
+    if grep -q '"bitwise_identical": false' BENCH_kernels.json; then
+        echo "threaded kernel output diverged from serial" >&2
+        exit 1
+    fi
+    echo "BENCH_kernels.json OK (grep check)"
+fi
+
 echo "CI gate passed."

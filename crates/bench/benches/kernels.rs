@@ -48,6 +48,21 @@ fn bench_matmul() {
     });
 }
 
+/// Serial vs pooled matmul at the acceptance shape (256³). The threaded
+/// output is bitwise identical to serial; the speedup tracks core count.
+fn bench_matmul_threaded() {
+    let mut rng = seeded_rng(4);
+    let a = normal(&mut rng, 256, 256, 1.0);
+    let b = normal(&mut rng, 256, 256, 1.0);
+    for threads in [1usize, 4] {
+        vp_tensor::set_num_threads(threads);
+        bench(&format!("matmul_256x256x256/nn/{threads}t"), 5, || {
+            black_box(a.matmul(&b).unwrap());
+        });
+    }
+    vp_tensor::set_num_threads(1);
+}
+
 fn bench_softmax() {
     let mut rng = seeded_rng(2);
     let logits = normal(&mut rng, 64, 2048, 3.0);
@@ -89,6 +104,7 @@ fn bench_output_layer() {
 
 fn main() {
     bench_matmul();
+    bench_matmul_threaded();
     bench_softmax();
     bench_output_layer();
 }

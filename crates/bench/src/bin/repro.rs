@@ -7,17 +7,22 @@
 //! Experiments: `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
 //! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
 //! `ablation-barriers`, `ablation-zero-bubble`, `generality`,
-//! `generality-numeric`, `padding`, `trace`, `csv`, `fig17`, or `all`.
-//! `--quick` runs the throughput sweeps with 32 instead of 128
-//! microbatches (same shapes, ~4× faster).
+//! `generality-numeric`, `kernels`, `padding`, `trace`, `csv`, `fig17`, or
+//! `all`. `--quick` runs the throughput sweeps with 32 instead of 128
+//! microbatches (same shapes, ~4× faster) and shortens the kernel timing
+//! loops. `kernels --json` additionally writes `BENCH_kernels.json`
+//! (median µs/iter per kernel, serial vs threaded; thread count from
+//! `VP_THREADS`, default 4).
 
 use vp_bench::experiments;
+use vp_bench::kernels as kernel_bench;
 use vp_bench::paper;
 use vp_bench::table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let microbatches = if quick { 32 } else { 128 };
     let which = args
         .iter()
@@ -39,6 +44,7 @@ fn main() {
             "ablation-zero-bubble",
             "generality",
             "generality-numeric",
+            "kernels",
             "padding",
             "trace",
             "csv",
@@ -61,6 +67,7 @@ fn main() {
             "ablation-zero-bubble" => ablation_zero_bubble(microbatches),
             "generality" => generality(microbatches),
             "generality-numeric" => generality_numeric(),
+            "kernels" => kernels(quick, json),
             "trace" => trace(),
             "csv" => csv(microbatches),
             "padding" => padding(),
@@ -363,6 +370,59 @@ fn generality_numeric() {
     );
     println!("One interpreter executes all three families numerically (no per-family runtime");
     println!("code); deviations stay within Figure 17's f32 accumulation-order noise.");
+}
+
+fn kernels(quick: bool, json: bool) {
+    heading("Kernel microbench — serial vs threaded worker pool (vp-tensor::pool)");
+    let threads = std::env::var("VP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4);
+    let size = 256;
+    let (runs, iters) = if quick { (3, 2) } else { (7, 5) };
+    let results = kernel_bench::run(size, threads, runs, iters);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|k| {
+            vec![
+                k.name.to_string(),
+                k.shape.clone(),
+                format!("{:.1}", k.serial_us),
+                format!("{:.1}", k.threaded_us),
+                format!("{:.2}x", k.speedup()),
+                if k.bitwise_identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "kernel",
+                "shape",
+                "serial µs",
+                &format!("{threads}-thread µs"),
+                "speedup",
+                "bitwise =="
+            ],
+            &rows
+        )
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "Parallelism is across independent output rows only, so threaded results are\n\
+         bitwise identical to serial; speedups require ≥ {threads} cores (this machine: {cores})."
+    );
+    if json {
+        let doc = kernel_bench::to_json(size, threads, &results);
+        match std::fs::write("BENCH_kernels.json", &doc) {
+            Ok(()) => println!("wrote BENCH_kernels.json"),
+            Err(e) => eprintln!("failed to write BENCH_kernels.json: {e}"),
+        }
+    }
 }
 
 fn trace() {

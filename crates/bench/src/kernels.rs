@@ -1,0 +1,201 @@
+//! Serial-vs-threaded timing of the `vp-tensor` kernels.
+//!
+//! Backs the `repro kernels [--json]` subcommand, which seeds the perf
+//! trajectory (`BENCH_kernels.json`): for every kernel the harness measures
+//! the median wall-clock per call with 1 thread (the exact serial code
+//! path) and with the requested pool size, and verifies the two outputs are
+//! **bitwise identical** — the pool's determinism contract.
+
+use std::time::Instant;
+use vp_tensor::init::{normal, seeded_rng};
+use vp_tensor::nn::{Gelu, LayerNorm};
+use vp_tensor::ops::{local_softmax, softmax_rows};
+use vp_tensor::{pool, Tensor};
+
+use crate::table::{json_escape, json_f64};
+
+/// One kernel's serial-vs-threaded measurement.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel name (e.g. `matmul_nn`).
+    pub name: &'static str,
+    /// Problem shape, human-readable (e.g. `256x256x256`).
+    pub shape: String,
+    /// Median µs per call with 1 thread.
+    pub serial_us: f64,
+    /// Median µs per call with the requested thread count.
+    pub threaded_us: f64,
+    /// Whether the serial and threaded outputs were bitwise identical.
+    pub bitwise_identical: bool,
+}
+
+impl KernelTiming {
+    /// Serial-over-threaded speedup (`> 1` means the pool helped).
+    pub fn speedup(&self) -> f64 {
+        self.serial_us / self.threaded_us
+    }
+}
+
+/// Median wall-clock µs per call over `runs` samples of `iters` calls.
+fn median_us(runs: usize, iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e6 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Times one kernel serially and with `threads` pool threads.
+fn time_kernel(
+    name: &'static str,
+    shape: String,
+    threads: usize,
+    runs: usize,
+    iters: u32,
+    f: impl Fn() -> Tensor,
+) -> KernelTiming {
+    pool::set_num_threads(1);
+    let serial_out = f();
+    let serial_us = median_us(runs, iters, || {
+        std::hint::black_box(f());
+    });
+    pool::set_num_threads(threads);
+    let threaded_out = f();
+    let threaded_us = median_us(runs, iters, || {
+        std::hint::black_box(f());
+    });
+    KernelTiming {
+        name,
+        shape,
+        serial_us,
+        threaded_us,
+        bitwise_identical: bits_eq(&serial_out, &threaded_out),
+    }
+}
+
+/// Runs the full kernel sweep at `size` (matmuls are `size³`; the row-wise
+/// kernels use `size × 4·size`). Restores the pool's previous thread count
+/// before returning.
+pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTiming> {
+    let previous = pool::num_threads();
+    let mut rng = seeded_rng(2024);
+    let a = normal(&mut rng, size, size, 1.0);
+    let b = normal(&mut rng, size, size, 1.0);
+    let wide = normal(&mut rng, size, 4 * size, 3.0);
+    let ln = LayerNorm::new(4 * size);
+    let gelu = Gelu::new();
+
+    let mm = format!("{size}x{size}x{size}");
+    let rw = format!("{size}x{}", 4 * size);
+    let results = vec![
+        time_kernel("matmul_nn", mm.clone(), threads, runs, iters, || {
+            a.matmul(&b).unwrap()
+        }),
+        time_kernel("matmul_nt", mm.clone(), threads, runs, iters, || {
+            a.matmul_nt(&b).unwrap()
+        }),
+        time_kernel("matmul_tn", mm.clone(), threads, runs, iters, || {
+            a.matmul_tn(&b).unwrap()
+        }),
+        time_kernel("softmax_rows", rw.clone(), threads, runs, iters, || {
+            softmax_rows(&wide)
+        }),
+        time_kernel("local_softmax", rw.clone(), threads, runs, iters, || {
+            local_softmax(&wide).0
+        }),
+        time_kernel("layer_norm", rw.clone(), threads, runs, iters, || {
+            ln.forward(&wide).unwrap().0
+        }),
+        time_kernel("gelu", rw.clone(), threads, runs, iters, || {
+            gelu.forward(&wide).0
+        }),
+    ];
+    pool::set_num_threads(previous);
+    results
+}
+
+/// Renders the sweep as the `BENCH_kernels.json` document.
+pub fn to_json(size: usize, threads: usize, results: &[KernelTiming]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"kernels\",\n");
+    out.push_str("  \"generated_by\": \"repro kernels --json\",\n");
+    out.push_str("  \"unit\": \"us_per_iter_median\",\n");
+    out.push_str(&format!("  \"size\": {size},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shape\": \"{}\", \"serial_us\": {}, \"threaded_us\": {}, \"speedup\": {}, \"bitwise_identical\": {}}}{}\n",
+            json_escape(k.name),
+            json_escape(&k.shape),
+            json_f64(k.serial_us),
+            json_f64(k.threaded_us),
+            json_f64(k.speedup()),
+            k.bitwise_identical,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_kernels_and_stays_bitwise_identical() {
+        // Tiny size: this is a structure test, not a perf test.
+        let results = run(24, 2, 1, 1);
+        let names: Vec<&str> = results.iter().map(|k| k.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "matmul_nn",
+                "matmul_nt",
+                "matmul_tn",
+                "softmax_rows",
+                "local_softmax",
+                "layer_norm",
+                "gelu"
+            ]
+        );
+        for k in &results {
+            assert!(k.bitwise_identical, "{} diverged from serial", k.name);
+            assert!(k.serial_us > 0.0 && k.threaded_us > 0.0, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let results = run(16, 2, 1, 1);
+        let doc = to_json(16, 2, &results);
+        assert!(doc.contains("\"bench\": \"kernels\""));
+        assert!(doc.contains("\"threads\": 2"));
+        assert!(doc.contains("\"matmul_tn\""));
+        assert!(doc.contains("\"bitwise_identical\": true"));
+        // Balanced braces/brackets (hand-rolled emitter sanity check).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(!doc.contains("null"), "non-finite timing in {doc}");
+    }
+}

@@ -9,5 +9,6 @@
 //! published numbers are embedded in [`paper`] for side-by-side output.
 
 pub mod experiments;
+pub mod kernels;
 pub mod paper;
 pub mod table;

@@ -34,6 +34,34 @@ pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Escapes a string for embedding in a JSON document (the workspace is
+/// dependency-free, so the `BENCH_*.json` artifacts are emitted by hand).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Formats an optional `(value, paper)` pair as `measured (paper x.x)`,
 /// with `OOM` for missing values.
 pub fn vs_paper(measured: Option<f64>, paper: Option<f64>) -> String {
@@ -68,5 +96,18 @@ mod tests {
     fn vs_paper_formats_oom() {
         assert_eq!(vs_paper(None, Some(1.0)), "OOM (1.00)");
         assert_eq!(vs_paper(Some(2.5), None), "2.50 (OOM)");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn json_f64_rejects_non_finite() {
+        assert_eq!(json_f64(1.5), "1.500");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
     }
 }

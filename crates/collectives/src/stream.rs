@@ -1,5 +1,5 @@
 use std::fmt;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -47,9 +47,21 @@ impl<T> JobHandle<T> {
         self.rx.recv().expect("communication job panicked")
     }
 
-    /// Returns the result if the job has already finished.
+    /// Returns the result if the job has already finished, or `None` while
+    /// it is still pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job itself panicked, matching [`JobHandle::wait`]'s
+    /// contract. (A panicked job drops the result channel, so conflating
+    /// that disconnect with "still pending" would make a poller spin
+    /// forever on a dead job.)
     pub fn try_wait(&self) -> Option<T> {
-        self.rx.try_recv().ok()
+        match self.rx.try_recv() {
+            Ok(v) => Some(v),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => panic!("communication job panicked"),
+        }
     }
 }
 
@@ -181,5 +193,31 @@ mod tests {
         let h = stream.submit(|| 42);
         stream.synchronize();
         assert_eq!(h.try_wait(), Some(42));
+    }
+
+    #[test]
+    fn try_wait_propagates_job_panic_instead_of_pending_forever() {
+        // Regression: `try_wait` used to map `Disconnected` to `None`, so a
+        // poller would spin forever on a job that panicked, despite `wait`'s
+        // documented panic contract.
+        let stream = CommStream::new();
+        let h: JobHandle<i32> = stream.submit(|| panic!("collective failed"));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let polled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.try_wait()));
+            match polled {
+                // Pending: the worker has not died yet — keep polling.
+                Ok(None) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "try_wait never surfaced the job panic"
+                    );
+                    std::thread::yield_now();
+                }
+                Ok(Some(v)) => panic!("panicked job returned a value: {v}"),
+                // The panic surfaced through try_wait: contract restored.
+                Err(_) => break,
+            }
+        }
     }
 }

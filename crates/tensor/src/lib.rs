@@ -18,6 +18,11 @@
 //!   cross-entropy — everything needed to train a small GPT end to end.
 //! * Optimizers ([`optim`]) and finite-difference gradient checking
 //!   ([`gradcheck`]).
+//! * A std-only persistent worker pool ([`pool`]) that parallelizes the
+//!   matmul / softmax / layer-norm / GELU kernels across independent output
+//!   rows — bitwise identical to the serial kernels for every thread count
+//!   (configure with [`set_num_threads`] or `VP_THREADS`; `1` is exactly the
+//!   serial code path).
 //!
 //! # Example
 //!
@@ -38,10 +43,12 @@ pub mod io;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 pub mod rng;
 mod tensor;
 
 pub use error::TensorError;
+pub use pool::{num_threads, set_num_threads};
 pub use tensor::Tensor;
 
 /// Convenience result alias used across the crate.

@@ -30,8 +30,24 @@ impl Gelu {
     }
 
     /// Applies GELU elementwise; the cache is the input itself.
+    ///
+    /// Elementwise, so row-parallel execution (see [`crate::pool`]) is
+    /// trivially bitwise identical to the serial path.
     pub fn forward(&self, x: &Tensor) -> (Tensor, Tensor) {
-        (x.map(gelu), x.clone())
+        let (rows, cols) = x.shape();
+        let mut y = Tensor::zeros(rows, cols);
+        crate::pool::par_rows_mut(
+            rows,
+            x.len().saturating_mul(16),
+            y.data_mut(),
+            |r0, _r1, chunk| {
+                let src = &x.data()[r0 * cols..r0 * cols + chunk.len()];
+                for (o, &v) in chunk.iter_mut().zip(src) {
+                    *o = gelu(v);
+                }
+            },
+        );
+        (y, x.clone())
     }
 
     /// Backward pass through the activation.
@@ -48,7 +64,22 @@ impl Gelu {
                 rhs: cache.shape(),
             });
         }
-        cache.map(gelu_backward).mul(dy)
+        let (rows, cols) = cache.shape();
+        let mut dx = Tensor::zeros(rows, cols);
+        crate::pool::par_rows_mut(
+            rows,
+            cache.len().saturating_mul(16),
+            dx.data_mut(),
+            |r0, _r1, chunk| {
+                let base = r0 * cols;
+                let x = &cache.data()[base..base + chunk.len()];
+                let g = &dy.data()[base..base + chunk.len()];
+                for ((o, &xv), &gv) in chunk.iter_mut().zip(x).zip(g) {
+                    *o = gelu_backward(xv) * gv;
+                }
+            },
+        );
+        Ok(dx)
     }
 }
 

@@ -46,31 +46,44 @@ impl LayerNorm {
                 rhs: (1, dim),
             });
         }
-        let mut normalized = Tensor::zeros(x.rows(), dim);
-        let mut inv_std = vec![0.0f32; x.rows()];
-        let mut y = Tensor::zeros(x.rows(), dim);
+        let rows = x.rows();
+        let mut normalized = Tensor::zeros(rows, dim);
+        let mut inv_std = vec![0.0f32; rows];
+        let mut y = Tensor::zeros(rows, dim);
         let gamma = self.gamma.value().row(0);
         let beta = self.beta.value().row(0);
-        #[allow(clippy::needless_range_loop)] // r indexes three tensors in lockstep
-        for r in 0..x.rows() {
-            let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / dim as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
-            let is = 1.0 / (var + self.eps).sqrt();
-            inv_std[r] = is;
-            let n_row = normalized.row_mut(r);
-            for (n, &v) in n_row.iter_mut().zip(row) {
-                *n = (v - mean) * is;
-            }
-            for ((o, n), (&g, &b)) in y
-                .row_mut(r)
-                .iter_mut()
-                .zip(normalized.row(r))
-                .zip(gamma.iter().zip(beta))
-            {
-                *o = g * *n + b;
-            }
-        }
+        let eps = self.eps;
+        // Row-parallel: every row's statistics and outputs are independent,
+        // so the result is bitwise identical for any thread count.
+        crate::pool::par_rows_mut3(
+            rows,
+            x.len().saturating_mul(8),
+            y.data_mut(),
+            normalized.data_mut(),
+            &mut inv_std,
+            |r0, _r1, y_chunk, n_chunk, is_chunk| {
+                for (li, is_out) in is_chunk.iter_mut().enumerate() {
+                    let row = x.row(r0 + li);
+                    let mean = row.iter().sum::<f32>() / dim as f32;
+                    let var =
+                        row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+                    let is = 1.0 / (var + eps).sqrt();
+                    *is_out = is;
+                    let n_row = &mut n_chunk[li * dim..(li + 1) * dim];
+                    for (n, &v) in n_row.iter_mut().zip(row) {
+                        *n = (v - mean) * is;
+                    }
+                    let y_row = &mut y_chunk[li * dim..(li + 1) * dim];
+                    for ((o, n), (&g, &b)) in y_row
+                        .iter_mut()
+                        .zip(n_row.iter())
+                        .zip(gamma.iter().zip(beta))
+                    {
+                        *o = g * *n + b;
+                    }
+                }
+            },
+        );
         Ok((
             y,
             LayerNormCache {

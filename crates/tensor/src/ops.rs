@@ -12,7 +12,7 @@
 //! that lets each vocabulary shard normalize with *local* statistics first
 //! and correct with *global* statistics after the all-reduce.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{pool, Result, Tensor, TensorError};
 
 /// Per-row maximum. Returns a vector of length `t.rows()`.
 ///
@@ -20,9 +20,17 @@ use crate::{Result, Tensor, TensorError};
 /// identity element of `max` (an empty vocabulary shard contributes nothing
 /// to the global maximum).
 pub fn row_max(t: &Tensor) -> Vec<f32> {
-    (0..t.rows())
-        .map(|r| t.row(r).iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v)))
-        .collect()
+    let rows = t.rows();
+    let mut max = vec![f32::NEG_INFINITY; rows];
+    pool::par_rows_mut(rows, t.len(), &mut max, |r0, _r1, chunk| {
+        for (li, m) in chunk.iter_mut().enumerate() {
+            *m = t
+                .row(r0 + li)
+                .iter()
+                .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        }
+    });
+    max
 }
 
 /// Per-row `Σ e^{x − m_r}` for the provided per-row shift `m`.
@@ -59,29 +67,54 @@ pub struct SoftmaxStats {
 /// normalization to the communication barrier.
 ///
 /// For a zero-width shard the statistics are `(−∞, 0)`, the identity
-/// elements of the max / sum reductions.
+/// elements of the max / sum reductions. A row whose entries are all `−∞`
+/// (a fully-masked row) gets the same identity statistics and a *defined
+/// zero row* of probabilities rather than `NaN` from `e^{−∞ − (−∞)}`; a
+/// `NaN` anywhere in a row still poisons that row's output and sum.
 pub fn local_softmax(t: &Tensor) -> (Tensor, SoftmaxStats) {
     let max = row_max(t);
-    let mut out = Tensor::zeros(t.rows(), t.cols());
-    let mut sum = vec![0.0f32; t.rows()];
-    for r in 0..t.rows() {
-        let m = max[r];
-        let mut s = 0.0f32;
-        let src = t.row(r);
-        let dst = out.row_mut(r);
-        for (d, &v) in dst.iter_mut().zip(src) {
-            let e = (v - m).exp();
-            *d = e;
-            s += e;
-        }
-        if s > 0.0 {
-            let inv = 1.0 / s;
-            for d in dst.iter_mut() {
-                *d *= inv;
+    let (rows, cols) = t.shape();
+    let mut out = Tensor::zeros(rows, cols);
+    let mut sum = vec![0.0f32; rows];
+    let max_ref = &max;
+    let work = t.len().saturating_mul(8);
+    pool::par_rows_mut2(
+        rows,
+        work,
+        out.data_mut(),
+        &mut sum,
+        |r0, _r1, out_chunk, sum_chunk| {
+            for (li, s_out) in sum_chunk.iter_mut().enumerate() {
+                let r = r0 + li;
+                let m = max_ref[r];
+                let src = t.row(r);
+                let dst = &mut out_chunk[li * cols..(li + 1) * cols];
+                if m == f32::NEG_INFINITY {
+                    // Empty or all-(−∞) row: identity stats, defined zero
+                    // row — unless a NaN lurks (the max ignores NaN), in
+                    // which case the poison must survive.
+                    if src.iter().any(|v| v.is_nan()) {
+                        dst.fill(f32::NAN);
+                        *s_out = f32::NAN;
+                    }
+                    continue;
+                }
+                let mut s = 0.0f32;
+                for (d, &v) in dst.iter_mut().zip(src) {
+                    let e = (v - m).exp();
+                    *d = e;
+                    s += e;
+                }
+                if s > 0.0 {
+                    let inv = 1.0 / s;
+                    for d in dst.iter_mut() {
+                        *d *= inv;
+                    }
+                }
+                *s_out = s;
             }
-        }
-        sum[r] = s;
-    }
+        },
+    );
     (out, SoftmaxStats { max, sum })
 }
 
@@ -95,7 +128,11 @@ pub fn local_softmax(t: &Tensor) -> (Tensor, SoftmaxStats) {
 /// # Errors
 ///
 /// Returns [`TensorError::InvalidArgument`] if any statistics vector has a
-/// length different from `local.rows()`.
+/// length different from `local.rows()`, or if any global statistic is
+/// invalid (`NaN`, or a negative sum) — dividing by such a `global_sum`
+/// would manufacture `NaN` probabilities out of finite inputs. A global sum
+/// of exactly `0` (every shard of the row was empty or fully masked) is
+/// *valid* and yields a defined zero row, matching [`local_softmax`].
 pub fn rescale_softmax(
     local: &mut Tensor,
     local_stats: &SoftmaxStats,
@@ -112,25 +149,45 @@ pub fn rescale_softmax(
             "rescale_softmax: statistics length mismatch".into(),
         ));
     }
-    for r in 0..rows {
-        let factor = softmax_correction(
-            local_stats.max[r],
-            local_stats.sum[r],
-            global_max[r],
-            global_sum[r],
-        );
-        for v in local.row_mut(r) {
-            *v *= factor;
+    let mut factors = vec![0.0f32; rows];
+    for (r, factor) in factors.iter_mut().enumerate() {
+        let (gm, gs) = (global_max[r], global_sum[r]);
+        if gm.is_nan() || gs.is_nan() || gs < 0.0 {
+            return Err(TensorError::InvalidArgument(format!(
+                "rescale_softmax: invalid global statistics at row {r} (max {gm}, sum {gs})"
+            )));
         }
+        *factor = softmax_correction(local_stats.max[r], local_stats.sum[r], gm, gs);
     }
+    let cols = local.cols();
+    let factors_ref = &factors;
+    pool::par_rows_mut(
+        rows,
+        rows.saturating_mul(cols),
+        local.data_mut(),
+        |r0, _r1, chunk| {
+            for (li, row) in chunk.chunks_mut(cols.max(1)).enumerate() {
+                let factor = factors_ref[r0 + li];
+                for v in row {
+                    *v *= factor;
+                }
+            }
+        },
+    );
     Ok(())
 }
 
 /// The per-row correction factor of Eq. 5:
-/// `sum' · e^{m' − m} / sum`, with 0 for empty shards.
+/// `sum' · e^{m' − m} / sum`, with 0 for empty or fully-masked shards.
+///
+/// Guarded against degenerate statistics: a non-positive (or `NaN`) local
+/// or global sum yields a factor of exactly `0` instead of dividing by zero
+/// — an all-`−∞` logits row (global sum 0) therefore rescales to a defined
+/// zero row rather than `NaN` probabilities.
 #[inline]
 pub fn softmax_correction(local_max: f32, local_sum: f32, global_max: f32, global_sum: f32) -> f32 {
-    if local_sum == 0.0 || global_sum == 0.0 {
+    let degenerate = |v: f32| v <= 0.0 || v.is_nan();
+    if degenerate(local_sum) || degenerate(global_sum) {
         return 0.0;
     }
     local_sum * (local_max - global_max).exp() / global_sum
@@ -290,6 +347,62 @@ mod tests {
         assert!(stats.max.iter().all(|&m| m == f32::NEG_INFINITY));
         assert!(stats.sum.iter().all(|&s| s == 0.0));
         assert_eq!(softmax_correction(f32::NEG_INFINITY, 0.0, 5.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn all_neg_inf_row_yields_defined_zero_row() {
+        // Regression: `e^{−∞ − (−∞)}` is NaN, so a fully-masked logits row
+        // used to produce NaN probabilities and NaN statistics, which then
+        // poisoned the Eq.-5 rescale of *every* shard via the global sum.
+        let t = Tensor::from_vec(2, 3, vec![f32::NEG_INFINITY; 6]).unwrap();
+        let (probs, stats) = local_softmax(&t);
+        assert!(probs.data().iter().all(|&v| v == 0.0));
+        assert!(stats.max.iter().all(|&m| m == f32::NEG_INFINITY));
+        assert!(stats.sum.iter().all(|&s| s == 0.0));
+        // The zero global sum rescales to a defined zero row, not NaN.
+        let mut local = probs.clone();
+        rescale_softmax(&mut local, &stats, &stats.max, &stats.sum).unwrap();
+        assert!(local.data().iter().all(|&v| v == 0.0));
+        assert_eq!(
+            softmax_correction(f32::NEG_INFINITY, 0.0, f32::NEG_INFINITY, 0.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn nan_logits_still_poison_local_softmax() {
+        let t = Tensor::from_vec(2, 2, vec![f32::NAN, f32::NEG_INFINITY, 1.0, 2.0]).unwrap();
+        let (probs, stats) = local_softmax(&t);
+        // Row 0 is poisoned (max ignores NaN, so it must be re-detected).
+        assert!(probs.at(0, 0).is_nan() && probs.at(0, 1).is_nan());
+        assert!(stats.sum[0].is_nan());
+        // Row 1 is unaffected.
+        assert!((probs.row(1).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rescale_rejects_invalid_global_statistics() {
+        let t = Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let (mut probs, stats) = local_softmax(&t);
+        let err = rescale_softmax(&mut probs, &stats, &[2.0], &[f32::NAN]);
+        assert!(matches!(err, Err(TensorError::InvalidArgument(_))));
+        let err = rescale_softmax(&mut probs, &stats, &[f32::NAN], &[1.0]);
+        assert!(matches!(err, Err(TensorError::InvalidArgument(_))));
+        let err = rescale_softmax(&mut probs, &stats, &[2.0], &[-1.0]);
+        assert!(matches!(err, Err(TensorError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn zero_width_shard_rescales_without_error() {
+        // The zero-width-shard path: rows exist but the shard owns no
+        // columns. Stats are the (−∞, 0) identities and rescaling against
+        // any valid global statistics is a no-op.
+        let empty = Tensor::zeros(3, 0);
+        let (mut probs, stats) = local_softmax(&empty);
+        rescale_softmax(&mut probs, &stats, &[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(probs.shape(), (3, 0));
+        // Correction for an empty shard against a live global row is 0.
+        assert_eq!(softmax_correction(f32::NEG_INFINITY, 0.0, 1.0, 4.0), 0.0);
     }
 
     #[test]

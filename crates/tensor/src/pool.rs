@@ -1,0 +1,488 @@
+//! A persistent, std-only worker pool for row-parallel kernels.
+//!
+//! The workspace is deliberately dependency-free, so this module provides
+//! the small slice of rayon that the numeric kernels need: a global pool of
+//! worker threads plus `par_rows_mut*` entry points that partition the
+//! *output rows* of a kernel into contiguous chunks and execute the chunks
+//! concurrently.
+//!
+//! # Determinism contract
+//!
+//! Parallelism is only ever across **independent output rows**. Every row is
+//! produced by exactly one task running exactly the serial per-row kernel, so
+//! the floating-point reduction order of each output element is identical for
+//! every thread count — results are **bitwise identical** to the serial
+//! kernels. This preserves the repo's bit-equivalence story (the paper's
+//! §6.5 / Figure 17 claims rest on the numerics being a pure reordering of
+//! *communication*, never of per-element arithmetic).
+//!
+//! # Configuration
+//!
+//! The thread count is resolved, in order, from:
+//!
+//! 1. the last call to [`set_num_threads`],
+//! 2. the `VP_THREADS` environment variable (read once, lazily),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A thread count of 1 bypasses the pool entirely: the caller runs the
+//! serial kernel inline, making `VP_THREADS=1` *exactly* the serial code
+//! path.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A queued unit of work (one row chunk, latch bookkeeping included).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A not-yet-lifetime-erased chunk task borrowed from a dispatching caller.
+type ScopedTask<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// Kernels with fewer scalar operations than this run serially: below it,
+/// dispatch overhead (queueing + latch wake-up) dominates any speedup.
+const MIN_PARALLEL_WORK: usize = 16 * 1024;
+
+/// Configured thread count; 0 means "not resolved yet".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of threads used by the parallel kernels (min 1).
+///
+/// Takes effect for subsequent kernel calls, process-wide. `1` disables the
+/// pool and runs every kernel serially on the calling thread.
+pub fn set_num_threads(n: usize) {
+    CONFIGURED.store(n.max(1), Ordering::Release);
+}
+
+/// Returns the current kernel thread count.
+///
+/// Resolves `VP_THREADS` / the machine's available parallelism on first use
+/// (see the module docs for the full precedence).
+pub fn num_threads() -> usize {
+    match CONFIGURED.load(Ordering::Acquire) {
+        0 => {
+            let n = default_threads();
+            // A racing `set_num_threads` wins; only fill in the default once.
+            let _ = CONFIGURED.compare_exchange(0, n, Ordering::AcqRel, Ordering::Acquire);
+            CONFIGURED.load(Ordering::Acquire)
+        }
+        n => n,
+    }
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("VP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Completion latch for one dispatch: counts outstanding chunk tasks and
+/// records whether any of them panicked.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().unwrap() == 0
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+/// The global worker pool: a shared injector queue drained by persistent
+/// worker threads. Workers are spawned lazily up to `num_threads() - 1`
+/// (the dispatching caller is the remaining thread — it helps drain the
+/// queue while its own chunks are pending).
+struct Pool {
+    tx: Sender<Task>,
+    rx: Mutex<Receiver<Task>>,
+    spawned: Mutex<usize>,
+}
+
+impl Pool {
+    fn global() -> &'static Arc<Pool> {
+        static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let (tx, rx) = channel();
+            Arc::new(Pool {
+                tx,
+                rx: Mutex::new(rx),
+                spawned: Mutex::new(0),
+            })
+        })
+    }
+
+    /// Grows the pool to at least `target` workers.
+    fn ensure_workers(self: &Arc<Self>, target: usize) {
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < target {
+            let pool = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("vp-kernel-{}", *spawned))
+                .spawn(move || pool.worker_loop())
+                .expect("failed to spawn kernel pool worker");
+            *spawned += 1;
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            // Holding the receiver lock while blocked in `recv` is the
+            // standard shared-queue pattern: pickup is serialized,
+            // execution is parallel.
+            let task = { self.rx.lock().unwrap().recv() };
+            match task {
+                Ok(task) => task(),
+                Err(_) => break, // queue closed: process exit
+            }
+        }
+    }
+
+    /// Runs queued tasks on the calling thread until the queue is
+    /// momentarily empty (or contended), then blocks on the latch.
+    ///
+    /// The caller may execute chunks of *other* concurrent dispatches here;
+    /// that is fine — each task carries its own latch.
+    fn help_then_wait(&self, latch: &Latch) {
+        loop {
+            if latch.is_done() {
+                return;
+            }
+            let task = match self.rx.try_lock() {
+                Ok(rx) => rx.try_recv().ok(),
+                // A worker is blocked in `recv` holding the lock; don't
+                // queue behind it — our chunks are already being drained.
+                Err(_) => None,
+            };
+            match task {
+                Some(task) => task(),
+                None => break,
+            }
+        }
+        latch.wait();
+    }
+}
+
+/// Executes every task, borrowing from the caller's stack, and returns once
+/// all of them have completed. Propagates a panic if any task panicked.
+fn dispatch(tasks: Vec<ScopedTask<'_>>) {
+    let pool = Pool::global();
+    pool.ensure_workers(num_threads().saturating_sub(1));
+    let latch = Arc::new(Latch::new(tasks.len()));
+    for task in tasks {
+        // SAFETY: `dispatch` does not return until the latch reports every
+        // task complete (including panicked ones — `catch_unwind` below
+        // guarantees `complete_one` runs), so the borrows captured by the
+        // task strictly outlive its execution. This is the same argument
+        // that makes scoped threads sound.
+        let task: Task = unsafe { std::mem::transmute::<ScopedTask<'_>, Task>(task) };
+        let latch = Arc::clone(&latch);
+        let wrapped: Task = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                latch.poisoned.store(true, Ordering::Relaxed);
+            }
+            latch.complete_one();
+        });
+        pool.tx.send(wrapped).expect("kernel pool queue closed");
+    }
+    pool.help_then_wait(&latch);
+    if latch.poisoned.load(Ordering::Relaxed) {
+        panic!("a parallel kernel task panicked");
+    }
+}
+
+/// Row-range plan: `Some(rows_per_chunk)` to parallelize, `None` to run the
+/// whole range serially on the caller.
+fn plan(rows: usize, work: usize) -> Option<usize> {
+    let threads = num_threads();
+    if threads <= 1 || rows < 2 || work < MIN_PARALLEL_WORK {
+        return None;
+    }
+    Some(rows.div_ceil(threads.min(rows)))
+}
+
+/// Runs `f(start, end, out_rows)` over disjoint row ranges covering
+/// `0..rows`, where `out_rows` is the `[start*width, end*width)` window of
+/// `out` (`width = out.len() / rows`).
+///
+/// `work` is an estimate of the total scalar operations; small kernels run
+/// serially. With one thread this is exactly `f(0, rows, out)` on the
+/// caller.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `rows`, or if `f` panics in
+/// any chunk.
+pub fn par_rows_mut(
+    rows: usize,
+    work: usize,
+    out: &mut [f32],
+    f: impl Fn(usize, usize, &mut [f32]) + Sync,
+) {
+    assert!(
+        rows == 0 || out.len().is_multiple_of(rows),
+        "ragged row buffer"
+    );
+    let Some(chunk) = plan(rows, work) else {
+        f(0, rows, out);
+        return;
+    };
+    let width = out.len() / rows;
+    let f = &f;
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::new();
+    let mut rest = out;
+    let mut start = 0;
+    while start < rows {
+        let end = (start + chunk).min(rows);
+        let (head, tail) = rest.split_at_mut((end - start) * width);
+        rest = tail;
+        tasks.push(Box::new(move || f(start, end, head)));
+        start = end;
+    }
+    dispatch(tasks);
+}
+
+/// Like [`par_rows_mut`] for kernels with two per-row output buffers
+/// (e.g. softmax probabilities plus per-row sums). Each buffer may have its
+/// own row width (`len / rows`).
+///
+/// # Panics
+///
+/// Panics if either buffer length is not a multiple of `rows`, or if `f`
+/// panics in any chunk.
+pub fn par_rows_mut2(
+    rows: usize,
+    work: usize,
+    a: &mut [f32],
+    b: &mut [f32],
+    f: impl Fn(usize, usize, &mut [f32], &mut [f32]) + Sync,
+) {
+    assert!(
+        rows == 0 || (a.len().is_multiple_of(rows) && b.len().is_multiple_of(rows)),
+        "ragged row buffer"
+    );
+    let Some(chunk) = plan(rows, work) else {
+        f(0, rows, a, b);
+        return;
+    };
+    let (wa, wb) = (a.len() / rows, b.len() / rows);
+    let f = &f;
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::new();
+    let (mut rest_a, mut rest_b) = (a, b);
+    let mut start = 0;
+    while start < rows {
+        let end = (start + chunk).min(rows);
+        let (ca, ta) = rest_a.split_at_mut((end - start) * wa);
+        let (cb, tb) = rest_b.split_at_mut((end - start) * wb);
+        rest_a = ta;
+        rest_b = tb;
+        tasks.push(Box::new(move || f(start, end, ca, cb)));
+        start = end;
+    }
+    dispatch(tasks);
+}
+
+/// Like [`par_rows_mut`] for kernels with three per-row output buffers
+/// (e.g. layer-norm output, normalized cache and inverse-std cache).
+///
+/// # Panics
+///
+/// Panics if any buffer length is not a multiple of `rows`, or if `f`
+/// panics in any chunk.
+pub fn par_rows_mut3(
+    rows: usize,
+    work: usize,
+    a: &mut [f32],
+    b: &mut [f32],
+    c: &mut [f32],
+    f: impl Fn(usize, usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
+) {
+    assert!(
+        rows == 0
+            || (a.len().is_multiple_of(rows)
+                && b.len().is_multiple_of(rows)
+                && c.len().is_multiple_of(rows)),
+        "ragged row buffer"
+    );
+    let Some(chunk) = plan(rows, work) else {
+        f(0, rows, a, b, c);
+        return;
+    };
+    let (wa, wb, wc) = (a.len() / rows, b.len() / rows, c.len() / rows);
+    let f = &f;
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::new();
+    let (mut rest_a, mut rest_b, mut rest_c) = (a, b, c);
+    let mut start = 0;
+    while start < rows {
+        let end = (start + chunk).min(rows);
+        let (ca, ta) = rest_a.split_at_mut((end - start) * wa);
+        let (cb, tb) = rest_b.split_at_mut((end - start) * wb);
+        let (cc, tc) = rest_c.split_at_mut((end - start) * wc);
+        rest_a = ta;
+        rest_b = tb;
+        rest_c = tc;
+        tasks.push(Box::new(move || f(start, end, ca, cb, cc)));
+        start = end;
+    }
+    dispatch(tasks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that reconfigure the global thread count.
+    fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn set_num_threads_overrides_default() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(7);
+        assert_eq!(num_threads(), 7);
+        set_num_threads(0); // clamps to 1
+        assert_eq!(num_threads(), 1);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn par_rows_mut_covers_every_row_once() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(3);
+        let (rows, width) = (103, 64);
+        let mut out = vec![0.0f32; rows * width];
+        par_rows_mut(rows, rows * width * 100, &mut out, |start, end, chunk| {
+            for (local, row) in chunk.chunks_mut(width).enumerate() {
+                for v in row {
+                    *v += (start + local) as f32;
+                }
+            }
+            assert_eq!(chunk.len(), (end - start) * width);
+        });
+        for (r, row) in out.chunks(width).enumerate() {
+            assert!(
+                row.iter().all(|&v| v == r as f32),
+                "row {r} wrong/duplicated"
+            );
+        }
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn small_work_runs_serially_in_one_chunk() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(4);
+        let mut out = vec![0.0f32; 8];
+        let calls = AtomicUsize::new(0);
+        par_rows_mut(8, 8, &mut out, |start, end, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!((start, end), (0, 8));
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_and_pool_survives() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(4);
+        let mut out = vec![0.0f32; 64 * 1024];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_rows_mut(64, usize::MAX, &mut out, |start, _, _| {
+                if start == 0 {
+                    panic!("chunk failure");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must propagate to the caller");
+        // The pool must stay usable after a poisoned dispatch.
+        par_rows_mut(64, usize::MAX, &mut out, |_, _, chunk| chunk.fill(1.0));
+        assert!(out.iter().all(|&v| v == 1.0));
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn multi_buffer_chunks_stay_aligned() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(5);
+        let rows = 31;
+        let mut a = vec![0.0f32; rows * 16];
+        let mut b = vec![0.0f32; rows];
+        let mut c = vec![0.0f32; rows * 3];
+        par_rows_mut3(
+            rows,
+            usize::MAX,
+            &mut a,
+            &mut b,
+            &mut c,
+            |start, end, ca, cb, cc| {
+                assert_eq!(ca.len(), (end - start) * 16);
+                assert_eq!(cb.len(), end - start);
+                assert_eq!(cc.len(), (end - start) * 3);
+                cb.iter_mut()
+                    .enumerate()
+                    .for_each(|(i, v)| *v = (start + i) as f32);
+            },
+        );
+        for (r, &v) in b.iter().enumerate() {
+            assert_eq!(v, r as f32);
+        }
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn zero_rows_and_zero_width_are_noops() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(3);
+        par_rows_mut(0, usize::MAX, &mut [], |_, _, chunk| {
+            assert!(chunk.is_empty());
+        });
+        let mut empty_width = vec![0.0f32; 0];
+        par_rows_mut(5, usize::MAX, &mut empty_width, |start, end, chunk| {
+            assert!(chunk.is_empty());
+            assert!(end >= start);
+        });
+        set_num_threads(before);
+    }
+}

@@ -1,4 +1,99 @@
-use crate::{Result, TensorError};
+use crate::{pool, Result, TensorError};
+
+/// Cache-block depth over the shared (`k`) dimension of `matmul`: the
+/// `KC × n` panel of `rhs` a row tile streams stays resident in L1/L2
+/// while every row of the tile consumes it.
+const KC: usize = 64;
+
+/// Cache-block height over output rows of `matmul`: an `MC × n` tile of the
+/// output stays hot while the `p` panels stream through it. Applied inside
+/// the serial kernel, so the serial and threaded paths tile identically.
+const MC: usize = 64;
+
+/// Cache-block width over the output columns of `matmul_nt`: the
+/// `JC × k` panel of `rhs` rows is reused by every row of the tile.
+const JC: usize = 64;
+
+/// Serial row-range kernel of [`Tensor::matmul`] (`out[i] += a[i,p]·rhs[p]`).
+///
+/// `out` holds rows `i0..i1` of the result. Blocks over `p` in ascending
+/// order, so every output element accumulates in exactly the order of the
+/// plain `i-k-j` triple loop — bitwise identical for any tiling or thread
+/// count. There is deliberately no `a == 0.0` fast path: skipping a term
+/// would turn `0·NaN`/`0·∞` (which are `NaN` under IEEE 754) into `0`,
+/// silently masking poisoned gradients.
+fn matmul_nn_rows(a: &[f32], rhs: &[f32], k: usize, n: usize, i0: usize, out: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    for (ti, tile) in out.chunks_mut(MC * n).enumerate() {
+        let t0 = i0 + ti * MC;
+        for p0 in (0..k).step_by(KC) {
+            let p1 = (p0 + KC).min(k);
+            for (li, out_row) in tile.chunks_exact_mut(n).enumerate() {
+                let a_row = &a[(t0 + li) * k..(t0 + li) * k + k];
+                for (p, &av) in a_row.iter().enumerate().take(p1).skip(p0) {
+                    let rhs_row = &rhs[p * n..(p + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(rhs_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial row-range kernel of [`Tensor::matmul_nt`]
+/// (`out[i,j] = a[i]·rhs[j]`): independent dot products, blocked over `j`
+/// so a `JC × k` panel of `rhs` rows stays hot across the tile's rows.
+fn matmul_nt_rows(a: &[f32], rhs: &[f32], k: usize, n: usize, i0: usize, out: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    for j0 in (0..n).step_by(JC) {
+        let j1 = (j0 + JC).min(n);
+        for (li, out_row) in out.chunks_exact_mut(n).enumerate() {
+            let a_row = &a[(i0 + li) * k..(i0 + li) * k + k];
+            for (j, o) in out_row.iter_mut().enumerate().take(j1).skip(j0) {
+                let b_row = &rhs[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    }
+}
+
+/// Serial row-range kernel of [`Tensor::matmul_tn`]
+/// (`out[i] += a[p,i]·rhs[p]` with `a` read column-wise). The `p` loop runs
+/// in ascending order for every output row, so accumulation order matches
+/// the serial kernel exactly. As in [`matmul_nn_rows`], zero entries of `a`
+/// are *not* skipped, preserving IEEE `NaN`/`∞` propagation.
+fn matmul_tn_rows(
+    a: &[f32],
+    rhs: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    i0: usize,
+    out: &mut [f32],
+) {
+    if n == 0 {
+        return;
+    }
+    for p in 0..k {
+        let a_row = &a[p * m..p * m + m];
+        let b_row = &rhs[p * n..(p + 1) * n];
+        for (li, out_row) in out.chunks_exact_mut(n).enumerate() {
+            let av = a_row[i0 + li];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
 
 /// A dense, row-major 2-D tensor of `f32` values.
 ///
@@ -279,21 +374,11 @@ impl Tensor {
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
-        // i-k-j loop order: the inner loop streams both `rhs` rows and the
-        // output row, which is the cache-friendly layout for row-major data.
-        for i in 0..m {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
+        let work = m.saturating_mul(k).saturating_mul(n);
+        pool::par_rows_mut(m, work, &mut out.data, |i0, _i1, chunk| {
+            matmul_nn_rows(a, b, k, n, i0, chunk);
+        });
         Ok(out)
     }
 
@@ -315,18 +400,11 @@ impl Tensor {
         }
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
-        }
+        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
+        let work = m.saturating_mul(k).saturating_mul(n);
+        pool::par_rows_mut(m, work, &mut out.data, |i0, _i1, chunk| {
+            matmul_nt_rows(a, b, k, n, i0, chunk);
+        });
         Ok(out)
     }
 
@@ -348,19 +426,11 @@ impl Tensor {
         }
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Tensor::zeros(m, n);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &rhs.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
+        let work = m.saturating_mul(k).saturating_mul(n);
+        pool::par_rows_mut(m, work, &mut out.data, |i0, _i1, chunk| {
+            matmul_tn_rows(a, b, k, m, n, i0, chunk);
+        });
         Ok(out)
     }
 
@@ -605,6 +675,49 @@ mod tests {
         let via_tn = a.matmul_tn(&b).unwrap();
         let via_t = a.transpose().matmul(&b).unwrap();
         assert!(via_tn.max_abs_diff(&via_t).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_entries() {
+        // Regression: the kernels used to skip `a == 0.0` terms, which
+        // violates IEEE semantics (`0·NaN` is `NaN`) and silently masked
+        // poisoned gradients. A zero in the left operand multiplying a NaN
+        // in the right operand must poison the affected output entries.
+        let a = Tensor::from_vec(2, 2, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let mut b = Tensor::from_vec(2, 2, vec![f32::NAN, 5.0, 6.0, 7.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        // out[0,0] = 0·NaN + 1·6 and out[1,0] = 2·NaN + 3·6 are both NaN.
+        assert!(c.at(0, 0).is_nan());
+        assert!(c.at(1, 0).is_nan());
+        // Columns untouched by the NaN stay finite.
+        assert!(c.at(0, 1).is_finite());
+        assert!(c.at(1, 1).is_finite());
+
+        // Same through matmul_tn (`selfᵀ·rhs`): a zero in `self` times a NaN
+        // row of `rhs` must poison the whole corresponding output row.
+        let at = Tensor::from_vec(2, 2, vec![0.0, 2.0, 1.0, 3.0]).unwrap();
+        let c_tn = at.matmul_tn(&b).unwrap();
+        assert!(c_tn.at(0, 0).is_nan());
+        assert!(c_tn.at(1, 0).is_nan());
+        assert!(c_tn.at(0, 1).is_finite());
+
+        // And 0·∞ must be NaN as well, in every layout.
+        *b.at_mut(0, 0) = f32::INFINITY;
+        assert!(a.matmul(&b).unwrap().at(0, 0).is_nan());
+        assert!(at.matmul_tn(&b).unwrap().at(0, 0).is_nan());
+    }
+
+    #[test]
+    fn matmul_propagates_nan_in_left_operand() {
+        let a = Tensor::from_vec(2, 2, vec![f32::NAN, 0.0, 1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        // Row 0 sums a NaN term in every column; row 1 is clean.
+        assert!(c.at(0, 0).is_nan() && c.at(0, 1).is_nan());
+        assert!(c.at(1, 0).is_finite() && c.at(1, 1).is_finite());
+        let c_nt = a.matmul_nt(&b).unwrap();
+        assert!(c_nt.at(0, 0).is_nan() && c_nt.at(0, 1).is_nan());
+        assert!(c_nt.at(1, 0).is_finite());
     }
 
     #[test]

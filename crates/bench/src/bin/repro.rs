@@ -7,12 +7,16 @@
 //! Experiments: `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
 //! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
 //! `ablation-barriers`, `ablation-zero-bubble`, `generality`,
-//! `generality-numeric`, `kernels`, `padding`, `trace`, `csv`, `fig17`, or
-//! `all`. `--quick` runs the throughput sweeps with 32 instead of 128
-//! microbatches (same shapes, ~4× faster) and shortens the kernel timing
-//! loops. `kernels --json` additionally writes `BENCH_kernels.json`
+//! `generality-numeric`, `kernels`, `padding`, `trace`, `timeline`, `csv`,
+//! `fig17`, or `all`. `--quick` runs the throughput sweeps with 32 instead
+//! of 128 microbatches (same shapes, ~4× faster) and shortens the kernel
+//! timing loops. `kernels --json` additionally writes `BENCH_kernels.json`
 //! (median µs/iter per kernel, serial vs threaded; thread count from
-//! `VP_THREADS`, default 4).
+//! `VP_THREADS`, default 4). `timeline` runs two schedules through both
+//! the simulator and the traced numeric runtime, writes
+//! `traces/measured-<name>.trace.json`, and with `--json` writes the
+//! sim-vs-measured divergence to `TIMELINE.json`. `--out <path>` redirects
+//! the JSON artifact of the selected experiment.
 
 use vp_bench::experiments;
 use vp_bench::kernels as kernel_bench;
@@ -23,12 +27,26 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let microbatches = if quick { 32 } else { 128 };
-    let which = args
+    let out = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let microbatches = if quick { 32 } else { 128 };
+    // First non-flag argument, skipping `--out`'s value.
+    let mut which = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            which = Some(args[i].as_str());
+            break;
+        }
+    }
+    let which = which.unwrap_or("all");
     let experiments: Vec<&str> = match which {
         "all" => vec![
             "fig2",
@@ -47,6 +65,7 @@ fn main() {
             "kernels",
             "padding",
             "trace",
+            "timeline",
             "csv",
             "fig17",
         ],
@@ -67,8 +86,9 @@ fn main() {
             "ablation-zero-bubble" => ablation_zero_bubble(microbatches),
             "generality" => generality(microbatches),
             "generality-numeric" => generality_numeric(),
-            "kernels" => kernels(quick, json),
+            "kernels" => kernels(quick, json, out.as_deref()),
             "trace" => trace(),
+            "timeline" => timeline(json, out.as_deref()),
             "csv" => csv(microbatches),
             "padding" => padding(),
             "fig17" => fig17(),
@@ -372,7 +392,7 @@ fn generality_numeric() {
     println!("code); deviations stay within Figure 17's f32 accumulation-order noise.");
 }
 
-fn kernels(quick: bool, json: bool) {
+fn kernels(quick: bool, json: bool, out: Option<&str>) {
     heading("Kernel microbench — serial vs threaded worker pool (vp-tensor::pool)");
     let threads = std::env::var("VP_THREADS")
         .ok()
@@ -417,10 +437,40 @@ fn kernels(quick: bool, json: bool) {
          bitwise identical to serial; speedups require ≥ {threads} cores (this machine: {cores})."
     );
     if json {
+        let path = out.unwrap_or("BENCH_kernels.json");
         let doc = kernel_bench::to_json(size, threads, &results);
-        match std::fs::write("BENCH_kernels.json", &doc) {
-            Ok(()) => println!("wrote BENCH_kernels.json"),
-            Err(e) => eprintln!("failed to write BENCH_kernels.json: {e}"),
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn timeline(json: bool, out: Option<&str>) {
+    heading("Timeline — simulated vs measured execution of the pass-VM");
+    let cases = vp_bench::timeline::run(3);
+    for case in &cases {
+        println!("--- {} (final loss {:.5}) ---", case.name, case.final_loss);
+        print!("{}", case.measured.render());
+        println!("sim-vs-measured busy-share divergence:");
+        print!("{}", case.divergence.render());
+        println!();
+    }
+    match vp_bench::timeline::write_traces(std::path::Path::new("traces"), &cases) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+            println!("Open next to the simulator's traces in chrome://tracing or Perfetto.");
+        }
+        Err(e) => eprintln!("measured trace export failed: {e}"),
+    }
+    if json {
+        let path = out.unwrap_or("TIMELINE.json");
+        let doc = vp_bench::timeline::to_json(&cases);
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
 }

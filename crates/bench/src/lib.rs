@@ -12,3 +12,4 @@ pub mod experiments;
 pub mod kernels;
 pub mod paper;
 pub mod table;
+pub mod timeline;

@@ -1,6 +1,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use vp_trace::{Tracer, Track, NO_MICROBATCH};
 
 /// A tagged point-to-point message carrying a 2-D tensor payload.
 ///
@@ -108,6 +109,7 @@ impl P2pNetwork {
                 to_peers: tx_row.into_iter().map(Option::unwrap).collect(),
                 from_peers: rx_row.into_iter().map(Option::unwrap).collect(),
                 stashes: (0..world).map(|_| VecDeque::new()).collect(),
+                tracer: Tracer::off(),
             })
             .collect()
     }
@@ -120,6 +122,9 @@ pub struct P2pEndpoint {
     from_peers: Vec<Receiver<Packet>>,
     /// Packets received while looking for a different tag, per peer.
     stashes: Vec<VecDeque<Packet>>,
+    /// Measured-run recording handle ([`Tracer::off`] by default): blocking
+    /// receives record `p2p.recv` wait spans, sends record `p2p.send`.
+    tracer: Tracer,
 }
 
 impl fmt::Debug for P2pEndpoint {
@@ -142,6 +147,12 @@ impl P2pEndpoint {
         self.to_peers.len()
     }
 
+    /// Attaches a measured-run tracer: subsequent blocking receives record
+    /// `p2p.recv` spans on the wait track, sends record `p2p.send`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Sends a packet to `dst` without blocking.
     ///
     /// # Errors
@@ -153,8 +164,12 @@ impl P2pEndpoint {
             peer: dst,
             world: self.world(),
         })?;
-        tx.send(packet)
-            .map_err(|_| P2pError::Disconnected { peer: dst })
+        let span = self.tracer.span(Track::Wait, "p2p.send", NO_MICROBATCH, 0);
+        let sent = tx
+            .send(packet)
+            .map_err(|_| P2pError::Disconnected { peer: dst });
+        span.end();
+        sent
     }
 
     /// Receives the next packet from `src` regardless of tag, blocking until
@@ -174,9 +189,13 @@ impl P2pEndpoint {
         if let Some(p) = self.stashes[src].pop_front() {
             return Ok(p);
         }
-        self.from_peers[src]
+        // A stash hit costs no wait; only the blocking receive is a span.
+        let span = self.tracer.span(Track::Wait, "p2p.recv", NO_MICROBATCH, 0);
+        let got = self.from_peers[src]
             .recv()
-            .map_err(|_| P2pError::Disconnected { peer: src })
+            .map_err(|_| P2pError::Disconnected { peer: src });
+        span.end();
+        got
     }
 
     /// Receives the packet with the given tag from `src`, stashing (and
@@ -196,11 +215,18 @@ impl P2pEndpoint {
         if let Some(pos) = self.stashes[src].iter().position(|p| p.tag == tag) {
             return Ok(self.stashes[src].remove(pos).expect("position just found"));
         }
+        // A stash hit costs no wait; only the blocking receive is a span.
+        let span = self.tracer.span(Track::Wait, "p2p.recv", NO_MICROBATCH, 0);
         loop {
-            let p = self.from_peers[src]
-                .recv()
-                .map_err(|_| P2pError::Disconnected { peer: src })?;
+            let p = match self.from_peers[src].recv() {
+                Ok(p) => p,
+                Err(_) => {
+                    span.end();
+                    return Err(P2pError::Disconnected { peer: src });
+                }
+            };
             if p.tag == tag {
+                span.end();
                 return Ok(p);
             }
             self.stashes[src].push_back(p);

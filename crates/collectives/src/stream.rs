@@ -1,6 +1,7 @@
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
+use vp_trace::{Tracer, Track, NO_MICROBATCH};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -20,6 +21,11 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct CommStream {
     tx: Option<Sender<Job>>,
     worker: Option<JoinHandle<()>>,
+    /// Measured-run recording handle ([`Tracer::off`] by default): each
+    /// submitted job records a `stream.job` span on the stream track while
+    /// it runs on the worker, and [`JobHandle::wait`] records a
+    /// `stream.wait` span on the wait track while the submitter blocks.
+    tracer: Tracer,
 }
 
 impl fmt::Debug for CommStream {
@@ -34,6 +40,7 @@ impl fmt::Debug for CommStream {
 #[derive(Debug)]
 pub struct JobHandle<T> {
     rx: Receiver<T>,
+    tracer: Tracer,
 }
 
 impl<T> JobHandle<T> {
@@ -44,7 +51,12 @@ impl<T> JobHandle<T> {
     /// Panics if the job itself panicked (the stream drops the result
     /// channel), which indicates a bug in the submitted closure.
     pub fn wait(self) -> T {
-        self.rx.recv().expect("communication job panicked")
+        let span = self
+            .tracer
+            .span(Track::Wait, "stream.wait", NO_MICROBATCH, 0);
+        let out = self.rx.recv().expect("communication job panicked");
+        span.end();
+        out
     }
 
     /// Returns the result if the job has already finished, or `None` while
@@ -80,7 +92,13 @@ impl CommStream {
         CommStream {
             tx: Some(tx),
             worker: Some(worker),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches a measured-run tracer; see the field docs for what records.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Submits a job; jobs run in submission order on the worker thread.
@@ -90,8 +108,11 @@ impl CommStream {
         F: FnOnce() -> T + Send + 'static,
     {
         let (result_tx, result_rx) = channel();
+        let tracer = self.tracer.clone();
         let job: Job = Box::new(move || {
+            let span = tracer.span(Track::Stream, "stream.job", NO_MICROBATCH, 0);
             let out = f();
+            span.end();
             // A dropped handle is fine: the job's effect may be all we need.
             let _ = result_tx.send(out);
         });
@@ -100,7 +121,10 @@ impl CommStream {
             .expect("stream already shut down")
             .send(job)
             .expect("comm stream worker exited unexpectedly");
-        JobHandle { rx: result_rx }
+        JobHandle {
+            rx: result_rx,
+            tracer: self.tracer.clone(),
+        }
     }
 
     /// Waits for all previously-submitted jobs to finish.

@@ -75,7 +75,16 @@ pub fn train_pipeline_checkpointed(
                 let select =
                     move |iter: u64, m: usize| -> Vec<Microbatch> { corpus.iteration(iter, m) };
                 device_loop(
-                    config, schedule, iterations, rank, endpoint, comm, None, &select, restore,
+                    config,
+                    schedule,
+                    iterations,
+                    rank,
+                    endpoint,
+                    comm,
+                    None,
+                    &select,
+                    restore,
+                    vp_trace::Tracer::off(),
                     epoch,
                 )
             }));

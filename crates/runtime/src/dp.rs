@@ -95,6 +95,7 @@ pub fn train_pipeline_dp(
                         Some((dp_comm, dp)),
                         &select,
                         None,
+                        vp_trace::Tracer::off(),
                         epoch,
                     )
                 }));

@@ -37,6 +37,7 @@ use vp_schedule::trace::to_chrome_trace;
 use vp_tensor::nn::{softmax_cross_entropy, Embedding};
 use vp_tensor::optim::{Adam, Optimizer, Param};
 use vp_tensor::{Result, Tensor, TensorError};
+use vp_trace::{TraceLog, Tracer, Track};
 
 /// How the vocabulary layers are placed and executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -473,6 +474,12 @@ pub(crate) struct DeviceOutcome {
 /// when data parallelism is active; `select` yields this replica's
 /// microbatches for an iteration; `restore` resumes from a checkpoint
 /// shard; `epoch` anchors the wall-clock pass spans across devices.
+///
+/// `tracer` is this device's measured-run recording handle
+/// ([`Tracer::off`] when the caller wants no trace): the loop disarms it
+/// for warm-up iterations and arms it for the final one, so a trace
+/// captures exactly one steady iteration — the same slice of the run the
+/// `spans` report covers.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn device_loop(
     config: &TinyConfig,
@@ -484,6 +491,7 @@ pub(crate) fn device_loop(
     dp: Option<(Collective, usize)>,
     select: &dyn Fn(u64, usize) -> Vec<Microbatch>,
     restore: Option<(&[u8], u64)>,
+    tracer: Tracer,
     epoch: Instant,
 ) -> Result<DeviceOutcome> {
     let mode = check_schedule(config, schedule)?;
@@ -506,6 +514,13 @@ pub(crate) fn device_loop(
             full.blocks[vs * per_stage..(vs + 1) * per_stage].to_vec()
         })
         .collect();
+    // The device thread, its p2p endpoint and its communication stream all
+    // write the same per-device timeline: blocking receives show up as
+    // comm-wait spans, overlapped barrier jobs as comm-stream spans.
+    let mut endpoint = endpoint;
+    endpoint.set_tracer(tracer.clone());
+    let mut c1_stream = CommStream::new();
+    c1_stream.set_tracer(tracer.clone());
     let mut device = Device {
         rank,
         mode,
@@ -529,7 +544,7 @@ pub(crate) fn device_loop(
             .transpose()?,
         p2p: endpoint,
         c1_comm: Arc::new(c1),
-        c1_stream: CommStream::new(),
+        c1_stream,
         acts: ActivationStore::default(),
         w_stash: WGradStash::default(),
         states: HashMap::new(),
@@ -547,6 +562,13 @@ pub(crate) fn device_loop(
     let trace = std::env::var_os("VP_RUNTIME_TRACE").is_some();
     let replicas = dp.as_ref().map(|(_, n)| *n).unwrap_or(1);
     for iter in start_iter..start_iter + iterations as u64 {
+        // Warm-up iterations are disarmed; the trace captures the final
+        // (steady-state) iteration, matching the `spans` report below.
+        if iter + 1 == start_iter + iterations as u64 {
+            tracer.arm();
+        } else {
+            tracer.disarm();
+        }
         let mbs = select(iter, config.microbatches);
         for (i, pass) in schedule.passes(rank).iter().enumerate() {
             if trace {
@@ -554,7 +576,14 @@ pub(crate) fn device_loop(
             }
             // Spans include any blocking wait on upstream data, so the
             // measured report shows communication-inclusive pass times
-            // (bubbles appear as stretched passes, not gaps).
+            // (bubbles appear as stretched passes, not gaps). The tracer's
+            // comm-wait track separates the wait out again.
+            let pass_span = tracer.span(
+                Track::Compute,
+                pass.kind.name(),
+                pass.microbatch,
+                pass.chunk,
+            );
             let t0 = epoch.elapsed().as_secs_f64();
             device.run_pass(
                 pass.kind,
@@ -563,6 +592,7 @@ pub(crate) fn device_loop(
                 &mbs[pass.microbatch as usize],
             )?;
             spans[i] = (t0, epoch.elapsed().as_secs_f64());
+            pass_span.end();
         }
         // Wait for deferred barriers still in flight before touching
         // gradients or weights.
@@ -659,6 +689,43 @@ pub fn train_schedule(
     iterations: usize,
     corpus: &DataSource,
 ) -> Result<TrainReport> {
+    run_schedule(config, schedule, iterations, corpus, None)
+}
+
+/// [`train_schedule`] with measured-run tracing: returns the report plus a
+/// [`TraceLog`] holding per-device events (`F`/`B`/`W`/`S`/`T` pass spans,
+/// blocking p2p waits, overlapped communication-stream jobs) of the final
+/// iteration. `log.chrome_trace()` renders it for `chrome://tracing`;
+/// `log.report()` computes bubble and communication-overlap fractions.
+///
+/// # Errors
+///
+/// As [`train_schedule`].
+///
+/// # Panics
+///
+/// Panics if a device thread panics.
+pub fn train_schedule_traced(
+    config: &TinyConfig,
+    schedule: &Schedule,
+    iterations: usize,
+    corpus: &DataSource,
+) -> Result<(TrainReport, TraceLog)> {
+    let log = TraceLog::new(schedule.devices());
+    let report = run_schedule(config, schedule, iterations, corpus, Some(&log))?;
+    Ok((report, log))
+}
+
+/// The shared runner behind [`train_schedule`] / [`train_schedule_traced`]:
+/// spawns one interpreter thread per device, handing each its [`Tracer`]
+/// from `log` (or the free disabled handle when no trace is wanted).
+fn run_schedule(
+    config: &TinyConfig,
+    schedule: &Schedule,
+    iterations: usize,
+    corpus: &DataSource,
+    log: Option<&TraceLog>,
+) -> Result<TrainReport> {
     check_schedule(config, schedule)?;
     let devices = schedule.devices();
     let endpoints = P2pNetwork::new(devices);
@@ -669,11 +736,13 @@ pub fn train_schedule(
         for (endpoint, comm) in endpoints.into_iter().zip(c1_comms) {
             let rank = endpoint.rank();
             let corpus = corpus.clone();
+            let tracer = log.map(|l| l.tracer(rank)).unwrap_or_else(Tracer::off);
             joins.push(scope.spawn(move || {
                 let select =
                     move |iter: u64, m: usize| -> Vec<Microbatch> { corpus.iteration(iter, m) };
                 device_loop(
-                    config, schedule, iterations, rank, endpoint, comm, None, &select, None, epoch,
+                    config, schedule, iterations, rank, endpoint, comm, None, &select, None,
+                    tracer, epoch,
                 )
             }));
         }

@@ -53,8 +53,9 @@ pub use checkpoint::ReferenceTrainer;
 pub use data::{DataSource, SyntheticCorpus};
 pub use distributed_ckpt::{train_pipeline_checkpointed, PipelineCheckpoint};
 pub use dp::train_pipeline_dp;
-pub use engine::{mode_of_schedule, train_schedule, TrainReport};
+pub use engine::{mode_of_schedule, train_schedule, train_schedule_traced, TrainReport};
 pub use eval::EvalReport;
 pub use model::{FullModel, TinyConfig};
 pub use pipeline::{train_pipeline, train_pipeline_on, train_pipeline_with, Mode, ScheduleFamily};
 pub use reference::{train_reference, train_reference_on};
+pub use vp_trace::{TimelineReport, TraceLog, Tracer};

@@ -49,6 +49,24 @@ impl PassKind {
         matches!(self, PassKind::B)
     }
 
+    /// Static label used by the measured-run tracer and timeline tables
+    /// (stable across both the simulator and the numeric runtime, so
+    /// simulated and measured traces key per-kind time the same way).
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::F => "F",
+            PassKind::B => "B",
+            PassKind::W => "W",
+            PassKind::S => "S",
+            PassKind::S2 => "S2",
+            PassKind::T => "T",
+            PassKind::InputF => "InputF",
+            PassKind::InputB => "InputB",
+            PassKind::OutputF => "OutputF",
+            PassKind::OutputB => "OutputB",
+        }
+    }
+
     /// Single-character label used by the ASCII renderer.
     pub fn glyph(self) -> char {
         match self {

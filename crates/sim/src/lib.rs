@@ -13,12 +13,16 @@
 //! The simulator does not try to match the paper's absolute numbers — its
 //! substrate is a model, not an A100 cluster — but the *shape* of the
 //! results (who wins, where memory balances, where OOMs appear) follows
-//! from the same structure the paper analyses.
+//! from the same structure the paper analyses. The [`timeline`] module
+//! closes the loop the other way: it diffs a simulated schedule's
+//! per-pass-kind busy shares against a measured `vp-trace` timeline of
+//! the same schedule, the comparison behind `repro timeline`.
 
 pub mod costs;
 pub mod method;
 pub mod report;
 pub mod sweep;
+pub mod timeline;
 
 pub use costs::SimCosts;
 pub use method::{
@@ -27,3 +31,4 @@ pub use method::{
 };
 pub use report::SimReport;
 pub use sweep::{microbatch_sweep, to_csv, vocab_sweep, vocab_sweep_vhalf, SweepPoint};
+pub use timeline::{compare_timelines, DivergenceReport, KindDrift};

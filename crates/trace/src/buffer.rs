@@ -1,0 +1,179 @@
+//! The per-device lock-free event buffer.
+//!
+//! Appending is wait-free for practical purposes: a writer claims a slot
+//! with one `fetch_add`, writes the event, and publishes it with a
+//! release store on the slot's ready flag. There are no locks anywhere on
+//! the write path, so the device thread, its p2p endpoint and its
+//! communication-stream worker can all record concurrently without ever
+//! blocking each other (or perturbing the timings they are measuring).
+//! The buffer is bounded: events past the capacity are counted as dropped
+//! rather than stored, keeping the write path allocation-free.
+
+use crate::TraceEvent;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+struct Slot {
+    ready: AtomicBool,
+    event: UnsafeCell<MaybeUninit<TraceEvent>>,
+}
+
+/// Fixed-capacity, lock-free, multi-producer append buffer of
+/// [`TraceEvent`]s.
+pub struct EventBuffer {
+    slots: Box<[Slot]>,
+    next: AtomicUsize,
+    dropped: AtomicUsize,
+}
+
+// Safety: slots are only written by the unique claimant of their index
+// (the `fetch_add` hands each index to exactly one writer) and only read
+// after the `ready` release-store is observed with an acquire-load.
+unsafe impl Sync for EventBuffer {}
+unsafe impl Send for EventBuffer {}
+
+impl std::fmt::Debug for EventBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBuffer")
+            .field("len", &self.len())
+            .field("capacity", &self.slots.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl EventBuffer {
+    /// A buffer holding up to `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> EventBuffer {
+        assert!(capacity > 0, "event buffer capacity must be positive");
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                ready: AtomicBool::new(false),
+                event: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        EventBuffer {
+            slots,
+            next: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends an event; lock-free. Returns `false` (and counts the drop)
+    /// if the buffer is full.
+    pub fn push(&self, event: TraceEvent) -> bool {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let slot = &self.slots[idx];
+        // Safety: `fetch_add` made us the unique writer of this index, and
+        // readers only look after observing `ready == true`.
+        unsafe { (*slot.event.get()).write(event) };
+        slot.ready.store(true, Ordering::Release);
+        true
+    }
+
+    /// Number of published events.
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events that did not fit.
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out every published event, in claim order. Skips slots whose
+    /// writer claimed an index but has not published yet (possible only
+    /// while writers are still running).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for slot in &self.slots[..n] {
+            if slot.ready.load(Ordering::Acquire) {
+                // Safety: the release/acquire pair on `ready` makes the
+                // claimant's write visible, and events are `Copy`.
+                out.push(unsafe { (*slot.event.get()).assume_init() });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Track;
+
+    fn ev(start_ns: u64) -> TraceEvent {
+        TraceEvent {
+            device: 0,
+            track: Track::Compute,
+            name: "F",
+            microbatch: 0,
+            chunk: 0,
+            start_ns,
+            end_ns: start_ns + 1,
+        }
+    }
+
+    #[test]
+    fn push_and_snapshot_round_trip() {
+        let buf = EventBuffer::new(8);
+        assert!(buf.is_empty());
+        for i in 0..5 {
+            assert!(buf.push(ev(i)));
+        }
+        let got = buf.snapshot();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[3].start_ns, 3);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_counts_drops_instead_of_storing() {
+        let buf = EventBuffer::new(2);
+        assert!(buf.push(ev(0)));
+        assert!(buf.push(ev(1)));
+        assert!(!buf.push(ev(2)));
+        assert!(!buf.push(ev(3)));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 2);
+        assert_eq!(buf.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_pushes_from_many_threads_all_land() {
+        let buf = EventBuffer::new(4096);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let buf = &buf;
+                scope.spawn(move || {
+                    for i in 0..512 {
+                        buf.push(ev((t * 1000 + i) as u64));
+                    }
+                });
+            }
+        });
+        let got = buf.snapshot();
+        assert_eq!(got.len(), 4096);
+        assert_eq!(buf.dropped(), 0);
+        // Every thread's every event is present exactly once.
+        let mut starts: Vec<u64> = got.iter().map(|e| e.start_ns).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), 4096);
+    }
+}

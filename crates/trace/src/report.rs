@@ -1,0 +1,403 @@
+//! Timeline analysis of a measured run: per-device bubble rates,
+//! communication wait/overlap accounting and the critical-path length —
+//! the measured counterpart of the simulator's `ScheduleAnalysis`.
+
+use crate::{TraceEvent, Track};
+use std::collections::BTreeMap;
+
+/// Merges `[start, end)` intervals and returns their total covered length.
+fn union_ns(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in intervals {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur.take() {
+                    total += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Total length of `intervals` that falls inside the merged `cover` set.
+fn overlap_ns(intervals: &[(u64, u64)], cover: &[(u64, u64)]) -> u64 {
+    let mut total = 0u64;
+    for &(s, e) in intervals {
+        for &(cs, ce) in cover {
+            let lo = s.max(cs);
+            let hi = e.min(ce);
+            if lo < hi {
+                total += hi - lo;
+            }
+        }
+    }
+    total
+}
+
+/// Merged, sorted interval set.
+fn merged(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (s, e) in intervals {
+        match out.last_mut() {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Per-pass-kind aggregate over the compute track.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStat {
+    /// Number of events with this name.
+    pub count: usize,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// One device's measured timeline summary.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceTimeline {
+    /// Device index.
+    pub device: u32,
+    /// Union of the device's compute (pass) intervals, nanoseconds.
+    pub busy_ns: u64,
+    /// Union of the device's blocking communication waits.
+    pub wait_ns: u64,
+    /// Union of the work executed on the device's communication stream.
+    pub stream_ns: u64,
+    /// Portion of `stream_ns` that ran while the device was computing —
+    /// communication hidden inside passes, the paper's §6.1 overlap.
+    pub overlapped_stream_ns: u64,
+    /// Start of the device's first compute pass.
+    pub first_start_ns: u64,
+    /// End of the device's last compute pass.
+    pub last_end_ns: u64,
+    /// Number of compute (pass) events.
+    pub passes: usize,
+}
+
+impl DeviceTimeline {
+    /// Idle fraction of the device within the global `makespan_ns`.
+    pub fn bubble_fraction(&self, makespan_ns: u64) -> f64 {
+        if makespan_ns == 0 {
+            0.0
+        } else {
+            1.0 - self.busy_ns as f64 / makespan_ns as f64
+        }
+    }
+
+    /// Fraction of the device's stream (collective) time hidden under
+    /// compute. `1.0` when the device ran no stream work (nothing to
+    /// hide).
+    pub fn comm_overlap_fraction(&self) -> f64 {
+        if self.stream_ns == 0 {
+            1.0
+        } else {
+            self.overlapped_stream_ns as f64 / self.stream_ns as f64
+        }
+    }
+}
+
+/// Aggregate analysis of a measured event stream.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineReport {
+    /// Per-device summaries, indexed by device (dense `0..devices`).
+    pub devices: Vec<DeviceTimeline>,
+    /// Global `[min start, max end)` span over all events, nanoseconds.
+    pub makespan_ns: u64,
+    /// Lower bound on the achievable makespan: the busiest device's
+    /// compute time. (Without dependency edges a measured trace cannot
+    /// name the exact critical chain; no pipeline can beat its busiest
+    /// stage, so this is the classic per-stage critical-path bound.)
+    pub critical_path_ns: u64,
+    /// Summed duration and count per pass name, compute track only.
+    pub time_by_name: BTreeMap<&'static str, KindStat>,
+}
+
+impl TimelineReport {
+    /// Computes the report from a (not necessarily sorted) event stream.
+    pub fn new(events: &[TraceEvent]) -> TimelineReport {
+        let devices = events
+            .iter()
+            .map(|e| e.device as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut per_device = vec![DeviceTimeline::default(); devices];
+        let mut compute: Vec<Vec<(u64, u64)>> = vec![Vec::new(); devices];
+        let mut waits: Vec<Vec<(u64, u64)>> = vec![Vec::new(); devices];
+        let mut stream: Vec<Vec<(u64, u64)>> = vec![Vec::new(); devices];
+        let mut time_by_name: BTreeMap<&'static str, KindStat> = BTreeMap::new();
+        let mut t_min = u64::MAX;
+        let mut t_max = 0u64;
+        for e in events {
+            let d = e.device as usize;
+            t_min = t_min.min(e.start_ns);
+            t_max = t_max.max(e.end_ns);
+            match e.track {
+                Track::Compute => {
+                    compute[d].push((e.start_ns, e.end_ns));
+                    let dt = &mut per_device[d];
+                    if dt.passes == 0 {
+                        dt.first_start_ns = e.start_ns;
+                        dt.last_end_ns = e.end_ns;
+                    } else {
+                        dt.first_start_ns = dt.first_start_ns.min(e.start_ns);
+                        dt.last_end_ns = dt.last_end_ns.max(e.end_ns);
+                    }
+                    dt.passes += 1;
+                    let stat = time_by_name.entry(e.name).or_default();
+                    stat.count += 1;
+                    stat.total_ns += e.duration_ns();
+                }
+                Track::Wait => waits[d].push((e.start_ns, e.end_ns)),
+                Track::Stream => stream[d].push((e.start_ns, e.end_ns)),
+            }
+        }
+        let makespan_ns = if t_min == u64::MAX { 0 } else { t_max - t_min };
+        let mut critical_path_ns = 0u64;
+        for d in 0..devices {
+            let cover = merged(std::mem::take(&mut compute[d]));
+            let dt = &mut per_device[d];
+            dt.device = d as u32;
+            dt.busy_ns = cover.iter().map(|(s, e)| e - s).sum();
+            dt.wait_ns = union_ns(std::mem::take(&mut waits[d]));
+            let stream_intervals = merged(std::mem::take(&mut stream[d]));
+            dt.stream_ns = stream_intervals.iter().map(|(s, e)| e - s).sum();
+            dt.overlapped_stream_ns = overlap_ns(&stream_intervals, &cover);
+            critical_path_ns = critical_path_ns.max(dt.busy_ns);
+        }
+        TimelineReport {
+            devices: per_device,
+            makespan_ns,
+            critical_path_ns,
+            time_by_name,
+        }
+    }
+
+    /// Mean idle fraction across devices.
+    pub fn mean_bubble(&self) -> f64 {
+        if self.devices.is_empty() {
+            return 0.0;
+        }
+        self.devices
+            .iter()
+            .map(|d| d.bubble_fraction(self.makespan_ns))
+            .sum::<f64>()
+            / self.devices.len() as f64
+    }
+
+    /// Mean stream-overlap fraction across devices that ran stream work.
+    pub fn mean_comm_overlap(&self) -> f64 {
+        let with_stream: Vec<&DeviceTimeline> =
+            self.devices.iter().filter(|d| d.stream_ns > 0).collect();
+        if with_stream.is_empty() {
+            return 1.0;
+        }
+        with_stream
+            .iter()
+            .map(|d| d.comm_overlap_fraction())
+            .sum::<f64>()
+            / with_stream.len() as f64
+    }
+
+    /// Total compute time across devices, nanoseconds.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.devices.iter().map(|d| d.busy_ns).sum()
+    }
+
+    /// Share of total compute time spent in events named `name` (0 when
+    /// nothing was recorded).
+    pub fn share_of(&self, name: &str) -> f64 {
+        let total = self.total_busy_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        self.time_by_name
+            .get(name)
+            .map(|s| s.total_ns as f64 / total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Renders a compact text report.
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = format!(
+            "makespan {:.3} ms, critical path {:.3} ms, mean bubble {:.1}%, comm overlap {:.1}%\n",
+            ms(self.makespan_ns),
+            ms(self.critical_path_ns),
+            100.0 * self.mean_bubble(),
+            100.0 * self.mean_comm_overlap()
+        );
+        for d in &self.devices {
+            out.push_str(&format!(
+                "dev {:>2}: busy {:>9.3} ms  bubble {:>5.1}%  wait {:>9.3} ms  stream {:>9.3} ms ({:>5.1}% overlapped)\n",
+                d.device,
+                ms(d.busy_ns),
+                100.0 * d.bubble_fraction(self.makespan_ns),
+                ms(d.wait_ns),
+                ms(d.stream_ns),
+                100.0 * d.comm_overlap_fraction(),
+            ));
+        }
+        for (name, stat) in &self.time_by_name {
+            out.push_str(&format!(
+                "pass {:>7}: {:>4} events, {:>9.3} ms total ({:>5.1}% of busy)\n",
+                name,
+                stat.count,
+                ms(stat.total_ns),
+                100.0 * self.share_of(name),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NO_MICROBATCH;
+
+    fn ev(device: u32, track: Track, name: &'static str, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            device,
+            track,
+            name,
+            microbatch: NO_MICROBATCH,
+            chunk: 0,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_yields_a_zeroed_report() {
+        let r = TimelineReport::new(&[]);
+        assert!(r.devices.is_empty());
+        assert_eq!(r.makespan_ns, 0);
+        assert_eq!(r.critical_path_ns, 0);
+        assert_eq!(r.mean_bubble(), 0.0);
+        assert_eq!(r.mean_comm_overlap(), 1.0);
+        assert_eq!(r.share_of("F"), 0.0);
+    }
+
+    #[test]
+    fn perfect_fill_has_zero_bubble() {
+        // Two devices, back-to-back passes covering the full makespan.
+        let events = vec![
+            ev(0, Track::Compute, "F", 0, 50),
+            ev(0, Track::Compute, "B", 50, 100),
+            ev(1, Track::Compute, "F", 0, 30),
+            ev(1, Track::Compute, "B", 30, 100),
+        ];
+        let r = TimelineReport::new(&events);
+        assert_eq!(r.makespan_ns, 100);
+        assert_eq!(r.critical_path_ns, 100);
+        for d in &r.devices {
+            assert_eq!(d.bubble_fraction(r.makespan_ns), 0.0, "device {}", d.device);
+        }
+        assert_eq!(r.mean_bubble(), 0.0);
+        assert_eq!(r.time_by_name["F"].count, 2);
+        assert_eq!(r.time_by_name["F"].total_ns, 80);
+        assert!((r.share_of("F") - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_1f1b_fill_reports_the_textbook_bubble() {
+        // 2-device 1F1B with unit passes (f = b = 10, m = 2): device 1
+        // starts one f late and ends one b early — bubble 2·10/60 = 1/3 on
+        // device 1, 1/3 on device 0 (idle while dev 1 computes the first
+        // backward).
+        let events = vec![
+            ev(0, Track::Compute, "F", 0, 10),
+            ev(0, Track::Compute, "F", 10, 20),
+            ev(0, Track::Compute, "B", 30, 40),
+            ev(0, Track::Compute, "B", 50, 60),
+            ev(1, Track::Compute, "F", 10, 20),
+            ev(1, Track::Compute, "B", 20, 30),
+            ev(1, Track::Compute, "F", 30, 40),
+            ev(1, Track::Compute, "B", 40, 50),
+        ];
+        let r = TimelineReport::new(&events);
+        assert_eq!(r.makespan_ns, 60);
+        let b0 = r.devices[0].bubble_fraction(r.makespan_ns);
+        let b1 = r.devices[1].bubble_fraction(r.makespan_ns);
+        assert!((b0 - 1.0 / 3.0).abs() < 1e-12, "{b0}");
+        assert!((b1 - 1.0 / 3.0).abs() < 1e-12, "{b1}");
+        assert!((r.mean_bubble() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.critical_path_ns, 40);
+    }
+
+    #[test]
+    fn one_straggler_stage_dominates_the_critical_path() {
+        // Device 1 computes the whole time; devices 0 and 2 mostly idle.
+        let events = vec![
+            ev(0, Track::Compute, "F", 0, 10),
+            ev(1, Track::Compute, "F", 0, 100),
+            ev(2, Track::Compute, "F", 90, 100),
+        ];
+        let r = TimelineReport::new(&events);
+        assert_eq!(r.makespan_ns, 100);
+        assert_eq!(r.critical_path_ns, 100);
+        assert_eq!(r.devices[1].bubble_fraction(r.makespan_ns), 0.0);
+        assert!((r.devices[0].bubble_fraction(r.makespan_ns) - 0.9).abs() < 1e-12);
+        assert!((r.mean_bubble() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_overlap_is_measured_against_compute_cover() {
+        let events = vec![
+            ev(0, Track::Compute, "F", 0, 40),
+            // 30 ns of stream work: 20 under the pass, 10 in the open.
+            ev(0, Track::Stream, "stream.job", 20, 50),
+            // Waits do not count as busy time.
+            ev(0, Track::Wait, "p2p.recv", 40, 50),
+        ];
+        let r = TimelineReport::new(&events);
+        let d = &r.devices[0];
+        assert_eq!(d.busy_ns, 40);
+        assert_eq!(d.stream_ns, 30);
+        assert_eq!(d.overlapped_stream_ns, 20);
+        assert_eq!(d.wait_ns, 10);
+        assert!((d.comm_overlap_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.mean_comm_overlap() - 2.0 / 3.0).abs() < 1e-12);
+        // Makespan spans all tracks.
+        assert_eq!(r.makespan_ns, 50);
+    }
+
+    #[test]
+    fn overlapping_compute_intervals_are_not_double_counted() {
+        // Defensive: a malformed stream with overlapping passes still
+        // yields busy <= makespan.
+        let events = vec![
+            ev(0, Track::Compute, "F", 0, 30),
+            ev(0, Track::Compute, "B", 20, 40),
+        ];
+        let r = TimelineReport::new(&events);
+        assert_eq!(r.devices[0].busy_ns, 40);
+        assert_eq!(r.makespan_ns, 40);
+    }
+
+    #[test]
+    fn render_mentions_devices_and_kinds() {
+        let events = vec![
+            ev(0, Track::Compute, "F", 0, 10),
+            ev(1, Track::Compute, "B", 10, 30),
+        ];
+        let r = TimelineReport::new(&events);
+        let text = r.render();
+        assert!(text.contains("mean bubble"));
+        assert!(text.contains("dev  0"));
+        assert!(text.contains("dev  1"));
+        assert!(text.contains("pass       F"));
+    }
+}

@@ -14,11 +14,37 @@ cargo build --workspace --release
 echo "==> cargo test --workspace --release"
 cargo test --workspace --release --quiet
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets --release -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings (+ pedantic subset)"
+cargo clippy --workspace --all-targets --release -- -D warnings \
+    -D clippy::needless_pass_by_value \
+    -D clippy::redundant_clone \
+    -D clippy::semicolon_if_nothing_returned
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> unsafe audit (unsafe code is confined to the tensor pool and trace buffer)"
+# Every other crate carries #![forbid(unsafe_code)]; this catches a crate
+# that drops the attribute or a new unsafe block sneaking in elsewhere.
+UNSAFE_ALLOWED="crates/tensor/src/pool.rs crates/trace/src/buffer.rs"
+UNSAFE_FOUND=$(grep -rln --include='*.rs' 'unsafe ' src crates | sort || true)
+for f in $UNSAFE_FOUND; do
+    case " $UNSAFE_ALLOWED " in
+        *" $f "*) ;;
+        *)
+            echo "unsafe code outside the audited allowlist: $f" >&2
+            exit 1
+            ;;
+    esac
+done
+echo "unsafe audit OK: confined to [$UNSAFE_ALLOWED]"
+
+echo "==> repro check (static schedule verification sweep)"
+cargo run -p vp-bench --release --bin repro -- check --json --out target/CHECK.json
+grep -q '"failing": 0' target/CHECK.json || {
+    echo "vp-check sweep reported failing cases" >&2
+    exit 1
+}
 
 echo "==> repro kernels --json smoke run"
 cargo run -p vp-bench --release --bin repro -- kernels --json --quick --out target/BENCH_kernels.json

@@ -4,7 +4,7 @@
 //! cargo run -p vp-bench --release --bin repro -- <experiment> [--quick]
 //! ```
 //!
-//! Experiments: `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
+//! Experiments: `check`, `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
 //! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
 //! `ablation-barriers`, `ablation-zero-bubble`, `generality`,
 //! `generality-numeric`, `kernels`, `padding`, `trace`, `timeline`, `csv`,
@@ -49,6 +49,7 @@ fn main() {
     let which = which.unwrap_or("all");
     let experiments: Vec<&str> = match which {
         "all" => vec![
+            "check",
             "fig2",
             "fig3",
             "table4",
@@ -73,6 +74,7 @@ fn main() {
     };
     for exp in experiments {
         match exp {
+            "check" => check_schedules(json, out.as_deref()),
             "fig1" | "schedules" => schedules(),
             "fig2" => fig2(),
             "fig3" => fig3(),
@@ -102,6 +104,24 @@ fn main() {
 
 fn heading(title: &str) {
     println!("\n############ {title} ############\n");
+}
+
+fn check_schedules(json: bool, out: Option<&str>) {
+    heading("vp-check — static verification of every schedule generator");
+    let cases = vp_bench::check::sweep();
+    print!("{}", vp_bench::check::render(&cases));
+    if json {
+        let path = out.unwrap_or("CHECK.json");
+        let doc = vp_bench::check::to_json(&cases);
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if cases.iter().any(|c| !c.report.is_clean()) {
+        eprintln!("vp-check: diagnostics found — failing");
+        std::process::exit(1);
+    }
 }
 
 fn fig2() {

@@ -196,7 +196,7 @@ pub fn ablation_interlaced(microbatches: usize) -> f64 {
 /// device-0 in-flight microbatches)` rows.
 pub fn ablation_barriers(microbatches: usize) -> Vec<(String, f64, f64, usize)> {
     let cfg = config(ModelPreset::Gpt4B, 2048, 256, microbatches);
-    run_barrier_ablation(&cfg, 8, Hardware::default())
+    run_barrier_ablation(&cfg, 8, &Hardware::default())
         .into_iter()
         .map(|r| {
             (
@@ -531,10 +531,7 @@ pub fn generality_numeric_rows(iterations: usize) -> Vec<(String, f64, f64, f64)
     };
     // Interleaving doubles the virtual stages, so it gets a deeper model
     // (8 layers over 4 devices × 2 chunks) with its own reference curve.
-    let deep = TinyConfig {
-        layers: 8,
-        ..base.clone()
-    };
+    let deep = TinyConfig { layers: 8, ..base };
     let runs = [
         (
             "vocab 1f1b",
@@ -543,12 +540,12 @@ pub fn generality_numeric_rows(iterations: usize) -> Vec<(String, f64, f64, f64)
         ),
         (
             "zb vocab 1f1b",
-            base.clone(),
+            base,
             generators::zb_vocab_1f1b(4, m, VocabVariant::Alg2, zb_times, true),
         ),
         (
             "interleaved vocab 1f1b (2 chunks)",
-            deep.clone(),
+            deep,
             generators::interleaved_vocab_1f1b(4, 2, m, VocabVariant::Alg2, il_times, true),
         ),
     ];

@@ -108,7 +108,7 @@ pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTi
         time_kernel("matmul_nt", mm.clone(), threads, runs, iters, || {
             a.matmul_nt(&b).unwrap()
         }),
-        time_kernel("matmul_tn", mm.clone(), threads, runs, iters, || {
+        time_kernel("matmul_tn", mm, threads, runs, iters, || {
             a.matmul_tn(&b).unwrap()
         }),
         time_kernel("softmax_rows", rw.clone(), threads, runs, iters, || {
@@ -120,9 +120,7 @@ pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTi
         time_kernel("layer_norm", rw.clone(), threads, runs, iters, || {
             ln.forward(&wide).unwrap().0
         }),
-        time_kernel("gelu", rw.clone(), threads, runs, iters, || {
-            gelu.forward(&wide).0
-        }),
+        time_kernel("gelu", rw, threads, runs, iters, || gelu.forward(&wide).0),
     ];
     pool::set_num_threads(previous);
     results

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Experiment harness: regenerates every table and figure of the paper's
@@ -8,6 +9,7 @@
 //! and a subcommand in the `repro` binary that renders them. The paper's
 //! published numbers are embedded in [`paper`] for side-by-side output.
 
+pub mod check;
 pub mod experiments;
 pub mod kernels;
 pub mod paper;

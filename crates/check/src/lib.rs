@@ -1,0 +1,244 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `vp-check`: a static schedule & communication verifier.
+//!
+//! Proves properties of any [`vp_schedule::pass::Schedule`] *without
+//! executing it*, reporting violations as rustc-style diagnostics with
+//! stable codes (`VP0001`–`VP0012`):
+//!
+//! * **Deadlock freedom** ([`deadlock`]) — the happens-before graph
+//!   (program order + §5.1 dependency edges) is acyclic; a violation is
+//!   rendered as the *minimal* cycle, naming exactly the passes that wait
+//!   on each other (`VP0001`), after structural integrity (`VP0002`
+//!   missing passes, `VP0003` duplicates) is established.
+//! * **Communication protocol** ([`comm`]) — every scheduled kind covers
+//!   every microbatch (`VP0004`); collective participation sets are
+//!   identical across vocabulary shards (`VP0005`); shards enter a
+//!   collective class's instances in the same order (`VP0006`); no pass
+//!   consumes a comm-stream result before its own device issues the
+//!   contribution (`VP0007`).
+//! * **Activation liveness** ([`liveness`]) — no use-before-alloc
+//!   (`VP0008`), leak (`VP0009`) or double-free (`VP0010`), and each
+//!   device's peak resident activations stay within the analytical 1F1B
+//!   bound of §5.2 (`VP0011`).
+//! * **Static races** ([`race`]) — every conflicting access pair to every
+//!   logical buffer ([`vp_schedule::facts`]) is ordered by a
+//!   happens-before path (`VP0012`); on valid schedules this *proves*
+//!   race freedom, including Algorithm 2's freely-deferrable `T` pass.
+//!
+//! The `repro check` subcommand sweeps every built-in generator family
+//! through [`check`]; `ci.sh` fails on any diagnostic.
+
+pub mod comm;
+pub mod deadlock;
+pub mod diag;
+pub mod liveness;
+pub mod race;
+
+pub use diag::{render_human, render_json, Code, Diagnostic, Severity, Site};
+
+use vp_schedule::deps::build_deps;
+use vp_schedule::hb::HbGraph;
+use vp_schedule::pass::Schedule;
+
+/// Options for [`check_with`].
+#[derive(Debug, Clone, Default)]
+pub struct CheckConfig {
+    /// Per-device peak-activation caps to enforce as `VP0011`. `None`
+    /// uses the analytical cap of the schedule family
+    /// ([`liveness::analytic_caps`]); families without a closed form
+    /// (multi-chunk placements) then skip the bound.
+    pub activation_caps: Option<Vec<usize>>,
+}
+
+/// The outcome of a full static analysis of one schedule.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// All findings, sorted by (code, device, slot).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of scheduled passes analyzed.
+    pub passes: usize,
+    /// Number of happens-before edges examined (0 if the graph could not
+    /// be built because of structural diagnostics).
+    pub hb_edges: usize,
+    /// Whether the race analysis ran (it needs an acyclic graph).
+    pub races_checked: bool,
+}
+
+impl CheckReport {
+    /// Whether the schedule passed every analysis.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The distinct codes present, in ascending order.
+    pub fn codes(&self) -> Vec<Code> {
+        let mut codes: Vec<Code> = self.diagnostics.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// Whether any diagnostic carries `code`.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+/// Runs every analysis with default configuration.
+pub fn check(schedule: &Schedule) -> CheckReport {
+    check_with(schedule, &CheckConfig::default())
+}
+
+/// Runs every analysis.
+///
+/// Structure (`VP0002`/`VP0003`) and the schedule-only lints
+/// (`VP0004`–`VP0006`, `VP0008`–`VP0011`) always run. The graph-based
+/// analyses (`VP0001`, `VP0007`, `VP0012`) run only once the dependency
+/// graph is well-defined, and race detection additionally requires
+/// acyclicity (a deadlocked schedule has no execution to race in).
+pub fn check_with(schedule: &Schedule, config: &CheckConfig) -> CheckReport {
+    let mut diagnostics = deadlock::check_structure(schedule);
+    let structural_ok = diagnostics.is_empty();
+    diagnostics.extend(comm::check_coverage(schedule));
+    diagnostics.extend(comm::check_participation(schedule));
+    diagnostics.extend(comm::check_collective_order(schedule));
+    let caps = config
+        .activation_caps
+        .clone()
+        .or_else(|| liveness::analytic_caps(schedule));
+    diagnostics.extend(liveness::check_liveness(schedule, caps.as_deref()));
+
+    let mut hb_edges = 0;
+    let mut races_checked = false;
+    if structural_ok {
+        let deps = build_deps(schedule).expect("structure was just verified");
+        diagnostics.extend(comm::check_consume_before_issue(schedule, &deps));
+        let hb = HbGraph::new(schedule, &deps);
+        hb_edges = (0..hb.len()).map(|v| hb.succs(v).len()).sum();
+        match hb.topo_order() {
+            None => {
+                let cycle = hb.minimal_cycle().expect("cyclic graph has a cycle");
+                diagnostics.push(deadlock::cycle_diagnostic(&cycle));
+            }
+            Some(topo) => {
+                let reach = race::Reachability::compute(&hb, &topo);
+                diagnostics.extend(race::check_races(schedule, &hb, &reach));
+                races_checked = true;
+            }
+        }
+    }
+    diagnostics.sort_by_key(|d| {
+        (
+            d.code,
+            d.primary.map_or(usize::MAX, |s| s.device),
+            d.primary.map_or(usize::MAX, |s| s.slot),
+        )
+    });
+    CheckReport {
+        diagnostics,
+        passes: schedule.total_passes(),
+        hb_edges,
+        races_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_schedule::block::PassTimes;
+    use vp_schedule::generators::{one_f_one_b, vocab_1f1b, zb_vocab_1f1b};
+    use vp_schedule::pass::{PassKind, ScheduleKind, ScheduledPass, VocabVariant};
+
+    fn zb_times() -> PassTimes {
+        PassTimes {
+            w: 1.0,
+            b: 1.0,
+            ..PassTimes::default()
+        }
+    }
+
+    #[test]
+    fn built_in_generators_are_clean() {
+        let report = check(&one_f_one_b(4, 8, PassTimes::default()));
+        assert!(report.is_clean(), "{:#?}", report.diagnostics);
+        assert!(report.races_checked);
+        assert!(report.hb_edges > 0);
+        for variant in [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2] {
+            let report = check(&zb_vocab_1f1b(4, 8, variant, zb_times(), true));
+            assert!(report.is_clean(), "{variant:?}: {:#?}", report.diagnostics);
+        }
+    }
+
+    #[test]
+    fn deadlocked_schedule_reports_vp0001_and_skips_races() {
+        let sched = Schedule::new(
+            ScheduleKind::Plain,
+            1,
+            1,
+            vec![
+                vec![
+                    ScheduledPass::new(PassKind::F, 0),
+                    ScheduledPass::new(PassKind::B, 0),
+                ],
+                vec![
+                    ScheduledPass::new(PassKind::B, 0),
+                    ScheduledPass::new(PassKind::F, 0),
+                ],
+            ],
+        );
+        let report = check(&sched);
+        assert!(report.has(Code::Deadlock));
+        assert!(!report.races_checked);
+        // VP0008 also fires: device 1's B precedes its F in program order.
+        assert!(report.has(Code::UseBeforeAlloc));
+    }
+
+    #[test]
+    fn structural_failure_suppresses_graph_analyses() {
+        let sched = Schedule::new(
+            ScheduleKind::Plain,
+            1,
+            1,
+            vec![vec![], vec![ScheduledPass::new(PassKind::F, 0)]],
+        );
+        let report = check(&sched);
+        assert!(report.has(Code::MissingPass));
+        assert_eq!(report.hb_edges, 0);
+        assert!(!report.races_checked);
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_code_then_site() {
+        let sched = vocab_1f1b(4, 6, VocabVariant::Alg1, PassTimes::default(), false);
+        let mut passes: Vec<Vec<ScheduledPass>> =
+            (0..4).map(|d| sched.passes(d).to_vec()).collect();
+        // Two independent defects: drop a T on device 2 and duplicate an
+        // F on device 0.
+        let t = passes[2]
+            .iter()
+            .position(|p| p.kind == PassKind::T && p.microbatch == 1)
+            .unwrap();
+        passes[2].remove(t);
+        passes[0].push(ScheduledPass::new(PassKind::F, 0));
+        let report = check(&Schedule::new(sched.kind(), 6, 1, passes));
+        assert!(!report.is_clean());
+        let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes, sorted);
+        assert!(report.has(Code::DuplicatePass));
+    }
+
+    #[test]
+    fn explicit_caps_override_the_analytic_bound() {
+        let sched = one_f_one_b(2, 4, PassTimes::default());
+        let strict = CheckConfig {
+            activation_caps: Some(vec![1, 1]),
+        };
+        let report = check_with(&sched, &strict);
+        assert!(report.has(Code::PeakActivations));
+        assert!(check(&sched).is_clean());
+    }
+}

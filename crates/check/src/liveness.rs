@@ -1,0 +1,260 @@
+//! Activation liveness: `VP0008` use-before-alloc, `VP0009` leaks,
+//! `VP0010` double-free and `VP0011` peak-activation bounds.
+//!
+//! A device's resident activation memory is governed entirely by its own
+//! program order: `F` allocates the microbatch-chunk's activation slot,
+//! `B` consumes and frees it. That makes liveness — and the device's peak
+//! resident count — a purely static property of the per-device pass list,
+//! checkable without touching the dependency rules. The peak bound is the
+//! paper's §5.2 building-block argument: 1F1B keeps at most `p − d`
+//! microbatches in flight on device `d`, plus one microbatch per
+//! communication barrier the vocabulary variant inserts between the last
+//! transformer forward and backward.
+
+use std::collections::HashMap;
+use vp_schedule::facts::Buffer;
+use vp_schedule::pass::{Schedule, ScheduleKind};
+
+use crate::diag::{Code, Diagnostic, Site};
+
+/// The analytical per-device peak-activation caps for single-chunk
+/// schedule families, or `None` when no closed form applies (multi-chunk
+/// placements interleave warm-ups; callers supply explicit caps via
+/// `CheckConfig` instead).
+///
+/// * Plain 1F1B: device `d` admits `p − d` in-flight microbatches.
+/// * Vocabulary variants add one microbatch per barrier (§5.2): `+3`
+///   naive, `+2` Algorithm 1, `+1` Algorithm 2.
+/// * Interlaced: the synchronous output layer stretches warm-up to
+///   `⌈1.5·(p − d)⌉ + 1`.
+pub fn analytic_caps(schedule: &Schedule) -> Option<Vec<usize>> {
+    if schedule.chunks() != 1 {
+        return None;
+    }
+    let p = schedule.devices();
+    let cap = |d: usize| {
+        let depth = p - d;
+        match schedule.kind() {
+            ScheduleKind::Plain => depth,
+            ScheduleKind::Vocab(variant) => depth + variant.barriers(),
+            ScheduleKind::Interlaced => (3 * depth).div_ceil(2) + 1,
+        }
+    };
+    Some((0..p).map(cap).collect())
+}
+
+/// Runs the liveness analysis. `caps` gives the per-device peak bound to
+/// enforce (`VP0011`); pass `None` to skip the bound and only check
+/// alloc/free pairing.
+pub fn check_liveness(schedule: &Schedule, caps: Option<&[usize]>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for d in 0..schedule.devices() {
+        let mut live: HashMap<(u8, u32), Site> = HashMap::new();
+        let mut freed: HashMap<(u8, u32), Site> = HashMap::new();
+        let mut count = 0usize;
+        let mut peak = 0usize;
+        let mut peak_site: Option<Site> = None;
+        for (i, pass) in schedule.passes(d).iter().enumerate() {
+            let site = Site {
+                device: d,
+                slot: i,
+                pass: *pass,
+            };
+            let slot_key = (pass.chunk, pass.microbatch);
+            let buffer = Buffer::Activation {
+                device: d,
+                chunk: pass.chunk,
+                microbatch: pass.microbatch,
+            };
+            if pass.kind.allocates_activation() {
+                live.insert(slot_key, site);
+                count += 1;
+                if count > peak {
+                    peak = count;
+                    peak_site = Some(site);
+                }
+            } else if pass.kind.frees_activation() {
+                if live.remove(&slot_key).is_some() {
+                    count -= 1;
+                    freed.insert(slot_key, site);
+                } else if let Some(first) = freed.get(&slot_key) {
+                    diags.push(
+                        Diagnostic::error(
+                            Code::DoubleFree,
+                            format!("{pass} frees the {buffer} twice"),
+                        )
+                        .at(site)
+                        .related(*first, "first freed here")
+                        .help("each activation slot is freed exactly once, by its backward"),
+                    );
+                } else {
+                    let alloc_later = schedule.passes(d)[i + 1..]
+                        .iter()
+                        .position(|p| {
+                            p.kind.allocates_activation() && (p.chunk, p.microbatch) == slot_key
+                        })
+                        .map(|off| i + 1 + off);
+                    let mut diag = Diagnostic::error(
+                        Code::UseBeforeAlloc,
+                        format!("{pass} consumes the {buffer} before it is allocated"),
+                    )
+                    .at(site);
+                    diag = match alloc_later {
+                        Some(j) => diag.related(
+                            Site {
+                                device: d,
+                                slot: j,
+                                pass: schedule.passes(d)[j],
+                            },
+                            "allocated only here, later in program order",
+                        ),
+                        None => diag.note("no pass on this device ever allocates it"),
+                    };
+                    diags.push(
+                        diag.help(
+                            "schedule the forward of this microbatch-chunk before its backward",
+                        ),
+                    );
+                }
+            }
+        }
+        let mut leaked: Vec<(&(u8, u32), &Site)> = live.iter().collect();
+        leaked.sort_by_key(|(key, _)| **key);
+        for (&(chunk, microbatch), site) in leaked {
+            let buffer = Buffer::Activation {
+                device: d,
+                chunk,
+                microbatch,
+            };
+            diags.push(
+                Diagnostic::error(
+                    Code::ActivationLeak,
+                    format!("the {buffer} is allocated but never freed"),
+                )
+                .at(*site)
+                .note("activations not consumed within the iteration accumulate across steps")
+                .help("schedule the backward of this microbatch-chunk"),
+            );
+        }
+        if let Some(cap) = caps.and_then(|c| c.get(d)).copied() {
+            if peak > cap {
+                let site = peak_site.expect("peak > 0 implies a peak site");
+                diags.push(
+                    Diagnostic::error(
+                        Code::PeakActivations,
+                        format!(
+                            "device {d} holds {peak} resident activations at its peak, \
+                             exceeding the schedule family's bound of {cap}"
+                        ),
+                    )
+                    .at(site)
+                    .note(
+                        "the §5.2 building-block bound: 1F1B admits p − d in-flight \
+                         microbatches on device d, plus one per vocabulary barrier",
+                    )
+                    .help("delay forwards (or hoist backwards) to shrink the in-flight window"),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_schedule::block::PassTimes;
+    use vp_schedule::generators::{interlaced_1f1b, one_f_one_b, vocab_1f1b};
+    use vp_schedule::pass::{PassKind, ScheduledPass, VocabVariant};
+
+    #[test]
+    fn clean_schedules_balance_allocations_within_caps() {
+        let plain = one_f_one_b(4, 8, PassTimes::default());
+        assert!(check_liveness(&plain, analytic_caps(&plain).as_deref()).is_empty());
+        for variant in [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2] {
+            let sched = vocab_1f1b(4, 12, variant, PassTimes::default(), false);
+            let diags = check_liveness(&sched, analytic_caps(&sched).as_deref());
+            assert!(diags.is_empty(), "{variant:?}: {diags:#?}");
+        }
+        let inter = interlaced_1f1b(4, 8, PassTimes::default());
+        let diags = check_liveness(&inter, analytic_caps(&inter).as_deref());
+        assert!(diags.is_empty(), "{diags:#?}");
+    }
+
+    #[test]
+    fn dropped_backward_leaks_and_missing_forward_uses_before_alloc() {
+        let sched = one_f_one_b(2, 4, PassTimes::default());
+        let mut passes: Vec<Vec<ScheduledPass>> =
+            (0..2).map(|d| sched.passes(d).to_vec()).collect();
+        let b = passes[0]
+            .iter()
+            .position(|p| p.kind == PassKind::B && p.microbatch == 2)
+            .unwrap();
+        passes[0].remove(b);
+        let mutated = Schedule::new(sched.kind(), 4, 1, passes);
+        let diags = check_liveness(&mutated, None);
+        assert_eq!(diags.len(), 1, "{diags:#?}");
+        assert_eq!(diags[0].code, Code::ActivationLeak);
+
+        // A backward whose forward comes later: VP0008 with the late
+        // allocation as a related site.
+        let mut passes: Vec<Vec<ScheduledPass>> =
+            (0..2).map(|d| sched.passes(d).to_vec()).collect();
+        let f = passes[1]
+            .iter()
+            .position(|p| p.kind == PassKind::F && p.microbatch == 3)
+            .unwrap();
+        let b = passes[1]
+            .iter()
+            .position(|p| p.kind == PassKind::B && p.microbatch == 3)
+            .unwrap();
+        passes[1].swap(f, b);
+        let mutated = Schedule::new(sched.kind(), 4, 1, passes);
+        let diags = check_liveness(&mutated, None);
+        let vp8: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::UseBeforeAlloc)
+            .collect();
+        assert_eq!(vp8.len(), 1, "{diags:#?}");
+        assert!(!vp8[0].related.is_empty());
+    }
+
+    #[test]
+    fn double_free_is_reported_once_with_first_site() {
+        let passes = vec![vec![
+            ScheduledPass::new(PassKind::F, 0),
+            ScheduledPass::new(PassKind::B, 0),
+            ScheduledPass::new(PassKind::B, 0),
+        ]];
+        let sched = Schedule::new(ScheduleKind::Plain, 1, 1, passes);
+        let diags = check_liveness(&sched, None);
+        let vp10: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::DoubleFree)
+            .collect();
+        assert_eq!(vp10.len(), 1, "{diags:#?}");
+        assert_eq!(vp10[0].related[0].0.slot, 1);
+    }
+
+    #[test]
+    fn eager_forwards_break_the_peak_bound() {
+        // Hoist every F of device 0 before its first B: peak becomes m,
+        // far above the 1F1B bound p − 0 = 2.
+        let sched = one_f_one_b(2, 6, PassTimes::default());
+        let mut passes: Vec<Vec<ScheduledPass>> =
+            (0..2).map(|d| sched.passes(d).to_vec()).collect();
+        passes[0].sort_by_key(|p| !matches!(p.kind, PassKind::F));
+        let mutated = Schedule::new(sched.kind(), 6, 1, passes);
+        let caps = analytic_caps(&mutated).unwrap();
+        assert_eq!(caps, vec![2, 1]);
+        let diags = check_liveness(&mutated, Some(&caps));
+        let vp11: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == Code::PeakActivations)
+            .collect();
+        assert_eq!(vp11.len(), 1, "{diags:#?}");
+        assert!(vp11[0].message.contains("holds 6"), "{}", vp11[0].message);
+    }
+
+    use vp_schedule::pass::ScheduleKind;
+}

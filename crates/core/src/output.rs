@@ -120,7 +120,7 @@ impl SState {
         let n = self.labels.len();
         let mut gmax = self.stats.max.clone();
         comm.all_reduce(&mut gmax, ReduceOp::Max)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         let mut gsum: Vec<f32> = (0..n)
             .map(|i| {
                 if self.stats.sum[i] == 0.0 {
@@ -131,12 +131,12 @@ impl SState {
             })
             .collect();
         comm.all_reduce(&mut gsum, ReduceOp::Sum)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         // Loss: mean_i (m_i + ln(sum_i) − y_{i,label}), with the label
         // logit captured exactly during the S pass.
         let mut label_logit = self.label_logit.clone();
         comm.all_reduce(&mut label_logit, ReduceOp::Sum)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         let loss = (0..n)
             .map(|i| (gmax[i] + gsum[i].ln() - label_logit[i]) as f64)
             .sum::<f64>()
@@ -208,7 +208,7 @@ impl SState {
             }
         }
         comm.all_reduce(dx.data_mut(), ReduceOp::Sum)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         self.rescale(&gmax, &gsum)?;
         Ok(BarrierOutput { loss, dx: Some(dx) })
     }
@@ -396,7 +396,7 @@ impl OutputShard {
     /// Returns an error if the collective fails.
     pub fn barrier_c2(&self, comm: &Collective, mut dx_partial: Tensor) -> Result<Tensor> {
         comm.all_reduce(dx_partial.data_mut(), ReduceOp::Sum)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         Ok(dx_partial)
     }
 
@@ -470,7 +470,7 @@ impl OutputShard {
         let y = x.matmul_nt(self.weight.value())?;
         let mut gmax = vp_tensor::ops::row_max(&y);
         comm.all_reduce(&mut gmax, ReduceOp::Max)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         // F2: shifted exponentials and global sum.
         let mut softmax = Tensor::zeros(y.rows(), y.cols());
         let mut local_sum = vec![0.0f32; y.rows()];
@@ -485,7 +485,7 @@ impl OutputShard {
         }
         let mut gsum = local_sum.clone();
         comm.all_reduce(&mut gsum, ReduceOp::Sum)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         #[allow(clippy::needless_range_loop)] // r indexes softmax rows and gsum together
         for r in 0..y.rows() {
             if gsum[r] > 0.0 {
@@ -502,7 +502,7 @@ impl OutputShard {
             label_logit[row] = y.at(row, local);
         }
         comm.all_reduce(&mut label_logit, ReduceOp::Sum)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         let loss = (0..n)
             .map(|i| (gmax[i] + gsum[i].ln() - label_logit[i]) as f64)
             .sum::<f64>()
@@ -516,7 +516,7 @@ impl OutputShard {
         let dw = dy.matmul_tn(x)?;
         self.weight.accumulate(&dw)?;
         comm.all_reduce(dx.data_mut(), ReduceOp::Sum)
-            .map_err(comm_err)?;
+            .map_err(|e| comm_err(&e))?;
         Ok((loss, dx))
     }
 
@@ -554,7 +554,7 @@ impl OutputShard {
     }
 }
 
-fn comm_err(e: vp_collectives::CollectiveError) -> TensorError {
+fn comm_err(e: &vp_collectives::CollectiveError) -> TensorError {
     TensorError::InvalidArgument(format!("collective failed: {e}"))
 }
 

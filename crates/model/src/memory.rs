@@ -188,7 +188,7 @@ mod tests {
         let layout = StageLayout::baseline(&cfg, 8);
         let est = estimate_1f1b(&cfg, &hw, &layout, PlacementKind::EndToEnd);
         // With only 2 microbatches no device holds more than 2.
-        let per_layer = CostModel::new(cfg.clone(), hw).act_bytes_per_layer();
+        let per_layer = CostModel::new(cfg, hw).act_bytes_per_layer();
         assert!(est[0].activations <= 2.0 * 4.0 * per_layer + 1.0);
     }
 }

@@ -84,7 +84,7 @@ pub fn train_pipeline_checkpointed(
                     None,
                     &select,
                     restore,
-                    vp_trace::Tracer::off(),
+                    &vp_trace::Tracer::off(),
                     epoch,
                 )
             }));

@@ -92,10 +92,10 @@ pub fn train_pipeline_dp(
                         rank,
                         endpoint,
                         c1,
-                        Some((dp_comm, dp)),
+                        Some(&(dp_comm, dp)),
                         &select,
                         None,
-                        vp_trace::Tracer::off(),
+                        &vp_trace::Tracer::off(),
                         epoch,
                     )
                 }));

@@ -1,7 +1,7 @@
 //! The generic schedule interpreter (pass-VM): one thread per device walks
 //! its `vp_schedule::pass::Schedule` pass list in order and dispatches
 //! purely on [`PassKind`] — `F`/`B`/`W` transformer passes here, the
-//! vocabulary `S`/`T` and sharded input passes in [`crate::vocab`]. The
+//! vocabulary `S`/`T` and sharded input passes in `crate::vocab`. The
 //! engine contains **no** schedule-family special cases: any validated
 //! schedule whose kind maps to a supported [`Mode`] (plain → baseline,
 //! Vocab-1/2 → Vocabulary Parallelism) executes numerically, which is how
@@ -10,7 +10,7 @@
 //!
 //! [`train_schedule`] is the metrics-out entry point: it returns the loss
 //! trajectory together with a real-timing
-//! [`ExecReport`](vp_schedule::exec::ExecReport) (wall-clock pass spans of
+//! [`ExecReport`] (wall-clock pass spans of
 //! the final iteration plus observed activation peaks), so the simulator's
 //! Chrome-trace export and [`ScheduleAnalysis`] work unchanged on measured
 //! data.
@@ -488,10 +488,10 @@ pub(crate) fn device_loop(
     rank: usize,
     endpoint: P2pEndpoint,
     c1: Collective,
-    dp: Option<(Collective, usize)>,
+    dp: Option<&(Collective, usize)>,
     select: &dyn Fn(u64, usize) -> Vec<Microbatch>,
     restore: Option<(&[u8], u64)>,
-    tracer: Tracer,
+    tracer: &Tracer,
     epoch: Instant,
 ) -> Result<DeviceOutcome> {
     let mode = check_schedule(config, schedule)?;
@@ -560,7 +560,7 @@ pub(crate) fn device_loop(
     let mut iteration_losses = Vec::with_capacity(iterations);
     let mut spans = vec![(0.0, 0.0); schedule.passes(rank).len()];
     let trace = std::env::var_os("VP_RUNTIME_TRACE").is_some();
-    let replicas = dp.as_ref().map(|(_, n)| *n).unwrap_or(1);
+    let replicas = dp.map(|(_, n)| *n).unwrap_or(1);
     for iter in start_iter..start_iter + iterations as u64 {
         // Warm-up iterations are disarmed; the trace captures the final
         // (steady-state) iteration, matching the `spans` report below.
@@ -597,13 +597,13 @@ pub(crate) fn device_loop(
         // Wait for deferred barriers still in flight before touching
         // gradients or weights.
         device.c1_stream.synchronize();
-        if let Some((dp_comm, _)) = &dp {
+        if let Some((dp_comm, _)) = dp {
             device.sync_grads(dp_comm)?;
         }
         device.optimizer_step(&mut adam)?;
         if device.rank == reporter {
             let mut total: f64 = device.losses.drain(..).sum();
-            if let Some((dp_comm, _)) = &dp {
+            if let Some((dp_comm, _)) = dp {
                 // Sum the replicas' loss contributions (all reporter-stage
                 // devices participate, in the same position of the group's
                 // op sequence).
@@ -742,7 +742,7 @@ fn run_schedule(
                     move |iter: u64, m: usize| -> Vec<Microbatch> { corpus.iteration(iter, m) };
                 device_loop(
                     config, schedule, iterations, rank, endpoint, comm, None, &select, None,
-                    tracer, epoch,
+                    &tracer, epoch,
                 )
             }));
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Thread-per-stage pipeline-parallel training runtime with real numerics.
@@ -15,7 +16,7 @@
 //! * [`model`] — full-model construction from a seed, shared by the
 //!   reference and the sharded runtimes so initial weights are
 //!   bit-identical.
-//! * [`reference`] — the single-device trainer.
+//! * [`mod@reference`] — the single-device trainer.
 //! * [`checkpoint`] — a resumable single-device trainer with exact
 //!   save/restore of weights, Adam moments and step count.
 //! * [`distributed_ckpt`] — per-device shard checkpointing of the
@@ -27,7 +28,7 @@
 //!   `S`/`T` passes, sharded input passes — exchange activations over
 //!   `vp-collectives` point-to-point channels, overlap the `C1` barrier on
 //!   a per-device communication stream, and step Adam locally. Its
-//!   [`train_schedule`](engine::train_schedule) entry point reports real
+//!   [`train_schedule`] entry point reports real
 //!   pass timings in the simulator's `ExecReport` shape.
 //! * [`pipeline`] — schedule-family front end over the engine: maps a
 //!   `(Mode, ScheduleFamily)` selection onto the matching generator.

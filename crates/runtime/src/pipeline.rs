@@ -1,7 +1,7 @@
 //! Schedule-family front end over the generic interpreter in
 //! [`crate::engine`]: maps a `(Mode, ScheduleFamily)` selection onto the
 //! matching `vp-schedule` generator and delegates execution to
-//! [`train_schedule`](crate::engine::train_schedule). The interpreter
+//! [`train_schedule`]. The interpreter
 //! itself is family-agnostic — these wrappers only exist so callers can
 //! ask for "1F1B with Vocab-2" without touching generators.
 

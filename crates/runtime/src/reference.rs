@@ -70,7 +70,7 @@ pub fn train_reference_on(
     let mut input = Embedding::from_weight(full.input_weight.clone());
     let mut pos = Param::new(full.pos_weight.clone());
     let mut blocks = full.blocks.clone();
-    let mut output_w = Param::new(full.output_weight.clone());
+    let mut output_w = Param::new(full.output_weight);
     let mut adam = Adam::new(config.lr);
     let mut losses = Vec::with_capacity(iterations);
 

@@ -84,6 +84,11 @@ impl DepGraph {
 }
 
 /// Errors produced by schedule validation.
+///
+/// Each variant's message carries the stable diagnostic code the `vp-check`
+/// static analyzer assigns to the same defect class (`VP0001` deadlock,
+/// `VP0002` missing pass, `VP0003` duplicate pass), so dynamic validation
+/// failures and static diagnostics read the same.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DepError {
     /// A pass another pass depends on does not exist in the schedule.
@@ -98,25 +103,52 @@ pub enum DepError {
         /// The duplicated pass.
         pass: ScheduledPass,
     },
-    /// Execution cannot make progress: every device's next pass waits on a
-    /// pass that never runs (a dependency cycle through the device orders).
+    /// Execution cannot make progress: a set of passes wait on each other
+    /// in a cycle through program order and the §5.1 dependency rules.
     Deadlock {
-        /// The stuck pass of the lowest-numbered stuck device.
+        /// Device of the first pass on the extracted cycle.
         device: usize,
-        /// Description of the pass.
+        /// The first pass on the extracted cycle.
         pass: ScheduledPass,
+        /// The minimal happens-before cycle: each step's pass must finish
+        /// before the next step's pass may start, and the last must finish
+        /// before the first — an impossibility.
+        cycle: Vec<crate::hb::CycleStep>,
     },
 }
 
 impl fmt::Display for DepError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DepError::MissingPass { what } => write!(f, "missing pass: {what}"),
+            DepError::MissingPass { what } => write!(f, "[VP0002] missing pass: {what}"),
             DepError::DuplicatePass { device, pass } => {
-                write!(f, "duplicate pass {pass} on device {device}")
+                write!(f, "[VP0003] duplicate pass {pass} on device {device}")
             }
-            DepError::Deadlock { device, pass } => {
-                write!(f, "deadlock: device {device} stuck before {pass}")
+            DepError::Deadlock {
+                device,
+                pass,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "[VP0001] deadlock: {pass} on device {device} waits on itself through a \
+                     {}-pass cycle: ",
+                    cycle.len()
+                )?;
+                for (i, step) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(
+                        f,
+                        "{} [device {}, slot {}] ({})",
+                        step.pass,
+                        step.device,
+                        step.slot,
+                        step.edge.describe()
+                    )?;
+                }
+                Ok(())
             }
         }
     }
@@ -316,55 +348,27 @@ pub fn build_deps(schedule: &Schedule) -> Result<DepGraph, DepError> {
 }
 
 /// Validates a schedule: builds its dependency graph and checks that the
-/// per-device execution orders can run to completion without deadlock.
+/// per-device execution orders can run to completion without deadlock
+/// (acyclicity of the happens-before graph, [`crate::hb`]).
 ///
 /// # Errors
 ///
-/// Returns the first [`DepError`] encountered.
+/// Returns the first [`DepError`] encountered. A deadlock error carries
+/// the minimal happens-before cycle extracted by
+/// [`crate::hb::HbGraph::minimal_cycle`], naming the exact passes that
+/// wait on each other.
 pub fn validate(schedule: &Schedule) -> Result<DepGraph, DepError> {
     let graph = build_deps(schedule)?;
-    let p = schedule.devices();
-    let mut cursor = vec![0usize; p];
-    let mut done: Vec<Vec<bool>> = (0..p)
-        .map(|d| vec![false; schedule.passes(d).len()])
-        .collect();
-    loop {
-        let mut progressed = false;
-        let mut all_done = true;
-        for d in 0..p {
-            // A device may retire several consecutive ready passes per
-            // sweep; keep going until it blocks.
-            while cursor[d] < schedule.passes(d).len() {
-                all_done = false;
-                let i = cursor[d];
-                let ready = graph
-                    .preds(d, i)
-                    .iter()
-                    .all(|dep| done[dep.device][dep.index]);
-                if !ready {
-                    break;
-                }
-                done[d][i] = true;
-                cursor[d] += 1;
-                progressed = true;
-            }
-            if cursor[d] < schedule.passes(d).len() {
-                all_done = false;
-            }
-        }
-        if all_done {
-            return Ok(graph);
-        }
-        if !progressed {
-            let d = (0..p)
-                .find(|&d| cursor[d] < schedule.passes(d).len())
-                .expect("some device is stuck");
-            return Err(DepError::Deadlock {
-                device: d,
-                pass: schedule.passes(d)[cursor[d]],
-            });
-        }
+    let hb = crate::hb::HbGraph::new(schedule, &graph);
+    if let Some(cycle) = hb.minimal_cycle() {
+        let head = cycle.first().expect("cycles are non-empty");
+        return Err(DepError::Deadlock {
+            device: head.device,
+            pass: head.pass,
+            cycle,
+        });
     }
+    Ok(graph)
 }
 
 #[cfg(test)]

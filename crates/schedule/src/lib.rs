@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Pipeline schedules as data: passes, building blocks, generators,
@@ -20,6 +21,12 @@
 //! * [`deps`] — the §5.1 scheduling constraints as an explicit cross-device
 //!   dependency relation, plus a validator (completeness and
 //!   deadlock-freedom of the per-device orderings).
+//! * [`hb`] — the happens-before graph (program order + dependency edges)
+//!   with minimal-cycle extraction, so a deadlock names the exact passes
+//!   forming the cycle.
+//! * [`facts`] — static buffer/communication facts: what each pass reads
+//!   and writes, and which collective class each edge realizes. Consumed
+//!   by the `vp-check` static analyzer.
 //! * [`exec`] — a deterministic executor that replays a schedule under a
 //!   [`exec::Costs`] provider, yielding per-pass times, iteration time,
 //!   bubble fraction and per-device resident-microbatch (activation) peaks.
@@ -34,7 +41,9 @@ pub mod analysis;
 pub mod block;
 pub mod deps;
 pub mod exec;
+pub mod facts;
 pub mod generators;
+pub mod hb;
 pub mod pass;
 pub mod render;
 pub mod synth;

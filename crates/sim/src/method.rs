@@ -73,9 +73,9 @@ fn finish(
     method: &str,
     costs: &SimCosts,
     schedule: &Schedule,
-    report: ExecReport,
+    report: &ExecReport,
     static_bytes: Vec<f64>,
-    extra_transient: Vec<f64>,
+    extra_transient: &[f64],
 ) -> SimReport {
     let p = schedule.devices();
     let m = costs.model();
@@ -145,9 +145,9 @@ pub fn run_1f1b(
         method.name(),
         &costs,
         &schedule,
-        report,
+        &report,
         static_bytes,
-        extra,
+        &extra,
     )
 }
 
@@ -228,9 +228,9 @@ pub fn run_vhalf(
         method.name(),
         &costs,
         &schedule,
-        report,
+        &report,
         static_bytes,
-        extra,
+        &extra,
     )
 }
 
@@ -278,9 +278,9 @@ pub fn run_vocab_variant(
         method,
         &costs,
         &schedule,
-        report,
+        &report,
         static_bytes,
-        vec![0.0; devices],
+        &vec![0.0; devices],
     )
 }
 
@@ -291,7 +291,7 @@ pub fn run_vocab_variant(
 pub fn run_barrier_ablation(
     config: &ModelConfig,
     devices: usize,
-    hardware: Hardware,
+    hardware: &Hardware,
 ) -> Vec<SimReport> {
     [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2]
         .into_iter()
@@ -364,9 +364,9 @@ pub fn run_zero_bubble(
         &name,
         &costs,
         &schedule,
-        report,
+        &report,
         static_bytes,
-        vec![0.0; devices],
+        &vec![0.0; devices],
     )
 }
 
@@ -413,9 +413,9 @@ pub fn run_interleaved_vocab(
         ),
         &costs,
         &schedule,
-        report,
+        &report,
         static_bytes,
-        vec![0.0; devices],
+        &vec![0.0; devices],
     )
 }
 
@@ -627,7 +627,7 @@ mod tests {
     fn barrier_ablation_orders_memory_by_barriers() {
         let hw = Hardware::default();
         let config = cfg(ModelPreset::Gpt4B, 128, 2048);
-        let reports = run_barrier_ablation(&config, 8, hw);
+        let reports = run_barrier_ablation(&config, 8, &hw);
         assert_eq!(reports.len(), 3);
         let naive = &reports[0];
         let alg1 = &reports[1];
@@ -645,7 +645,7 @@ mod tests {
     fn vhalf_activations_are_balanced() {
         let hw = Hardware::default();
         let config = cfg(ModelPreset::Gpt7B, 32, 2048);
-        let v = run_vhalf(VHalfMethod::Vocab1, &config, 16, hw.clone());
+        let v = run_vhalf(VHalfMethod::Vocab1, &config, 16, hw);
         let spread = v.memory_spread_gb();
         assert!(spread < 3.0, "spread {spread}");
     }

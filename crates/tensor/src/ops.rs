@@ -360,7 +360,7 @@ mod tests {
         assert!(stats.max.iter().all(|&m| m == f32::NEG_INFINITY));
         assert!(stats.sum.iter().all(|&s| s == 0.0));
         // The zero global sum rescales to a defined zero row, not NaN.
-        let mut local = probs.clone();
+        let mut local = probs;
         rescale_softmax(&mut local, &stats, &stats.max, &stats.sum).unwrap();
         assert!(local.data().iter().all(|&v| v == 0.0));
         assert_eq!(

@@ -750,7 +750,7 @@ mod tests {
         assert_eq!(a.add(&b).unwrap().data(), &[5., 7., 9.]);
         assert_eq!(b.sub(&a).unwrap().data(), &[3., 3., 3.]);
         assert_eq!(a.mul(&b).unwrap().data(), &[4., 10., 18.]);
-        let mut c = a.clone();
+        let mut c = a;
         c.axpy(2.0, &b).unwrap();
         assert_eq!(c.data(), &[9., 12., 15.]);
     }

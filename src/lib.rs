@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # Vocabulary Parallelism
@@ -28,6 +29,7 @@
 //! | [`vp_sim`] | discrete-event simulator regenerating the paper's tables |
 //! | [`vp_runtime`] | generic schedule interpreter training real numerics on any validated schedule |
 //! | [`vp_data`] | dataset substrate: BPE tokenizer, text corpus, packed GPT samples |
+//! | [`vp_check`] | static schedule verifier: deadlock freedom, communication lints, activation liveness, race detection — rustc-style `VP00xx` diagnostics |
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@
 //! Or train a tiny GPT with real numerics and verify the pipelined loss
 //! matches the single-device reference (`examples/train_tiny_gpt.rs`).
 
+pub use vp_check;
 pub use vp_collectives;
 pub use vp_core;
 pub use vp_data;
@@ -58,6 +61,7 @@ pub use vp_tensor;
 
 /// The most common imports for using the reproduction as a library.
 pub mod prelude {
+    pub use vp_check::{check, CheckReport};
     pub use vp_core::{InputShard, OutputShard, VocabAlgo};
     pub use vp_model::config::{ModelConfig, ModelPreset};
     pub use vp_model::cost::{CostModel, Hardware};

@@ -28,7 +28,7 @@ fn barrier_ablation_shape_via_facade() {
         .config()
         .with_vocab(256 * 1024)
         .with_num_microbatches(32);
-    let reports = vp_sim::run_barrier_ablation(&config, 8, Hardware::default());
+    let reports = vp_sim::run_barrier_ablation(&config, 8, &Hardware::default());
     assert!(reports[0].max_memory_gb() > reports[2].max_memory_gb());
     assert!((reports[0].mfu - reports[2].mfu).abs() < 0.06 * reports[2].mfu);
 }

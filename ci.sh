@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Local CI gate: build, test, lint and format-check the whole workspace,
-# then run the measured-run gates: kernel smoke benchmark, bitwise
-# training determinism, Chrome-trace schema checks (simulated and
-# measured), and the sim-vs-measured timeline drift gate.
+# then run the measured-run gates: kernel smoke benchmark (with the
+# packed-GEMM nt/nn regression gate), bitwise training determinism, the
+# buffer-arena train bench (steady-state recycling + pooled-vs-fresh
+# numerics), Chrome-trace schema checks (simulated and measured), and the
+# sim-vs-measured timeline drift gate.
 # Runs fully offline (the workspace has no external dependencies).
 # JSON artifacts land in target/ so the working tree stays clean.
 set -euo pipefail
@@ -68,8 +70,18 @@ for name, k in kernels.items():
     assert k["serial_us"] > 0, f"{name}: no serial timing"
     assert k["threaded_us"] > 0, f"{name}: no threaded timing"
     assert k["bitwise_identical"] is True, f"{name}: threaded output diverged"
+    assert k["serial_gflops"] > 0, f"{name}: no serial throughput"
+    assert k["threaded_gflops"] > 0, f"{name}: no threaded throughput"
+    assert k["path"] in ("serial", "threaded"), f"{name}: bad path {k['path']!r}"
+# Packed-GEMM regression gate: the transposed layout must stay within
+# 1.5x of the plain layout (the packing de-strides B^T; pre-packing it
+# regressed nt to ~4.4x nn).
+nt_over_nn = kernels["matmul_nt"]["serial_us"] / kernels["matmul_nn"]["serial_us"]
+assert nt_over_nn <= 1.5, \
+    f"matmul_nt serial is {nt_over_nn:.2f}x matmul_nn (gate: 1.5x)"
 print(f"BENCH_kernels.json OK: {len(kernels)} kernels, serial+threaded covered, "
-      f"all bitwise identical ({doc['threads']} threads on {doc['cores']} cores)")
+      f"all bitwise identical, nt/nn = {nt_over_nn:.2f} "
+      f"({doc['threads']} threads on {doc['cores']} cores)")
 PY
 else
     # Fallback when python3 is unavailable: structural greps.
@@ -82,10 +94,26 @@ else
     done
     grep -q '"serial_us"' target/BENCH_kernels.json
     grep -q '"threaded_us"' target/BENCH_kernels.json
+    grep -q '"serial_gflops"' target/BENCH_kernels.json
+    grep -q '"path"' target/BENCH_kernels.json
     if grep -q '"bitwise_identical": false' target/BENCH_kernels.json; then
         echo "threaded kernel output diverged from serial" >&2
         exit 1
     fi
+    # nt/nn regression gate via awk on the serial timings.
+    awk '
+        /"name": "matmul_nn"/ { if (match($0, /"serial_us": [0-9.]+/))
+            nn = substr($0, RSTART + 14, RLENGTH - 14) }
+        /"name": "matmul_nt"/ { if (match($0, /"serial_us": [0-9.]+/))
+            nt = substr($0, RSTART + 14, RLENGTH - 14) }
+        END {
+            if (nn == "" || nt == "") { print "missing matmul timings" > "/dev/stderr"; exit 1 }
+            if (nt / nn > 1.5) {
+                printf "matmul_nt serial is %.2fx matmul_nn (gate: 1.5x)\n", nt / nn > "/dev/stderr"
+                exit 1
+            }
+            printf "nt/nn = %.2f (gate: 1.5)\n", nt / nn
+        }' target/BENCH_kernels.json
     echo "BENCH_kernels.json OK (grep check)"
 fi
 
@@ -98,6 +126,79 @@ if ! diff -q target/determinism_run1.txt target/determinism_run2.txt >/dev/null;
     exit 1
 fi
 echo "determinism OK: both runs byte-identical (losses included)"
+
+echo "==> repro trainbench --json (buffer-arena lifecycle + steady iteration wall time)"
+cargo run -p vp-bench --release --bin repro -- trainbench --json --quick --out target/BENCH_train.json
+
+echo "==> BENCH_train.json structure + arena recycling gate"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'PY'
+import json
+import math
+
+with open("target/BENCH_train.json") as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "train", doc.get("bench")
+assert doc["iterations"] >= 2, doc.get("iterations")
+cfg = doc["config"]
+for key in ("layers", "hidden", "seq_len", "vocab", "microbatches"):
+    assert cfg[key] > 0, f"config.{key} missing or zero"
+schedules = {s["name"]: s for s in doc["schedules"]}
+expected = {"vocab-2-1f1b", "zb-vocab-2"}
+missing = expected - schedules.keys()
+assert not missing, f"schedules missing from BENCH_train.json: {missing}"
+for name, s in schedules.items():
+    assert math.isfinite(s["final_loss"]), f"{name}: loss diverged"
+    # Arena numerics contract: pooled == fresh, bitwise.
+    assert s["pooled_bitwise_identical"] is True, \
+        f"{name}: pooled losses diverged from fresh-allocation losses"
+    assert len(s["steady_iter_us"]) == doc["iterations"], f"{name}: missing iteration timings"
+    assert all(w > 0 for w in s["steady_iter_us"]), f"{name}: non-positive iteration time"
+    assert s["median_steady_iter_us"] > 0, f"{name}: no median iteration time"
+    cold, steady = s["cold"], s["steady"]
+    assert cold["fresh"] > 0, f"{name}: cold run never allocated — counters broken"
+    # Steady-state allocation budget: a warmed pool must serve (nearly)
+    # every request from recycled buffers.
+    assert steady["reuse"] > 0, f"{name}: steady run never recycled"
+    assert steady["reuse_ratio"] >= 0.9, \
+        f"{name}: steady reuse ratio {steady['reuse_ratio']:.3f} < 0.9"
+    assert steady["fresh"] <= max(64, 0.01 * steady["reuse"]), \
+        f"{name}: steady run allocated {steady['fresh']} fresh buffers"
+    print(f"{name}: median iter {s['median_steady_iter_us']:.0f} us, "
+          f"steady fresh {steady['fresh']} / reuse {steady['reuse']} "
+          f"(ratio {steady['reuse_ratio']:.3f}), pooled bitwise identical")
+print("BENCH_train.json OK")
+PY
+else
+    grep -q '"bench": "train"' target/BENCH_train.json
+    grep -q '"name": "vocab-2-1f1b"' target/BENCH_train.json
+    grep -q '"name": "zb-vocab-2"' target/BENCH_train.json
+    grep -q '"median_steady_iter_us"' target/BENCH_train.json
+    if grep -q '"pooled_bitwise_identical": false' target/BENCH_train.json; then
+        echo "pooled losses diverged from fresh-allocation losses" >&2
+        exit 1
+    fi
+    # Reuse-ratio gate via awk on each schedule's steady counters.
+    awk '
+        /"steady": \{/ {
+            line = $0
+            sub(/.*"steady": \{/, "", line)
+            if (match(line, /"reuse_ratio": [0-9.]+/)) {
+                r = substr(line, RSTART + 15, RLENGTH - 15)
+                n += 1
+                if (r < 0.9) {
+                    printf "steady reuse ratio %.3f < 0.9\n", r > "/dev/stderr"
+                    exit 1
+                }
+            }
+        }
+        END {
+            if (n < 2) { print "missing steady arena counters" > "/dev/stderr"; exit 1 }
+            printf "steady reuse ratios OK (%d schedules)\n", n
+        }' target/BENCH_train.json
+    echo "BENCH_train.json OK (grep check)"
+fi
 
 echo "==> trace exports (simulated + measured) and timeline drift"
 cargo run -p vp-bench --release --bin repro -- trace

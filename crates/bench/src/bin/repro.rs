@@ -7,12 +7,16 @@
 //! Experiments: `check`, `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
 //! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
 //! `ablation-barriers`, `ablation-zero-bubble`, `generality`,
-//! `generality-numeric`, `kernels`, `padding`, `trace`, `timeline`, `csv`,
-//! `fig17`, or `all`. `--quick` runs the throughput sweeps with 32 instead
-//! of 128 microbatches (same shapes, ~4× faster) and shortens the kernel
-//! timing loops. `kernels --json` additionally writes `BENCH_kernels.json`
-//! (median µs/iter per kernel, serial vs threaded; thread count from
-//! `VP_THREADS`, default 4). `timeline` runs two schedules through both
+//! `generality-numeric`, `kernels`, `trainbench`, `padding`, `trace`,
+//! `timeline`, `csv`, `fig17`, or `all`. `--quick` runs the throughput
+//! sweeps with 32 instead of 128 microbatches (same shapes, ~4× faster)
+//! and shortens the kernel timing loops. `kernels --json` additionally
+//! writes `BENCH_kernels.json` (median µs/iter per kernel, serial vs
+//! threaded; thread count from `VP_THREADS`, default 4). `trainbench`
+//! trains the Figure-17 config end to end through the buffer arena's
+//! fresh → cold → steady lifecycle and with `--json` writes per-iteration
+//! wall times plus arena counters to `BENCH_train.json`. `timeline` runs
+//! two schedules through both
 //! the simulator and the traced numeric runtime, writes
 //! `traces/measured-<name>.trace.json`, and with `--json` writes the
 //! sim-vs-measured divergence to `TIMELINE.json`. `--out <path>` redirects
@@ -64,6 +68,7 @@ fn main() {
             "generality",
             "generality-numeric",
             "kernels",
+            "trainbench",
             "padding",
             "trace",
             "timeline",
@@ -89,6 +94,7 @@ fn main() {
             "generality" => generality(microbatches),
             "generality-numeric" => generality_numeric(),
             "kernels" => kernels(quick, json, out.as_deref()),
+            "trainbench" => trainbench(quick, json, out.as_deref()),
             "trace" => trace(),
             "timeline" => timeline(json, out.as_deref()),
             "csv" => csv(microbatches),
@@ -431,6 +437,9 @@ fn kernels(quick: bool, json: bool, out: Option<&str>) {
                 format!("{:.1}", k.serial_us),
                 format!("{:.1}", k.threaded_us),
                 format!("{:.2}x", k.speedup()),
+                format!("{:.2}", k.serial_gflops()),
+                format!("{:.2}", k.threaded_gflops()),
+                k.path.to_string(),
                 if k.bitwise_identical { "yes" } else { "NO" }.to_string(),
             ]
         })
@@ -444,6 +453,9 @@ fn kernels(quick: bool, json: bool, out: Option<&str>) {
                 "serial µs",
                 &format!("{threads}-thread µs"),
                 "speedup",
+                "serial GFLOP/s",
+                "thr GFLOP/s",
+                "path",
                 "bitwise =="
             ],
             &rows
@@ -459,6 +471,61 @@ fn kernels(quick: bool, json: bool, out: Option<&str>) {
     if json {
         let path = out.unwrap_or("BENCH_kernels.json");
         let doc = kernel_bench::to_json(size, threads, &results);
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+fn trainbench(quick: bool, json: bool, out: Option<&str>) {
+    heading("Train bench — steady-iteration wall time through the buffer arena (Fig-17 config)");
+    let iterations = if quick { 3 } else { 6 };
+    let results = vp_bench::trainbench::run(iterations);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|t| {
+            vec![
+                t.name.to_string(),
+                t.devices.to_string(),
+                format!("{:.5}", t.final_loss),
+                format!("{:.0}", t.median_iter_us()),
+                t.steady.fresh.to_string(),
+                t.steady.reuse.to_string(),
+                format!("{:.3}", t.steady.reuse_ratio()),
+                if t.pooled_bitwise_identical {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "schedule",
+                "devices",
+                "final loss",
+                "median iter µs",
+                "steady fresh",
+                "steady reuse",
+                "reuse ratio",
+                "pooled bitwise =="
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Each schedule runs three times: arena off (reference numerics), cold pool, warm\n\
+         pool. Steady-state counters show recycled buffers serving the iteration; the\n\
+         loss trajectory is bitwise identical in all three runs."
+    );
+    if json {
+        let path = out.unwrap_or("BENCH_train.json");
+        let doc = vp_bench::trainbench::to_json(iterations, &results);
         match std::fs::write(path, &doc) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),

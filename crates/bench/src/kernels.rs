@@ -27,12 +27,30 @@ pub struct KernelTiming {
     pub threaded_us: f64,
     /// Whether the serial and threaded outputs were bitwise identical.
     pub bitwise_identical: bool,
+    /// Nominal floating-point operations per call (matmuls: `2mkn`;
+    /// row-wise kernels: a per-element op count with transcendentals
+    /// counted as one — a throughput yardstick, not a hardware counter).
+    pub flops: f64,
+    /// The code path the pool's dispatch heuristic picks on this machine
+    /// at the benched thread count: `"threaded"` or `"serial"` (worker
+    /// count 1, too few rows, or work below the parallel threshold).
+    pub path: &'static str,
 }
 
 impl KernelTiming {
     /// Serial-over-threaded speedup (`> 1` means the pool helped).
     pub fn speedup(&self) -> f64 {
         self.serial_us / self.threaded_us
+    }
+
+    /// Serial throughput in GFLOP/s (nominal flop count over wall time).
+    pub fn serial_gflops(&self) -> f64 {
+        self.flops / (self.serial_us * 1e3)
+    }
+
+    /// Threaded throughput in GFLOP/s.
+    pub fn threaded_gflops(&self) -> f64 {
+        self.flops / (self.threaded_us * 1e3)
     }
 }
 
@@ -59,13 +77,18 @@ fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
             .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
-/// Times one kernel serially and with `threads` pool threads.
+/// Times one kernel serially and with `threads` pool threads. `rows` and
+/// `work` mirror what the kernel hands the pool's dispatch heuristic, so
+/// the recorded `path` is the one a real call takes on this machine.
+#[allow(clippy::too_many_arguments)]
 fn time_kernel(
     name: &'static str,
     shape: String,
     threads: usize,
     runs: usize,
     iters: u32,
+    flops: f64,
+    (rows, work): (usize, usize),
     f: impl Fn() -> Tensor,
 ) -> KernelTiming {
     pool::set_num_threads(1);
@@ -74,6 +97,11 @@ fn time_kernel(
         std::hint::black_box(f());
     });
     pool::set_num_threads(threads);
+    let path = if pool::would_parallelize(rows, work) {
+        "threaded"
+    } else {
+        "serial"
+    };
     let threaded_out = f();
     let threaded_us = median_us(runs, iters, || {
         std::hint::black_box(f());
@@ -84,6 +112,8 @@ fn time_kernel(
         serial_us,
         threaded_us,
         bitwise_identical: bits_eq(&serial_out, &threaded_out),
+        flops,
+        path,
     }
 }
 
@@ -101,26 +131,82 @@ pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTi
 
     let mm = format!("{size}x{size}x{size}");
     let rw = format!("{size}x{}", 4 * size);
+    // Dispatch inputs: matmuls hand the pool (m, m·k·n); the row-wise
+    // kernels hand (rows, len·c) with their per-kernel work factor.
+    let mm_flops = 2.0 * (size * size * size) as f64;
+    let len = size * 4 * size;
+    let mm_dispatch = (size, size * size * size);
     let results = vec![
-        time_kernel("matmul_nn", mm.clone(), threads, runs, iters, || {
-            a.matmul(&b).unwrap()
-        }),
-        time_kernel("matmul_nt", mm.clone(), threads, runs, iters, || {
-            a.matmul_nt(&b).unwrap()
-        }),
-        time_kernel("matmul_tn", mm, threads, runs, iters, || {
-            a.matmul_tn(&b).unwrap()
-        }),
-        time_kernel("softmax_rows", rw.clone(), threads, runs, iters, || {
-            softmax_rows(&wide)
-        }),
-        time_kernel("local_softmax", rw.clone(), threads, runs, iters, || {
-            local_softmax(&wide).0
-        }),
-        time_kernel("layer_norm", rw.clone(), threads, runs, iters, || {
-            ln.forward(&wide).unwrap().0
-        }),
-        time_kernel("gelu", rw, threads, runs, iters, || gelu.forward(&wide).0),
+        time_kernel(
+            "matmul_nn",
+            mm.clone(),
+            threads,
+            runs,
+            iters,
+            mm_flops,
+            mm_dispatch,
+            || a.matmul(&b).unwrap(),
+        ),
+        time_kernel(
+            "matmul_nt",
+            mm.clone(),
+            threads,
+            runs,
+            iters,
+            mm_flops,
+            mm_dispatch,
+            || a.matmul_nt(&b).unwrap(),
+        ),
+        time_kernel(
+            "matmul_tn",
+            mm,
+            threads,
+            runs,
+            iters,
+            mm_flops,
+            mm_dispatch,
+            || a.matmul_tn(&b).unwrap(),
+        ),
+        time_kernel(
+            "softmax_rows",
+            rw.clone(),
+            threads,
+            runs,
+            iters,
+            5.0 * len as f64,
+            (size, len * 8),
+            || softmax_rows(&wide),
+        ),
+        time_kernel(
+            "local_softmax",
+            rw.clone(),
+            threads,
+            runs,
+            iters,
+            5.0 * len as f64,
+            (size, len * 8),
+            || local_softmax(&wide).0,
+        ),
+        time_kernel(
+            "layer_norm",
+            rw.clone(),
+            threads,
+            runs,
+            iters,
+            8.0 * len as f64,
+            (size, len * 8),
+            || ln.forward(&wide).unwrap().0,
+        ),
+        time_kernel(
+            "gelu",
+            rw,
+            threads,
+            runs,
+            iters,
+            10.0 * len as f64,
+            (size, len * 16),
+            || gelu.forward(&wide).0,
+        ),
     ];
     pool::set_num_threads(previous);
     results
@@ -142,12 +228,15 @@ pub fn to_json(size: usize, threads: usize, results: &[KernelTiming]) -> String 
     out.push_str("  \"kernels\": [\n");
     for (i, k) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"shape\": \"{}\", \"serial_us\": {}, \"threaded_us\": {}, \"speedup\": {}, \"bitwise_identical\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"shape\": \"{}\", \"serial_us\": {}, \"threaded_us\": {}, \"speedup\": {}, \"serial_gflops\": {}, \"threaded_gflops\": {}, \"path\": \"{}\", \"bitwise_identical\": {}}}{}\n",
             json_escape(k.name),
             json_escape(&k.shape),
             json_f64(k.serial_us),
             json_f64(k.threaded_us),
             json_f64(k.speedup()),
+            json_f64(k.serial_gflops()),
+            json_f64(k.threaded_gflops()),
+            json_escape(k.path),
             k.bitwise_identical,
             if i + 1 == results.len() { "" } else { "," }
         ));
@@ -180,6 +269,13 @@ mod tests {
         for k in &results {
             assert!(k.bitwise_identical, "{} diverged from serial", k.name);
             assert!(k.serial_us > 0.0 && k.threaded_us > 0.0, "{}", k.name);
+            assert!(k.flops > 0.0 && k.serial_gflops() > 0.0, "{}", k.name);
+            assert!(
+                k.path == "serial" || k.path == "threaded",
+                "{}: {}",
+                k.name,
+                k.path
+            );
         }
     }
 
@@ -191,6 +287,9 @@ mod tests {
         assert!(doc.contains("\"threads\": 2"));
         assert!(doc.contains("\"matmul_tn\""));
         assert!(doc.contains("\"bitwise_identical\": true"));
+        assert!(doc.contains("\"serial_gflops\""));
+        assert!(doc.contains("\"threaded_gflops\""));
+        assert!(doc.contains("\"path\": \"serial\"") || doc.contains("\"path\": \"threaded\""));
         // Balanced braces/brackets (hand-rolled emitter sanity check).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());

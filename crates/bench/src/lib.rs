@@ -15,3 +15,4 @@ pub mod kernels;
 pub mod paper;
 pub mod table;
 pub mod timeline;
+pub mod trainbench;

@@ -6,7 +6,8 @@
 //! schedules hold per in-flight microbatch.
 
 use vp_tensor::nn::{
-    AttentionCache, Gelu, LayerNorm, LayerNormCache, Linear, LinearCache, MultiHeadAttention,
+    AttentionCache, Gelu, GeluCache, LayerNorm, LayerNormCache, Linear, LinearCache,
+    MultiHeadAttention,
 };
 use vp_tensor::optim::Param;
 use vp_tensor::rng::Rng;
@@ -31,7 +32,7 @@ pub struct BlockCache {
     /// Input to the MLP branch (after the first residual), needed by LN2's
     /// backward entry point.
     fc1: LinearCache,
-    gelu: Tensor,
+    gelu: GeluCache,
     fc2: LinearCache,
 }
 

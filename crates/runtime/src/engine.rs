@@ -462,6 +462,10 @@ pub(crate) struct DeviceOutcome {
     /// Per-pass `(start, end)` wall-clock seconds relative to the shared
     /// epoch, indexed like `schedule.passes(rank)` (final iteration).
     pub(crate) spans: Vec<(f64, f64)>,
+    /// Per-iteration `(start, end)` wall-clock seconds relative to the
+    /// shared epoch — the pass loop plus gradient sync, optimizer step and
+    /// buffer recycling, one entry per executed iteration.
+    pub(crate) iter_spans: Vec<(f64, f64)>,
     /// Peak simultaneously-resident microbatch-chunk activations.
     pub(crate) peak_resident: usize,
 }
@@ -559,6 +563,7 @@ pub(crate) fn device_loop(
     }
     let mut iteration_losses = Vec::with_capacity(iterations);
     let mut spans = vec![(0.0, 0.0); schedule.passes(rank).len()];
+    let mut iter_spans = Vec::with_capacity(iterations);
     let trace = std::env::var_os("VP_RUNTIME_TRACE").is_some();
     let replicas = dp.map(|(_, n)| *n).unwrap_or(1);
     for iter in start_iter..start_iter + iterations as u64 {
@@ -569,6 +574,7 @@ pub(crate) fn device_loop(
         } else {
             tracer.disarm();
         }
+        let it0 = epoch.elapsed().as_secs_f64();
         let mbs = select(iter, config.microbatches);
         for (i, pass) in schedule.passes(rank).iter().enumerate() {
             if trace {
@@ -617,8 +623,13 @@ pub(crate) fn device_loop(
         } else {
             device.losses.clear();
         }
+        // Per-iteration cleanup releases every microbatch-keyed buffer back
+        // to the tensor arena, so the next iteration's F/B/S/T passes are
+        // served from the pool instead of the system allocator.
         device.states.clear();
         device.acts.clear();
+        device.w_stash.clear();
+        iter_spans.push((it0, epoch.elapsed().as_secs_f64()));
     }
     let shard = device.save_state(adam.timestep());
     Ok(DeviceOutcome {
@@ -629,6 +640,7 @@ pub(crate) fn device_loop(
         },
         shard,
         spans,
+        iter_spans,
         peak_resident: device.acts.peak_resident(),
     })
 }
@@ -646,6 +658,11 @@ pub struct TrainReport {
     /// peaks, indexed like the schedule's pass lists. Pass durations
     /// include blocking waits on upstream data.
     pub exec: ExecReport,
+    /// Wall-clock seconds per training iteration, measured across all
+    /// device threads (earliest iteration start to latest iteration end,
+    /// including gradient sync and the optimizer step). Later entries are
+    /// the steady-state iterations `repro trainbench` reports on.
+    pub iter_wall: Vec<f64>,
 }
 
 impl TrainReport {
@@ -764,7 +781,33 @@ fn run_schedule(
     Ok(TrainReport {
         losses,
         exec: assemble_report(schedule, &outcomes),
+        iter_wall: assemble_iter_wall(&outcomes),
     })
+}
+
+/// Collapses the devices' per-iteration spans into one wall time per
+/// iteration: earliest start to latest end across all device threads.
+fn assemble_iter_wall(outcomes: &[DeviceOutcome]) -> Vec<f64> {
+    let iterations = outcomes
+        .iter()
+        .map(|o| o.iter_spans.len())
+        .max()
+        .unwrap_or(0);
+    (0..iterations)
+        .map(|i| {
+            let start = outcomes
+                .iter()
+                .filter_map(|o| o.iter_spans.get(i))
+                .map(|&(s, _)| s)
+                .fold(f64::INFINITY, f64::min);
+            let end = outcomes
+                .iter()
+                .filter_map(|o| o.iter_spans.get(i))
+                .map(|&(_, e)| e)
+                .fold(f64::NEG_INFINITY, f64::max);
+            (end - start).max(0.0)
+        })
+        .collect()
 }
 
 /// Assembles the simulator-shaped [`ExecReport`] from the devices' raw
@@ -933,6 +976,12 @@ mod tests {
         );
         let report = train_schedule(&config, &schedule, 2, &source(&config)).unwrap();
         assert_eq!(report.exec.start.len(), 2);
+        // One wall-time entry per iteration, each positive and at least as
+        // long as the slowest device's busy pass time for that iteration.
+        assert_eq!(report.iter_wall.len(), 2);
+        for &w in &report.iter_wall {
+            assert!(w > 0.0);
+        }
         for d in 0..2 {
             assert_eq!(report.exec.start[d].len(), schedule.passes(d).len());
             assert!(report.exec.busy[d] > 0.0);

@@ -68,6 +68,17 @@ impl WGradStash {
     pub(crate) fn remove(&mut self, microbatch: u32, chunk: u8) -> Option<Vec<Tensor>> {
         self.grads.remove(&(microbatch, chunk))
     }
+
+    /// Drops any unconsumed stash entries at the end of an iteration.
+    ///
+    /// A validated zero-bubble schedule drains the stash exactly (every `B`
+    /// has its `W`), so this is normally a no-op — but clearing here puts
+    /// any leftover gradient buffers back into the tensor arena alongside
+    /// the activation stores, keeping steady-state iterations
+    /// allocation-free even for schedules that skip some `W` passes.
+    pub(crate) fn clear(&mut self) {
+        self.grads.clear();
+    }
 }
 
 /// Per-microbatch vocabulary/output state on one device.

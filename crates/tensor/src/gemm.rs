@@ -1,0 +1,234 @@
+//! Packed, register-blocked GEMM kernels shared by every matmul layout.
+//!
+//! The three matmul layouts (`nn`: `A·B`, `nt`: `A·Bᵀ`, `tn`: `Aᵀ·B`) all
+//! reduce over the shared dimension `k` with `p` strictly ascending per
+//! output element. This module gives them one BLIS-style inner kernel:
+//!
+//! * **Packing.** For each `KC × NC` panel of the right operand, the driver
+//!   copies the panel into a contiguous scratch buffer laid out in
+//!   `NR`-wide column tiles (`panel[tile][p · NR + j]`). For `nt` this is
+//!   the transposing copy that turns the layout's strided `Bᵀ` reads — the
+//!   4.4× serial penalty the kernel bench used to show — into unit-stride
+//!   streams. The left operand packs per `MR`-row tile (`apanel[p · MR + i]`;
+//!   for `tn` this untransposes the column-major reads). Pack scratch for
+//!   the B panel draws from the buffer arena ([`crate::alloc`]); the A tile
+//!   is a fixed 1 KiB stack array.
+//! * **Microkernel.** [`microkernel`] accumulates an `MR × NR` register
+//!   tile over one `k` panel: the tile is loaded from the output, every
+//!   `p` term is added directly to its running element total, and the tile
+//!   is stored once per panel — `k/KC` output round-trips instead of `k`.
+//!
+//! # Determinism contract
+//!
+//! Packing and register blocking are pure *data-movement* changes: each
+//! output element still accumulates `a·b` terms one at a time in strictly
+//! ascending `p` order starting from `0.0`, exactly the order of the plain
+//! `i-k-j` triple loop. Results are therefore bitwise identical to the
+//! unpacked kernels, for every layout, tile remainder and thread count
+//! (threading stays rows-only; see [`crate::pool`]). Zero padding in edge
+//! tiles only ever feeds lanes whose results are discarded, so `NaN`/`∞`
+//! propagation is untouched. As in the unpacked kernels there is no
+//! `a == 0.0` fast path: `0·NaN` must stay `NaN`.
+//!
+//! The optional fused bias epilogue adds `bias[j]` to an output strip
+//! immediately after the strip's final `k` panel — per element this is the
+//! same `(Σₚ aₚ·bₚ) + bias` order as a separate full-output pass, so the
+//! fused and unfused paths are bitwise identical too (while the strip is
+//! still cache-hot, which is the point of fusing).
+
+use crate::alloc;
+
+/// Cache-block depth over the shared (`k`) dimension: one packed panel of
+/// the right operand covers `KC` consecutive `p` values.
+pub(crate) const KC: usize = 64;
+
+/// Cache-block width over output columns: the packed right-operand panel
+/// covers `NC` consecutive output columns (`NC` is a multiple of `NR`).
+pub(crate) const NC: usize = 64;
+
+/// Microkernel tile height (output rows held in registers).
+pub(crate) const MR: usize = 4;
+
+/// Microkernel tile width (output columns held in registers; a multiple of
+/// the f32 SIMD width so the `j` lanes vectorize).
+pub(crate) const NR: usize = 8;
+
+/// How the operands of [`gemm_chunk`] are laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Layout {
+    /// `a: [m, k]` row-major, `b: [k, n]` row-major.
+    Nn,
+    /// `a: [m, k]` row-major, `b: [n, k]` row-major (used as `Bᵀ`).
+    Nt,
+    /// `a: [k, m]` row-major (used as `Aᵀ`, column reads), `b: [k, n]`.
+    Tn,
+}
+
+/// One GEMM problem: `out[i, j] += Σₚ A'[i, p] · B'[p, j]` where `A'`/`B'`
+/// are the layout-adjusted views of `a` and `b`.
+pub(crate) struct Gemm<'a> {
+    pub a: &'a [f32],
+    pub b: &'a [f32],
+    /// Shared dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Output rows of the *full* problem (`Tn` needs it to stride `a`).
+    pub m: usize,
+    pub layout: Layout,
+}
+
+/// Accumulates one `MR × NR` register tile over a packed `k` panel.
+///
+/// `apanel` is `pc × MR` (`p`-major), `btile` is `pc × NR` (`p`-major).
+/// Every `c[i][j]` element receives its `pc` terms one at a time in
+/// ascending `p` order — the bitwise-identity invariant lives here.
+#[inline]
+fn microkernel(apanel: &[f32], btile: &[f32], c: &mut [[f32; NR]; MR]) {
+    for (a, b) in apanel.chunks_exact(MR).zip(btile.chunks_exact(NR)) {
+        // Fixed-size views so the compiler fully unrolls the tile update
+        // and keeps `c` in registers across the `p` loop.
+        let a: &[f32; MR] = a.try_into().unwrap();
+        let b: &[f32; NR] = b.try_into().unwrap();
+        for ir in 0..MR {
+            let av = a[ir];
+            for jr in 0..NR {
+                c[ir][jr] += av * b[jr];
+            }
+        }
+    }
+}
+
+/// Packs the `pc × jc` panel of the layout-adjusted right operand starting
+/// at `(p0, j0)` into `NR`-wide column tiles. Ragged tile columns are
+/// zero-padded (their microkernel lanes are discarded on write-back).
+fn pack_b(g: &Gemm<'_>, p0: usize, pc: usize, j0: usize, jc: usize, panel: &mut [f32]) {
+    let jtiles = jc.div_ceil(NR);
+    for jt in 0..jtiles {
+        let jbase = j0 + jt * NR;
+        let w = NR.min(j0 + jc - jbase);
+        let tile = &mut panel[jt * pc * NR..(jt + 1) * pc * NR];
+        match g.layout {
+            Layout::Nn | Layout::Tn => {
+                // b is [k, n]: rows of the panel are contiguous slices.
+                for (p, dst) in tile.chunks_exact_mut(NR).enumerate() {
+                    let src = &g.b[(p0 + p) * g.n + jbase..(p0 + p) * g.n + jbase + w];
+                    dst[..w].copy_from_slice(src);
+                    dst[w..].fill(0.0);
+                }
+            }
+            Layout::Nt => {
+                // b is [n, k] used as Bᵀ: read each of the `w` rows of b
+                // contiguously, scattering into the p-major tile — this is
+                // the transposing copy that de-strides the nt layout.
+                for jr in 0..w {
+                    let src = &g.b[(jbase + jr) * g.k + p0..(jbase + jr) * g.k + p0 + pc];
+                    for (p, &v) in src.iter().enumerate() {
+                        tile[p * NR + jr] = v;
+                    }
+                }
+                for jr in w..NR {
+                    for p in 0..pc {
+                        tile[p * NR + jr] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `mr`-row tile of the layout-adjusted left operand at global
+/// row `row0`, `k` range `[p0, p0+pc)`, into the `p`-major `apanel`.
+/// Ragged tile rows are zero-padded (results discarded on write-back).
+fn pack_a(g: &Gemm<'_>, row0: usize, mr: usize, p0: usize, pc: usize, apanel: &mut [f32]) {
+    match g.layout {
+        Layout::Nn | Layout::Nt => {
+            // a is [m, k]: each tile row is a contiguous slice of a.
+            for ir in 0..mr {
+                let src = &g.a[(row0 + ir) * g.k + p0..(row0 + ir) * g.k + p0 + pc];
+                for (p, &v) in src.iter().enumerate() {
+                    apanel[p * MR + ir] = v;
+                }
+            }
+            for ir in mr..MR {
+                for p in 0..pc {
+                    apanel[p * MR + ir] = 0.0;
+                }
+            }
+        }
+        Layout::Tn => {
+            // a is [k, m] used as Aᵀ: each p supplies a contiguous row
+            // fragment — packing untransposes the column-major reads.
+            for (p, dst) in apanel.chunks_exact_mut(MR).enumerate().take(pc) {
+                let src = &g.a[(p0 + p) * g.m + row0..(p0 + p) * g.m + row0 + mr];
+                dst[..mr].copy_from_slice(src);
+                dst[mr..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Runs the packed GEMM over output rows `[i0, i0 + rows)`, whose
+/// row-major storage is `out` (`rows × n`). `bias`, when present, is a
+/// length-`n` row fused into each output strip after its final `k` panel.
+///
+/// This is the serial per-chunk kernel the row-parallel pool dispatches;
+/// with one thread it runs the whole output.
+pub(crate) fn gemm_chunk(
+    g: &Gemm<'_>,
+    i0: usize,
+    rows: usize,
+    out: &mut [f32],
+    bias: Option<&[f32]>,
+) {
+    if g.n == 0 || rows == 0 {
+        return;
+    }
+    let mut apanel = [0.0f32; KC * MR];
+    // B pack scratch comes from the arena: one KC × NC panel per call,
+    // recycled across calls (and across threads' independent chunks).
+    let mut bpanel = alloc::take_zeroed(KC * NC);
+    for j0 in (0..g.n).step_by(NC) {
+        let jc = NC.min(g.n - j0);
+        let jtiles = jc.div_ceil(NR);
+        for p0 in (0..g.k).step_by(KC) {
+            let pc = KC.min(g.k - p0);
+            pack_b(g, p0, pc, j0, jc, &mut bpanel[..jtiles * pc * NR]);
+            for r0 in (0..rows).step_by(MR) {
+                let mr = MR.min(rows - r0);
+                pack_a(g, i0 + r0, mr, p0, pc, &mut apanel[..pc * MR]);
+                for jt in 0..jtiles {
+                    let jbase = j0 + jt * NR;
+                    let w = NR.min(j0 + jc - jbase);
+                    let mut c = [[0.0f32; NR]; MR];
+                    for ir in 0..mr {
+                        let src = &out[(r0 + ir) * g.n + jbase..(r0 + ir) * g.n + jbase + w];
+                        c[ir][..w].copy_from_slice(src);
+                    }
+                    microkernel(
+                        &apanel[..pc * MR],
+                        &bpanel[jt * pc * NR..][..pc * NR],
+                        &mut c,
+                    );
+                    for ir in 0..mr {
+                        let dst = &mut out[(r0 + ir) * g.n + jbase..(r0 + ir) * g.n + jbase + w];
+                        dst.copy_from_slice(&c[ir][..w]);
+                    }
+                }
+            }
+        }
+        if let Some(bias) = bias {
+            // Fused epilogue: the strip's k-accumulation just finished, so
+            // per element this is exactly `matmul-result + bias` — bitwise
+            // equal to the unfused second pass, but while the strip is hot.
+            let brow = &bias[j0..j0 + jc];
+            for r in 0..rows {
+                let dst = &mut out[r * g.n + j0..r * g.n + j0 + jc];
+                for (o, &bv) in dst.iter_mut().zip(brow) {
+                    *o += bv;
+                }
+            }
+        }
+    }
+    alloc::release(bpanel);
+}

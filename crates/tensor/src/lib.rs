@@ -36,7 +36,9 @@
 //! # Ok::<(), vp_tensor::TensorError>(())
 //! ```
 
+pub mod alloc;
 mod error;
+mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod io;

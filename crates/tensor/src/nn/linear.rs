@@ -68,15 +68,14 @@ impl Linear {
     ///
     /// Returns a shape error if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LinearCache)> {
-        let mut y = x.matmul(self.weight.value())?;
-        if let Some(b) = &self.bias {
-            let bias_row = b.value().row(0);
-            for r in 0..y.rows() {
-                for (v, &bv) in y.row_mut(r).iter_mut().zip(bias_row) {
-                    *v += bv;
-                }
-            }
-        }
+        // Fused bias: added inside the GEMM while each output strip is
+        // still cache-hot — bitwise identical to matmul-then-broadcast-add
+        // (see `Tensor::matmul_bias`). The bias-less case stays the plain
+        // unfused matmul.
+        let y = match &self.bias {
+            Some(b) => x.matmul_bias(self.weight.value(), b.value())?,
+            None => x.matmul(self.weight.value())?,
+        };
         Ok((y, LinearCache { input: x.clone() }))
     }
 
@@ -138,6 +137,34 @@ mod tests {
         let (y, _) = layer.forward(&x).unwrap();
         assert_eq!(y.row(0), &[1., 2., 3.]);
         assert_eq!(y.row(1), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn fused_bias_matches_unfused_bitwise() {
+        let mut rng = seeded_rng(42);
+        let w = init::normal(&mut rng, 37, 29, 1.0);
+        let bias = init::normal(&mut rng, 1, 29, 0.5);
+        let x = init::normal(&mut rng, 19, 37, 1.0);
+        let layer = Linear::from_parts(w.clone(), Some(bias.clone()));
+        let (fused, _) = layer.forward(&x).unwrap();
+        // Unfused reference: plain matmul followed by a broadcast add.
+        let mut reference = x.matmul(&w).unwrap();
+        for r in 0..reference.rows() {
+            for (v, &bv) in reference.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *v += bv;
+            }
+        }
+        assert_eq!(fused.shape(), reference.shape());
+        for (a, b) in fused.data().iter().zip(reference.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fused bias diverged");
+        }
+        // The bias-less path is the plain matmul, also bitwise.
+        let no_bias = Linear::from_parts(w.clone(), None);
+        let (y, _) = no_bias.forward(&x).unwrap();
+        let plain = x.matmul(&w).unwrap();
+        for (a, b) in y.data().iter().zip(plain.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ mod linear;
 mod loss;
 mod norm;
 
-pub use activation::{gelu, gelu_backward, Gelu};
+pub use activation::{gelu, gelu_backward, gelu_backward_with_tanh, Gelu, GeluCache};
 pub use attention::{AttentionCache, MultiHeadAttention};
 pub use embedding::{Embedding, EmbeddingCache};
 pub use linear::{Linear, LinearCache};

@@ -43,8 +43,17 @@ type ScopedTask<'a> = Box<dyn FnOnce() + Send + 'a>;
 /// dispatch overhead (queueing + latch wake-up) dominates any speedup.
 const MIN_PARALLEL_WORK: usize = 16 * 1024;
 
+/// Kernels spanning fewer output rows than this run serially even when the
+/// work estimate is large: with a handful of chunks the per-task queueing
+/// and latch wake-ups dominate — the kernel bench showed speedup < 1.0 for
+/// every sub-8-row dispatch measured.
+const MIN_PARALLEL_ROWS: usize = 8;
+
 /// Configured thread count; 0 means "not resolved yet".
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Assumed number of physical cores; 0 means "detect".
+static ASSUMED_CORES: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the number of threads used by the parallel kernels (min 1).
 ///
@@ -81,6 +90,46 @@ fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Number of cores the dispatch heuristic assumes the machine has.
+///
+/// Defaults to [`std::thread::available_parallelism`]; override with
+/// [`set_assumed_cores`].
+pub fn assumed_cores() -> usize {
+    match ASSUMED_CORES.load(Ordering::Acquire) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Overrides the core count the dispatch heuristic assumes (`0` restores
+/// detection).
+///
+/// More worker threads than cores is pure overhead — the kernel bench
+/// measured speedup 0.92–0.98 at every shape on a 1-core box — so
+/// [`would_parallelize`] caps the effective thread count at the core count.
+/// Tests and benches on small CI machines call this to exercise the pool
+/// machinery anyway (determinism is unaffected either way: the chunked and
+/// serial paths are bitwise identical by construction).
+pub fn set_assumed_cores(n: usize) {
+    ASSUMED_CORES.store(n, Ordering::Release);
+}
+
+/// Thread count the dispatcher will actually use: the configured count
+/// capped at the assumed core count.
+fn effective_threads() -> usize {
+    num_threads().min(assumed_cores()).max(1)
+}
+
+/// Whether a kernel with `rows` output rows and ~`work` scalar operations
+/// would be dispatched to the pool (`false` = serial fallback). This is
+/// exactly the predicate `par_rows_mut` uses; the kernel bench records it
+/// as the `path` column.
+pub fn would_parallelize(rows: usize, work: usize) -> bool {
+    plan(rows, work).is_some()
 }
 
 /// Completion latch for one dispatch: counts outstanding chunk tasks and
@@ -198,7 +247,7 @@ impl Pool {
 /// all of them have completed. Propagates a panic if any task panicked.
 fn dispatch(tasks: Vec<ScopedTask<'_>>) {
     let pool = Pool::global();
-    pool.ensure_workers(num_threads().saturating_sub(1));
+    pool.ensure_workers(effective_threads().saturating_sub(1));
     let latch = Arc::new(Latch::new(tasks.len()));
     for task in tasks {
         // SAFETY: `dispatch` does not return until the latch reports every
@@ -223,10 +272,12 @@ fn dispatch(tasks: Vec<ScopedTask<'_>>) {
 }
 
 /// Row-range plan: `Some(rows_per_chunk)` to parallelize, `None` to run the
-/// whole range serially on the caller.
+/// whole range serially on the caller. Serial whenever the effective worker
+/// count is 1 (including "more threads than cores"), the row count is below
+/// [`MIN_PARALLEL_ROWS`], or the work below [`MIN_PARALLEL_WORK`].
 fn plan(rows: usize, work: usize) -> Option<usize> {
-    let threads = num_threads();
-    if threads <= 1 || rows < 2 || work < MIN_PARALLEL_WORK {
+    let threads = effective_threads();
+    if threads <= 1 || rows < MIN_PARALLEL_ROWS || work < MIN_PARALLEL_WORK {
         return None;
     }
     Some(rows.div_ceil(threads.min(rows)))
@@ -362,12 +413,27 @@ pub fn par_rows_mut3(
 mod tests {
     use super::*;
 
-    /// Serializes tests that reconfigure the global thread count.
-    fn config_lock() -> std::sync::MutexGuard<'static, ()> {
+    /// Serializes tests that reconfigure the global thread count and, for
+    /// the duration of the guard, pretends the machine has plenty of cores
+    /// so the pool machinery is exercised even on a 1-core CI box.
+    struct ConfigGuard {
+        _lock: std::sync::MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ConfigGuard {
+        fn drop(&mut self) {
+            set_assumed_cores(0);
+        }
+    }
+
+    fn config_lock() -> ConfigGuard {
         static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        LOCK.get_or_init(|| Mutex::new(()))
+        let guard = LOCK
+            .get_or_init(|| Mutex::new(()))
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(|e| e.into_inner());
+        set_assumed_cores(16);
+        ConfigGuard { _lock: guard }
     }
 
     #[test]
@@ -467,6 +533,43 @@ mod tests {
         for (r, &v) in b.iter().enumerate() {
             assert_eq!(v, r as f32);
         }
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn more_threads_than_cores_falls_back_to_serial() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_assumed_cores(1);
+        set_num_threads(8);
+        assert!(
+            !would_parallelize(1024, usize::MAX),
+            "8 threads on 1 core must not dispatch"
+        );
+        let calls = AtomicUsize::new(0);
+        let mut out = vec![0.0f32; 1024];
+        par_rows_mut(1024, usize::MAX, &mut out, |start, end, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!((start, end), (0, 1024));
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn few_rows_fall_back_to_serial() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(4);
+        // Huge per-row work, but below the row threshold: still serial.
+        assert!(!would_parallelize(MIN_PARALLEL_ROWS - 1, usize::MAX));
+        assert!(would_parallelize(MIN_PARALLEL_ROWS, usize::MAX));
+        let calls = AtomicUsize::new(0);
+        let mut out = vec![0.0f32; (MIN_PARALLEL_ROWS - 1) * 8];
+        par_rows_mut(MIN_PARALLEL_ROWS - 1, usize::MAX, &mut out, |_, _, _| {
+            calls.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
         set_num_threads(before);
     }
 

@@ -1,98 +1,35 @@
-use crate::{pool, Result, TensorError};
+use crate::{alloc, gemm, pool, Result, TensorError};
 
-/// Cache-block depth over the shared (`k`) dimension of `matmul`: the
-/// `KC × n` panel of `rhs` a row tile streams stays resident in L1/L2
-/// while every row of the tile consumes it.
-const KC: usize = 64;
-
-/// Cache-block height over output rows of `matmul`: an `MC × n` tile of the
-/// output stays hot while the `p` panels stream through it. Applied inside
-/// the serial kernel, so the serial and threaded paths tile identically.
-const MC: usize = 64;
-
-/// Cache-block width over the output columns of `matmul_nt`: the
-/// `JC × k` panel of `rhs` rows is reused by every row of the tile.
-const JC: usize = 64;
-
-/// Serial row-range kernel of [`Tensor::matmul`] (`out[i] += a[i,p]·rhs[p]`).
-///
-/// `out` holds rows `i0..i1` of the result. Blocks over `p` in ascending
-/// order, so every output element accumulates in exactly the order of the
-/// plain `i-k-j` triple loop — bitwise identical for any tiling or thread
-/// count. There is deliberately no `a == 0.0` fast path: skipping a term
-/// would turn `0·NaN`/`0·∞` (which are `NaN` under IEEE 754) into `0`,
-/// silently masking poisoned gradients.
-fn matmul_nn_rows(a: &[f32], rhs: &[f32], k: usize, n: usize, i0: usize, out: &mut [f32]) {
-    if n == 0 {
-        return;
-    }
-    for (ti, tile) in out.chunks_mut(MC * n).enumerate() {
-        let t0 = i0 + ti * MC;
-        for p0 in (0..k).step_by(KC) {
-            let p1 = (p0 + KC).min(k);
-            for (li, out_row) in tile.chunks_exact_mut(n).enumerate() {
-                let a_row = &a[(t0 + li) * k..(t0 + li) * k + k];
-                for (p, &av) in a_row.iter().enumerate().take(p1).skip(p0) {
-                    let rhs_row = &rhs[p * n..(p + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(rhs_row) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Serial row-range kernel of [`Tensor::matmul_nt`]
-/// (`out[i,j] = a[i]·rhs[j]`): independent dot products, blocked over `j`
-/// so a `JC × k` panel of `rhs` rows stays hot across the tile's rows.
-fn matmul_nt_rows(a: &[f32], rhs: &[f32], k: usize, n: usize, i0: usize, out: &mut [f32]) {
-    if n == 0 {
-        return;
-    }
-    for j0 in (0..n).step_by(JC) {
-        let j1 = (j0 + JC).min(n);
-        for (li, out_row) in out.chunks_exact_mut(n).enumerate() {
-            let a_row = &a[(i0 + li) * k..(i0 + li) * k + k];
-            for (j, o) in out_row.iter_mut().enumerate().take(j1).skip(j0) {
-                let b_row = &rhs[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
-        }
-    }
-}
-
-/// Serial row-range kernel of [`Tensor::matmul_tn`]
-/// (`out[i] += a[p,i]·rhs[p]` with `a` read column-wise). The `p` loop runs
-/// in ascending order for every output row, so accumulation order matches
-/// the serial kernel exactly. As in [`matmul_nn_rows`], zero entries of `a`
-/// are *not* skipped, preserving IEEE `NaN`/`∞` propagation.
-fn matmul_tn_rows(
-    a: &[f32],
-    rhs: &[f32],
-    k: usize,
+/// Shared driver for every matmul layout: allocate a pooled, zeroed output
+/// and run the packed GEMM ([`crate::gemm`]) over row chunks via the worker
+/// pool. All three layouts accumulate each output element in ascending `k`
+/// order from `0.0` — bitwise identical to the plain `i-k-j` triple loop
+/// for any tiling or thread count. There is deliberately no `a == 0.0`
+/// fast path: skipping a term would turn `0·NaN`/`0·∞` (which are `NaN`
+/// under IEEE 754) into `0`, silently masking poisoned gradients.
+fn run_gemm(
+    a: &Tensor,
+    b: &Tensor,
     m: usize,
+    k: usize,
     n: usize,
-    i0: usize,
-    out: &mut [f32],
-) {
-    if n == 0 {
-        return;
-    }
-    for p in 0..k {
-        let a_row = &a[p * m..p * m + m];
-        let b_row = &rhs[p * n..(p + 1) * n];
-        for (li, out_row) in out.chunks_exact_mut(n).enumerate() {
-            let av = a_row[i0 + li];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
+    layout: gemm::Layout,
+    bias: Option<&[f32]>,
+) -> Tensor {
+    let mut out = Tensor::zeros(m, n);
+    let g = gemm::Gemm {
+        a: &a.data,
+        b: &b.data,
+        k,
+        n,
+        m,
+        layout,
+    };
+    let work = m.saturating_mul(k).saturating_mul(n);
+    pool::par_rows_mut(m, work, &mut out.data, |i0, i1, chunk| {
+        gemm::gemm_chunk(&g, i0, i1 - i0, chunk, bias);
+    });
+    out
 }
 
 /// A dense, row-major 2-D tensor of `f32` values.
@@ -111,11 +48,30 @@ fn matmul_tn_rows(
 /// assert_eq!(t.shape(), (2, 2));
 /// assert_eq!(t.data(), &[0.0; 4]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        // Route copies through the buffer arena so clones recycle too.
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: alloc::take_copy(&self.data),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Park the backing buffer in the arena for the next allocation of
+        // a compatible size (a no-op when the arena is disabled).
+        alloc::release(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -124,7 +80,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: alloc::take_zeroed(rows * cols),
         }
     }
 
@@ -138,7 +94,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: alloc::take_filled(rows * cols, value),
         }
     }
 
@@ -171,7 +127,7 @@ impl Tensor {
         Tensor {
             rows: 1,
             cols: data.len(),
-            data: data.to_vec(),
+            data: alloc::take_copy(data),
         }
     }
 
@@ -211,8 +167,11 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns the underlying buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    ///
+    /// The buffer leaves the arena's management: it is never recycled
+    /// unless the caller hands it back (e.g. via [`Tensor::from_vec`]).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Immutable view of row `r`.
@@ -271,7 +230,7 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::BadBuffer`] if the element counts differ.
-    pub fn reshape(self, rows: usize, cols: usize) -> Result<Tensor> {
+    pub fn reshape(mut self, rows: usize, cols: usize) -> Result<Tensor> {
         if rows * cols != self.data.len() {
             return Err(TensorError::BadBuffer {
                 expected: rows * cols,
@@ -281,7 +240,7 @@ impl Tensor {
         Ok(Tensor {
             rows,
             cols,
-            data: self.data,
+            data: std::mem::take(&mut self.data),
         })
     }
 
@@ -322,7 +281,7 @@ impl Tensor {
                 bound: self.rows + 1,
             });
         }
-        let data = self.data[r0 * self.cols..r1 * self.cols].to_vec();
+        let data = alloc::take_copy(&self.data[r0 * self.cols..r1 * self.cols]);
         Ok(Tensor {
             rows: r1 - r0,
             cols: self.cols,
@@ -352,7 +311,7 @@ impl Tensor {
             }
             rows += p.rows;
         }
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = alloc::take_raw(rows * cols);
         for p in parts {
             data.extend_from_slice(&p.data);
         }
@@ -373,13 +332,46 @@ impl Tensor {
             });
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
-        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
-        let work = m.saturating_mul(k).saturating_mul(n);
-        pool::par_rows_mut(m, work, &mut out.data, |i0, _i1, chunk| {
-            matmul_nn_rows(a, b, k, n, i0, chunk);
-        });
-        Ok(out)
+        Ok(run_gemm(self, rhs, m, k, n, gemm::Layout::Nn, None))
+    }
+
+    /// Fused `self · rhs + bias` where `bias` is a `1 × n` row broadcast
+    /// over every output row.
+    ///
+    /// The bias is added inside the GEMM's output loop while each column
+    /// strip is still cache-hot — one fewer full pass over the output than
+    /// `matmul` followed by a broadcast add, and bitwise identical to it
+    /// (per element the order is still `(Σₚ aₚ·bₚ) + bias`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if inner dimensions differ or
+    /// `bias` is not `1 × n`.
+    pub fn matmul_bias(&self, rhs: &Tensor, bias: &Tensor) -> Result<Tensor> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if bias.shape() != (1, rhs.cols) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias",
+                lhs: (1, rhs.cols),
+                rhs: bias.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        Ok(run_gemm(
+            self,
+            rhs,
+            m,
+            k,
+            n,
+            gemm::Layout::Nn,
+            Some(&bias.data),
+        ))
     }
 
     /// Matrix product `self · rhsᵀ` where `self` is `[m, k]` and `rhs` is `[n, k]`.
@@ -399,13 +391,7 @@ impl Tensor {
             });
         }
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        let mut out = Tensor::zeros(m, n);
-        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
-        let work = m.saturating_mul(k).saturating_mul(n);
-        pool::par_rows_mut(m, work, &mut out.data, |i0, _i1, chunk| {
-            matmul_nt_rows(a, b, k, n, i0, chunk);
-        });
-        Ok(out)
+        Ok(run_gemm(self, rhs, m, k, n, gemm::Layout::Nt, None))
     }
 
     /// Matrix product `selfᵀ · rhs` where `self` is `[k, m]` and `rhs` is `[k, n]`.
@@ -425,13 +411,7 @@ impl Tensor {
             });
         }
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor::zeros(m, n);
-        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
-        let work = m.saturating_mul(k).saturating_mul(n);
-        pool::par_rows_mut(m, work, &mut out.data, |i0, _i1, chunk| {
-            matmul_tn_rows(a, b, k, m, n, i0, chunk);
-        });
-        Ok(out)
+        Ok(run_gemm(self, rhs, m, k, n, gemm::Layout::Tn, None))
     }
 
     /// Elementwise sum, returning a new tensor.
@@ -520,10 +500,12 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = alloc::take_raw(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
@@ -579,12 +561,8 @@ impl Tensor {
                 rhs: rhs.shape(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = alloc::take_raw(self.data.len());
+        data.extend(self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)));
         Ok(Tensor {
             rows: self.rows,
             cols: self.cols,

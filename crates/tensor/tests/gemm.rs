@@ -1,0 +1,199 @@
+//! Property tests of the packed GEMM against a naive triple-loop reference.
+//!
+//! The packed microkernel (`crates/tensor/src/gemm.rs`) re-tiles and packs
+//! operands but must accumulate every output element in ascending-`k`
+//! order from `0.0` — exactly the naive `i-k-j` loop. These tests pin that
+//! down **bitwise** for every layout on edge shapes: empty dimensions,
+//! 1×1, sizes straddling the 64-wide blocking and the 4×8 register tile,
+//! and NaN/∞ propagation through zero-padded pack panels.
+
+use vp_tensor::init::{normal, seeded_rng};
+use vp_tensor::Tensor;
+
+/// `(m, k, n)` shapes chosen to hit every tiling edge: zero dims, single
+/// elements, sub-tile sizes, exact block multiples, and off-by-one block
+/// straddles (65 = 64+1, 129 = 2·64+1, 9 = MR·2+1, 17 = NR·2+1).
+const SHAPES: &[(usize, usize, usize)] = &[
+    (0, 5, 3),
+    (5, 0, 3),
+    (5, 3, 0),
+    (0, 0, 0),
+    (1, 1, 1),
+    (1, 64, 1),
+    (3, 5, 2),
+    (4, 8, 8),
+    (9, 17, 5),
+    (17, 9, 33),
+    (64, 64, 64),
+    (65, 129, 66),
+    (2, 200, 70),
+];
+
+/// Naive `i-k-j` reference: one running accumulator per output element,
+/// `p` strictly ascending — the order the packed kernel must preserve.
+fn naive_nn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.at(i, p);
+            for j in 0..n {
+                *out.at_mut(i, j) += av * b.at(p, j);
+            }
+        }
+    }
+    out
+}
+
+fn naive_nt(a: &Tensor, bt: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let n = bt.rows();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.at(i, p);
+            for j in 0..n {
+                *out.at_mut(i, j) += av * bt.at(j, p);
+            }
+        }
+    }
+    out
+}
+
+fn naive_tn(at: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = at.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let av = at.at(p, i);
+            for j in 0..n {
+                *out.at_mut(i, j) += av * b.at(p, j);
+            }
+        }
+    }
+    out
+}
+
+fn assert_bits_eq(actual: &Tensor, reference: &Tensor, what: &str) {
+    assert_eq!(actual.shape(), reference.shape(), "{what}: shape");
+    for (i, (x, y)) in actual.data().iter().zip(reference.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn packed_gemm_matches_naive_reference_on_edge_shapes() {
+    let mut rng = seeded_rng(2025);
+    for &(m, k, n) in SHAPES {
+        let a = normal(&mut rng, m, k, 1.0);
+        let b = normal(&mut rng, k, n, 1.0);
+        let bt = normal(&mut rng, n, k, 1.0);
+        let at = normal(&mut rng, k, m, 1.0);
+        assert_bits_eq(
+            &a.matmul(&b).unwrap(),
+            &naive_nn(&a, &b),
+            &format!("nn {m}x{k}x{n}"),
+        );
+        assert_bits_eq(
+            &a.matmul_nt(&bt).unwrap(),
+            &naive_nt(&a, &bt),
+            &format!("nt {m}x{k}x{n}"),
+        );
+        assert_bits_eq(
+            &at.matmul_tn(&b).unwrap(),
+            &naive_tn(&at, &b),
+            &format!("tn {m}x{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn fused_bias_matches_naive_matmul_plus_bias() {
+    let mut rng = seeded_rng(7);
+    for &(m, k, n) in SHAPES {
+        let a = normal(&mut rng, m, k, 1.0);
+        let b = normal(&mut rng, k, n, 1.0);
+        let bias = normal(&mut rng, 1, n, 0.7);
+        let fused = a.matmul_bias(&b, &bias).unwrap();
+        let mut reference = naive_nn(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                *reference.at_mut(i, j) += bias.at(0, j);
+            }
+        }
+        assert_bits_eq(&fused, &reference, &format!("bias {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn k_zero_yields_all_zero_output() {
+    let a = Tensor::zeros(7, 0);
+    let b = Tensor::zeros(0, 13);
+    let out = a.matmul(&b).unwrap();
+    assert_eq!(out.shape(), (7, 13));
+    assert!(out.data().iter().all(|&v| v.to_bits() == 0.0f32.to_bits()));
+    // With a bias, k=0 must still produce exactly the bias rows.
+    let bias = Tensor::from_vec(1, 13, (0..13).map(|i| i as f32 - 6.0).collect()).unwrap();
+    let biased = a.matmul_bias(&b, &bias).unwrap();
+    for r in 0..7 {
+        for (j, &bv) in bias.row(0).iter().enumerate() {
+            // 0.0 + bv, the same order as the unfused path.
+            assert_eq!(biased.at(r, j).to_bits(), (0.0f32 + bv).to_bits());
+        }
+    }
+}
+
+#[test]
+fn nan_and_inf_propagate_through_packed_panels() {
+    // Poison values land inside (and outside) zero-padded edge tiles of a
+    // non-block-multiple shape; padding lanes must never leak into real
+    // outputs, and real NaN/∞ terms must never be skipped.
+    let (m, k, n) = (13, 66, 21);
+    let mut rng = seeded_rng(99);
+    let mut a = normal(&mut rng, m, k, 1.0);
+    let mut b = normal(&mut rng, k, n, 1.0);
+    *a.at_mut(12, 65) = f32::NAN; // last row/col: inside the ragged tile
+    *a.at_mut(0, 0) = f32::INFINITY;
+    *a.at_mut(5, 7) = 0.0;
+    *b.at_mut(7, 20) = f32::NAN; // 0 · NaN must stay NaN
+    *b.at_mut(65, 0) = f32::NEG_INFINITY;
+    assert_bits_eq(&a.matmul(&b).unwrap(), &naive_nn(&a, &b), "nn poison");
+
+    let mut bt = normal(&mut rng, n, k, 1.0);
+    *bt.at_mut(20, 65) = f32::NAN;
+    *bt.at_mut(0, 7) = f32::INFINITY;
+    assert_bits_eq(&a.matmul_nt(&bt).unwrap(), &naive_nt(&a, &bt), "nt poison");
+
+    let mut at = normal(&mut rng, k, m, 1.0);
+    *at.at_mut(65, 12) = f32::NAN;
+    *at.at_mut(3, 0) = 0.0;
+    assert_bits_eq(&at.matmul_tn(&b).unwrap(), &naive_tn(&at, &b), "tn poison");
+}
+
+#[test]
+fn layouts_agree_with_explicit_transpose_bitwise() {
+    // matmul_nt(a, b) and matmul(a, bᵀ) share per-element accumulation
+    // order under the packed kernel, so they agree bitwise (a stronger
+    // statement than the old approximate-equality test in tensor.rs).
+    let mut rng = seeded_rng(31);
+    let a = normal(&mut rng, 9, 70, 1.0);
+    let bt = normal(&mut rng, 23, 70, 1.0);
+    assert_bits_eq(
+        &a.matmul_nt(&bt).unwrap(),
+        &a.matmul(&bt.transpose()).unwrap(),
+        "nt vs explicit transpose",
+    );
+    let at = normal(&mut rng, 70, 9, 1.0);
+    let b = normal(&mut rng, 70, 23, 1.0);
+    assert_bits_eq(
+        &at.matmul_tn(&b).unwrap(),
+        &at.transpose().matmul(&b).unwrap(),
+        "tn vs explicit transpose",
+    );
+}

@@ -8,7 +8,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use vp_tensor::init::{normal, seeded_rng};
 use vp_tensor::nn::{Gelu, LayerNorm};
 use vp_tensor::ops::{local_softmax, row_max, softmax_rows};
-use vp_tensor::{num_threads, set_num_threads, Tensor};
+use vp_tensor::{num_threads, pool, set_num_threads, Tensor};
 
 /// Thread counts exercised against the serial reference.
 const THREAD_COUNTS: &[usize] = &[1, 2, 7];
@@ -28,12 +28,28 @@ const SHAPES: &[(usize, usize, usize)] = &[
     (65, 130, 31),
 ];
 
-/// Serializes tests that reconfigure the process-global thread count.
-fn config_lock() -> MutexGuard<'static, ()> {
+/// Serializes tests that reconfigure the process-global thread count, and
+/// pretends the machine has plenty of cores for the duration: the dispatch
+/// heuristic otherwise falls back to serial on a 1-core CI box, which would
+/// make these threaded-vs-serial comparisons vacuous.
+struct ConfigGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ConfigGuard {
+    fn drop(&mut self) {
+        pool::set_assumed_cores(0);
+    }
+}
+
+fn config_lock() -> ConfigGuard {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(|| Mutex::new(()))
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
         .lock()
-        .unwrap_or_else(|e| e.into_inner())
+        .unwrap_or_else(|e| e.into_inner());
+    pool::set_assumed_cores(16);
+    ConfigGuard { _lock: guard }
 }
 
 /// Bitwise tensor equality (distinguishes `-0.0` from `0.0` and compares

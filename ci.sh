@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Local CI gate: build, test, lint and format-check the whole workspace,
-# then run the measured-run gates: kernel smoke benchmark (with the
+# then run the measured-run gates: the PP x TP crossover sweep (grid
+# configs verified by vp-check + the grid lints, tp=1 column bitwise equal
+# to the 1D simulation), kernel smoke benchmark (with the
 # packed-GEMM nt/nn regression gate), bitwise training determinism, the
 # buffer-arena train bench (steady-state recycling + pooled-vs-fresh
 # numerics), Chrome-trace schema checks (simulated and measured), and the
@@ -47,6 +49,62 @@ grep -q '"failing": 0' target/CHECK.json || {
     echo "vp-check sweep reported failing cases" >&2
     exit 1
 }
+
+echo "==> repro tpsweep (PP x TP crossover on the 2D device grid)"
+cargo run -p vp-bench --release --bin repro -- tpsweep --json --out target/TPSWEEP.json
+
+echo "==> TPSWEEP.json structure + grid degeneracy/crossover gate"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'PY'
+import json
+
+with open("target/TPSWEEP.json") as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "tpsweep", doc.get("bench")
+total = doc["total_devices"]
+assert total >= 4, total
+series = doc["series"]
+assert series, "no sweep series"
+best = {}
+for s in series:
+    key = (s["method"], s["sync"], s["microbatches"])
+    points = s["points"]
+    assert points, f"{key}: no factorizations"
+    # Every factorization passes vp-check plus the grid lints.
+    for p in points:
+        assert p["pp"] * p["tp"] == total, f"{key}: {p['pp']}x{p['tp']} != {total}"
+        assert p["check_clean"] is True, \
+            f"{key}: pp={p['pp']} tp={p['tp']} failed static verification"
+    # The tp = 1 column is the 1D simulation, bitwise (the degeneracy
+    # contract of the grid refactor).
+    tp1 = [p for p in points if p["tp"] == 1]
+    assert len(tp1) == 1, f"{key}: expected exactly one tp=1 point"
+    assert tp1[0]["tp1_bitwise_match"] is True, \
+        f"{key}: tp=1 grid run diverged bitwise from the flat 1D run"
+    best[key] = s["best_tp"]
+# PTD-style crossover: with few microbatches the fill bubble dominates
+# and the tensor axis wins; with many the deep pipeline wins.
+assert best[("vocab-2", "all-reduce", 4)] > 1, \
+    "bubble-bound sweep did not favor TP"
+assert best[("vocab-2", "all-reduce", 128)] == 1, \
+    "compute-bound sweep did not favor the deep pipeline"
+print(f"TPSWEEP.json OK: {len(series)} series on {total} devices, all verified, "
+      f"tp=1 columns bitwise identical, crossover flips with microbatch count")
+PY
+else
+    grep -q '"bench": "tpsweep"' target/TPSWEEP.json
+    if grep -q '"check_clean": false' target/TPSWEEP.json; then
+        echo "tpsweep: a grid configuration failed static verification" >&2
+        exit 1
+    fi
+    if grep -q '"tp1_bitwise_match": false' target/TPSWEEP.json; then
+        echo "tpsweep: a tp=1 grid run diverged bitwise from the 1D run" >&2
+        exit 1
+    fi
+    grep -q '"tp1_bitwise_match": true' target/TPSWEEP.json
+    echo "TPSWEEP.json OK (grep check; crossover gate needs python3)"
+fi
 
 echo "==> repro kernels --json smoke run"
 cargo run -p vp-bench --release --bin repro -- kernels --json --quick --out target/BENCH_kernels.json

@@ -7,8 +7,8 @@
 //! Experiments: `check`, `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
 //! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
 //! `ablation-barriers`, `ablation-zero-bubble`, `generality`,
-//! `generality-numeric`, `kernels`, `trainbench`, `padding`, `trace`,
-//! `timeline`, `csv`, `fig17`, or `all`. `--quick` runs the throughput
+//! `generality-numeric`, `kernels`, `trainbench`, `tpsweep`, `padding`,
+//! `trace`, `timeline`, `csv`, `fig17`, or `all`. `--quick` runs the throughput
 //! sweeps with 32 instead of 128 microbatches (same shapes, ~4× faster)
 //! and shortens the kernel timing loops. `kernels --json` additionally
 //! writes `BENCH_kernels.json` (median µs/iter per kernel, serial vs
@@ -19,8 +19,11 @@
 //! two schedules through both
 //! the simulator and the traced numeric runtime, writes
 //! `traces/measured-<name>.trace.json`, and with `--json` writes the
-//! sim-vs-measured divergence to `TIMELINE.json`. `--out <path>` redirects
-//! the JSON artifact of the selected experiment.
+//! sim-vs-measured divergence to `TIMELINE.json`. `tpsweep` runs the
+//! PP × TP crossover study on the 2D device grid (every factorization of
+//! a fixed device budget, gated through `vp-check` + the grid lints) and
+//! with `--json` writes the table to `TPSWEEP.json`. `--out <path>`
+//! redirects the JSON artifact of the selected experiment.
 
 use vp_bench::experiments;
 use vp_bench::kernels as kernel_bench;
@@ -69,6 +72,7 @@ fn main() {
             "generality-numeric",
             "kernels",
             "trainbench",
+            "tpsweep",
             "padding",
             "trace",
             "timeline",
@@ -95,6 +99,7 @@ fn main() {
             "generality-numeric" => generality_numeric(),
             "kernels" => kernels(quick, json, out.as_deref()),
             "trainbench" => trainbench(quick, json, out.as_deref()),
+            "tpsweep" => tpsweep(json, out.as_deref()),
             "trace" => trace(),
             "timeline" => timeline(json, out.as_deref()),
             "csv" => csv(microbatches),
@@ -530,6 +535,25 @@ fn trainbench(quick: bool, json: bool, out: Option<&str>) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
+    }
+}
+
+fn tpsweep(json: bool, out: Option<&str>) {
+    heading("TP sweep — PP × TP crossover on the 2D device grid (4B, 16 devices)");
+    let total_devices = 16;
+    let series = vp_bench::tpsweep::run(total_devices);
+    print!("{}", vp_bench::tpsweep::render(total_devices, &series));
+    if json {
+        let path = out.unwrap_or("TPSWEEP.json");
+        let doc = vp_bench::tpsweep::to_json(total_devices, &series);
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if series.iter().any(|s| !s.all_clean() || !s.tp1_matches()) {
+        eprintln!("tpsweep: unverified configuration or tp=1 bitwise divergence — failing");
+        std::process::exit(1);
     }
 }
 

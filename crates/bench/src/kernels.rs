@@ -119,9 +119,16 @@ fn time_kernel(
 
 /// Runs the full kernel sweep at `size` (matmuls are `size³`; the row-wise
 /// kernels use `size × 4·size`). Restores the pool's previous thread count
-/// before returning.
+/// (and core detection) before returning.
 pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTiming> {
     let previous = pool::num_threads();
+    // An explicit thread request must actually drive the pool. Containers
+    // frequently pin `available_parallelism` to 1 (cgroup affinity), which
+    // caps the effective worker count at 1 and silently benches the serial
+    // path twice — the old BENCH_kernels.json showed `"cores": 1` next to
+    // `"threads": 4` with every kernel on the serial path. Assume at least
+    // `threads` cores for the duration of the sweep.
+    pool::set_assumed_cores(threads.max(pool::detect_cores()));
     let mut rng = seeded_rng(2024);
     let a = normal(&mut rng, size, size, 1.0);
     let b = normal(&mut rng, size, size, 1.0);
@@ -209,14 +216,13 @@ pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTi
         ),
     ];
     pool::set_num_threads(previous);
+    pool::set_assumed_cores(0);
     results
 }
 
 /// Renders the sweep as the `BENCH_kernels.json` document.
 pub fn to_json(size: usize, threads: usize, results: &[KernelTiming]) -> String {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = pool::detect_cores();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"kernels\",\n");
@@ -277,6 +283,21 @@ mod tests {
                 k.path
             );
         }
+    }
+
+    #[test]
+    fn explicit_thread_request_exercises_threaded_path() {
+        // Regression: on a container whose every probe source reports one
+        // core, `--threads 4` used to bench the serial path twice (the
+        // heuristic capped workers at the core count). An explicit request
+        // must dispatch the big kernels to the pool.
+        let results = run(64, 4, 1, 1);
+        for k in results.iter().filter(|k| k.name.starts_with("matmul")) {
+            assert_eq!(k.path, "threaded", "{} stayed serial", k.name);
+            assert!(k.bitwise_identical, "{} diverged from serial", k.name);
+        }
+        // And the sweep must leave the global dispatch config untouched.
+        assert_eq!(pool::assumed_cores(), pool::detect_cores());
     }
 
     #[test]

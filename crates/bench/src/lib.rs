@@ -15,4 +15,5 @@ pub mod kernels;
 pub mod paper;
 pub mod table;
 pub mod timeline;
+pub mod tpsweep;
 pub mod trainbench;

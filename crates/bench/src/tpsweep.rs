@@ -1,0 +1,333 @@
+//! `repro tpsweep` — the PP × TP composition study on the 2D device grid.
+//!
+//! For a fixed device budget, sweeps every `pp × tp` factorization (PTD-P
+//! style, Narayanan et al. 2021 §5.4) across methods, TP synchronization
+//! styles and microbatch counts, and reports where the crossover sits:
+//! with few microbatches the pipeline fill/drain bubble dominates and a
+//! wider tensor axis wins; with many microbatches the fill amortizes and
+//! the deep pipeline's full-width kernels win.
+//!
+//! Every point is gated twice:
+//!
+//! * **verified** — the schedule passes the full `vp-check` analysis *and*
+//!   the grid lints (`VP0013`–`VP0015`) on its `pp × tp` grid;
+//! * **bitwise** — the `tp = 1` column of every series must be bitwise
+//!   identical (`f64::to_bits`) to the flat 1D simulation, the degeneracy
+//!   contract the whole grid refactor rests on.
+//!
+//! `ci.sh` runs `repro tpsweep --json` and fails if any point is
+//! unverified, any `tp = 1` point diverges from the 1D run, or the
+//! vocab-2/all-reduce crossover fails to flip with the microbatch count.
+
+use std::collections::HashMap;
+
+use vp_check::{check, check_grid};
+use vp_model::config::ModelPreset;
+use vp_model::cost::Hardware;
+use vp_model::TpSyncStyle;
+use vp_schedule::block::PassTimes;
+use vp_schedule::generators;
+use vp_schedule::pass::{Schedule, VocabVariant};
+use vp_sim::{run_1f1b, tp_crossover_sweep, Method, SimReport};
+
+use crate::table::json_f64;
+
+/// One factorization of the device budget and its gated simulation result.
+#[derive(Debug, Clone)]
+pub struct TpSweepPoint {
+    /// Pipeline depth of this factorization.
+    pub pp: usize,
+    /// Tensor-parallel width (`pp * tp` = the fixed device budget).
+    pub tp: usize,
+    /// Model FLOPs utilization, percent.
+    pub mfu_pct: f64,
+    /// End-to-end iteration time, milliseconds.
+    pub iteration_ms: f64,
+    /// Peak memory of the most loaded device, GB.
+    pub peak_gb: f64,
+    /// Mean idle fraction across devices, percent.
+    pub bubble_pct: f64,
+    /// Whether `vp-check` plus the grid lints accept this configuration.
+    pub check_clean: bool,
+    /// On the `tp = 1` column: whether the grid report is bitwise
+    /// identical to the flat 1D simulation. `None` elsewhere.
+    pub tp1_bitwise_match: Option<bool>,
+}
+
+/// One sweep series: a (method, sync style, microbatch count) row of the
+/// crossover table, covering every factorization.
+#[derive(Debug, Clone)]
+pub struct TpSweepSeries {
+    /// Simulated method.
+    pub method: Method,
+    /// TP synchronization scenario (Megatron all-reduce or PSA).
+    pub sync: TpSyncStyle,
+    /// Microbatches per iteration (the crossover's control variable).
+    pub microbatches: usize,
+    /// Points ordered by increasing `tp` (so `points[0]` is `tp = 1`).
+    pub points: Vec<TpSweepPoint>,
+}
+
+impl TpSweepSeries {
+    /// The tensor width of the fastest factorization in this series.
+    pub fn best_tp(&self) -> usize {
+        self.points
+            .iter()
+            .min_by(|a, b| a.iteration_ms.total_cmp(&b.iteration_ms))
+            .map_or(1, |p| p.tp)
+    }
+
+    /// Whether every point passed the static checks.
+    pub fn all_clean(&self) -> bool {
+        self.points.iter().all(|p| p.check_clean)
+    }
+
+    /// Whether the `tp = 1` column matched the 1D run bitwise.
+    pub fn tp1_matches(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.tp1_bitwise_match.unwrap_or(true))
+    }
+}
+
+/// Lower-case name of a sync style, as used in reports and JSON.
+pub fn sync_name(sync: TpSyncStyle) -> &'static str {
+    match sync {
+        TpSyncStyle::AllReduce => "all-reduce",
+        TpSyncStyle::Psa => "psa",
+    }
+}
+
+/// The schedule a method runs on `pp` stages — what `run_1f1b_grid`
+/// executes, rebuilt for the static checks (pass times are irrelevant to
+/// the analyses).
+fn schedule_for(method: Method, pp: usize, m: u32) -> Schedule {
+    match method {
+        Method::Baseline | Method::Redis => generators::one_f_one_b(pp, m, PassTimes::default()),
+        Method::Vocab1 => {
+            generators::vocab_1f1b(pp, m, VocabVariant::Alg1, PassTimes::default(), true)
+        }
+        Method::Vocab2 => {
+            generators::vocab_1f1b(pp, m, VocabVariant::Alg2, PassTimes::default(), true)
+        }
+        Method::Interlaced => generators::interlaced_1f1b(pp, m, PassTimes::default()),
+    }
+}
+
+/// Bitwise equality of the report fields the degeneracy contract covers.
+fn bitwise_eq(a: &SimReport, b: &SimReport) -> bool {
+    a.devices == b.devices
+        && a.iteration_seconds.to_bits() == b.iteration_seconds.to_bits()
+        && a.mfu.to_bits() == b.mfu.to_bits()
+        && a.peak_memory_bytes.len() == b.peak_memory_bytes.len()
+        && a.peak_memory_bytes
+            .iter()
+            .zip(&b.peak_memory_bytes)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+        && a.bubble_fraction
+            .iter()
+            .zip(&b.bubble_fraction)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn mean_pct(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    100.0 * values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Runs the full crossover sweep on `total_devices` devices (4B model):
+/// {baseline, vocab-2} × {all-reduce, PSA} × {4, 16, 128} microbatches.
+pub fn run(total_devices: usize) -> Vec<TpSweepSeries> {
+    let hw = Hardware::default();
+    // The static checks depend only on (method, pp, tp, m) — not on the
+    // sync style — so share verdicts across series.
+    let mut verdicts: HashMap<(&'static str, usize, usize, usize), bool> = HashMap::new();
+    let mut out = Vec::new();
+    for method in [Method::Baseline, Method::Vocab2] {
+        for sync in [TpSyncStyle::AllReduce, TpSyncStyle::Psa] {
+            for m in [4usize, 16, 128] {
+                let config = ModelPreset::Gpt4B.config().with_num_microbatches(m);
+                let flat = run_1f1b(method, &config, total_devices, hw.clone());
+                let points = tp_crossover_sweep(method, &config, total_devices, &hw, sync)
+                    .into_iter()
+                    .map(|p| {
+                        let (pp, tp) = (p.grid.pp(), p.grid.tp());
+                        let check_clean = *verdicts
+                            .entry((method.name(), pp, tp, m))
+                            .or_insert_with(|| {
+                                let sched = schedule_for(method, pp, m as u32);
+                                check(&sched).is_clean() && check_grid(&sched, &p.grid).is_empty()
+                            });
+                        TpSweepPoint {
+                            pp,
+                            tp,
+                            mfu_pct: p.report.mfu_pct(),
+                            iteration_ms: 1e3 * p.report.iteration_seconds,
+                            peak_gb: p.report.max_memory_gb(),
+                            bubble_pct: mean_pct(&p.report.bubble_fraction),
+                            check_clean,
+                            tp1_bitwise_match: (tp == 1).then(|| bitwise_eq(&p.report, &flat)),
+                        }
+                    })
+                    .collect();
+                out.push(TpSweepSeries {
+                    method,
+                    sync,
+                    microbatches: m,
+                    points,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders the sweep as a human table: one row per point, the fastest
+/// factorization of each series starred.
+pub fn render(total_devices: usize, series: &[TpSweepSeries]) -> String {
+    let mut rows = Vec::new();
+    for s in series {
+        let best = s.best_tp();
+        for p in &s.points {
+            rows.push(vec![
+                s.method.name().to_string(),
+                sync_name(s.sync).to_string(),
+                s.microbatches.to_string(),
+                format!("{}x{}{}", p.pp, p.tp, if p.tp == best { " *" } else { "" }),
+                format!("{:.2}", p.mfu_pct),
+                format!("{:.1}", p.iteration_ms),
+                format!("{:.1}", p.peak_gb),
+                format!("{:.1}", p.bubble_pct),
+                if p.check_clean { "ok" } else { "FAIL" }.to_string(),
+                match p.tp1_bitwise_match {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "-",
+                }
+                .to_string(),
+            ]);
+        }
+    }
+    let mut out = crate::table::render(
+        &[
+            "method",
+            "sync",
+            "microbatches",
+            "pp x tp",
+            "MFU %",
+            "iter ms",
+            "peak GB",
+            "bubble %",
+            "vp-check",
+            "tp=1 bitwise ==",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\n{total_devices} devices; * marks the fastest factorization of each series.\n\
+         Few microbatches: the fill bubble dominates and a wider tensor axis wins.\n\
+         Many microbatches: the fill amortizes and the deep pipeline wins.\n"
+    ));
+    out
+}
+
+/// Machine-readable crossover table (`TPSWEEP.json`).
+pub fn to_json(total_devices: usize, series: &[TpSweepSeries]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"tpsweep\",\n");
+    out.push_str("  \"generated_by\": \"repro tpsweep --json\",\n");
+    out.push_str(&format!("  \"total_devices\": {total_devices},\n"));
+    out.push_str("  \"series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"method\": \"{}\", \"sync\": \"{}\", \"microbatches\": {}, \"best_tp\": {},\n",
+            s.method.name(),
+            sync_name(s.sync),
+            s.microbatches,
+            s.best_tp()
+        ));
+        out.push_str("     \"points\": [\n");
+        for (j, p) in s.points.iter().enumerate() {
+            let bitwise = match p.tp1_bitwise_match {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "       {{\"pp\": {}, \"tp\": {}, \"mfu_pct\": {}, \"iteration_ms\": {}, \
+                 \"peak_gb\": {}, \"bubble_pct\": {}, \"check_clean\": {}, \
+                 \"tp1_bitwise_match\": {}}}{}\n",
+                p.pp,
+                p.tp,
+                json_f64(p.mfu_pct),
+                json_f64(p.iteration_ms),
+                json_f64(p.peak_gb),
+                json_f64(p.bubble_pct),
+                p.check_clean,
+                bitwise,
+                if j + 1 == s.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "     ]}}{}\n",
+            if i + 1 == series.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_clean_bitwise_and_crosses_over() {
+        let series = run(16);
+        // 2 methods x 2 syncs x 3 microbatch counts.
+        assert_eq!(series.len(), 12);
+        for s in &series {
+            assert_eq!(s.points.len(), 4, "16 devices have 4 factorizations");
+            assert_eq!(s.points[0].tp, 1);
+            assert!(
+                s.all_clean(),
+                "{}/{}: unverified point",
+                s.method.name(),
+                sync_name(s.sync)
+            );
+            assert!(
+                s.tp1_matches(),
+                "{}/{} m={}: tp=1 diverged from the 1D run",
+                s.method.name(),
+                sync_name(s.sync),
+                s.microbatches
+            );
+        }
+        // The headline crossover (vocab-2, all-reduce): TP wins when the
+        // bubble dominates, deep PP when the fill amortizes.
+        let find = |m: usize| {
+            series
+                .iter()
+                .find(|s| {
+                    s.method == Method::Vocab2
+                        && s.sync == TpSyncStyle::AllReduce
+                        && s.microbatches == m
+                })
+                .expect("series present")
+        };
+        assert!(find(4).best_tp() > 1, "bubble-bound: TP must win");
+        assert_eq!(find(128).best_tp(), 1, "compute-bound: deep PP must win");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let series = run(4);
+        let doc = to_json(4, &series);
+        assert!(doc.contains("\"bench\": \"tpsweep\""), "{doc}");
+        assert!(doc.contains("\"tp1_bitwise_match\": true"), "{doc}");
+        assert!(doc.contains("\"tp1_bitwise_match\": null"), "{doc}");
+        assert!(!doc.contains("\"check_clean\": false"), "{doc}");
+        assert!(!doc.contains("\"tp1_bitwise_match\": false"), "{doc}");
+    }
+}

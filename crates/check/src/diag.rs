@@ -47,6 +47,18 @@ pub enum Code {
     /// `VP0012` — two passes touch the same logical buffer, at least one
     /// writing, with no happens-before path ordering them correctly.
     UnsyncedAccess,
+    /// `VP0013` — a grid entry enters a tensor collective under a group it
+    /// is not a member of (or is not a grid rank at all); the rendezvous
+    /// either hangs or silently mixes rows.
+    WrongGroupMember,
+    /// `VP0014` — row peers of one tensor group enter the same set of
+    /// collectives in different orders; rendezvous collectives on in-order
+    /// streams deadlock under such skew.
+    GroupOrderSkew,
+    /// `VP0015` — a grid entry participates in fewer (or other) tensor
+    /// collectives than its row peers: some rendezvous waits forever on
+    /// the missing member.
+    GridCoverageHole,
 }
 
 impl Code {
@@ -65,6 +77,9 @@ impl Code {
             Code::DoubleFree => "VP0010",
             Code::PeakActivations => "VP0011",
             Code::UnsyncedAccess => "VP0012",
+            Code::WrongGroupMember => "VP0013",
+            Code::GroupOrderSkew => "VP0014",
+            Code::GridCoverageHole => "VP0015",
         }
     }
 
@@ -84,11 +99,14 @@ impl Code {
             Code::DoubleFree => "activation double-free",
             Code::PeakActivations => "peak activations exceed the 1F1B bound",
             Code::UnsyncedAccess => "conflicting buffer accesses without happens-before order",
+            Code::WrongGroupMember => "collective entered under the wrong tensor group",
+            Code::GroupOrderSkew => "tensor-group rendezvous order diverges across row peers",
+            Code::GridCoverageHole => "tensor-group participation differs across row peers",
         }
     }
 
     /// Every defined code, in numeric order.
-    pub fn all() -> [Code; 12] {
+    pub fn all() -> [Code; 15] {
         [
             Code::Deadlock,
             Code::MissingPass,
@@ -102,6 +120,9 @@ impl Code {
             Code::DoubleFree,
             Code::PeakActivations,
             Code::UnsyncedAccess,
+            Code::WrongGroupMember,
+            Code::GroupOrderSkew,
+            Code::GridCoverageHole,
         ]
     }
 }

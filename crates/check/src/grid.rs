@@ -1,0 +1,269 @@
+//! Grid lints: per-group collective participation on the 2D device grid.
+//!
+//! The 1D lints (`VP0005`/`VP0006`) reason about the *vocabulary*
+//! collectives, whose participation set is always "every pipeline device".
+//! On a `pp × tp` grid the sharded transformer passes add a second family
+//! of collectives — the Megatron `f`/`g` rendezvous of each tensor group
+//! (grid row) — whose participation set is *per group*. This module
+//! generalizes the participation/order/coverage lints to that setting,
+//! consuming the derived [`vp_schedule::grid::tp_ops`] fact table:
+//!
+//! * `VP0013` — an entry claims membership of a tensor group its grid
+//!   coordinates do not place it in (or is not a grid rank at all).
+//! * `VP0014` — row peers enter the same collectives in different orders;
+//!   in-order rendezvous streams deadlock under such skew.
+//! * `VP0015` — a row peer participates in fewer (or other) collectives
+//!   than the rest of its group: the missing rendezvous hangs the row.
+//!
+//! With `tp == 1` every group has one member, so any fact table is
+//! vacuously consistent — the degenerate acceptance the flat pipeline
+//! relies on. The grid mutation suite seeds each defect class into clean
+//! tables and asserts exactly these codes fire.
+
+use crate::diag::{Code, Diagnostic, Site};
+use std::collections::HashMap;
+use vp_schedule::grid::{tp_ops, DeviceGrid, TpCollective, TpOp};
+use vp_schedule::pass::{PassKind, Schedule, ScheduledPass};
+
+/// The scheduled pass a fact-table entry originated from.
+fn pass_of(entry: &TpCollective) -> ScheduledPass {
+    let kind = match entry.op {
+        TpOp::AttnForward | TpOp::MlpForward => PassKind::F,
+        TpOp::MlpBackward | TpOp::AttnBackward => PassKind::B,
+    };
+    ScheduledPass {
+        kind,
+        microbatch: entry.microbatch,
+        chunk: entry.chunk,
+    }
+}
+
+/// A site pointing at one TP rendezvous. `device` is the *global* grid
+/// rank; `slot` is the entry's position in that rank's rendezvous
+/// sequence (not its schedule slot).
+fn site_of(entry: &TpCollective) -> Site {
+    Site {
+        device: entry.global,
+        slot: entry.seq,
+        pass: pass_of(entry),
+    }
+}
+
+/// What one participant rendezvouses on, ignoring order.
+type Rendezvous = (TpOp, u32, u8);
+
+fn rendezvous_of(entry: &TpCollective) -> Rendezvous {
+    (entry.op, entry.microbatch, entry.chunk)
+}
+
+/// Derives the TP collective table of `schedule` replicated over `grid`
+/// and runs the grid lints on it.
+///
+/// # Panics
+///
+/// Panics if `schedule.devices() != grid.pp()` (the schedule's device
+/// axis is the grid's pipeline axis).
+pub fn check_grid(schedule: &Schedule, grid: &DeviceGrid) -> Vec<Diagnostic> {
+    check_grid_facts(&tp_ops(schedule, grid), grid)
+}
+
+/// Runs the grid lints on an explicit fact table — the entry point the
+/// mutation suite drives with seeded defects.
+pub fn check_grid_facts(table: &[TpCollective], grid: &DeviceGrid) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // VP0013: membership. One diagnostic per offending (global, group)
+    // pair; offenders are excluded from the group comparisons below.
+    let mut flagged: Vec<(usize, usize)> = Vec::new();
+    let mut members_ok = Vec::with_capacity(table.len());
+    for entry in table {
+        let claimed = entry.group;
+        let wrong = entry.global >= grid.devices() || grid.coords(entry.global).0 != claimed;
+        if !wrong {
+            members_ok.push(*entry);
+            continue;
+        }
+        if flagged.contains(&(entry.global, claimed)) {
+            continue;
+        }
+        flagged.push((entry.global, claimed));
+        let mut d = Diagnostic::error(
+            Code::WrongGroupMember,
+            format!(
+                "grid rank {} enters {} collectives under tensor group {claimed}",
+                entry.global,
+                entry.op.name()
+            ),
+        )
+        .at(site_of(entry));
+        if entry.global >= grid.devices() {
+            d = d.note(format!(
+                "rank {} is outside the {}x{} grid",
+                entry.global,
+                grid.pp(),
+                grid.tp()
+            ));
+        } else {
+            d = d.note(format!(
+                "rank {} lies in row {}, not row {claimed}",
+                entry.global,
+                grid.coords(entry.global).0
+            ));
+        }
+        diags.push(d.help("form each tensor group from one grid row: group index = pp_rank"));
+    }
+
+    // Group the surviving entries per (group, member), ordered by seq.
+    let mut per_member: HashMap<(usize, usize), Vec<TpCollective>> = HashMap::new();
+    for entry in &members_ok {
+        per_member
+            .entry((entry.group, entry.global))
+            .or_default()
+            .push(*entry);
+    }
+    for seq in per_member.values_mut() {
+        seq.sort_by_key(|e| e.seq);
+    }
+
+    for group in 0..grid.pp() {
+        let row = grid.tp_group(group);
+        let present: Vec<usize> = row
+            .ranks
+            .iter()
+            .copied()
+            .filter(|r| per_member.contains_key(&(group, *r)))
+            .collect();
+        if present.is_empty() {
+            continue; // no sharded passes touched this row
+        }
+        let empty = Vec::new();
+        let seq_of = |r: usize| per_member.get(&(group, r)).unwrap_or(&empty);
+        let reference = present[0];
+        let ref_seq = seq_of(reference);
+        let ref_counts = counts(ref_seq);
+        for &member in &row.ranks {
+            if member == reference {
+                continue;
+            }
+            let seq = seq_of(member);
+            let member_counts = counts(seq);
+            if member_counts != ref_counts {
+                // VP0015: participation differs. Name one rendezvous the
+                // lagging side misses.
+                let (victim, other, missing) = match first_missing(&ref_counts, &member_counts) {
+                    Some(r) => (member, reference, r),
+                    None => (
+                        reference,
+                        member,
+                        first_missing(&member_counts, &ref_counts)
+                            .expect("unequal multisets differ in some element"),
+                    ),
+                };
+                let mut d = Diagnostic::error(
+                    Code::GridCoverageHole,
+                    format!(
+                        "grid rank {victim} participates in {} tensor collectives of group \
+                         {group}; row peer {other} participates in {}",
+                        seq_of(victim).len(),
+                        seq_of(other).len(),
+                    ),
+                )
+                .note(format!(
+                    "rank {victim} never enters {} for microbatch {} (chunk {})",
+                    missing.0.name(),
+                    missing.1,
+                    missing.2
+                ));
+                if let Some(example) = seq_of(other).iter().find(|e| rendezvous_of(e) == missing) {
+                    d = d.related(site_of(example), format!("rank {other} rendezvouses here"));
+                }
+                diags.push(d.help(
+                    "every row peer executes the same sharded pass list; restore the \
+                            dropped passes or shrink the group",
+                ));
+                continue;
+            }
+            // Same multiset: any difference left is pure order skew.
+            if let Some(i) =
+                (0..seq.len()).find(|&i| rendezvous_of(&seq[i]) != rendezvous_of(&ref_seq[i]))
+            {
+                diags.push(
+                    Diagnostic::error(
+                        Code::GroupOrderSkew,
+                        format!(
+                            "grid ranks {reference} and {member} enter the collectives of \
+                             tensor group {group} in different orders (first divergence at \
+                             rendezvous {i})"
+                        ),
+                    )
+                    .at(site_of(&seq[i]))
+                    .related(
+                        site_of(&ref_seq[i]),
+                        format!("rank {reference} expects this"),
+                    )
+                    .help(
+                        "in-order rendezvous streams require all row peers to enter \
+                         collectives in the same sequence; align the pass orders",
+                    ),
+                );
+            }
+        }
+    }
+
+    diags.sort_by_key(|d| {
+        (
+            d.code,
+            d.primary.map_or(usize::MAX, |s| s.device),
+            d.primary.map_or(usize::MAX, |s| s.slot),
+        )
+    });
+    diags
+}
+
+fn counts(seq: &[TpCollective]) -> HashMap<Rendezvous, usize> {
+    let mut out = HashMap::new();
+    for e in seq {
+        *out.entry(rendezvous_of(e)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// A rendezvous `a` holds more of than `b` (i.e. `b` is missing), if any.
+fn first_missing(
+    a: &HashMap<Rendezvous, usize>,
+    b: &HashMap<Rendezvous, usize>,
+) -> Option<Rendezvous> {
+    a.iter()
+        .find(|(k, n)| b.get(*k).copied().unwrap_or(0) < **n)
+        .map(|(k, _)| *k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp_schedule::block::PassTimes;
+    use vp_schedule::generators;
+
+    #[test]
+    fn clean_grids_produce_no_diagnostics() {
+        let sched = generators::one_f_one_b(2, 3, PassTimes::default());
+        for tp in [1, 2, 4] {
+            let diags = check_grid(&sched, &DeviceGrid::new(2, tp));
+            assert!(diags.is_empty(), "tp={tp}: {diags:#?}");
+        }
+    }
+
+    #[test]
+    fn single_member_groups_accept_any_order() {
+        // tp = 1: no peer to disagree with, so even a scrambled table is
+        // consistent — the degenerate acceptance of the flat pipeline.
+        let sched = generators::one_f_one_b(2, 2, PassTimes::default());
+        let grid = DeviceGrid::new(2, 1);
+        let mut table = tp_ops(&sched, &grid);
+        let payload = (table[0].op, table[0].microbatch, table[0].chunk);
+        let (a, b) = (payload, (table[1].op, table[1].microbatch, table[1].chunk));
+        (table[0].op, table[0].microbatch, table[0].chunk) = b;
+        (table[1].op, table[1].microbatch, table[1].chunk) = a;
+        assert!(check_grid_facts(&table, &grid).is_empty());
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! Proves properties of any [`vp_schedule::pass::Schedule`] *without
 //! executing it*, reporting violations as rustc-style diagnostics with
-//! stable codes (`VP0001`–`VP0012`):
+//! stable codes (`VP0001`–`VP0015`):
 //!
 //! * **Deadlock freedom** ([`deadlock`]) — the happens-before graph
 //!   (program order + §5.1 dependency edges) is acyclic; a violation is
@@ -26,17 +26,26 @@
 //!   logical buffer ([`vp_schedule::facts`]) is ordered by a
 //!   happens-before path (`VP0012`); on valid schedules this *proves*
 //!   race freedom, including Algorithm 2's freely-deferrable `T` pass.
+//! * **Grid participation** ([`grid`]) — on a `pp × tp` device grid, every
+//!   tensor-group (grid row) collective is entered by exactly its row's
+//!   members (`VP0013`), in the same order on every peer (`VP0014`), with
+//!   identical participation multisets (`VP0015`). [`check_grid`] runs
+//!   these on top of [`check`] for grid configurations; `tp = 1` is
+//!   vacuously clean.
 //!
 //! The `repro check` subcommand sweeps every built-in generator family
-//! through [`check`]; `ci.sh` fails on any diagnostic.
+//! through [`check`] (and `repro tpsweep` gates its grid configurations
+//! through [`check_grid`]); `ci.sh` fails on any diagnostic.
 
 pub mod comm;
 pub mod deadlock;
 pub mod diag;
+pub mod grid;
 pub mod liveness;
 pub mod race;
 
 pub use diag::{render_human, render_json, Code, Diagnostic, Severity, Site};
+pub use grid::{check_grid, check_grid_facts};
 
 use vp_schedule::deps::build_deps;
 use vp_schedule::hb::HbGraph;

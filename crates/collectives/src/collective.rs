@@ -190,6 +190,12 @@ impl Collective {
     /// Returns [`CollectiveError::LengthMismatch`] if the ranks disagree on
     /// the buffer length.
     pub fn all_reduce(&self, data: &mut [f32], op: ReduceOp) -> Result<(), CollectiveError> {
+        // A one-rank group is a true no-op: returning without touching the
+        // buffer keeps it bitwise intact, whereas folding through the
+        // identity would rewrite -0.0 to +0.0 under `Sum`.
+        if self.world() == 1 {
+            return Ok(());
+        }
         let gathered = self.exchange(data.to_vec());
         let expected = gathered[0].len();
         for (rank, c) in gathered.iter().enumerate() {
@@ -290,6 +296,11 @@ impl Collective {
     /// are not divisible by the world size.
     pub fn reduce_scatter(&self, data: &[f32], op: ReduceOp) -> Result<Vec<f32>, CollectiveError> {
         let world = self.world();
+        // One-rank group: the single segment is the whole buffer and the
+        // reduction is the identity — return it bitwise unchanged.
+        if world == 1 {
+            return Ok(data.to_vec());
+        }
         if !data.len().is_multiple_of(world) {
             return Err(CollectiveError::LengthMismatch {
                 rank: self.rank,
@@ -480,6 +491,93 @@ mod tests {
         });
         for r in results {
             assert_eq!(r, Err(CollectiveError::BadRank { rank: 5, world: 2 }));
+        }
+    }
+
+    #[test]
+    fn world_of_one_all_reduce_is_bitwise_identity() {
+        // -0.0, subnormals and extreme exponents must survive untouched:
+        // `0.0 + v` would flush -0.0 to +0.0, so the degenerate group must
+        // not fold through the identity element at all.
+        let tricky = [-0.0f32, 0.0, f32::MIN_POSITIVE / 2.0, -1.5e38, 3.4e38];
+        let results = run_parallel(1, move |c| {
+            let mut sum = tricky.to_vec();
+            c.all_reduce(&mut sum, ReduceOp::Sum).unwrap();
+            let mut max = tricky.to_vec();
+            c.all_reduce(&mut max, ReduceOp::Max).unwrap();
+            (sum, max)
+        });
+        for (sum, max) in results {
+            for (a, b) in tricky.iter().zip(&sum) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sum changed {a}");
+            }
+            for (a, b) in tricky.iter().zip(&max) {
+                assert_eq!(a.to_bits(), b.to_bits(), "max changed {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn world_of_one_reduce_scatter_is_bitwise_identity() {
+        let tricky = [-0.0f32, f32::MIN_POSITIVE / 4.0, -2.5];
+        let results = run_parallel(1, move |c| {
+            c.reduce_scatter(&tricky, ReduceOp::Sum).unwrap()
+        });
+        for out in results {
+            assert_eq!(out.len(), tricky.len());
+            for (a, b) in tricky.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // A length not divisible by any larger world is fine at world 1.
+        let odd = [1.0f32; 7];
+        let results = run_parallel(1, move |c| c.reduce_scatter(&odd, ReduceOp::Sum).unwrap());
+        assert_eq!(results[0], odd.to_vec());
+    }
+
+    #[test]
+    fn world_of_one_broadcast_and_barrier_are_no_ops() {
+        let results = run_parallel(1, |c| {
+            let mut data = vec![-0.0f32, 9.25];
+            c.broadcast(&mut data, 0).unwrap();
+            c.barrier();
+            let mut root = vec![-7.5f32];
+            c.reduce(&mut root, 0, ReduceOp::Max).unwrap();
+            (data, root)
+        });
+        let (data, root) = &results[0];
+        assert_eq!(data[0].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(data[1], 9.25);
+        assert_eq!(root[0], -7.5);
+    }
+
+    #[test]
+    fn uneven_last_shard_round_trips_bitwise() {
+        // Shard a buffer whose length does not divide the world size: the
+        // last shard is short. all_gather + concatenation must reproduce
+        // the original bitwise (vocabulary shards with the paper's padding
+        // removed hit exactly this shape).
+        let full: Vec<f32> = (0..10)
+            .map(|i| if i % 3 == 0 { -0.0 } else { i as f32 * 1.3e-5 })
+            .collect();
+        let bounds = |rank: usize| {
+            // 4-4-2 split over 3 ranks.
+            let base = 4usize;
+            let start = (base * rank).min(full.len());
+            let end = (base * (rank + 1)).min(full.len());
+            (start, end)
+        };
+        let full_clone = full.clone();
+        let results = run_parallel(3, move |c| {
+            let (start, end) = bounds(c.rank());
+            c.all_gather(&full_clone[start..end])
+        });
+        for gathered in results {
+            let rebuilt: Vec<f32> = gathered.concat();
+            assert_eq!(rebuilt.len(), full.len());
+            for (a, b) in full.iter().zip(&rebuilt) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -58,6 +58,31 @@ impl TransformerBlock {
         self.ln1.dim()
     }
 
+    /// The first (pre-attention) layer norm.
+    pub fn ln1(&self) -> &LayerNorm {
+        &self.ln1
+    }
+
+    /// The attention layer.
+    pub fn attn(&self) -> &MultiHeadAttention {
+        &self.attn
+    }
+
+    /// The second (pre-MLP) layer norm.
+    pub fn ln2(&self) -> &LayerNorm {
+        &self.ln2
+    }
+
+    /// The MLP up-projection.
+    pub fn fc1(&self) -> &Linear {
+        &self.fc1
+    }
+
+    /// The MLP down-projection.
+    pub fn fc2(&self) -> &Linear {
+        &self.fc2
+    }
+
     /// Forward pass over one sequence `x: [s, h]`.
     ///
     /// # Errors

@@ -352,6 +352,85 @@ impl CostModel {
         const_part + self.input_full_b_seconds() / (2.0 * p as f64)
     }
 
+    // ---- Tensor parallelism (2D grid) ------------------------------------
+
+    /// Transformer forward time for `layers` layers with the matmuls
+    /// sharded `tp` ways.
+    ///
+    /// FLOPs divide by `tp`, but kernel efficiency is evaluated at the
+    /// *shard* width `hidden / tp`: the per-device GEMMs shrink, so each
+    /// rank runs at lower utilization. This sub-linear speedup is the
+    /// efficiency half of the PTD-P tension between TP and deeper PP; the
+    /// communication half is [`Self::tp_comm_seconds_per_layer`]. At
+    /// `tp = 1` this is exactly [`Self::transformer_f_seconds`].
+    pub fn transformer_f_seconds_tp(&self, layers: usize, tp: usize) -> f64 {
+        if tp <= 1 {
+            return self.transformer_f_seconds(layers);
+        }
+        layers as f64
+            * self.hardware.compute_seconds(
+                self.transformer_f_flops() / tp as f64,
+                self.config.hidden / tp,
+            )
+    }
+
+    /// TP-sharded activation-gradient (`B`-only) time for `layers` layers.
+    pub fn transformer_b_only_seconds_tp(&self, layers: usize, tp: usize) -> f64 {
+        if tp <= 1 {
+            return self.transformer_b_only_seconds(layers);
+        }
+        layers as f64
+            * self.hardware.compute_seconds(
+                self.transformer_b_flops() / tp as f64,
+                self.config.hidden / tp,
+            )
+    }
+
+    /// TP-sharded weight-gradient (`W`) time for `layers` layers.
+    pub fn transformer_w_seconds_tp(&self, layers: usize, tp: usize) -> f64 {
+        if tp <= 1 {
+            return self.transformer_w_seconds(layers);
+        }
+        layers as f64
+            * self.hardware.compute_seconds(
+                self.transformer_w_flops() / tp as f64,
+                self.config.hidden / tp,
+            )
+    }
+
+    /// TP-sharded combined backward (B + W) time for `layers` layers.
+    pub fn transformer_bw_seconds_tp(&self, layers: usize, tp: usize) -> f64 {
+        if tp <= 1 {
+            return self.transformer_bw_seconds(layers);
+        }
+        layers as f64
+            * self.hardware.compute_seconds(
+                (self.transformer_b_flops() + self.transformer_w_flops()) / tp as f64,
+                self.config.hidden / tp,
+            )
+    }
+
+    /// Exposed tensor-parallel communication per transformer layer in one
+    /// direction (forward *or* backward): the two Megatron `f`/`g`
+    /// all-reduces of the boundary activation (`[b·s, h]` bf16) over the
+    /// `tp`-wide group. Zero at `tp = 1`.
+    ///
+    /// The PSA variant replaces each all-reduce with a reduce-scatter +
+    /// all-gather of the same total ring volume but exposes only about
+    /// half of it (the gather half overlaps the next GEMM); callers apply
+    /// that factor via `psa_exposed_fraction`.
+    pub fn tp_comm_seconds_per_layer(&self, tp: usize) -> f64 {
+        2.0 * self
+            .hardware
+            .all_reduce_seconds(self.boundary_activation_bytes(), tp)
+    }
+
+    /// Fraction of [`Self::tp_comm_seconds_per_layer`] left on the
+    /// critical path under the PSA (reduce-scatter + all-gather) variant.
+    pub fn psa_exposed_fraction(&self) -> f64 {
+        0.5
+    }
+
     // ---- Communication volumes ------------------------------------------
 
     /// Bytes of the boundary activation tensor passed between stages
@@ -526,5 +605,55 @@ mod tests {
     fn param_state_bytes_uses_17_bytes_per_param() {
         let m = model();
         assert_eq!(m.param_state_bytes(1_000), 17_000.0);
+    }
+
+    #[test]
+    fn tp_pass_times_at_tp1_are_bitwise_the_1d_times() {
+        let m = model();
+        for layers in [1usize, 3] {
+            assert_eq!(
+                m.transformer_f_seconds_tp(layers, 1).to_bits(),
+                m.transformer_f_seconds(layers).to_bits()
+            );
+            assert_eq!(
+                m.transformer_b_only_seconds_tp(layers, 1).to_bits(),
+                m.transformer_b_only_seconds(layers).to_bits()
+            );
+            assert_eq!(
+                m.transformer_w_seconds_tp(layers, 1).to_bits(),
+                m.transformer_w_seconds(layers).to_bits()
+            );
+            assert_eq!(
+                m.transformer_bw_seconds_tp(layers, 1).to_bits(),
+                m.transformer_bw_seconds(layers).to_bits()
+            );
+        }
+        assert_eq!(m.tp_comm_seconds_per_layer(1), 0.0);
+    }
+
+    #[test]
+    fn tp_speedup_is_sublinear() {
+        // Sharding halves the FLOPs but the narrower per-rank GEMMs run at
+        // lower kernel efficiency, so the speedup is strictly < 2x.
+        let m = model();
+        let full = m.transformer_f_seconds(2);
+        let half = m.transformer_f_seconds_tp(2, 2);
+        assert!(half < full, "TP must still be faster");
+        assert!(half > full / 2.0, "but sub-linearly so");
+        // Deeper sharding keeps losing efficiency: 4-way is less than
+        // twice as fast as 2-way.
+        let quarter = m.transformer_f_seconds_tp(2, 4);
+        assert!(quarter < half);
+        assert!(quarter > half / 2.0);
+    }
+
+    #[test]
+    fn tp_comm_grows_with_group_width() {
+        let m = model();
+        let two = m.tp_comm_seconds_per_layer(2);
+        let four = m.tp_comm_seconds_per_layer(4);
+        assert!(two > 0.0);
+        assert!(four > two);
+        assert!(m.psa_exposed_fraction() > 0.0 && m.psa_exposed_fraction() < 1.0);
     }
 }

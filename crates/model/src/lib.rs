@@ -29,9 +29,12 @@ pub mod cost;
 pub mod memory;
 /// Vocabulary sharding and pipeline-stage layouts.
 pub mod partition;
+/// Megatron-style tensor-parallel sharding of the transformer block.
+pub mod tp;
 
 pub use block::{BlockCache, TransformerBlock};
 pub use config::{ModelConfig, ModelPreset};
 pub use cost::Hardware;
-pub use memory::{estimate_1f1b, MemoryEstimate, PlacementKind};
+pub use memory::{estimate_1f1b, estimate_1f1b_grid, MemoryEstimate, PlacementKind, TpSyncStyle};
 pub use partition::{StageLayout, VocabPartition};
+pub use tp::{TpBlockCache, TpPartition, TpTransformerBlock};

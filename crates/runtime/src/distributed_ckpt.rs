@@ -5,7 +5,7 @@
 //! against an uninterrupted run.
 
 use crate::data::{DataSource, Microbatch};
-use crate::engine::{check_schedule, device_loop, DeviceOutcome};
+use crate::engine::{check_schedule, device_loop, DeviceOutcome, TpEnv};
 use crate::model::TinyConfig;
 use crate::pipeline::{build_schedule, Mode, ScheduleFamily};
 use std::time::Instant;
@@ -81,6 +81,7 @@ pub fn train_pipeline_checkpointed(
                     rank,
                     endpoint,
                     comm,
+                    TpEnv::solo(),
                     None,
                     &select,
                     restore,

@@ -14,7 +14,7 @@
 //! reference.
 
 use crate::data::{DataSource, Microbatch};
-use crate::engine::{check_schedule, device_loop, DeviceOutcome};
+use crate::engine::{check_schedule, device_loop, DeviceOutcome, TpEnv};
 use crate::model::TinyConfig;
 use crate::pipeline::{build_schedule, Mode, ScheduleFamily};
 use std::time::Instant;
@@ -92,6 +92,7 @@ pub fn train_pipeline_dp(
                         rank,
                         endpoint,
                         c1,
+                        TpEnv::solo(),
                         Some(&(dp_comm, dp)),
                         &select,
                         None,

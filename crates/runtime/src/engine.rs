@@ -30,6 +30,8 @@ use vp_core::output::OutputShard;
 use vp_core::{InputShard, TiedShard, VocabAlgo};
 use vp_model::block::TransformerBlock;
 use vp_model::partition::VocabPartition;
+use vp_model::tp::{TpBlockCache, TpPartition, TpReduce, TpTransformerBlock};
+use vp_model::TpSyncStyle;
 use vp_schedule::analysis::ScheduleAnalysis;
 use vp_schedule::exec::ExecReport;
 use vp_schedule::pass::{PassKind, Schedule, ScheduleKind, VocabVariant};
@@ -108,6 +110,101 @@ pub(crate) fn check_schedule(config: &TinyConfig, schedule: &Schedule) -> Result
     Ok(mode)
 }
 
+/// Tensor-parallel execution context of one device thread: its position on
+/// the grid's TP axis and the row communicator the sharded blocks
+/// rendezvous in. [`TpEnv::solo`] is the degenerate 1D context every
+/// pre-grid entry point runs with — `tp == 1`, no communicator, and every
+/// code path bitwise identical to the flat pipeline.
+pub(crate) struct TpEnv {
+    /// TP width (grid-row size); 1 on flat pipelines.
+    pub(crate) tp: usize,
+    /// This device's rank on the TP axis.
+    pub(crate) tp_rank: usize,
+    /// Row communicator (`None` exactly when `tp == 1`).
+    pub(crate) comm: Option<Arc<Collective>>,
+    /// How the Megatron `f`/`g` conjugate pair is realized: one all-reduce,
+    /// or the PSA reduce-scatter + all-gather decomposition.
+    pub(crate) sync: TpSyncStyle,
+}
+
+impl TpEnv {
+    /// The flat-pipeline context: a one-entry row with no communicator.
+    pub(crate) fn solo() -> Self {
+        TpEnv {
+            tp: 1,
+            tp_rank: 0,
+            comm: None,
+            sync: TpSyncStyle::AllReduce,
+        }
+    }
+
+    /// Whether transformer blocks are TP-sharded on this device.
+    pub(crate) fn active(&self) -> bool {
+        self.tp > 1
+    }
+}
+
+/// Applies the TP cross-rank reduction to a partial block output: a plain
+/// sum all-reduce (Megatron's `g` collective), or reduce-scatter followed
+/// by all-gather (the PSA decomposition). Both sum the ranks' contributions
+/// in rank order, so the two styles are bitwise identical here — which the
+/// grid tests pin.
+fn tp_reduce(comm: &Collective, sync: TpSyncStyle, t: &mut Tensor) -> Result<()> {
+    match sync {
+        TpSyncStyle::AllReduce => comm
+            .all_reduce(t.data_mut(), vp_collectives::ReduceOp::Sum)
+            .map_err(|e| TensorError::InvalidArgument(format!("tp all-reduce failed: {e}"))),
+        TpSyncStyle::Psa => {
+            let shard = comm
+                .reduce_scatter(t.data(), vp_collectives::ReduceOp::Sum)
+                .map_err(|e| {
+                    TensorError::InvalidArgument(format!("tp reduce-scatter failed: {e}"))
+                })?;
+            let parts = comm.all_gather(&shard);
+            let data = t.data_mut();
+            let mut at = 0;
+            for part in parts {
+                data[at..at + part.len()].copy_from_slice(&part);
+                at += part.len();
+            }
+            debug_assert_eq!(at, data.len(), "gathered shards must tile the tensor");
+            Ok(())
+        }
+    }
+}
+
+/// Forward through a slice of TP-sharded blocks, collecting caches (the
+/// sharded analogue of [`forward_blocks`]).
+fn forward_tp_blocks(
+    blocks: &[TpTransformerBlock],
+    x: &Tensor,
+    reduce: &mut TpReduce<'_>,
+) -> Result<(Tensor, Vec<TpBlockCache>)> {
+    let mut h = x.clone();
+    let mut caches = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        let (next, cache) = block.forward(&h, reduce)?;
+        h = next;
+        caches.push(cache);
+    }
+    Ok((h, caches))
+}
+
+/// Backward through a slice of TP-sharded blocks in reverse order (the
+/// sharded analogue of [`backward_blocks`]).
+fn backward_tp_blocks(
+    blocks: &mut [TpTransformerBlock],
+    caches: &[TpBlockCache],
+    dy: &Tensor,
+    reduce: &mut TpReduce<'_>,
+) -> Result<Tensor> {
+    let mut grad = dy.clone();
+    for (block, cache) in blocks.iter_mut().rev().zip(caches.iter().rev()) {
+        grad = block.backward(cache, &grad, reduce)?;
+    }
+    Ok(grad)
+}
+
 /// The rank whose per-microbatch losses form the reported trajectory:
 /// the last virtual stage's host in baseline mode (it computes the loss),
 /// rank 0 in vocab mode (every rank sees the all-reduced loss; one
@@ -128,8 +225,13 @@ pub(crate) struct Device {
     pub(crate) mode: Mode,
     pub(crate) config: TinyConfig,
     pub(crate) map: StageMap,
-    /// Transformer blocks per chunk hosted by this device.
+    /// Transformer blocks per chunk hosted by this device (empty when the
+    /// blocks are TP-sharded).
     pub(crate) blocks_by_chunk: Vec<Vec<TransformerBlock>>,
+    /// TP-sharded transformer blocks per chunk (empty when `tp == 1`).
+    pub(crate) tp_blocks_by_chunk: Vec<Vec<TpTransformerBlock>>,
+    /// Tensor-parallel context: grid-row position and communicator.
+    pub(crate) tp: TpEnv,
     /// Whether this device's pass list splits `B`/`W` zero-bubble style.
     pub(crate) has_w: bool,
     pub(crate) pos: Option<Param>,
@@ -145,6 +247,8 @@ pub(crate) struct Device {
     pub(crate) c1_stream: CommStream,
     /// Resident block-activation caches per (microbatch, chunk).
     pub(crate) acts: ActivationStore,
+    /// Resident TP-sharded caches (the sharded analogue of `acts`).
+    pub(crate) tp_acts: ActivationStore<TpBlockCache>,
     /// Deferred weight gradients between `B` and `W`.
     pub(crate) w_stash: WGradStash,
     pub(crate) states: HashMap<u32, MbState>,
@@ -167,7 +271,16 @@ impl Device {
         self.map.device_of(self.map.last_vs()).0
     }
 
+    /// Translates a pipeline rank into the global p2p address of that
+    /// stage's device in *this device's* TP column — stage-boundary and
+    /// vocabulary traffic never crosses columns. The identity on flat
+    /// pipelines (`tp == 1`).
+    pub(crate) fn peer(&self, pp_rank: usize) -> usize {
+        pp_rank * self.tp.tp + self.tp.tp_rank
+    }
+
     pub(crate) fn recv(&mut self, src: usize, tag: u64) -> Result<Tensor> {
+        let src = self.peer(src);
         let packet = self
             .p2p
             .recv_tag(src, tag)
@@ -176,6 +289,7 @@ impl Device {
     }
 
     pub(crate) fn send(&self, dst: usize, tag: u64, t: &Tensor) -> Result<()> {
+        let dst = self.peer(dst);
         self.p2p
             .send(dst, to_packet(tag, t))
             .map_err(|e| TensorError::InvalidArgument(format!("p2p send failed: {e}")))
@@ -213,8 +327,24 @@ impl Device {
             let (src, _) = self.map.device_of(vs - 1);
             self.recv(src, stage_tag(TAG_ACT, vs, k))?
         };
-        let (h, caches) = forward_blocks(&self.blocks_by_chunk[chunk as usize], &x0)?;
-        self.acts.insert(k, chunk, caches);
+        let h = if self.tp.active() {
+            let comm = Arc::clone(
+                self.tp
+                    .comm
+                    .as_ref()
+                    .expect("tp > 1 has a row communicator"),
+            );
+            let sync = self.tp.sync;
+            let mut reduce = |t: &mut Tensor| tp_reduce(&comm, sync, t);
+            let (h, caches) =
+                forward_tp_blocks(&self.tp_blocks_by_chunk[chunk as usize], &x0, &mut reduce)?;
+            self.tp_acts.insert(k, chunk, caches);
+            h
+        } else {
+            let (h, caches) = forward_blocks(&self.blocks_by_chunk[chunk as usize], &x0)?;
+            self.acts.insert(k, chunk, caches);
+            h
+        };
         if vs < self.map.last_vs() {
             let (dst, _) = self.map.device_of(vs + 1);
             self.send(dst, stage_tag(TAG_ACT, vs + 1, k), &h)?;
@@ -281,25 +411,63 @@ impl Device {
             let (src, _) = self.map.device_of(vs + 1);
             self.recv(src, stage_tag(TAG_GRAD, vs, k))?
         };
-        let caches = self.acts.remove(k, chunk).expect("F stored caches");
-        let dx0 = if self.has_w {
-            // Zero-bubble split: compute ∇X on a gradient-free clone and
-            // stash its weight gradients for the deferred W pass.
-            let mut shadow = self.blocks_by_chunk[chunk as usize].clone();
-            for block in &mut shadow {
-                for p in block.params_mut() {
-                    p.zero_grad();
+        let dx0 = if self.tp.active() {
+            let caches = self.tp_acts.remove(k, chunk).expect("F stored caches");
+            let comm = Arc::clone(
+                self.tp
+                    .comm
+                    .as_ref()
+                    .expect("tp > 1 has a row communicator"),
+            );
+            let sync = self.tp.sync;
+            let mut reduce = |t: &mut Tensor| tp_reduce(&comm, sync, t);
+            if self.has_w {
+                // Zero-bubble split, TP-sharded: the shadow backward still
+                // enters the row's f-conjugate collectives (every row peer
+                // runs the same pass list, so the rendezvous stays aligned);
+                // only the weight-gradient fold is deferred.
+                let mut shadow = self.tp_blocks_by_chunk[chunk as usize].clone();
+                for block in &mut shadow {
+                    for p in block.params_mut() {
+                        p.zero_grad();
+                    }
                 }
+                let dx0 = backward_tp_blocks(&mut shadow, &caches, &dy, &mut reduce)?;
+                let grads: Vec<Tensor> = shadow
+                    .iter_mut()
+                    .flat_map(|b| b.params_mut().into_iter().map(|p| p.grad().clone()))
+                    .collect();
+                self.w_stash.insert(k, chunk, grads);
+                dx0
+            } else {
+                backward_tp_blocks(
+                    &mut self.tp_blocks_by_chunk[chunk as usize],
+                    &caches,
+                    &dy,
+                    &mut reduce,
+                )?
             }
-            let dx0 = backward_blocks(&mut shadow, &caches, &dy)?;
-            let grads: Vec<Tensor> = shadow
-                .iter_mut()
-                .flat_map(|b| b.params_mut().into_iter().map(|p| p.grad().clone()))
-                .collect();
-            self.w_stash.insert(k, chunk, grads);
-            dx0
         } else {
-            backward_blocks(&mut self.blocks_by_chunk[chunk as usize], &caches, &dy)?
+            let caches = self.acts.remove(k, chunk).expect("F stored caches");
+            if self.has_w {
+                // Zero-bubble split: compute ∇X on a gradient-free clone and
+                // stash its weight gradients for the deferred W pass.
+                let mut shadow = self.blocks_by_chunk[chunk as usize].clone();
+                for block in &mut shadow {
+                    for p in block.params_mut() {
+                        p.zero_grad();
+                    }
+                }
+                let dx0 = backward_blocks(&mut shadow, &caches, &dy)?;
+                let grads: Vec<Tensor> = shadow
+                    .iter_mut()
+                    .flat_map(|b| b.params_mut().into_iter().map(|p| p.grad().clone()))
+                    .collect();
+                self.w_stash.insert(k, chunk, grads);
+                dx0
+            } else {
+                backward_blocks(&mut self.blocks_by_chunk[chunk as usize], &caches, &dy)?
+            }
         };
         if vs > 0 {
             let (dst, _) = self.map.device_of(vs - 1);
@@ -343,12 +511,23 @@ impl Device {
             .remove(k, chunk)
             .expect("B stashed the weight gradients");
         let mut it = grads.iter();
-        for block in &mut self.blocks_by_chunk[chunk as usize] {
-            for p in block.params_mut() {
-                let g = it
-                    .next()
-                    .expect("stash matches the chunk's parameter count");
-                p.accumulate(g)?;
+        if self.tp.active() {
+            for block in &mut self.tp_blocks_by_chunk[chunk as usize] {
+                for p in block.params_mut() {
+                    let g = it
+                        .next()
+                        .expect("stash matches the chunk's parameter count");
+                    p.accumulate(g)?;
+                }
+            }
+        } else {
+            for block in &mut self.blocks_by_chunk[chunk as usize] {
+                for p in block.params_mut() {
+                    let g = it
+                        .next()
+                        .expect("stash matches the chunk's parameter count");
+                    p.accumulate(g)?;
+                }
             }
         }
         debug_assert!(
@@ -363,6 +542,11 @@ impl Device {
     pub(crate) fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut params: Vec<&mut Param> = Vec::new();
         for blocks in &mut self.blocks_by_chunk {
+            for block in blocks {
+                params.extend(block.params_mut());
+            }
+        }
+        for blocks in &mut self.tp_blocks_by_chunk {
             for block in blocks {
                 params.extend(block.params_mut());
             }
@@ -492,6 +676,7 @@ pub(crate) fn device_loop(
     rank: usize,
     endpoint: P2pEndpoint,
     c1: Collective,
+    tp_env: TpEnv,
     dp: Option<&(Collective, usize)>,
     select: &dyn Fn(u64, usize) -> Vec<Microbatch>,
     restore: Option<(&[u8], u64)>,
@@ -518,6 +703,31 @@ pub(crate) fn device_loop(
             full.blocks[vs * per_stage..(vs + 1) * per_stage].to_vec()
         })
         .collect();
+    // On a grid, slice each full block into this device's TP shard and
+    // drop the full copies: the sharded set *replaces* the full set, so a
+    // device holds 1/tp of the matmul weights (plus the replicated
+    // LayerNorms and biases), exactly as the §5.2 grid estimator counts.
+    let (blocks_by_chunk, tp_blocks_by_chunk) = if tp_env.active() {
+        let part = TpPartition::new(
+            tp_env.tp,
+            tp_env.tp_rank,
+            config.heads,
+            config.hidden,
+            config.hidden * config.ffn_mult,
+        );
+        let sharded = blocks_by_chunk
+            .iter()
+            .map(|blocks| {
+                blocks
+                    .iter()
+                    .map(|b| TpTransformerBlock::from_full(b, &part))
+                    .collect()
+            })
+            .collect();
+        (vec![Vec::new(); chunks as usize], sharded)
+    } else {
+        (blocks_by_chunk, Vec::new())
+    };
     // The device thread, its p2p endpoint and its communication stream all
     // write the same per-device timeline: blocking receives show up as
     // comm-wait spans, overlapped barrier jobs as comm-stream spans.
@@ -531,6 +741,8 @@ pub(crate) fn device_loop(
         config: config.clone(),
         map,
         blocks_by_chunk,
+        tp_blocks_by_chunk,
+        tp: tp_env,
         has_w: schedule.count_kind(rank, PassKind::W) > 0,
         pos: (rank == first_dev).then(|| Param::new(full.pos_weight.clone())),
         full_input: (mode == Mode::Baseline && rank == first_dev)
@@ -550,6 +762,7 @@ pub(crate) fn device_loop(
         c1_comm: Arc::new(c1),
         c1_stream,
         acts: ActivationStore::default(),
+        tp_acts: ActivationStore::default(),
         w_stash: WGradStash::default(),
         states: HashMap::new(),
         losses: Vec::new(),
@@ -607,7 +820,7 @@ pub(crate) fn device_loop(
             device.sync_grads(dp_comm)?;
         }
         device.optimizer_step(&mut adam)?;
-        if device.rank == reporter {
+        if device.rank == reporter && device.tp.tp_rank == 0 {
             let mut total: f64 = device.losses.drain(..).sum();
             if let Some((dp_comm, _)) = dp {
                 // Sum the replicas' loss contributions (all reporter-stage
@@ -633,7 +846,7 @@ pub(crate) fn device_loop(
     }
     let shard = device.save_state(adam.timestep());
     Ok(DeviceOutcome {
-        losses: if rank == reporter {
+        losses: if rank == reporter && device.tp.tp_rank == 0 {
             iteration_losses
         } else {
             Vec::new()
@@ -641,7 +854,10 @@ pub(crate) fn device_loop(
         shard,
         spans,
         iter_spans,
-        peak_resident: device.acts.peak_resident(),
+        peak_resident: device
+            .acts
+            .peak_resident()
+            .max(device.tp_acts.peak_resident()),
     })
 }
 
@@ -758,8 +974,18 @@ fn run_schedule(
                 let select =
                     move |iter: u64, m: usize| -> Vec<Microbatch> { corpus.iteration(iter, m) };
                 device_loop(
-                    config, schedule, iterations, rank, endpoint, comm, None, &select, None,
-                    &tracer, epoch,
+                    config,
+                    schedule,
+                    iterations,
+                    rank,
+                    endpoint,
+                    comm,
+                    TpEnv::solo(),
+                    None,
+                    &select,
+                    None,
+                    &tracer,
+                    epoch,
                 )
             }));
         }
@@ -778,16 +1004,17 @@ fn run_schedule(
             losses = o.losses.clone();
         }
     }
+    let refs: Vec<&DeviceOutcome> = outcomes.iter().collect();
     Ok(TrainReport {
         losses,
-        exec: assemble_report(schedule, &outcomes),
-        iter_wall: assemble_iter_wall(&outcomes),
+        exec: assemble_report(schedule, &refs),
+        iter_wall: assemble_iter_wall(&refs),
     })
 }
 
 /// Collapses the devices' per-iteration spans into one wall time per
 /// iteration: earliest start to latest end across all device threads.
-fn assemble_iter_wall(outcomes: &[DeviceOutcome]) -> Vec<f64> {
+pub(crate) fn assemble_iter_wall(outcomes: &[&DeviceOutcome]) -> Vec<f64> {
     let iterations = outcomes
         .iter()
         .map(|o| o.iter_spans.len())
@@ -815,7 +1042,7 @@ fn assemble_iter_wall(outcomes: &[DeviceOutcome]) -> Vec<f64> {
 /// zero, and the observed activation peaks fill the memory fields
 /// (activation units weigh each resident microbatch `1/chunks`, matching
 /// [`vp_schedule::exec::UnitCosts`]).
-fn assemble_report(schedule: &Schedule, outcomes: &[DeviceOutcome]) -> ExecReport {
+pub(crate) fn assemble_report(schedule: &Schedule, outcomes: &[&DeviceOutcome]) -> ExecReport {
     let t0 = outcomes
         .iter()
         .flat_map(|o| o.spans.iter().map(|&(s, _)| s))

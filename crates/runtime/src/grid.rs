@@ -1,0 +1,443 @@
+//! 2D grid execution: pipeline parallelism × Megatron-style tensor
+//! parallelism, composed exactly as PTD-P composes them (Narayanan et al.
+//! 2021) and as the paper's §6.2 measured configurations do.
+//!
+//! A [`DeviceGrid`] of `pp × tp` entries spawns one interpreter thread per
+//! entry. Each grid *column* (fixed `tp_rank`) is a complete pipeline: it
+//! runs the schedule's pass lists verbatim, including the vocabulary
+//! `S`/`T` passes and their `C0`/`C1`/`C2` traffic, over a column-private
+//! p2p network slice and `C1` communicator. Each grid *row* (one pipeline
+//! stage) shards its transformer blocks column-/row-wise over the TP axis
+//! and rendezvouses in the `f`/`g` conjugate collectives
+//! ([`TpSyncStyle::AllReduce`], or [`TpSyncStyle::Psa`] for the
+//! reduce-scatter + all-gather decomposition).
+//!
+//! Because every TP collective hands all row members the identical full
+//! activation, the columns are bitwise replicas of each other: the
+//! vocabulary shards, positional embedding and LayerNorms evolve
+//! identically in every column (which the tied-embedding test pins), and
+//! the `tp = 1` grid is bitwise the flat pipeline of [`train_schedule`].
+//!
+//! [`train_schedule`]: crate::engine::train_schedule
+
+use crate::data::{DataSource, Microbatch};
+use crate::engine::{
+    assemble_iter_wall, assemble_report, check_schedule, device_loop, DeviceOutcome, TpEnv,
+    TrainReport,
+};
+use crate::model::TinyConfig;
+use std::sync::Arc;
+use std::time::Instant;
+use vp_collectives::{Collective, CollectiveGroup, P2pNetwork};
+use vp_model::TpSyncStyle;
+use vp_schedule::grid::DeviceGrid;
+use vp_schedule::pass::Schedule;
+use vp_tensor::{Result, TensorError};
+
+/// Trains the tiny model on a `pp × tp` device grid: the schedule runs on
+/// the pipeline axis (its device count must equal `grid.pp()`), and every
+/// stage's transformer blocks are sharded over the `tp` tensor ranks of
+/// its grid row, synchronized by `sync`.
+///
+/// With `tp = 1` this is bitwise identical to
+/// [`crate::engine::train_schedule`]; with `tp > 1` the loss trajectory
+/// matches the single-device reference within the same tolerance as the
+/// flat pipeline (and [`TpSyncStyle::Psa`] is bitwise equal to
+/// [`TpSyncStyle::AllReduce`], since both sum shards in rank order).
+///
+/// # Errors
+///
+/// Returns an error for invalid `(config, schedule)` pairs (as in
+/// [`crate::engine::train_schedule`]), a schedule/grid pipeline-depth
+/// mismatch, or a TP width that does not divide the head count and FFN
+/// width (shards are head-aligned).
+///
+/// # Panics
+///
+/// Panics if a device thread panics.
+pub fn train_schedule_grid(
+    config: &TinyConfig,
+    schedule: &Schedule,
+    grid: DeviceGrid,
+    sync: TpSyncStyle,
+    iterations: usize,
+    corpus: &DataSource,
+) -> Result<TrainReport> {
+    run_grid(config, schedule, grid, sync, iterations, corpus).map(|(report, _)| report)
+}
+
+/// The grid runner behind [`train_schedule_grid`]: also hands back the raw
+/// per-device outcomes (indexed by global rank) so tests can inspect
+/// checkpoint shards across a TP row.
+pub(crate) fn run_grid(
+    config: &TinyConfig,
+    schedule: &Schedule,
+    grid: DeviceGrid,
+    sync: TpSyncStyle,
+    iterations: usize,
+    corpus: &DataSource,
+) -> Result<(TrainReport, Vec<DeviceOutcome>)> {
+    check_schedule(config, schedule)?;
+    if schedule.devices() != grid.pp() {
+        return Err(TensorError::InvalidArgument(format!(
+            "schedule spans {} devices but the grid's pipeline depth is {}",
+            schedule.devices(),
+            grid.pp()
+        )));
+    }
+    let (pp, tp) = (grid.pp(), grid.tp());
+    let ffn = config.hidden * config.ffn_mult;
+    if !config.heads.is_multiple_of(tp) || !ffn.is_multiple_of(tp) {
+        return Err(TensorError::InvalidArgument(format!(
+            "tp {} must divide the head count {} and the FFN width {ffn} (head-aligned shards)",
+            tp, config.heads
+        )));
+    }
+    let endpoints = P2pNetwork::new(grid.devices());
+    // One C1 communicator per grid column (a full pipeline), one row
+    // communicator per stage (its tp shards) — the explicit process groups
+    // of `DeviceGrid::{pp_groups, tp_groups}`.
+    let mut c1_per_column: Vec<Vec<Option<Collective>>> = (0..tp)
+        .map(|_| CollectiveGroup::new(pp).into_iter().map(Some).collect())
+        .collect();
+    let mut row_comms: Vec<Vec<Option<Collective>>> = (0..pp)
+        .map(|_| CollectiveGroup::new(tp).into_iter().map(Some).collect())
+        .collect();
+    let epoch = Instant::now();
+    let results: Vec<Result<DeviceOutcome>> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for endpoint in endpoints {
+            let global = endpoint.rank();
+            let (pp_rank, tp_rank) = grid.coords(global);
+            let c1 = c1_per_column[tp_rank][pp_rank]
+                .take()
+                .expect("one C1 handle per grid entry");
+            let row = (tp > 1).then(|| {
+                row_comms[pp_rank][tp_rank]
+                    .take()
+                    .expect("one row handle per grid entry")
+            });
+            let tp_env = TpEnv {
+                tp,
+                tp_rank,
+                comm: row.map(Arc::new),
+                sync,
+            };
+            let corpus = corpus.clone();
+            joins.push(scope.spawn(move || {
+                let select =
+                    move |iter: u64, m: usize| -> Vec<Microbatch> { corpus.iteration(iter, m) };
+                device_loop(
+                    config,
+                    schedule,
+                    iterations,
+                    pp_rank,
+                    endpoint,
+                    c1,
+                    tp_env,
+                    None,
+                    &select,
+                    None,
+                    &vp_trace::Tracer::off(),
+                    epoch,
+                )
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("device thread panicked"))
+            .collect()
+    });
+    let mut outcomes = Vec::with_capacity(grid.devices());
+    for r in results {
+        outcomes.push(r?);
+    }
+    // Column 0 feeds the timing report: rows are symmetric, so one column
+    // carries the same pipeline shape the schedule describes.
+    let col0: Vec<&DeviceOutcome> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(g, _)| grid.coords(*g).1 == 0)
+        .map(|(_, o)| o)
+        .collect();
+    let mut losses = Vec::new();
+    for o in &col0 {
+        if !o.losses.is_empty() {
+            losses = o.losses.clone();
+        }
+    }
+    let report = TrainReport {
+        losses,
+        exec: assemble_report(schedule, &col0),
+        iter_wall: assemble_iter_wall(&col0),
+    };
+    Ok((report, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticCorpus;
+    use crate::engine::train_schedule;
+    use crate::reference::train_reference;
+    use vp_schedule::block::PassTimes;
+    use vp_schedule::generators;
+    use vp_schedule::pass::VocabVariant;
+    use vp_tensor::Tensor;
+
+    fn source(config: &TinyConfig) -> DataSource {
+        DataSource::Synthetic(SyntheticCorpus::new(
+            config.vocab,
+            config.seq_len,
+            config.seed,
+        ))
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() < tol * (1.0 + x.abs()),
+                "iteration {i}: {x} vs {y} (full: {a:?} vs {b:?})"
+            );
+        }
+    }
+
+    fn vocab_schedule(devices: usize, m: u32) -> Schedule {
+        generators::vocab_1f1b(devices, m, VocabVariant::Alg2, PassTimes::default(), true)
+    }
+
+    /// The tentpole's numeric claim: TP-sharded pipelines (tp ∈ {2, 4})
+    /// train to the single-device reference within the flat pipeline's
+    /// tolerance.
+    #[test]
+    fn tp_sharded_vocab_pipeline_matches_reference() {
+        let config = TinyConfig::default();
+        let reference = train_reference(&config, 5).unwrap();
+        let schedule = vocab_schedule(2, config.microbatches as u32);
+        for tp in [2, 4] {
+            let report = train_schedule_grid(
+                &config,
+                &schedule,
+                DeviceGrid::new(2, tp),
+                TpSyncStyle::AllReduce,
+                5,
+                &source(&config),
+            )
+            .unwrap_or_else(|e| panic!("tp {tp}: {e}"));
+            assert_close(&reference, &report.losses, 1e-3);
+        }
+    }
+
+    /// The degenerate column: a `pp × 1` grid is bitwise the flat pipeline.
+    #[test]
+    fn tp1_grid_is_bitwise_the_flat_pipeline() {
+        let config = TinyConfig::default();
+        let schedule = vocab_schedule(4, config.microbatches as u32);
+        let flat = train_schedule(&config, &schedule, 4, &source(&config)).unwrap();
+        let grid = train_schedule_grid(
+            &config,
+            &schedule,
+            DeviceGrid::new(4, 1),
+            TpSyncStyle::AllReduce,
+            4,
+            &source(&config),
+        )
+        .unwrap();
+        assert_eq!(flat.losses, grid.losses, "tp = 1 must not perturb a bit");
+    }
+
+    /// PSA (reduce-scatter + all-gather) is bitwise equal to the all-reduce
+    /// style: the deterministic collectives sum shards in rank order either
+    /// way.
+    #[test]
+    fn psa_is_bitwise_equal_to_all_reduce() {
+        let config = TinyConfig::default();
+        let schedule = vocab_schedule(2, config.microbatches as u32);
+        let grid = DeviceGrid::new(2, 2);
+        let ar = train_schedule_grid(
+            &config,
+            &schedule,
+            grid,
+            TpSyncStyle::AllReduce,
+            4,
+            &source(&config),
+        )
+        .unwrap();
+        let psa = train_schedule_grid(
+            &config,
+            &schedule,
+            grid,
+            TpSyncStyle::Psa,
+            4,
+            &source(&config),
+        )
+        .unwrap();
+        assert_eq!(ar.losses, psa.losses);
+    }
+
+    /// The baseline (Megatron-style) vocabulary placement also runs
+    /// TP-sharded: the grid composes with both placements.
+    #[test]
+    fn baseline_placement_trains_on_the_grid() {
+        let config = TinyConfig::default();
+        let reference = train_reference(&config, 4).unwrap();
+        let schedule = generators::one_f_one_b(2, config.microbatches as u32, PassTimes::default());
+        let report = train_schedule_grid(
+            &config,
+            &schedule,
+            DeviceGrid::new(2, 2),
+            TpSyncStyle::AllReduce,
+            4,
+            &source(&config),
+        )
+        .unwrap();
+        assert_close(&reference, &report.losses, 1e-3);
+    }
+
+    /// Zero-bubble B/W splitting under TP: the shadow backward enters the
+    /// row collectives, the deferred W stays local (as Megatron's wgrad
+    /// does), and the trajectory still matches the reference.
+    #[test]
+    fn zero_bubble_tp_grid_matches_reference() {
+        let config = TinyConfig::default();
+        let reference = train_reference(&config, 4).unwrap();
+        let times = PassTimes {
+            f: 1.0,
+            b: 1.0,
+            w: 1.0,
+            ..PassTimes::default()
+        };
+        let schedule = generators::zb_vocab_1f1b(
+            2,
+            config.microbatches as u32,
+            VocabVariant::Alg2,
+            times,
+            true,
+        );
+        let report = train_schedule_grid(
+            &config,
+            &schedule,
+            DeviceGrid::new(2, 2),
+            TpSyncStyle::AllReduce,
+            4,
+            &source(&config),
+        )
+        .unwrap();
+        assert_close(&reference, &report.losses, 1e-3);
+    }
+
+    fn shard_params(blob: &[u8]) -> Vec<(Tensor, Tensor, Tensor)> {
+        use vp_tensor::io::{read_tensor, read_u32};
+        let mut input = blob;
+        let _timestep = read_u32(&mut input).unwrap();
+        let n = read_u32(&mut input).unwrap() as usize;
+        (0..n)
+            .map(|_| {
+                let value = read_tensor(&mut input).unwrap();
+                let m = read_tensor(&mut input).unwrap();
+                let v = read_tensor(&mut input).unwrap();
+                (value, m, v)
+            })
+            .collect()
+    }
+
+    fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
+        a.shape() == b.shape()
+            && a.data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    /// Tied input/output embeddings stay tied when the vocab axis (sharded
+    /// over pp) and the TP axis are both active on the same device: each
+    /// device holds a *single* tied weight tensor receiving both the input-
+    /// and output-side gradients, its replicas across a TP row stay bitwise
+    /// identical (values and Adam moments), and the losses match the tied
+    /// single-device reference.
+    #[test]
+    fn tied_embeddings_stay_tied_under_tp() {
+        let config = TinyConfig {
+            tied: true,
+            ..TinyConfig::default()
+        };
+        let reference = train_reference(&config, 5).unwrap();
+        let grid = DeviceGrid::new(2, 2);
+        let schedule = vocab_schedule(2, config.microbatches as u32);
+        let (report, outcomes) = run_grid(
+            &config,
+            &schedule,
+            grid,
+            TpSyncStyle::AllReduce,
+            5,
+            &source(&config),
+        )
+        .unwrap();
+        assert_close(&reference, &report.losses, 1e-3);
+        let blocks_per_stage = config.layers / grid.pp();
+        for pp_rank in 0..grid.pp() {
+            let a = shard_params(&outcomes[grid.global(pp_rank, 0)].shard);
+            let b = shard_params(&outcomes[grid.global(pp_rank, 1)].shard);
+            // Single tied tensor: 12 params per TP block, the positional
+            // embedding on the first stage, and exactly ONE vocabulary
+            // parameter (an untied run would carry two).
+            let expected = blocks_per_stage * 12 + usize::from(pp_rank == 0) + 1;
+            assert_eq!(a.len(), expected, "stage {pp_rank} parameter count");
+            assert_eq!(b.len(), expected);
+            // The tied shard is the last parameter; its value and moments
+            // must be bitwise identical across the TP row (both columns saw
+            // identical full activations and gradients).
+            let (av, am, avv) = a.last().unwrap();
+            let (bv, bm, bvv) = b.last().unwrap();
+            // The tied parameter is a vocab-shard table `[rows, h]`, not a
+            // TP-sharded matrix: its width is the full hidden size.
+            assert_eq!(av.shape().1, config.hidden);
+            assert!(av.shape().0 > 0 && av.shape().0 < config.vocab);
+            assert!(
+                bits_eq(av, bv),
+                "tied shard values diverged on stage {pp_rank}"
+            );
+            assert!(
+                bits_eq(am, bm) && bits_eq(avv, bvv),
+                "tied shard moments diverged"
+            );
+            // Sanity: the row members are NOT identical wholesale — their
+            // transformer shards hold different weight columns.
+            assert!(
+                a.iter()
+                    .zip(&b)
+                    .any(|((x, _, _), (y, _, _))| !bits_eq(x, y)),
+                "row members should differ in their TP shards"
+            );
+        }
+    }
+
+    /// Grid misuse is rejected with actionable errors rather than panics.
+    #[test]
+    fn mismatched_grid_and_unaligned_tp_are_rejected() {
+        let config = TinyConfig::default();
+        let schedule = vocab_schedule(2, config.microbatches as u32);
+        let err = train_schedule_grid(
+            &config,
+            &schedule,
+            DeviceGrid::new(4, 2),
+            TpSyncStyle::AllReduce,
+            1,
+            &source(&config),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("pipeline depth"));
+        // heads = 4: tp = 3 cannot produce head-aligned shards.
+        let err = train_schedule_grid(
+            &config,
+            &schedule,
+            DeviceGrid::new(2, 3),
+            TpSyncStyle::AllReduce,
+            1,
+            &source(&config),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("head"));
+    }
+}

@@ -30,6 +30,9 @@
 //!   a per-device communication stream, and step Adam locally. Its
 //!   [`train_schedule`] entry point reports real
 //!   pass timings in the simulator's `ExecReport` shape.
+//! * [`grid`] — 2D grid execution: the schedule's pipeline axis × a
+//!   Megatron-style tensor-parallel axis, with each stage's transformer
+//!   blocks sharded over its grid row (all-reduce or PSA synchronization).
 //! * [`pipeline`] — schedule-family front end over the engine: maps a
 //!   `(Mode, ScheduleFamily)` selection onto the matching generator.
 //!
@@ -44,6 +47,7 @@ pub mod distributed_ckpt;
 pub mod dp;
 pub mod engine;
 pub mod eval;
+pub mod grid;
 pub mod model;
 pub mod pipeline;
 pub mod reference;
@@ -56,7 +60,10 @@ pub use distributed_ckpt::{train_pipeline_checkpointed, PipelineCheckpoint};
 pub use dp::train_pipeline_dp;
 pub use engine::{mode_of_schedule, train_schedule, train_schedule_traced, TrainReport};
 pub use eval::EvalReport;
+pub use grid::train_schedule_grid;
 pub use model::{FullModel, TinyConfig};
 pub use pipeline::{train_pipeline, train_pipeline_on, train_pipeline_with, Mode, ScheduleFamily};
 pub use reference::{train_reference, train_reference_on};
+pub use vp_model::TpSyncStyle;
+pub use vp_schedule::grid::DeviceGrid;
 pub use vp_trace::{TimelineReport, TraceLog, Tracer};

@@ -17,22 +17,32 @@ use vp_tensor::{Result, Tensor, TensorError};
 
 /// Resident transformer activations, keyed `(microbatch, chunk)`: filled
 /// by `F`, drained by `B`, with the peak population recorded for the
-/// memory-equivalence property tests.
-#[derive(Default)]
-pub(crate) struct ActivationStore {
-    caches: HashMap<(u32, u8), Vec<BlockCache>>,
+/// memory-equivalence property tests. Generic over the cache type so the
+/// tensor-parallel blocks (whose caches carry sharded intermediates) share
+/// the same bookkeeping as the full blocks.
+pub(crate) struct ActivationStore<C = BlockCache> {
+    caches: HashMap<(u32, u8), Vec<C>>,
     peak: usize,
 }
 
-impl ActivationStore {
+impl<C> Default for ActivationStore<C> {
+    fn default() -> Self {
+        ActivationStore {
+            caches: HashMap::new(),
+            peak: 0,
+        }
+    }
+}
+
+impl<C> ActivationStore<C> {
     /// Parks the block caches produced by an `F` pass.
-    pub(crate) fn insert(&mut self, microbatch: u32, chunk: u8, caches: Vec<BlockCache>) {
+    pub(crate) fn insert(&mut self, microbatch: u32, chunk: u8, caches: Vec<C>) {
         self.caches.insert((microbatch, chunk), caches);
         self.peak = self.peak.max(self.caches.len());
     }
 
     /// Takes the caches for the matching `B` pass.
-    pub(crate) fn remove(&mut self, microbatch: u32, chunk: u8) -> Option<Vec<BlockCache>> {
+    pub(crate) fn remove(&mut self, microbatch: u32, chunk: u8) -> Option<Vec<C>> {
         self.caches.remove(&(microbatch, chunk))
     }
 
@@ -165,7 +175,7 @@ mod tests {
 
     #[test]
     fn activation_store_tracks_peak_population() {
-        let mut store = ActivationStore::default();
+        let mut store: ActivationStore = ActivationStore::default();
         store.insert(0, 0, Vec::new());
         store.insert(1, 0, Vec::new());
         assert!(store.remove(0, 0).is_some());

@@ -4,6 +4,7 @@
 use vp_model::config::ModelConfig;
 use vp_model::cost::{CostModel, VocabAlgo};
 use vp_model::partition::{StageLayout, VocabPlacement};
+use vp_model::TpSyncStyle;
 use vp_schedule::deps::EdgeKind;
 use vp_schedule::exec::Costs;
 use vp_schedule::pass::{PassKind, ScheduledPass};
@@ -33,6 +34,10 @@ pub struct SimCosts {
     pub disable_sync_collectives: bool,
     /// Whether the schedule splits W out of B (zero-bubble style; V-Half).
     split_w: bool,
+    /// Tensor-parallel width of each stage's grid row (1 = flat pipeline).
+    tp: usize,
+    /// How the grid row synchronizes sharded blocks (all-reduce vs. PSA).
+    tp_sync: TpSyncStyle,
 }
 
 impl SimCosts {
@@ -56,6 +61,8 @@ impl SimCosts {
             shard_width,
             disable_sync_collectives: false,
             split_w: false,
+            tp: 1,
+            tp_sync: TpSyncStyle::AllReduce,
         }
     }
 
@@ -100,6 +107,8 @@ impl SimCosts {
             shard_width: part.shard_width(),
             disable_sync_collectives: false,
             split_w: true,
+            tp: 1,
+            tp_sync: TpSyncStyle::AllReduce,
         }
     }
 
@@ -138,6 +147,8 @@ impl SimCosts {
             shard_width: part.shard_width(),
             disable_sync_collectives: false,
             split_w: false,
+            tp: 1,
+            tp_sync: TpSyncStyle::AllReduce,
         }
     }
 
@@ -145,6 +156,39 @@ impl SimCosts {
     pub fn with_split_w(mut self) -> Self {
         self.split_w = true;
         self
+    }
+
+    /// Shards every transformer chunk over a grid row of `tp` tensor
+    /// ranks synchronized with `sync`: matmul time divides by `tp` (at the
+    /// narrower shard's kernel efficiency) and each sharded layer pays the
+    /// exposed Megatron `f`/`g` collective time per direction. `tp = 1`
+    /// leaves every cost bitwise unchanged. Vocabulary and full input /
+    /// output layers are *not* sharded — as in the runtime grid, each
+    /// pipeline column replicates them.
+    pub fn with_tp(mut self, tp: usize, sync: TpSyncStyle) -> Self {
+        assert!(tp > 0, "tensor-parallel width must be positive");
+        self.tp = tp;
+        self.tp_sync = sync;
+        self
+    }
+
+    /// The tensor-parallel width the costs are priced for.
+    pub fn tp(&self) -> usize {
+        self.tp
+    }
+
+    /// Exposed TP collective seconds per sharded layer in one direction
+    /// (zero at `tp = 1`; PSA keeps only its exposed fraction on the
+    /// critical path).
+    fn tp_comm_layer_seconds(&self) -> f64 {
+        if self.tp <= 1 {
+            return 0.0;
+        }
+        let base = self.model.tp_comm_seconds_per_layer(self.tp);
+        match self.tp_sync {
+            TpSyncStyle::AllReduce => base,
+            TpSyncStyle::Psa => base * self.model.psa_exposed_fraction(),
+        }
     }
 
     /// The underlying cost model.
@@ -187,15 +231,16 @@ impl SimCosts {
             .sum::<usize>() as f64
             / self.chunks.iter().map(Vec::len).sum::<usize>() as f64;
         let algo = self.algo.unwrap_or(VocabAlgo::Alg1);
+        let comm = self.tp_comm_layer_seconds();
         vp_schedule::block::PassTimes {
-            f: m.transformer_f_seconds(1) * mean_layers,
+            f: (m.transformer_f_seconds_tp(1, self.tp) + comm) * mean_layers,
             b: if self.split_w {
-                m.transformer_b_only_seconds(1) * mean_layers
+                (m.transformer_b_only_seconds_tp(1, self.tp) + comm) * mean_layers
             } else {
-                m.transformer_bw_seconds(1) * mean_layers
+                (m.transformer_bw_seconds_tp(1, self.tp) + comm) * mean_layers
             },
             w: if self.split_w {
-                m.transformer_w_seconds(1) * mean_layers
+                m.transformer_w_seconds_tp(1, self.tp) * mean_layers
             } else {
                 0.0
             },
@@ -215,7 +260,8 @@ impl Costs for SimCosts {
         let algo = self.algo.unwrap_or(VocabAlgo::Alg1);
         match pass.kind {
             PassKind::F => {
-                let mut t = m.transformer_f_seconds(spec.layers);
+                let mut t = m.transformer_f_seconds_tp(spec.layers, self.tp)
+                    + spec.layers as f64 * self.tp_comm_layer_seconds();
                 if spec.full_output {
                     t += m.output_full_f_seconds();
                 }
@@ -226,10 +272,11 @@ impl Costs for SimCosts {
             }
             PassKind::B => {
                 let mut t = if self.split_w {
-                    m.transformer_b_only_seconds(spec.layers)
+                    m.transformer_b_only_seconds_tp(spec.layers, self.tp)
                 } else {
-                    m.transformer_bw_seconds(spec.layers)
+                    m.transformer_bw_seconds_tp(spec.layers, self.tp)
                 };
+                t += spec.layers as f64 * self.tp_comm_layer_seconds();
                 if spec.full_output {
                     t += m.output_full_bw_seconds();
                 }
@@ -238,9 +285,11 @@ impl Costs for SimCosts {
                 }
                 t
             }
+            // Weight gradients are rank-local under TP (Megatron folds no
+            // collective into wgrad), so `W` pays compute only.
             PassKind::W => {
                 if self.split_w {
-                    m.transformer_w_seconds(spec.layers)
+                    m.transformer_w_seconds_tp(spec.layers, self.tp)
                 } else {
                     0.0
                 }
@@ -301,7 +350,11 @@ impl Costs for SimCosts {
 
     fn activation_units(&self, device: usize, chunk: u8) -> f64 {
         let spec = self.chunk(device, chunk);
-        spec.layers as f64 * self.model.act_bytes_per_layer()
+        // Sharded layers stash smaller activations (§5.2's estimator
+        // extended to the grid); the scale is exactly 1 at tp = 1.
+        spec.layers as f64
+            * self.model.act_bytes_per_layer()
+            * self.tp_sync.activation_scale(self.tp)
     }
 
     fn vocab_buffer_units(&self, _device: usize) -> f64 {
@@ -377,6 +430,64 @@ mod tests {
         let intra = costs.edge_seconds(EdgeKind::ActivationP2p, 3, 4);
         let inter = costs.edge_seconds(EdgeKind::ActivationP2p, 7, 8);
         assert!(inter > intra);
+    }
+
+    #[test]
+    fn tp1_costs_are_bitwise_the_flat_costs() {
+        let m = model(64 * 1024);
+        let layout = StageLayout::vocab_parallel(&m.config, 8);
+        let flat = SimCosts::for_layout(m, &layout, Some(VocabAlgo::Alg2));
+        for sync in [TpSyncStyle::AllReduce, TpSyncStyle::Psa] {
+            let grid = flat.clone().with_tp(1, sync);
+            for kind in [
+                PassKind::F,
+                PassKind::B,
+                PassKind::W,
+                PassKind::S,
+                PassKind::T,
+            ] {
+                assert_eq!(
+                    grid.pass_seconds(3, &ScheduledPass::new(kind, 0)).to_bits(),
+                    flat.pass_seconds(3, &ScheduledPass::new(kind, 0)).to_bits(),
+                    "{kind:?}"
+                );
+            }
+            let (a, b) = (flat.pass_times(), grid.pass_times());
+            assert_eq!(a.f.to_bits(), b.f.to_bits());
+            assert_eq!(a.b.to_bits(), b.b.to_bits());
+            assert_eq!(a.w.to_bits(), b.w.to_bits());
+            assert_eq!(
+                flat.activation_units(3, 0).to_bits(),
+                grid.activation_units(3, 0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn tp_shards_compute_sublinearly_and_pays_comm() {
+        let m = model(64 * 1024);
+        let layout = StageLayout::vocab_parallel(&m.config, 8);
+        let flat = SimCosts::for_layout(m, &layout, Some(VocabAlgo::Alg1));
+        let tp4 = flat.clone().with_tp(4, TpSyncStyle::AllReduce);
+        let psa4 = flat.clone().with_tp(4, TpSyncStyle::Psa);
+        let f = |c: &SimCosts| c.pass_seconds(3, &ScheduledPass::new(PassKind::F, 0));
+        assert!(f(&tp4) < f(&flat), "sharding must pay off");
+        assert!(
+            f(&tp4) > f(&flat) / 4.0,
+            "narrower shards and exposed collectives make it sublinear"
+        );
+        assert!(f(&psa4) < f(&tp4), "PSA hides part of the collective");
+        // W pays no collective: exactly the sharded compute.
+        let w = |c: &SimCosts| c.pass_seconds(3, &ScheduledPass::new(PassKind::W, 0));
+        let w_flat = flat.clone().with_split_w();
+        let w_tp = w_flat.clone().with_tp(4, TpSyncStyle::AllReduce);
+        assert!(w(&w_tp) < w(&w_flat));
+        // Sharded layers stash smaller activations; PSA shards more.
+        assert!(tp4.activation_units(3, 0) < flat.activation_units(3, 0));
+        assert!(psa4.activation_units(3, 0) < tp4.activation_units(3, 0));
+        // Vocabulary passes replicate per column: unchanged under TP.
+        let s = |c: &SimCosts| c.pass_seconds(3, &ScheduledPass::new(PassKind::S, 0));
+        assert_eq!(s(&tp4).to_bits(), s(&flat).to_bits());
     }
 
     #[test]

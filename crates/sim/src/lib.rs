@@ -27,9 +27,12 @@ pub mod timeline;
 
 pub use costs::SimCosts;
 pub use method::{
-    run_1f1b, run_barrier_ablation, run_interlaced_ablation, run_interleaved_vocab, run_vhalf,
-    run_vocab_variant, run_zero_bubble, Method, VHalfMethod,
+    run_1f1b, run_1f1b_grid, run_barrier_ablation, run_interlaced_ablation, run_interleaved_vocab,
+    run_vhalf, run_vocab_variant, run_zero_bubble, Method, VHalfMethod,
 };
 pub use report::SimReport;
-pub use sweep::{microbatch_sweep, to_csv, vocab_sweep, vocab_sweep_vhalf, SweepPoint};
+pub use sweep::{
+    microbatch_sweep, to_csv, tp_crossover_sweep, vocab_sweep, vocab_sweep_vhalf, GridSweepPoint,
+    SweepPoint,
+};
 pub use timeline::{compare_timelines, DivergenceReport, KindDrift};

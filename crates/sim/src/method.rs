@@ -7,8 +7,10 @@ use crate::report::SimReport;
 use vp_model::config::ModelConfig;
 use vp_model::cost::{CostModel, Hardware, VocabAlgo};
 use vp_model::partition::{StageLayout, VocabPartition};
+use vp_model::TpSyncStyle;
 use vp_schedule::exec::{ExecReport, Executor};
 use vp_schedule::generators;
+use vp_schedule::grid::DeviceGrid;
 use vp_schedule::pass::{Schedule, VocabVariant};
 
 /// The five methods compared on the 1F1B schedule (§6.2).
@@ -149,6 +151,122 @@ pub fn run_1f1b(
         static_bytes,
         &extra,
     )
+}
+
+/// Simulates one method on the 1F1B schedule over a `pp × tp` device
+/// grid: the schedule's device axis is the grid's pipeline axis, and each
+/// stage's transformer layers shard across its row of `tp` tensor ranks
+/// (Megatron `f`/`g`, or the PSA variant, per `sync`). Vocabulary shards
+/// and full input/output layers replicate per column, exactly as the
+/// runtime grid executes them. At `tp = 1` the report is bitwise
+/// identical to [`run_1f1b`].
+///
+/// # Panics
+///
+/// Panics if the generated schedule fails validation (a generator bug).
+pub fn run_1f1b_grid(
+    method: Method,
+    config: &ModelConfig,
+    grid: DeviceGrid,
+    sync: TpSyncStyle,
+    hardware: Hardware,
+) -> SimReport {
+    let model = CostModel::new(config.clone(), hardware);
+    let pp = grid.pp();
+    let m = config.num_microbatches as u32;
+    let (costs, schedule) = match method {
+        Method::Baseline | Method::Redis => {
+            let layout = if method == Method::Baseline {
+                StageLayout::baseline(config, pp)
+            } else {
+                StageLayout::redistributed(config, pp)
+            };
+            let costs = SimCosts::for_layout(model, &layout, None).with_tp(grid.tp(), sync);
+            let schedule = generators::one_f_one_b(pp, m, costs.pass_times());
+            (costs, schedule)
+        }
+        Method::Vocab1 | Method::Vocab2 => {
+            let (variant, algo) = if method == Method::Vocab1 {
+                (VocabVariant::Alg1, VocabAlgo::Alg1)
+            } else {
+                (VocabVariant::Alg2, VocabAlgo::Alg2)
+            };
+            let layout = StageLayout::vocab_parallel(config, pp);
+            let costs = SimCosts::for_layout(model, &layout, Some(algo)).with_tp(grid.tp(), sync);
+            let schedule = generators::vocab_1f1b(pp, m, variant, costs.pass_times(), true);
+            (costs, schedule)
+        }
+        Method::Interlaced => {
+            let layout = StageLayout::vocab_parallel(config, pp);
+            let costs = SimCosts::for_layout(model, &layout, Some(VocabAlgo::Alg1))
+                .with_tp(grid.tp(), sync);
+            let schedule = generators::interlaced_1f1b(pp, m, costs.pass_times());
+            (costs, schedule)
+        }
+    };
+    let report = Executor::new(&costs)
+        .run(&schedule)
+        .expect("generated schedule must validate");
+    let (static_bytes, extra) = memory_1f1b_grid(method, &costs, config, grid, sync);
+    let mut out = finish(
+        method.name(),
+        &costs,
+        &schedule,
+        &report,
+        static_bytes,
+        &extra,
+    );
+    // MFU and the device count account for the whole grid, not just one
+    // column; per-device vectors stay per pipeline stage (columns are
+    // replicas). Bitwise unchanged at tp = 1.
+    out.devices = grid.devices();
+    out.mfu = costs.model().mfu(report.makespan, grid.devices());
+    out
+}
+
+/// Per-stage static/transient memory for [`run_1f1b_grid`]: as
+/// [`memory_1f1b`], but each tensor rank holds `1/tp` of the transformer
+/// matmul weights, while vocabulary shards and full vocabulary layers
+/// replicate across the row.
+fn memory_1f1b_grid(
+    method: Method,
+    costs: &SimCosts,
+    config: &ModelConfig,
+    grid: DeviceGrid,
+    sync: TpSyncStyle,
+) -> (Vec<f64>, Vec<f64>) {
+    let m = costs.model();
+    let pp = grid.pp();
+    let tp = grid.tp() as u64;
+    let part = VocabPartition::new(config.vocab, pp);
+    let tokens = (config.microbatch * config.seq_len) as f64;
+    let mut static_bytes = Vec::with_capacity(pp);
+    let mut extra = vec![0.0; pp];
+    #[allow(clippy::needless_range_loop)] // d also indexes the chunk table
+    for d in 0..pp {
+        let spec = costs.chunk(d, 0);
+        let mut params = spec.layers as u64 * config.transformer_layer_params() / tp;
+        if spec.full_input {
+            params += config.vocab_layer_params();
+        }
+        if spec.full_output {
+            params += config.vocab_layer_params();
+            // Full-vocabulary logits + softmax held transiently (fp32);
+            // PSA shards even this transient across the row.
+            extra[d] += 4.0
+                * tokens
+                * config.vocab as f64
+                * match sync {
+                    TpSyncStyle::AllReduce => 1.0,
+                    TpSyncStyle::Psa => 1.0 / tp as f64,
+                };
+        }
+        if matches!(method, Method::Vocab1 | Method::Vocab2 | Method::Interlaced) {
+            params += 2 * (part.shard_width() * config.hidden) as u64;
+        }
+        static_bytes.push(m.param_state_bytes(params));
+    }
+    (static_bytes, extra)
 }
 
 fn memory_1f1b(
@@ -637,6 +755,65 @@ mod tests {
         assert!(naive.max_memory_gb() > alg2.max_memory_gb());
         // Throughputs within a few percent of each other.
         assert!((naive.mfu - alg2.mfu).abs() < 0.05 * alg2.mfu);
+    }
+
+    /// A `pp × 1` grid is the flat pipeline, bitwise — every method.
+    #[test]
+    fn grid_tp1_is_bitwise_the_flat_run() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt4B, 128, 2048);
+        for method in Method::all() {
+            let flat = run_1f1b(method, &config, 8, hw.clone());
+            let grid = run_1f1b_grid(
+                method,
+                &config,
+                DeviceGrid::new(8, 1),
+                TpSyncStyle::AllReduce,
+                hw.clone(),
+            );
+            assert_eq!(
+                grid.iteration_seconds.to_bits(),
+                flat.iteration_seconds.to_bits(),
+                "{method:?}"
+            );
+            assert_eq!(grid.mfu.to_bits(), flat.mfu.to_bits(), "{method:?}");
+            assert_eq!(grid.devices, flat.devices);
+            for d in 0..8 {
+                assert_eq!(
+                    grid.peak_memory_bytes[d].to_bits(),
+                    flat.peak_memory_bytes[d].to_bits(),
+                    "{method:?} device {d}"
+                );
+                assert_eq!(
+                    grid.bubble_fraction[d].to_bits(),
+                    flat.bubble_fraction[d].to_bits()
+                );
+            }
+        }
+    }
+
+    /// Widening the tensor axis shards parameters and shortens stage
+    /// passes; PSA exposes less collective time than all-reduce.
+    #[test]
+    fn grid_tp_shards_memory_and_psa_is_faster() {
+        let hw = Hardware::default();
+        let config = cfg(ModelPreset::Gpt4B, 128, 2048);
+        let grid = DeviceGrid::new(4, 4);
+        let ar = run_1f1b_grid(
+            Method::Vocab2,
+            &config,
+            grid,
+            TpSyncStyle::AllReduce,
+            hw.clone(),
+        );
+        let psa = run_1f1b_grid(Method::Vocab2, &config, grid, TpSyncStyle::Psa, hw.clone());
+        assert!(psa.iteration_seconds < ar.iteration_seconds);
+        assert!(psa.max_memory_gb() < ar.max_memory_gb());
+        // Both hold far less static state per device than the 4-deep
+        // flat pipeline (transformer weights divide by tp).
+        let flat = run_1f1b(Method::Vocab2, &config, 4, hw);
+        assert!(ar.param_bytes[1] < 0.5 * flat.param_bytes[1]);
+        assert_eq!(ar.devices, 16);
     }
 
     /// V-Half's activation memory is balanced and lower than 1F1B's

@@ -1,10 +1,12 @@
 //! Parameter sweeps over the simulator, with CSV export — the data series
 //! behind the paper's figures (and any new ones a user wants to plot).
 
-use crate::method::{run_1f1b, run_vhalf, Method, VHalfMethod};
+use crate::method::{run_1f1b, run_1f1b_grid, run_vhalf, Method, VHalfMethod};
 use crate::report::SimReport;
 use vp_model::config::ModelConfig;
 use vp_model::cost::Hardware;
+use vp_model::TpSyncStyle;
+use vp_schedule::grid::DeviceGrid;
 
 /// One point of a sweep: the varied value and the simulation result.
 #[derive(Debug, Clone)]
@@ -77,6 +79,45 @@ pub fn microbatch_sweep(
                 devices,
                 hardware.clone(),
             ),
+        })
+        .collect()
+}
+
+/// One point of a PP × TP crossover sweep: the grid shape and its report.
+#[derive(Debug, Clone)]
+pub struct GridSweepPoint {
+    /// The device grid the point was simulated on.
+    pub grid: DeviceGrid,
+    /// The simulation report for that factorization.
+    pub report: SimReport,
+}
+
+/// Sweeps every `pp × tp` factorization of a fixed device count — the
+/// PTD-style composition study (Narayanan et al. 2021, §5.4): at the same
+/// device budget, when does widening the tensor axis beat deepening the
+/// pipeline? Shallow pipelines amortize their fill/drain bubble over fewer
+/// stages but pay exposed TP collectives and narrower (less efficient)
+/// matmul shards; with few microbatches the bubble dominates and TP wins,
+/// with many the flat pipeline does.
+///
+/// Factorizations keep at least two pipeline stages (`pp ≥ 2`), ordered by
+/// increasing `tp`. The `tp = 1` point is bitwise the 1D [`run_1f1b`]
+/// report.
+pub fn tp_crossover_sweep(
+    method: Method,
+    config: &ModelConfig,
+    total_devices: usize,
+    hardware: &Hardware,
+    sync: TpSyncStyle,
+) -> Vec<GridSweepPoint> {
+    (1..=total_devices)
+        .filter(|tp| total_devices.is_multiple_of(*tp) && total_devices / tp >= 2)
+        .map(|tp| {
+            let grid = DeviceGrid::new(total_devices / tp, tp);
+            GridSweepPoint {
+                grid,
+                report: run_1f1b_grid(method, config, grid, sync, hardware.clone()),
+            }
         })
         .collect()
 }
@@ -164,6 +205,42 @@ mod tests {
             "vocab,baseline_mfu_pct,baseline_peak_gb,vocab2_mfu_pct,vocab2_peak_gb"
         );
         assert_eq!(lines[1].split(',').count(), 5);
+    }
+
+    #[test]
+    fn tp_crossover_covers_factorizations_and_tp1_is_bitwise_flat() {
+        let hw = Hardware::default();
+        let config = cfg();
+        let pts = tp_crossover_sweep(Method::Vocab2, &config, 16, &hw, TpSyncStyle::AllReduce);
+        let shapes: Vec<(usize, usize)> = pts.iter().map(|p| (p.grid.pp(), p.grid.tp())).collect();
+        assert_eq!(shapes, vec![(16, 1), (8, 2), (4, 4), (2, 8)]);
+        let flat = run_1f1b(Method::Vocab2, &config, 16, hw);
+        assert_eq!(
+            pts[0].report.iteration_seconds.to_bits(),
+            flat.iteration_seconds.to_bits()
+        );
+        assert_eq!(pts[0].report.mfu.to_bits(), flat.mfu.to_bits());
+    }
+
+    /// The PTD-style crossover: with few microbatches the pipeline bubble
+    /// dominates and a wider tensor axis wins; with many microbatches the
+    /// fill amortizes and the flat pipeline's full-width kernels win.
+    #[test]
+    fn tp_crossover_flips_with_microbatch_count() {
+        let hw = Hardware::default();
+        let best = |m: usize| {
+            let config = cfg().with_num_microbatches(m);
+            tp_crossover_sweep(Method::Vocab2, &config, 16, &hw, TpSyncStyle::AllReduce)
+                .into_iter()
+                .min_by(|a, b| {
+                    a.report
+                        .iteration_seconds
+                        .total_cmp(&b.report.iteration_seconds)
+                })
+                .expect("non-empty sweep")
+        };
+        assert!(best(4).grid.tp() > 1, "bubble-bound: TP must win");
+        assert_eq!(best(128).grid.tp(), 1, "compute-bound: deep PP must win");
     }
 
     #[test]

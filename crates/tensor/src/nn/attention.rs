@@ -199,6 +199,26 @@ impl MultiHeadAttention {
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
     }
+
+    /// Immutable view of the query projection `W_q`.
+    pub fn wq(&self) -> &Tensor {
+        self.wq.value()
+    }
+
+    /// Immutable view of the key projection `W_k`.
+    pub fn wk(&self) -> &Tensor {
+        self.wk.value()
+    }
+
+    /// Immutable view of the value projection `W_v`.
+    pub fn wv(&self) -> &Tensor {
+        self.wv.value()
+    }
+
+    /// Immutable view of the output projection `W_o`.
+    pub fn wo(&self) -> &Tensor {
+        self.wo.value()
+    }
 }
 
 #[cfg(test)]

@@ -114,6 +114,11 @@ impl Linear {
     pub fn weight(&self) -> &Tensor {
         self.weight.value()
     }
+
+    /// Immutable view of the bias row, if the layer has one.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref().map(|b| b.value())
+    }
 }
 
 #[cfg(test)]

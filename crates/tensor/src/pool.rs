@@ -94,15 +94,68 @@ fn default_threads() -> usize {
 
 /// Number of cores the dispatch heuristic assumes the machine has.
 ///
-/// Defaults to [`std::thread::available_parallelism`]; override with
-/// [`set_assumed_cores`].
+/// Defaults to [`detect_cores`]; override with [`set_assumed_cores`].
 pub fn assumed_cores() -> usize {
     match ASSUMED_CORES.load(Ordering::Acquire) {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        0 => detect_cores(),
         n => n,
     }
+}
+
+/// Best-effort core-count probe.
+///
+/// [`std::thread::available_parallelism`] alone under-reports inside
+/// containers: cgroup CPU quotas and affinity masks frequently pin it to 1
+/// even when the machine has more cores, which starves the dispatch
+/// heuristic into the serial path for every kernel. This probe additionally
+/// consults the Linux topology files (`/sys/devices/system/cpu/present`,
+/// `/proc/cpuinfo`) and returns the largest answer any source gives, with a
+/// floor of 1.
+pub fn detect_cores() -> usize {
+    let mut best = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(s) = std::fs::read_to_string("/sys/devices/system/cpu/present") {
+            if let Some(n) = parse_cpu_list(&s) {
+                best = best.max(n);
+            }
+        }
+        if let Ok(s) = std::fs::read_to_string("/proc/cpuinfo") {
+            let n = s
+                .lines()
+                .filter(|l| l.starts_with("processor") && l.contains(':'))
+                .count();
+            best = best.max(n);
+        }
+    }
+    best.max(1)
+}
+
+/// Parses a kernel CPU list (`"0-3"`, `"0"`, `"0-1,4-7"`) into a CPU count.
+fn parse_cpu_list(s: &str) -> Option<usize> {
+    let mut total = 0usize;
+    for part in s.trim().split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return None;
+        }
+        total += match part.split_once('-') {
+            Some((lo, hi)) => {
+                let (lo, hi) = (
+                    lo.trim().parse::<usize>().ok()?,
+                    hi.trim().parse::<usize>().ok()?,
+                );
+                hi.checked_sub(lo)? + 1
+            }
+            None => {
+                part.parse::<usize>().ok()?;
+                1
+            }
+        };
+    }
+    (total > 0).then_some(total)
 }
 
 /// Overrides the core count the dispatch heuristic assumes (`0` restores
@@ -571,6 +624,30 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         set_num_threads(before);
+    }
+
+    #[test]
+    fn detect_cores_is_at_least_one_and_consistent() {
+        let n = detect_cores();
+        assert!(n >= 1);
+        // The multi-source probe can only improve on the conservative
+        // affinity-based answer, never undercut it.
+        let avail = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        assert!(n >= avail);
+    }
+
+    #[test]
+    fn cpu_list_parsing_handles_kernel_formats() {
+        assert_eq!(parse_cpu_list("0"), Some(1));
+        assert_eq!(parse_cpu_list("0-3"), Some(4));
+        assert_eq!(parse_cpu_list("0-3\n"), Some(4));
+        assert_eq!(parse_cpu_list("0-1,4-7"), Some(6));
+        assert_eq!(parse_cpu_list("0,2,5"), Some(3));
+        assert_eq!(parse_cpu_list(""), None);
+        assert_eq!(parse_cpu_list("3-1"), None);
+        assert_eq!(parse_cpu_list("a-b"), None);
     }
 
     #[test]

@@ -2,8 +2,11 @@
 # Local CI gate: build, test, lint and format-check the whole workspace,
 # then run the measured-run gates: the PP x TP crossover sweep (grid
 # configs verified by vp-check + the grid lints, tp=1 column bitwise equal
-# to the 1D simulation), kernel smoke benchmark (with the
-# packed-GEMM nt/nn regression gate), bitwise training determinism, the
+# to the 1D simulation), kernel smoke benchmark (with the packed-GEMM
+# nt/nn regression gate, GFLOP/s floors for the SIMD matmul/GELU paths,
+# and the dispatch-honesty gate: serial on one effective worker, and a
+# chosen threaded path must not lose to serial), bitwise training
+# determinism, the
 # buffer-arena train bench (steady-state recycling + pooled-vs-fresh
 # numerics), Chrome-trace schema checks (simulated and measured), and the
 # sim-vs-measured timeline drift gate.
@@ -119,6 +122,8 @@ with open("target/BENCH_kernels.json") as f:
 
 assert doc["bench"] == "kernels", doc.get("bench")
 assert doc["threads"] >= 1 and doc["cores"] >= 1
+assert doc["effective_threads"] == max(1, min(doc["threads"], doc["cores"])), \
+    "effective_threads is not min(threads, cores)"
 kernels = {k["name"]: k for k in doc["kernels"]}
 expected = {"matmul_nn", "matmul_nt", "matmul_tn", "softmax_rows",
             "local_softmax", "layer_norm", "gelu"}
@@ -131,15 +136,42 @@ for name, k in kernels.items():
     assert k["serial_gflops"] > 0, f"{name}: no serial throughput"
     assert k["threaded_gflops"] > 0, f"{name}: no threaded throughput"
     assert k["path"] in ("serial", "threaded"), f"{name}: bad path {k['path']!r}"
+    # Dispatch honesty: on one effective worker the pool must never be
+    # chosen (the old bench forced 4 workers onto 1 core and recorded
+    # every kernel "threaded" with speedup < 1).
+    if doc["effective_threads"] == 1:
+        assert k["path"] == "serial", \
+            f"{name}: dispatched to the pool with one effective worker"
+    # And when the pool is chosen it must win: a threaded path that loses
+    # to serial (beyond 5% timer noise) means the heuristic picked the
+    # slower path.
+    if k["path"] == "threaded":
+        assert k["speedup"] >= 0.95, \
+            f"{name}: threaded path chosen but slower than serial " \
+            f"(speedup {k['speedup']:.3f})"
 # Packed-GEMM regression gate: the transposed layout must stay within
 # 1.5x of the plain layout (the packing de-strides B^T; pre-packing it
 # regressed nt to ~4.4x nn).
 nt_over_nn = kernels["matmul_nt"]["serial_us"] / kernels["matmul_nn"]["serial_us"]
 assert nt_over_nn <= 1.5, \
     f"matmul_nt serial is {nt_over_nn:.2f}x matmul_nn (gate: 1.5x)"
+# Throughput floors (~1/3 of the measured serial rates on the reference
+# box: matmul ~35 GFLOP/s with the arch-tuned microkernel, GELU ~6 with
+# the polynomial tanh). A drop below these means the SIMD paths stopped
+# vectorizing, not machine noise.
+mm_floor, gelu_floor = 10.0, 2.0
+assert kernels["matmul_nn"]["serial_gflops"] >= mm_floor, \
+    f"matmul_nn serial {kernels['matmul_nn']['serial_gflops']:.2f} GFLOP/s " \
+    f"under the {mm_floor} floor"
+assert kernels["gelu"]["serial_gflops"] >= gelu_floor, \
+    f"gelu serial {kernels['gelu']['serial_gflops']:.2f} GFLOP/s " \
+    f"under the {gelu_floor} floor"
 print(f"BENCH_kernels.json OK: {len(kernels)} kernels, serial+threaded covered, "
-      f"all bitwise identical, nt/nn = {nt_over_nn:.2f} "
-      f"({doc['threads']} threads on {doc['cores']} cores)")
+      f"all bitwise identical, nt/nn = {nt_over_nn:.2f}, "
+      f"matmul {kernels['matmul_nn']['serial_gflops']:.1f} / "
+      f"gelu {kernels['gelu']['serial_gflops']:.1f} GFLOP/s over floors "
+      f"({doc['threads']} threads, {doc['cores']} cores, "
+      f"{doc['effective_threads']} effective)")
 PY
 else
     # Fallback when python3 is unavailable: structural greps.
@@ -158,19 +190,41 @@ else
         echo "threaded kernel output diverged from serial" >&2
         exit 1
     fi
-    # nt/nn regression gate via awk on the serial timings.
+    # nt/nn regression, GFLOP/s floors, and the dispatch-honesty gate
+    # (threaded path must not lose to serial) via awk.
     awk '
         /"name": "matmul_nn"/ { if (match($0, /"serial_us": [0-9.]+/))
             nn = substr($0, RSTART + 14, RLENGTH - 14) }
         /"name": "matmul_nt"/ { if (match($0, /"serial_us": [0-9.]+/))
             nt = substr($0, RSTART + 14, RLENGTH - 14) }
+        /"name": "matmul_nn"/ { if (match($0, /"serial_gflops": [0-9.]+/))
+            mmf = substr($0, RSTART + 18, RLENGTH - 18) }
+        /"name": "gelu"/ { if (match($0, /"serial_gflops": [0-9.]+/))
+            gf = substr($0, RSTART + 18, RLENGTH - 18) }
+        /"path": "threaded"/ {
+            if (match($0, /"speedup": [0-9.]+/)) {
+                sp = substr($0, RSTART + 11, RLENGTH - 11)
+                if (sp < 0.95) {
+                    printf "threaded path chosen but slower than serial (speedup %.3f)\n", sp > "/dev/stderr"
+                    exit 1
+                }
+            }
+        }
         END {
             if (nn == "" || nt == "") { print "missing matmul timings" > "/dev/stderr"; exit 1 }
             if (nt / nn > 1.5) {
                 printf "matmul_nt serial is %.2fx matmul_nn (gate: 1.5x)\n", nt / nn > "/dev/stderr"
                 exit 1
             }
-            printf "nt/nn = %.2f (gate: 1.5)\n", nt / nn
+            if (mmf == "" || mmf < 10.0) {
+                printf "matmul_nn serial %.2f GFLOP/s under the 10.0 floor\n", mmf > "/dev/stderr"
+                exit 1
+            }
+            if (gf == "" || gf < 2.0) {
+                printf "gelu serial %.2f GFLOP/s under the 2.0 floor\n", gf > "/dev/stderr"
+                exit 1
+            }
+            printf "nt/nn = %.2f, matmul %.1f / gelu %.1f GFLOP/s over floors\n", nt / nn, mmf, gf
         }' target/BENCH_kernels.json
     echo "BENCH_kernels.json OK (grep check)"
 fi

@@ -466,12 +466,16 @@ fn kernels(quick: bool, json: bool, out: Option<&str>) {
             &rows
         )
     );
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // The hardened probe (available_parallelism, /sys topology, cgroup
+    // quotas, VP_CORES) — not bare available_parallelism, which containers
+    // under-report. Dispatch caps workers at this, so it explains `path`.
+    let cores = vp_tensor::pool::assumed_cores();
+    let effective = threads.min(cores).max(1);
     println!(
-        "Parallelism is across independent output rows only, so threaded results are\n\
-         bitwise identical to serial; speedups require ≥ {threads} cores (this machine: {cores})."
+        "Parallelism is across independent output rows or column panels, so threaded\n\
+         results are bitwise identical to serial. Probed cores: {cores}; dispatch caps\n\
+         {threads} requested threads at {effective} worker(s) — on one core the serial path is\n\
+         the correct choice, not a missed speedup."
     );
     if json {
         let path = out.unwrap_or("BENCH_kernels.json");

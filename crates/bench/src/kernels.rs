@@ -119,16 +119,19 @@ fn time_kernel(
 
 /// Runs the full kernel sweep at `size` (matmuls are `size³`; the row-wise
 /// kernels use `size × 4·size`). Restores the pool's previous thread count
-/// (and core detection) before returning.
+/// before returning.
+///
+/// The sweep does **not** override the pool's core probe: `threads` sets the
+/// pool size, but dispatch still caps workers at the probed core count
+/// exactly as production calls do. A previous version forced
+/// `assumed_cores ≥ threads` "so the threaded path gets exercised" — on a
+/// genuinely single-core machine that benched 4-thread contention against
+/// the serial path and recorded every kernel as `"threaded"` with speedup
+/// < 1. The honest measurement is the one the artifact wants: on one core
+/// the right path *is* serial, and the recorded `path` says so. Use
+/// `VP_CORES` to bench an assumed topology deliberately.
 pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTiming> {
     let previous = pool::num_threads();
-    // An explicit thread request must actually drive the pool. Containers
-    // frequently pin `available_parallelism` to 1 (cgroup affinity), which
-    // caps the effective worker count at 1 and silently benches the serial
-    // path twice — the old BENCH_kernels.json showed `"cores": 1` next to
-    // `"threads": 4` with every kernel on the serial path. Assume at least
-    // `threads` cores for the duration of the sweep.
-    pool::set_assumed_cores(threads.max(pool::detect_cores()));
     let mut rng = seeded_rng(2024);
     let a = normal(&mut rng, size, size, 1.0);
     let b = normal(&mut rng, size, size, 1.0);
@@ -216,13 +219,20 @@ pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTi
         ),
     ];
     pool::set_num_threads(previous);
-    pool::set_assumed_cores(0);
     results
 }
 
 /// Renders the sweep as the `BENCH_kernels.json` document.
+///
+/// The header records the *probed* core count (hardened against cgroup /
+/// affinity under-reporting, see [`pool::detect_cores`]) next to the
+/// requested thread count and the worker count dispatch actually uses —
+/// `"cores": 1, "threads": 4` in an old artifact was the bug report that
+/// motivated the split.
 pub fn to_json(size: usize, threads: usize, results: &[KernelTiming]) -> String {
-    let cores = pool::detect_cores();
+    let cores = pool::assumed_cores();
+    let effective = threads.min(cores).max(1);
+    let fast_math = vp_tensor::mathx::fast_math();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"kernels\",\n");
@@ -231,6 +241,8 @@ pub fn to_json(size: usize, threads: usize, results: &[KernelTiming]) -> String 
     out.push_str(&format!("  \"size\": {size},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"cores\": {cores},\n"));
+    out.push_str(&format!("  \"effective_threads\": {effective},\n"));
+    out.push_str(&format!("  \"fast_math\": {fast_math},\n"));
     out.push_str("  \"kernels\": [\n");
     for (i, k) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -254,9 +266,20 @@ pub fn to_json(size: usize, threads: usize, results: &[KernelTiming]) -> String 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// Serializes tests that read or write the pool's global dispatch
+    /// config (thread count, assumed cores).
+    fn config_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 
     #[test]
     fn sweep_covers_all_kernels_and_stays_bitwise_identical() {
+        let _guard = config_lock();
         // Tiny size: this is a structure test, not a perf test.
         let results = run(24, 2, 1, 1);
         let names: Vec<&str> = results.iter().map(|k| k.name).collect();
@@ -286,26 +309,47 @@ mod tests {
     }
 
     #[test]
-    fn explicit_thread_request_exercises_threaded_path() {
-        // Regression: on a container whose every probe source reports one
-        // core, `--threads 4` used to bench the serial path twice (the
-        // heuristic capped workers at the core count). An explicit request
-        // must dispatch the big kernels to the pool.
+    fn single_core_sweep_never_records_the_threaded_path() {
+        // Regression for the inverted bug: `run()` used to force
+        // `assumed_cores ≥ threads`, so a 1-core container benched 4-thread
+        // contention and recorded `"threaded"` with speedup < 1 on every
+        // kernel. On a single core the chosen path must be the serial one —
+        // dispatch must never pick the slower path.
+        let _guard = config_lock();
+        pool::set_assumed_cores(1);
         let results = run(64, 4, 1, 1);
+        pool::set_assumed_cores(0);
+        for k in &results {
+            assert_eq!(k.path, "serial", "{} dispatched to the pool", k.name);
+            assert!(k.bitwise_identical, "{} diverged from serial", k.name);
+        }
+    }
+
+    #[test]
+    fn multicore_sweep_exercises_the_threaded_path() {
+        // With cores actually available (assumed here, so the test is
+        // machine-independent), an explicit thread request must dispatch
+        // the big kernels to the pool — and stay bitwise identical.
+        let _guard = config_lock();
+        pool::set_assumed_cores(4);
+        let results = run(64, 4, 1, 1);
+        pool::set_assumed_cores(0);
         for k in results.iter().filter(|k| k.name.starts_with("matmul")) {
             assert_eq!(k.path, "threaded", "{} stayed serial", k.name);
             assert!(k.bitwise_identical, "{} diverged from serial", k.name);
         }
-        // And the sweep must leave the global dispatch config untouched.
-        assert_eq!(pool::assumed_cores(), pool::detect_cores());
     }
 
     #[test]
     fn json_document_is_well_formed_enough() {
+        let _guard = config_lock();
         let results = run(16, 2, 1, 1);
         let doc = to_json(16, 2, &results);
         assert!(doc.contains("\"bench\": \"kernels\""));
         assert!(doc.contains("\"threads\": 2"));
+        assert!(doc.contains("\"cores\": "));
+        assert!(doc.contains("\"effective_threads\": "));
+        assert!(doc.contains("\"fast_math\": "));
         assert!(doc.contains("\"matmul_tn\""));
         assert!(doc.contains("\"bitwise_identical\": true"));
         assert!(doc.contains("\"serial_gflops\""));

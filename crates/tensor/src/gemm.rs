@@ -9,14 +9,22 @@
 //!   `NR`-wide column tiles (`panel[tile][p · NR + j]`). For `nt` this is
 //!   the transposing copy that turns the layout's strided `Bᵀ` reads — the
 //!   4.4× serial penalty the kernel bench used to show — into unit-stride
-//!   streams. The left operand packs per `MR`-row tile (`apanel[p · MR + i]`;
-//!   for `tn` this untransposes the column-major reads). Pack scratch for
-//!   the B panel draws from the buffer arena ([`crate::alloc`]); the A tile
-//!   is a fixed 1 KiB stack array.
-//! * **Microkernel.** [`microkernel`] accumulates an `MR × NR` register
-//!   tile over one `k` panel: the tile is loaded from the output, every
-//!   `p` term is added directly to its running element total, and the tile
-//!   is stored once per panel — `k/KC` output round-trips instead of `k`.
+//!   streams. The left operand packs per `MC × KC` block into `MR`-row
+//!   tiles (`apanel[p · MR + i]`; for `tn` this untransposes the
+//!   column-major reads), packed **once per k-panel** and reused across
+//!   every `NR` tile of the column panel — the old per-`MR`-tile repacking
+//!   copied `A` `n/NC` times more than necessary. Both pack buffers draw
+//!   from the buffer arena ([`crate::alloc`]), so steady-state GEMMs
+//!   allocate nothing.
+//! * **Microkernel.** [`microkernel`] accumulates an arch-tuned `MR × NR`
+//!   register tile over one `k` panel: the tile is loaded from the output,
+//!   every `p` term is added directly to its running element total, and the
+//!   tile is stored once per panel — `k/KC` output round-trips instead of
+//!   `k`. The tile shape is chosen per target at compile time (the
+//!   workspace builds with `target-cpu=native`): 8×32 with AVX-512 (16
+//!   accumulator registers of 16 lanes), 6×16 with AVX2 (12 of 8), and the
+//!   portable 4×8 otherwise. The `j` lanes are fully independent, so the
+//!   compiler vectorizes them without reassociating anything.
 //!
 //! # Determinism contract
 //!
@@ -24,11 +32,14 @@
 //! output element still accumulates `a·b` terms one at a time in strictly
 //! ascending `p` order starting from `0.0`, exactly the order of the plain
 //! `i-k-j` triple loop. Results are therefore bitwise identical to the
-//! unpacked kernels, for every layout, tile remainder and thread count
-//! (threading stays rows-only; see [`crate::pool`]). Zero padding in edge
-//! tiles only ever feeds lanes whose results are discarded, so `NaN`/`∞`
-//! propagation is untouched. As in the unpacked kernels there is no
-//! `a == 0.0` fast path: `0·NaN` must stay `NaN`.
+//! unpacked kernels, for every layout, tile shape, tile remainder, thread
+//! count and split direction (row chunks or column panels; see
+//! [`crate::pool`]) — a column panel is just an independent subproblem over
+//! the same `A`. Zero padding in edge tiles only ever feeds lanes whose
+//! results are discarded, so `NaN`/`∞` propagation is untouched. As in the
+//! unpacked kernels there is no `a == 0.0` fast path: `0·NaN` must stay
+//! `NaN`. There is also no FMA: rustc never contracts `mul` + `add`, so
+//! wider SIMD lanes cannot change a single bit of any output.
 //!
 //! The optional fused bias epilogue adds `bias[j]` to an output strip
 //! immediately after the strip's final `k` panel — per element this is the
@@ -40,18 +51,60 @@ use crate::alloc;
 
 /// Cache-block depth over the shared (`k`) dimension: one packed panel of
 /// the right operand covers `KC` consecutive `p` values.
-pub(crate) const KC: usize = 64;
+pub(crate) const KC: usize = 128;
 
 /// Cache-block width over output columns: the packed right-operand panel
 /// covers `NC` consecutive output columns (`NC` is a multiple of `NR`).
-pub(crate) const NC: usize = 64;
+pub(crate) const NC: usize = 512;
 
-/// Microkernel tile height (output rows held in registers).
-pub(crate) const MR: usize = 4;
+/// Cache-block height over output rows: the packed left-operand block
+/// covers `MC` consecutive rows and lives in L2 across the whole column
+/// panel.
+pub(crate) const MC: usize = 128;
 
-/// Microkernel tile width (output columns held in registers; a multiple of
-/// the f32 SIMD width so the `j` lanes vectorize).
-pub(crate) const NR: usize = 8;
+/// Arch-tuned register tile: AVX-512 has 32 vector registers, so an 8×32
+/// tile keeps 16 accumulators plus the two `b` vectors and the broadcast
+/// resident.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+mod tile {
+    /// Microkernel tile height (output rows held in registers).
+    pub const MR: usize = 8;
+    /// Microkernel tile width (a multiple of the f32 SIMD width).
+    pub const NR: usize = 32;
+}
+
+/// Arch-tuned register tile: AVX2's 16 ymm registers fit a 6×16 tile (12
+/// accumulators plus the two `b` vectors and the broadcast).
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    not(target_feature = "avx512f")
+))]
+mod tile {
+    /// Microkernel tile height (output rows held in registers).
+    pub const MR: usize = 6;
+    /// Microkernel tile width (a multiple of the f32 SIMD width).
+    pub const NR: usize = 16;
+}
+
+/// Portable register tile for targets without wide x86 vectors (SSE2,
+/// NEON, …).
+#[cfg(not(any(
+    all(target_arch = "x86_64", target_feature = "avx512f"),
+    all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        not(target_feature = "avx512f")
+    )
+)))]
+mod tile {
+    /// Microkernel tile height (output rows held in registers).
+    pub const MR: usize = 4;
+    /// Microkernel tile width (a multiple of the f32 SIMD width).
+    pub const NR: usize = 8;
+}
+
+pub(crate) use tile::{MR, NR};
 
 /// How the operands of [`gemm_chunk`] are laid out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,11 +124,43 @@ pub(crate) struct Gemm<'a> {
     pub b: &'a [f32],
     /// Shared dimension.
     pub k: usize,
-    /// Output columns.
+    /// Output columns of the *full* problem (the stride of `b`'s rows for
+    /// `Nn`/`Tn`; column-panel runs compute a sub-range of these).
     pub n: usize,
     /// Output rows of the *full* problem (`Tn` needs it to stride `a`).
     pub m: usize,
     pub layout: Layout,
+}
+
+/// Write access to the output rows of one GEMM run.
+///
+/// The row-chunk split hands the kernel a contiguous `rows × width`
+/// buffer ([`ContigRows`]); the column-panel split hands it a strided
+/// panel ([`crate::pool::ColPanelMut`]). Either way `row_mut(r)` is the
+/// `width`-wide output slice of chunk-local row `r`.
+pub(crate) trait OutRows {
+    /// Mutable output slice of chunk-local row `r`.
+    fn row_mut(&mut self, r: usize) -> &mut [f32];
+}
+
+/// Contiguous row-major output rows (the row-chunk and serial paths).
+pub(crate) struct ContigRows<'a> {
+    pub buf: &'a mut [f32],
+    pub width: usize,
+}
+
+impl OutRows for ContigRows<'_> {
+    #[inline]
+    fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.buf[r * self.width..(r + 1) * self.width]
+    }
+}
+
+impl OutRows for crate::pool::ColPanelMut<'_> {
+    #[inline]
+    fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        crate::pool::ColPanelMut::row_mut(self, r)
+    }
 }
 
 /// Accumulates one `MR × NR` register tile over a packed `k` panel.
@@ -83,30 +168,41 @@ pub(crate) struct Gemm<'a> {
 /// `apanel` is `pc × MR` (`p`-major), `btile` is `pc × NR` (`p`-major).
 /// Every `c[i][j]` element receives its `pc` terms one at a time in
 /// ascending `p` order — the bitwise-identity invariant lives here.
+///
+/// The row loop is outermost on purpose: each row's `NR`-wide accumulator
+/// is a local that stays live across the whole `p` loop, so the compiler
+/// holds it in vector registers and vectorizes along the contiguous `j`
+/// axis (unit-stride `b` loads, broadcast `a`). With the `p` loop outside,
+/// LLVM instead vectorized across the *row* axis and emitted
+/// gather/scatter for every column of `c` — a 5× slowdown. Looping rows
+/// first re-reads `btile` `MR` times, but the tile lives in L1 by
+/// construction.
 #[inline]
 fn microkernel(apanel: &[f32], btile: &[f32], c: &mut [[f32; NR]; MR]) {
-    for (a, b) in apanel.chunks_exact(MR).zip(btile.chunks_exact(NR)) {
-        // Fixed-size views so the compiler fully unrolls the tile update
-        // and keeps `c` in registers across the `p` loop.
-        let a: &[f32; MR] = a.try_into().unwrap();
-        let b: &[f32; NR] = b.try_into().unwrap();
-        for ir in 0..MR {
+    for (ir, crow) in c.iter_mut().enumerate() {
+        let mut acc = *crow;
+        for (a, b) in apanel.chunks_exact(MR).zip(btile.chunks_exact(NR)) {
+            // Fixed-size views: no bounds checks, full unroll of the width.
+            let a: &[f32; MR] = a.try_into().unwrap();
+            let b: &[f32; NR] = b.try_into().unwrap();
             let av = a[ir];
-            for jr in 0..NR {
-                c[ir][jr] += av * b[jr];
+            for (cv, &bv) in acc.iter_mut().zip(b) {
+                *cv += av * bv;
             }
         }
+        *crow = acc;
     }
 }
 
 /// Packs the `pc × jc` panel of the layout-adjusted right operand starting
-/// at `(p0, j0)` into `NR`-wide column tiles. Ragged tile columns are
-/// zero-padded (their microkernel lanes are discarded on write-back).
-fn pack_b(g: &Gemm<'_>, p0: usize, pc: usize, j0: usize, jc: usize, panel: &mut [f32]) {
+/// at global column `j_abs`, `k` range `[p0, p0+pc)`, into `NR`-wide column
+/// tiles. Ragged tile columns are zero-padded (their microkernel lanes are
+/// discarded on write-back).
+fn pack_b(g: &Gemm<'_>, p0: usize, pc: usize, j_abs: usize, jc: usize, panel: &mut [f32]) {
     let jtiles = jc.div_ceil(NR);
     for jt in 0..jtiles {
-        let jbase = j0 + jt * NR;
-        let w = NR.min(j0 + jc - jbase);
+        let jbase = j_abs + jt * NR;
+        let w = NR.min(j_abs + jc - jbase);
         let tile = &mut panel[jt * pc * NR..(jt + 1) * pc * NR];
         match g.layout {
             Layout::Nn | Layout::Tn => {
@@ -137,82 +233,100 @@ fn pack_b(g: &Gemm<'_>, p0: usize, pc: usize, j0: usize, jc: usize, panel: &mut 
     }
 }
 
-/// Packs the `mr`-row tile of the layout-adjusted left operand at global
-/// row `row0`, `k` range `[p0, p0+pc)`, into the `p`-major `apanel`.
-/// Ragged tile rows are zero-padded (results discarded on write-back).
-fn pack_a(g: &Gemm<'_>, row0: usize, mr: usize, p0: usize, pc: usize, apanel: &mut [f32]) {
-    match g.layout {
-        Layout::Nn | Layout::Nt => {
-            // a is [m, k]: each tile row is a contiguous slice of a.
-            for ir in 0..mr {
-                let src = &g.a[(row0 + ir) * g.k + p0..(row0 + ir) * g.k + p0 + pc];
-                for (p, &v) in src.iter().enumerate() {
-                    apanel[p * MR + ir] = v;
+/// Packs the `mc`-row block of the layout-adjusted left operand starting at
+/// global row `row0`, `k` range `[p0, p0+pc)`, into consecutive `p`-major
+/// `MR`-row tiles (`block[tile][p · MR + i]`). Ragged tile rows are
+/// zero-padded (results discarded on write-back).
+fn pack_a_block(g: &Gemm<'_>, row0: usize, mc: usize, p0: usize, pc: usize, block: &mut [f32]) {
+    let mtiles = mc.div_ceil(MR);
+    for mt in 0..mtiles {
+        let rbase = row0 + mt * MR;
+        let mr = MR.min(row0 + mc - rbase);
+        let apanel = &mut block[mt * pc * MR..(mt + 1) * pc * MR];
+        match g.layout {
+            Layout::Nn | Layout::Nt => {
+                // a is [m, k]: each tile row is a contiguous slice of a.
+                for ir in 0..mr {
+                    let src = &g.a[(rbase + ir) * g.k + p0..(rbase + ir) * g.k + p0 + pc];
+                    for (p, &v) in src.iter().enumerate() {
+                        apanel[p * MR + ir] = v;
+                    }
+                }
+                for ir in mr..MR {
+                    for p in 0..pc {
+                        apanel[p * MR + ir] = 0.0;
+                    }
                 }
             }
-            for ir in mr..MR {
-                for p in 0..pc {
-                    apanel[p * MR + ir] = 0.0;
+            Layout::Tn => {
+                // a is [k, m] used as Aᵀ: each p supplies a contiguous row
+                // fragment — packing untransposes the column-major reads.
+                for (p, dst) in apanel.chunks_exact_mut(MR).enumerate().take(pc) {
+                    let src = &g.a[(p0 + p) * g.m + rbase..(p0 + p) * g.m + rbase + mr];
+                    dst[..mr].copy_from_slice(src);
+                    dst[mr..].fill(0.0);
                 }
-            }
-        }
-        Layout::Tn => {
-            // a is [k, m] used as Aᵀ: each p supplies a contiguous row
-            // fragment — packing untransposes the column-major reads.
-            for (p, dst) in apanel.chunks_exact_mut(MR).enumerate().take(pc) {
-                let src = &g.a[(p0 + p) * g.m + row0..(p0 + p) * g.m + row0 + mr];
-                dst[..mr].copy_from_slice(src);
-                dst[mr..].fill(0.0);
             }
         }
     }
 }
 
-/// Runs the packed GEMM over output rows `[i0, i0 + rows)`, whose
-/// row-major storage is `out` (`rows × n`). `bias`, when present, is a
-/// length-`n` row fused into each output strip after its final `k` panel.
+/// Runs the packed GEMM over output rows `[i0, i0 + rows)` and the global
+/// column window `[j_off, j_off + jcols)`, writing through `out` (whose
+/// chunk-local rows are `jcols` wide). `bias`, when present, is indexed by
+/// *global* column and fused into each output strip after its final `k`
+/// panel.
 ///
-/// This is the serial per-chunk kernel the row-parallel pool dispatches;
-/// with one thread it runs the whole output.
-pub(crate) fn gemm_chunk(
+/// This is the per-task kernel both pool splits dispatch: the row split
+/// passes `j_off = 0, jcols = g.n` with a contiguous chunk, the column
+/// split passes its panel's window over all rows. With one thread it runs
+/// the whole output.
+pub(crate) fn gemm_chunk<O: OutRows>(
     g: &Gemm<'_>,
     i0: usize,
     rows: usize,
-    out: &mut [f32],
+    j_off: usize,
+    jcols: usize,
+    out: &mut O,
     bias: Option<&[f32]>,
 ) {
-    if g.n == 0 || rows == 0 {
+    if jcols == 0 || rows == 0 {
         return;
     }
-    let mut apanel = [0.0f32; KC * MR];
-    // B pack scratch comes from the arena: one KC × NC panel per call,
-    // recycled across calls (and across threads' independent chunks).
-    let mut bpanel = alloc::take_zeroed(KC * NC);
-    for j0 in (0..g.n).step_by(NC) {
-        let jc = NC.min(g.n - j0);
+    // Pack scratch comes from the arena, recycled across calls (and across
+    // threads' independent chunks — each task takes its own buffers).
+    let bcap = KC * NC.min(jcols.next_multiple_of(NR));
+    let mut bpanel = alloc::take_zeroed(bcap);
+    let mut ablock = alloc::take_zeroed(KC * MC.min(rows).next_multiple_of(MR));
+    for j0 in (0..jcols).step_by(NC) {
+        let jc = NC.min(jcols - j0);
         let jtiles = jc.div_ceil(NR);
         for p0 in (0..g.k).step_by(KC) {
             let pc = KC.min(g.k - p0);
-            pack_b(g, p0, pc, j0, jc, &mut bpanel[..jtiles * pc * NR]);
-            for r0 in (0..rows).step_by(MR) {
-                let mr = MR.min(rows - r0);
-                pack_a(g, i0 + r0, mr, p0, pc, &mut apanel[..pc * MR]);
-                for jt in 0..jtiles {
-                    let jbase = j0 + jt * NR;
-                    let w = NR.min(j0 + jc - jbase);
-                    let mut c = [[0.0f32; NR]; MR];
-                    for ir in 0..mr {
-                        let src = &out[(r0 + ir) * g.n + jbase..(r0 + ir) * g.n + jbase + w];
-                        c[ir][..w].copy_from_slice(src);
-                    }
-                    microkernel(
-                        &apanel[..pc * MR],
-                        &bpanel[jt * pc * NR..][..pc * NR],
-                        &mut c,
-                    );
-                    for ir in 0..mr {
-                        let dst = &mut out[(r0 + ir) * g.n + jbase..(r0 + ir) * g.n + jbase + w];
-                        dst.copy_from_slice(&c[ir][..w]);
+            pack_b(g, p0, pc, j_off + j0, jc, &mut bpanel[..jtiles * pc * NR]);
+            for ib in (0..rows).step_by(MC) {
+                let mc = MC.min(rows - ib);
+                let mtiles = mc.div_ceil(MR);
+                // One A pack per (k-panel, row block), reused across every
+                // NR tile of the column panel.
+                pack_a_block(g, i0 + ib, mc, p0, pc, &mut ablock[..mtiles * pc * MR]);
+                for mt in 0..mtiles {
+                    let r0 = ib + mt * MR;
+                    let mr = MR.min(rows - r0);
+                    let apanel = &ablock[mt * pc * MR..(mt + 1) * pc * MR];
+                    for jt in 0..jtiles {
+                        let jbase = j0 + jt * NR;
+                        let w = NR.min(j0 + jc - jbase);
+                        let mut c = [[0.0f32; NR]; MR];
+                        for (ir, crow) in c.iter_mut().enumerate().take(mr) {
+                            let src = &out.row_mut(r0 + ir)[jbase..jbase + w];
+                            crow[..w].copy_from_slice(src);
+                        }
+                        microkernel(apanel, &bpanel[jt * pc * NR..][..pc * NR], &mut c);
+                        for (ir, crow) in c.iter().enumerate().take(mr) {
+                            let dst = &mut out.row_mut(r0 + ir)[jbase..jbase + w];
+                            dst.copy_from_slice(&crow[..w]);
+                        }
                     }
                 }
             }
@@ -221,9 +335,9 @@ pub(crate) fn gemm_chunk(
             // Fused epilogue: the strip's k-accumulation just finished, so
             // per element this is exactly `matmul-result + bias` — bitwise
             // equal to the unfused second pass, but while the strip is hot.
-            let brow = &bias[j0..j0 + jc];
+            let brow = &bias[j_off + j0..j_off + j0 + jc];
             for r in 0..rows {
-                let dst = &mut out[r * g.n + j0..r * g.n + j0 + jc];
+                let dst = &mut out.row_mut(r)[j0..j0 + jc];
                 for (o, &bv) in dst.iter_mut().zip(brow) {
                     *o += bv;
                 }
@@ -231,4 +345,5 @@ pub(crate) fn gemm_chunk(
         }
     }
     alloc::release(bpanel);
+    alloc::release(ablock);
 }

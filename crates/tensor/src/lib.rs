@@ -23,6 +23,9 @@
 //!   rows — bitwise identical to the serial kernels for every thread count
 //!   (configure with [`set_num_threads`] or `VP_THREADS`; `1` is exactly the
 //!   serial code path).
+//! * Polynomial vector math behind an explicit accuracy policy ([`mathx`]):
+//!   the fast default swaps libm `exp`/`tanh` for bounded, auto-vectorizable
+//!   approximations; `VP_FAST_MATH=0` pins the bitwise libm reference path.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod io;
+pub mod mathx;
 pub mod nn;
 pub mod ops;
 pub mod optim;

@@ -69,17 +69,21 @@ impl LayerNorm {
                         row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
                     let is = 1.0 / (var + eps).sqrt();
                     *is_out = is;
+                    // One fused pass: per element this is the identical
+                    // `n = (v − mean)·is; y = γ·n + β` chain as two
+                    // separate loops (same bits), without re-reading the
+                    // normalized row from memory.
                     let n_row = &mut n_chunk[li * dim..(li + 1) * dim];
-                    for (n, &v) in n_row.iter_mut().zip(row) {
-                        *n = (v - mean) * is;
-                    }
                     let y_row = &mut y_chunk[li * dim..(li + 1) * dim];
-                    for ((o, n), (&g, &b)) in y_row
+                    for (((n, o), &v), (&g, &b)) in n_row
                         .iter_mut()
-                        .zip(n_row.iter())
+                        .zip(y_row.iter_mut())
+                        .zip(row)
                         .zip(gamma.iter().zip(beta))
                     {
-                        *o = g * *n + b;
+                        let nv = (v - mean) * is;
+                        *n = nv;
+                        *o = g * nv + b;
                     }
                 }
             },

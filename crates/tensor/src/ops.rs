@@ -12,7 +12,7 @@
 //! that lets each vocabulary shard normalize with *local* statistics first
 //! and correct with *global* statistics after the all-reduce.
 
-use crate::{pool, Result, Tensor, TensorError};
+use crate::{mathx, pool, Result, Tensor, TensorError};
 
 /// Per-row maximum. Returns a vector of length `t.rows()`.
 ///
@@ -71,23 +71,33 @@ pub struct SoftmaxStats {
 /// (a fully-masked row) gets the same identity statistics and a *defined
 /// zero row* of probabilities rather than `NaN` from `e^{−∞ − (−∞)}`; a
 /// `NaN` anywhere in a row still poisons that row's output and sum.
+///
+/// The per-row maximum is computed *inside* the same parallel region as
+/// the exponentials (one pool dispatch instead of a `row_max` dispatch
+/// followed by a softmax dispatch) — per row the operations and their
+/// order are unchanged, so outputs and statistics stay bitwise identical
+/// to the two-pass form. The exponential follows the process accuracy
+/// policy ([`crate::mathx`]): the reference path calls `f32::exp` exactly
+/// as before, the fast path uses the bounded polynomial [`mathx::exp`].
 pub fn local_softmax(t: &Tensor) -> (Tensor, SoftmaxStats) {
-    let max = row_max(t);
     let (rows, cols) = t.shape();
     let mut out = Tensor::zeros(rows, cols);
     let mut sum = vec![0.0f32; rows];
-    let max_ref = &max;
+    let mut max = vec![f32::NEG_INFINITY; rows];
+    let fast = mathx::fast_math();
     let work = t.len().saturating_mul(8);
-    pool::par_rows_mut2(
+    pool::par_rows_mut3(
         rows,
         work,
         out.data_mut(),
         &mut sum,
-        |r0, _r1, out_chunk, sum_chunk| {
+        &mut max,
+        |r0, _r1, out_chunk, sum_chunk, max_chunk| {
             for (li, s_out) in sum_chunk.iter_mut().enumerate() {
                 let r = r0 + li;
-                let m = max_ref[r];
                 let src = t.row(r);
+                let m = src.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                max_chunk[li] = m;
                 let dst = &mut out_chunk[li * cols..(li + 1) * cols];
                 if m == f32::NEG_INFINITY {
                     // Empty or all-(−∞) row: identity stats, defined zero
@@ -99,10 +109,23 @@ pub fn local_softmax(t: &Tensor) -> (Tensor, SoftmaxStats) {
                     }
                     continue;
                 }
+                // Exponentiate first, sum second: the running `s += e` has
+                // a loop-carried dependence that would serialize the exp
+                // loop, so a fused single pass cannot vectorize. Two passes
+                // add the identical `e` values in the identical ascending
+                // index order — same bits — while the exp loop is free to
+                // run 16 lanes wide.
+                if fast {
+                    for (d, &v) in dst.iter_mut().zip(src) {
+                        *d = mathx::exp(v - m);
+                    }
+                } else {
+                    for (d, &v) in dst.iter_mut().zip(src) {
+                        *d = (v - m).exp();
+                    }
+                }
                 let mut s = 0.0f32;
-                for (d, &v) in dst.iter_mut().zip(src) {
-                    let e = (v - m).exp();
-                    *d = e;
+                for &e in dst.iter() {
                     s += e;
                 }
                 if s > 0.0 {

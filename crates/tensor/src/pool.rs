@@ -27,6 +27,14 @@
 //! A thread count of 1 bypasses the pool entirely: the caller runs the
 //! serial kernel inline, making `VP_THREADS=1` *exactly* the serial code
 //! path.
+//!
+//! Independently, the *dispatch heuristic* caps the worker count at the
+//! machine's probed core count ([`detect_cores`]; override with `VP_CORES`
+//! or [`set_assumed_cores`]): oversubscribing a core with workers only adds
+//! queueing and context-switch overhead — the kernel bench measured every
+//! kernel *losing* to serial (speedup 0.74–0.98) with 4 threads on a 1-core
+//! box. On a single-core machine every kernel therefore takes the serial
+//! path, whatever `VP_THREADS` says.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -94,32 +102,60 @@ fn default_threads() -> usize {
 
 /// Number of cores the dispatch heuristic assumes the machine has.
 ///
-/// Defaults to [`detect_cores`]; override with [`set_assumed_cores`].
+/// Resolved, in order, from the last [`set_assumed_cores`] call, the
+/// `VP_CORES` environment variable (read once, lazily), and the cached
+/// [`detect_cores`] probe.
 pub fn assumed_cores() -> usize {
     match ASSUMED_CORES.load(Ordering::Acquire) {
-        0 => detect_cores(),
+        0 => {
+            static ENV: OnceLock<Option<usize>> = OnceLock::new();
+            ENV.get_or_init(|| {
+                std::env::var("VP_CORES")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+            })
+            .unwrap_or_else(detect_cores)
+        }
         n => n,
     }
 }
 
-/// Best-effort core-count probe.
+/// Best-effort core-count probe (cached after the first call).
 ///
 /// [`std::thread::available_parallelism`] alone under-reports inside
 /// containers: cgroup CPU quotas and affinity masks frequently pin it to 1
 /// even when the machine has more cores, which starves the dispatch
 /// heuristic into the serial path for every kernel. This probe additionally
 /// consults the Linux topology files (`/sys/devices/system/cpu/present`,
-/// `/proc/cpuinfo`) and returns the largest answer any source gives, with a
-/// floor of 1.
+/// `/sys/devices/system/cpu/online`, `/proc/cpuinfo`) and the cgroup CPU
+/// quota (v2 `cpu.max`, v1 `cpu.cfs_quota_us`/`cpu.cfs_period_us`, rounded
+/// up) and returns the largest answer any source gives, with a floor of 1.
+///
+/// The probe reads `/proc` and `/sys`, so the result is computed once and
+/// cached — the dispatch heuristic consults it on **every** kernel call,
+/// and re-reading `/proc/cpuinfo` per dispatch measurably taxed the
+/// row-wise kernels (part of the sub-1.0 threaded speedups the kernel
+/// bench recorded).
 pub fn detect_cores() -> usize {
+    static PROBED: OnceLock<usize> = OnceLock::new();
+    *PROBED.get_or_init(probe_cores)
+}
+
+fn probe_cores() -> usize {
     let mut best = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     #[cfg(target_os = "linux")]
     {
-        if let Ok(s) = std::fs::read_to_string("/sys/devices/system/cpu/present") {
-            if let Some(n) = parse_cpu_list(&s) {
-                best = best.max(n);
+        for topology in [
+            "/sys/devices/system/cpu/present",
+            "/sys/devices/system/cpu/online",
+        ] {
+            if let Ok(s) = std::fs::read_to_string(topology) {
+                if let Some(n) = parse_cpu_list(&s) {
+                    best = best.max(n);
+                }
             }
         }
         if let Ok(s) = std::fs::read_to_string("/proc/cpuinfo") {
@@ -129,8 +165,44 @@ pub fn detect_cores() -> usize {
                 .count();
             best = best.max(n);
         }
+        // cgroup v2: "<quota> <period>" or "max <period>".
+        if let Ok(s) = std::fs::read_to_string("/sys/fs/cgroup/cpu.max") {
+            if let Some(n) = parse_cgroup_cpu_max(&s) {
+                best = best.max(n);
+            }
+        }
+        // cgroup v1: separate quota/period files (-1 quota = unlimited).
+        if let (Ok(q), Ok(p)) = (
+            std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_quota_us"),
+            std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_period_us"),
+        ) {
+            if let Some(n) = parse_cgroup_quota(&q, &p) {
+                best = best.max(n);
+            }
+        }
     }
     best.max(1)
+}
+
+/// Parses cgroup v2 `cpu.max` (`"400000 100000"` → 4 CPUs, rounded up;
+/// `"max …"` → no quota, `None`).
+fn parse_cgroup_cpu_max(s: &str) -> Option<usize> {
+    let mut it = s.split_whitespace();
+    let quota = it.next()?;
+    let period = it.next().unwrap_or("100000");
+    parse_cgroup_quota(quota, period)
+}
+
+/// Converts a quota/period pair of µs strings into a CPU count (rounded
+/// up). Unlimited quotas (`"max"`, negative) yield `None`.
+fn parse_cgroup_quota(quota: &str, period: &str) -> Option<usize> {
+    let quota = quota.trim().parse::<u64>().ok().filter(|&q| q > 0)?;
+    let period = period.trim().parse::<u64>().ok().filter(|&p| p > 0)?;
+    Some(
+        usize::try_from(quota.div_ceil(period))
+            .unwrap_or(usize::MAX)
+            .max(1),
+    )
 }
 
 /// Parses a kernel CPU list (`"0-3"`, `"0"`, `"0-1,4-7"`) into a CPU count.
@@ -175,6 +247,16 @@ pub fn set_assumed_cores(n: usize) {
 /// capped at the assumed core count.
 fn effective_threads() -> usize {
     num_threads().min(assumed_cores()).max(1)
+}
+
+/// Worker count the dispatcher would actually use right now: the
+/// configured thread count capped at the probed/assumed core count.
+///
+/// Kernels use this to choose *how* to split work (e.g. the GEMM driver
+/// picks row chunks vs column panels); `1` means every dispatch goes
+/// serial.
+pub fn effective_parallelism() -> usize {
+    effective_threads()
 }
 
 /// Whether a kernel with `rows` output rows and ~`work` scalar operations
@@ -373,6 +455,120 @@ pub fn par_rows_mut(
         rest = tail;
         tasks.push(Box::new(move || f(start, end, head)));
         start = end;
+    }
+    dispatch(tasks);
+}
+
+/// Mutable view of one column panel `[j0, j1)` of a row-major
+/// `rows × stride` matrix, handed to [`par_col_panels_mut`] tasks.
+///
+/// Panels created by one dispatch cover **disjoint** column ranges of the
+/// same buffer — that disjointness (plus the dispatch latch outliving every
+/// task) is what makes the aliasing sound; see the `unsafe impl Send`.
+/// All methods are safe: a panel can only reach its own columns.
+pub struct ColPanelMut<'a> {
+    base: *mut f32,
+    rows: usize,
+    stride: usize,
+    j0: usize,
+    j1: usize,
+    _marker: std::marker::PhantomData<&'a mut [f32]>,
+}
+
+// SAFETY: `par_col_panels_mut` constructs the panels of one dispatch over
+// pairwise-disjoint column ranges of a single exclusively-borrowed buffer,
+// so moving a panel to a worker thread cannot race any other panel's
+// accesses, and the `'a` marker keeps the underlying borrow alive until
+// the dispatch latch has joined every task.
+unsafe impl Send for ColPanelMut<'_> {}
+
+impl ColPanelMut<'_> {
+    /// The global `[j0, j1)` column range this panel owns.
+    pub fn col_range(&self) -> (usize, usize) {
+        (self.j0, self.j1)
+    }
+
+    /// Panel width in columns (`j1 - j0`).
+    pub fn width(&self) -> usize {
+        self.j1 - self.j0
+    }
+
+    /// Number of rows in the underlying matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Mutable view of this panel's slice of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "panel row {r} out of {} rows", self.rows);
+        // SAFETY: `r < rows` and `j1 <= stride` (checked at construction),
+        // so the range lies inside the buffer; `&mut self` plus panel
+        // disjointness guarantee exclusive access to it.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.base.add(r * self.stride + self.j0),
+                self.j1 - self.j0,
+            )
+        }
+    }
+}
+
+/// Runs `f` over disjoint column panels of the row-major `rows × cols`
+/// buffer `out`, partitioning columns into up to `effective_threads()`
+/// panels whose widths are multiples of `align` (except the last).
+///
+/// This is the GEMM driver's split for **short-wide** outputs (few rows,
+/// many columns — e.g. a handful of sequence positions against a large
+/// vocabulary), where the rows-only split of [`par_rows_mut`] can't feed
+/// more than `rows` workers. Column panels of a matmul are fully
+/// independent subproblems over the same `A`, so per-element accumulation
+/// order is untouched and the result stays bitwise identical to serial.
+///
+/// Small work (below the parallel thresholds) runs `f` inline on the
+/// caller with one full-width panel — exactly the serial path.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows * cols`, if `align == 0`, or if `f` panics
+/// in any panel.
+pub fn par_col_panels_mut(
+    rows: usize,
+    cols: usize,
+    align: usize,
+    work: usize,
+    out: &mut [f32],
+    f: impl Fn(ColPanelMut<'_>) + Sync,
+) {
+    assert_eq!(out.len(), rows * cols, "panel buffer shape mismatch");
+    assert!(align > 0, "zero panel alignment");
+    let threads = effective_threads();
+    let panels = threads.min(cols.div_ceil(align)).max(1);
+    let width = cols.div_ceil(panels).next_multiple_of(align);
+    let base = out.as_mut_ptr();
+    let make_panel = move |j0: usize, j1: usize| ColPanelMut {
+        base,
+        rows,
+        stride: cols,
+        j0,
+        j1,
+        _marker: std::marker::PhantomData,
+    };
+    if panels <= 1 || work < MIN_PARALLEL_WORK {
+        f(make_panel(0, cols));
+        return;
+    }
+    let f = &f;
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::new();
+    let mut j0 = 0;
+    while j0 < cols {
+        let j1 = (j0 + width).min(cols);
+        let panel = make_panel(j0, j1);
+        tasks.push(Box::new(move || f(panel)));
+        j0 = j1;
     }
     dispatch(tasks);
 }
@@ -648,6 +844,86 @@ mod tests {
         assert_eq!(parse_cpu_list(""), None);
         assert_eq!(parse_cpu_list("3-1"), None);
         assert_eq!(parse_cpu_list("a-b"), None);
+    }
+
+    #[test]
+    fn cgroup_quota_parsing_handles_kernel_formats() {
+        assert_eq!(parse_cgroup_cpu_max("400000 100000"), Some(4));
+        assert_eq!(parse_cgroup_cpu_max("150000 100000\n"), Some(2));
+        assert_eq!(parse_cgroup_cpu_max("max 100000"), None);
+        assert_eq!(parse_cgroup_cpu_max(""), None);
+        assert_eq!(parse_cgroup_quota("-1", "100000"), None);
+        assert_eq!(parse_cgroup_quota("100000", "100000"), Some(1));
+        assert_eq!(parse_cgroup_quota("garbage", "100000"), None);
+    }
+
+    #[test]
+    fn col_panels_cover_every_column_once_and_are_aligned() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(3);
+        let (rows, cols, align) = (5, 103, 8);
+        let mut out = vec![0.0f32; rows * cols];
+        par_col_panels_mut(rows, cols, align, usize::MAX, &mut out, |mut panel| {
+            let (j0, j1) = panel.col_range();
+            assert!(j0 < j1 && j1 <= cols);
+            // Every panel except the last is align-wide.
+            if j1 != cols {
+                assert_eq!(panel.width() % align, 0, "panel [{j0},{j1}) unaligned");
+            }
+            for r in 0..rows {
+                for (local, v) in panel.row_mut(r).iter_mut().enumerate() {
+                    *v += (r * cols + j0 + local) as f32;
+                }
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f32, "column {i} missed or duplicated");
+        }
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn col_panels_run_serially_below_thresholds() {
+        let _guard = config_lock();
+        let before = num_threads();
+        set_num_threads(4);
+        let calls = AtomicUsize::new(0);
+        let mut out = vec![0.0f32; 4 * 64];
+        par_col_panels_mut(4, 64, 8, 16, &mut out, |panel| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(panel.col_range(), (0, 64));
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn single_core_machine_never_dispatches_to_the_pool() {
+        // Regression for the BENCH_kernels.json table where every kernel
+        // *lost* to serial yet reported `path: "threaded"`: with a probed
+        // core count of 1, the dispatch heuristic must choose serial no
+        // matter how many threads were requested — for both split shapes.
+        let _guard = config_lock();
+        let before = num_threads();
+        set_assumed_cores(1);
+        set_num_threads(8);
+        assert_eq!(effective_parallelism(), 1);
+        assert!(!would_parallelize(usize::MAX / 2, usize::MAX));
+        let rows_calls = AtomicUsize::new(0);
+        let mut out = vec![0.0f32; 64 * 64];
+        par_rows_mut(64, usize::MAX, &mut out, |start, end, _| {
+            rows_calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!((start, end), (0, 64));
+        });
+        assert_eq!(rows_calls.load(Ordering::SeqCst), 1);
+        let col_calls = AtomicUsize::new(0);
+        par_col_panels_mut(64, 64, 8, usize::MAX, &mut out, |panel| {
+            col_calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(panel.col_range(), (0, 64));
+        });
+        assert_eq!(col_calls.load(Ordering::SeqCst), 1);
+        set_num_threads(before);
     }
 
     #[test]

@@ -1,12 +1,19 @@
 use crate::{alloc, gemm, pool, Result, TensorError};
 
 /// Shared driver for every matmul layout: allocate a pooled, zeroed output
-/// and run the packed GEMM ([`crate::gemm`]) over row chunks via the worker
-/// pool. All three layouts accumulate each output element in ascending `k`
-/// order from `0.0` — bitwise identical to the plain `i-k-j` triple loop
-/// for any tiling or thread count. There is deliberately no `a == 0.0`
-/// fast path: skipping a term would turn `0·NaN`/`0·∞` (which are `NaN`
-/// under IEEE 754) into `0`, silently masking poisoned gradients.
+/// and run the packed GEMM ([`crate::gemm`]) via the worker pool. All three
+/// layouts accumulate each output element in ascending `k` order from
+/// `0.0` — bitwise identical to the plain `i-k-j` triple loop for any
+/// tiling, thread count or split direction. There is deliberately no
+/// `a == 0.0` fast path: skipping a term would turn `0·NaN`/`0·∞` (which
+/// are `NaN` under IEEE 754) into `0`, silently masking poisoned gradients.
+///
+/// The split direction is shape-driven: outputs with enough rows to give
+/// every worker at least one full register tile split into contiguous row
+/// chunks; short-wide outputs (few rows against a large vocabulary) split
+/// into column panels instead, which are independent subproblems over the
+/// same `A` — either way each output element is produced by exactly one
+/// task running the serial kernel.
 fn run_gemm(
     a: &Tensor,
     b: &Tensor,
@@ -26,9 +33,23 @@ fn run_gemm(
         layout,
     };
     let work = m.saturating_mul(k).saturating_mul(n);
-    pool::par_rows_mut(m, work, &mut out.data, |i0, i1, chunk| {
-        gemm::gemm_chunk(&g, i0, i1 - i0, chunk, bias);
-    });
+    let workers = pool::effective_parallelism();
+    if m >= workers * gemm::MR && pool::would_parallelize(m, work) {
+        pool::par_rows_mut(m, work, &mut out.data, |i0, i1, chunk| {
+            let mut rows = gemm::ContigRows {
+                buf: chunk,
+                width: n,
+            };
+            gemm::gemm_chunk(&g, i0, i1 - i0, 0, n, &mut rows, bias);
+        });
+    } else {
+        // Short-wide (or serial): the panel split hands the whole problem
+        // to one task when parallelism isn't worth it.
+        pool::par_col_panels_mut(m, n, gemm::NR, work, &mut out.data, |mut panel| {
+            let (j0, j1) = panel.col_range();
+            gemm::gemm_chunk(&g, 0, m, j0, j1 - j0, &mut panel, bias);
+        });
+    }
     out
 }
 

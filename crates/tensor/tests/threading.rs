@@ -172,6 +172,44 @@ fn softmax_family_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn both_accuracy_policies_keep_threaded_bitwise_identical_to_serial() {
+    // The determinism contract is policy-independent: whichever exp/tanh
+    // the kernels use (libm reference or the fast polynomials), threading
+    // splits only independent rows / column panels, so serial and threaded
+    // outputs must match bit for bit under *either* policy.
+    let _guard = config_lock();
+    let before = num_threads();
+    let mut rng = seeded_rng(29);
+    let x = normal(&mut rng, 67, 96, 2.5);
+    let logits = normal(&mut rng, 67, 96, 4.0);
+    let gelu = Gelu::new();
+    for policy in [false, true] {
+        vp_tensor::mathx::set_fast_math(Some(policy));
+        set_num_threads(1);
+        let (gelu_ref, _) = gelu.forward(&x);
+        let (sm_ref, stats_ref) = local_softmax(&logits);
+        for &t in THREAD_COUNTS {
+            set_num_threads(t);
+            let (g, _) = gelu.forward(&x);
+            assert_bits_eq(&g, &gelu_ref, &format!("gelu fast={policy} t={t}"));
+            let (sm, stats) = local_softmax(&logits);
+            assert_bits_eq(&sm, &sm_ref, &format!("softmax fast={policy} t={t}"));
+            assert_eq!(
+                stats.sum.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                stats_ref
+                    .sum
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "softmax sums fast={policy} t={t}"
+            );
+        }
+    }
+    vp_tensor::mathx::set_fast_math(None);
+    set_num_threads(before);
+}
+
+#[test]
 fn layer_norm_and_gelu_are_bitwise_identical_across_thread_counts() {
     let _guard = config_lock();
     let before = num_threads();

@@ -432,8 +432,9 @@ fn kernels(quick: bool, json: bool, out: Option<&str>) {
         .unwrap_or(4);
     let size = 256;
     let (runs, iters) = if quick { (3, 2) } else { (7, 5) };
-    let results = kernel_bench::run(size, threads, runs, iters);
-    let rows: Vec<Vec<String>> = results
+    let sweep = kernel_bench::run(size, threads, runs, iters);
+    let rows: Vec<Vec<String>> = sweep
+        .kernels
         .iter()
         .map(|k| {
             vec![
@@ -466,11 +467,13 @@ fn kernels(quick: bool, json: bool, out: Option<&str>) {
             &rows
         )
     );
-    // The hardened probe (available_parallelism, /sys topology, cgroup
-    // quotas, VP_CORES) — not bare available_parallelism, which containers
-    // under-report. Dispatch caps workers at this, so it explains `path`.
-    let cores = vp_tensor::pool::assumed_cores();
-    let effective = threads.min(cores).max(1);
+    // The hardened probe (available_parallelism ∪ /sys topology ∪ cpuinfo,
+    // capped by cgroup quotas; VP_CORES overrides) — not bare
+    // available_parallelism, which containers mis-report. Dispatch caps
+    // workers at this, so it explains `path`. The sweep snapshotted these
+    // while measuring, so they match the table above by construction.
+    let cores = sweep.cores;
+    let effective = sweep.effective_threads;
     println!(
         "Parallelism is across independent output rows or column panels, so threaded\n\
          results are bitwise identical to serial. Probed cores: {cores}; dispatch caps\n\
@@ -479,7 +482,7 @@ fn kernels(quick: bool, json: bool, out: Option<&str>) {
     );
     if json {
         let path = out.unwrap_or("BENCH_kernels.json");
-        let doc = kernel_bench::to_json(size, threads, &results);
+        let doc = kernel_bench::to_json(&sweep);
         match std::fs::write(path, &doc) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),

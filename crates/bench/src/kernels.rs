@@ -14,6 +14,28 @@ use vp_tensor::{pool, Tensor};
 
 use crate::table::{json_escape, json_f64};
 
+/// A full kernel sweep: the per-kernel timings plus the dispatch
+/// environment captured **while measuring** (the assumed core count, the
+/// worker count dispatch derives from it, and the accuracy policy). Recorded
+/// here rather than re-read at render time so the JSON artifact describes
+/// the configuration the numbers were actually taken under, even if
+/// `set_assumed_cores` / `VP_CORES` / `set_fast_math` change afterwards.
+#[derive(Debug, Clone)]
+pub struct KernelSweep {
+    /// Problem size the sweep ran at (matmuls `size³`, row-wise `size×4·size`).
+    pub size: usize,
+    /// Requested pool thread count.
+    pub threads: usize,
+    /// Core count the dispatch heuristic assumed during the sweep.
+    pub cores: usize,
+    /// Worker count dispatch actually used: `threads.min(cores).max(1)`.
+    pub effective_threads: usize,
+    /// Whether the vector fast-math paths were enabled during the sweep.
+    pub fast_math: bool,
+    /// Per-kernel serial-vs-threaded timings.
+    pub kernels: Vec<KernelTiming>,
+}
+
 /// One kernel's serial-vs-threaded measurement.
 #[derive(Debug, Clone)]
 pub struct KernelTiming {
@@ -130,8 +152,13 @@ fn time_kernel(
 /// < 1. The honest measurement is the one the artifact wants: on one core
 /// the right path *is* serial, and the recorded `path` says so. Use
 /// `VP_CORES` to bench an assumed topology deliberately.
-pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTiming> {
+pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> KernelSweep {
     let previous = pool::num_threads();
+    // Snapshot the dispatch environment up front, alongside the timings it
+    // governs (a later config change must not re-label these measurements).
+    let cores = pool::assumed_cores();
+    let effective_threads = threads.min(cores).max(1);
+    let fast_math = vp_tensor::mathx::fast_math();
     let mut rng = seeded_rng(2024);
     let a = normal(&mut rng, size, size, 1.0);
     let b = normal(&mut rng, size, size, 1.0);
@@ -146,7 +173,7 @@ pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTi
     let mm_flops = 2.0 * (size * size * size) as f64;
     let len = size * 4 * size;
     let mm_dispatch = (size, size * size * size);
-    let results = vec![
+    let kernels = vec![
         time_kernel(
             "matmul_nn",
             mm.clone(),
@@ -219,32 +246,41 @@ pub fn run(size: usize, threads: usize, runs: usize, iters: u32) -> Vec<KernelTi
         ),
     ];
     pool::set_num_threads(previous);
-    results
+    KernelSweep {
+        size,
+        threads,
+        cores,
+        effective_threads,
+        fast_math,
+        kernels,
+    }
 }
 
 /// Renders the sweep as the `BENCH_kernels.json` document.
 ///
 /// The header records the *probed* core count (hardened against cgroup /
-/// affinity under-reporting, see [`pool::detect_cores`]) next to the
-/// requested thread count and the worker count dispatch actually uses —
+/// affinity mis-reporting, see [`pool::detect_cores`]) next to the
+/// requested thread count and the worker count dispatch actually used —
 /// `"cores": 1, "threads": 4` in an old artifact was the bug report that
-/// motivated the split.
-pub fn to_json(size: usize, threads: usize, results: &[KernelTiming]) -> String {
-    let cores = pool::assumed_cores();
-    let effective = threads.min(cores).max(1);
-    let fast_math = vp_tensor::mathx::fast_math();
+/// motivated the split. All header fields come from the [`KernelSweep`]
+/// snapshot taken during [`run`], so they describe the measurements even if
+/// the pool config changed since.
+pub fn to_json(sweep: &KernelSweep) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"kernels\",\n");
     out.push_str("  \"generated_by\": \"repro kernels --json\",\n");
     out.push_str("  \"unit\": \"us_per_iter_median\",\n");
-    out.push_str(&format!("  \"size\": {size},\n"));
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!("  \"cores\": {cores},\n"));
-    out.push_str(&format!("  \"effective_threads\": {effective},\n"));
-    out.push_str(&format!("  \"fast_math\": {fast_math},\n"));
+    out.push_str(&format!("  \"size\": {},\n", sweep.size));
+    out.push_str(&format!("  \"threads\": {},\n", sweep.threads));
+    out.push_str(&format!("  \"cores\": {},\n", sweep.cores));
+    out.push_str(&format!(
+        "  \"effective_threads\": {},\n",
+        sweep.effective_threads
+    ));
+    out.push_str(&format!("  \"fast_math\": {},\n", sweep.fast_math));
     out.push_str("  \"kernels\": [\n");
-    for (i, k) in results.iter().enumerate() {
+    for (i, k) in sweep.kernels.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"shape\": \"{}\", \"serial_us\": {}, \"threaded_us\": {}, \"speedup\": {}, \"serial_gflops\": {}, \"threaded_gflops\": {}, \"path\": \"{}\", \"bitwise_identical\": {}}}{}\n",
             json_escape(k.name),
@@ -256,7 +292,7 @@ pub fn to_json(size: usize, threads: usize, results: &[KernelTiming]) -> String 
             json_f64(k.threaded_gflops()),
             json_escape(k.path),
             k.bitwise_identical,
-            if i + 1 == results.len() { "" } else { "," }
+            if i + 1 == sweep.kernels.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -281,7 +317,15 @@ mod tests {
     fn sweep_covers_all_kernels_and_stays_bitwise_identical() {
         let _guard = config_lock();
         // Tiny size: this is a structure test, not a perf test.
-        let results = run(24, 2, 1, 1);
+        let sweep = run(24, 2, 1, 1);
+        assert_eq!(sweep.size, 24);
+        assert_eq!(sweep.threads, 2);
+        assert!(sweep.cores >= 1);
+        assert_eq!(
+            sweep.effective_threads,
+            sweep.threads.min(sweep.cores).max(1)
+        );
+        let results = sweep.kernels;
         let names: Vec<&str> = results.iter().map(|k| k.name).collect();
         assert_eq!(
             names,
@@ -317,9 +361,13 @@ mod tests {
         // dispatch must never pick the slower path.
         let _guard = config_lock();
         pool::set_assumed_cores(1);
-        let results = run(64, 4, 1, 1);
+        let sweep = run(64, 4, 1, 1);
         pool::set_assumed_cores(0);
-        for k in &results {
+        // The snapshot reflects the config *during* the sweep, not the
+        // restored default read afterwards.
+        assert_eq!(sweep.cores, 1);
+        assert_eq!(sweep.effective_threads, 1);
+        for k in &sweep.kernels {
             assert_eq!(k.path, "serial", "{} dispatched to the pool", k.name);
             assert!(k.bitwise_identical, "{} diverged from serial", k.name);
         }
@@ -332,9 +380,15 @@ mod tests {
         // the big kernels to the pool — and stay bitwise identical.
         let _guard = config_lock();
         pool::set_assumed_cores(4);
-        let results = run(64, 4, 1, 1);
+        let sweep = run(64, 4, 1, 1);
         pool::set_assumed_cores(0);
-        for k in results.iter().filter(|k| k.name.starts_with("matmul")) {
+        assert_eq!(sweep.cores, 4);
+        assert_eq!(sweep.effective_threads, 4);
+        for k in sweep
+            .kernels
+            .iter()
+            .filter(|k| k.name.starts_with("matmul"))
+        {
             assert_eq!(k.path, "threaded", "{} stayed serial", k.name);
             assert!(k.bitwise_identical, "{} diverged from serial", k.name);
         }
@@ -343,8 +397,8 @@ mod tests {
     #[test]
     fn json_document_is_well_formed_enough() {
         let _guard = config_lock();
-        let results = run(16, 2, 1, 1);
-        let doc = to_json(16, 2, &results);
+        let sweep = run(16, 2, 1, 1);
+        let doc = to_json(&sweep);
         assert!(doc.contains("\"bench\": \"kernels\""));
         assert!(doc.contains("\"threads\": 2"));
         assert!(doc.contains("\"cores\": "));

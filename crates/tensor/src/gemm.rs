@@ -312,7 +312,13 @@ pub(crate) fn gemm_chunk<O: OutRows>(
                 pack_a_block(g, i0 + ib, mc, p0, pc, &mut ablock[..mtiles * pc * MR]);
                 for mt in 0..mtiles {
                     let r0 = ib + mt * MR;
-                    let mr = MR.min(rows - r0);
+                    // Clamp to the packed block, not the whole chunk: when
+                    // MC % MR != 0 (the 6-row AVX2 tile) the last tile of a
+                    // non-final block would otherwise spill into the next
+                    // block's rows, adding `0·b` terms from the zero padding
+                    // (x + 0·∞ = NaN, -0.0 + 0.0 = +0.0) before those rows'
+                    // own block runs.
+                    let mr = MR.min(ib + mc - r0);
                     let apanel = &ablock[mt * pc * MR..(mt + 1) * pc * MR];
                     for jt in 0..jtiles {
                         let jbase = j0 + jt * NR;

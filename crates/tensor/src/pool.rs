@@ -100,22 +100,42 @@ fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Cached `VP_CORES` resolution: [`ENV_UNRESOLVED`] = not looked up yet,
+/// [`ENV_UNSET`] = looked up but absent/invalid, anything else = the parsed
+/// value. [`set_assumed_cores`]`(0)` resets it to unresolved so the next
+/// [`assumed_cores`] call re-reads the environment.
+static ENV_CORES: AtomicUsize = AtomicUsize::new(ENV_UNRESOLVED);
+const ENV_UNRESOLVED: usize = 0;
+const ENV_UNSET: usize = usize::MAX;
+
 /// Number of cores the dispatch heuristic assumes the machine has.
 ///
 /// Resolved, in order, from the last [`set_assumed_cores`] call, the
-/// `VP_CORES` environment variable (read once, lazily), and the cached
-/// [`detect_cores`] probe.
+/// `VP_CORES` environment variable, and the cached [`detect_cores`] probe.
+/// The env lookup is cached after the first kernel dispatch (it sits on
+/// every kernel's hot path); changing `VP_CORES` mid-process takes effect
+/// only after a [`set_assumed_cores`]`(0)`, which drops the cache and
+/// re-reads the environment on the next call.
 pub fn assumed_cores() -> usize {
     match ASSUMED_CORES.load(Ordering::Acquire) {
         0 => {
-            static ENV: OnceLock<Option<usize>> = OnceLock::new();
-            ENV.get_or_init(|| {
-                std::env::var("VP_CORES")
-                    .ok()
-                    .and_then(|v| v.trim().parse::<usize>().ok())
-                    .filter(|&n| n >= 1)
-            })
-            .unwrap_or_else(detect_cores)
+            let env = match ENV_CORES.load(Ordering::Acquire) {
+                ENV_UNRESOLVED => {
+                    let v = std::env::var("VP_CORES")
+                        .ok()
+                        .and_then(|v| v.trim().parse::<usize>().ok())
+                        .filter(|&n| (1..ENV_UNSET).contains(&n))
+                        .unwrap_or(ENV_UNSET);
+                    ENV_CORES.store(v, Ordering::Release);
+                    v
+                }
+                v => v,
+            };
+            if env == ENV_UNSET {
+                detect_cores()
+            } else {
+                env
+            }
         }
         n => n,
     }
@@ -128,9 +148,15 @@ pub fn assumed_cores() -> usize {
 /// even when the machine has more cores, which starves the dispatch
 /// heuristic into the serial path for every kernel. This probe additionally
 /// consults the Linux topology files (`/sys/devices/system/cpu/present`,
-/// `/sys/devices/system/cpu/online`, `/proc/cpuinfo`) and the cgroup CPU
-/// quota (v2 `cpu.max`, v1 `cpu.cfs_quota_us`/`cpu.cfs_period_us`, rounded
-/// up) and returns the largest answer any source gives, with a floor of 1.
+/// `/sys/devices/system/cpu/online`, `/proc/cpuinfo`), taking the largest
+/// answer any of them gives — then **caps** that at the cgroup CPU quota
+/// (v2 `cpu.max`, v1 `cpu.cfs_quota_us`/`cpu.cfs_period_us`, rounded up),
+/// with a floor of 1. The direction matters: inside a quota-limited
+/// container the topology files describe the *host* (a 2-CPU-quota pod on
+/// a 64-core box reads `present: 0-63`), and only the quota says how much
+/// CPU the scheduler will actually grant — treating it as another
+/// maximizing source would re-create the oversubscription this probe
+/// exists to prevent.
 ///
 /// The probe reads `/proc` and `/sys`, so the result is computed once and
 /// cached — the dispatch heuristic consults it on **every** kernel call,
@@ -165,10 +191,16 @@ fn probe_cores() -> usize {
                 .count();
             best = best.max(n);
         }
+        // A cgroup CPU quota *caps* the topology answer: the sysfs/cpuinfo
+        // sources above describe the host, but a quota-limited container
+        // only ever gets `quota/period` CPUs of runtime, so threading past
+        // it is guaranteed oversubscription. A finite quota can therefore
+        // only lower the probe, never raise it.
+        let mut quota = usize::MAX;
         // cgroup v2: "<quota> <period>" or "max <period>".
         if let Ok(s) = std::fs::read_to_string("/sys/fs/cgroup/cpu.max") {
             if let Some(n) = parse_cgroup_cpu_max(&s) {
-                best = best.max(n);
+                quota = quota.min(n);
             }
         }
         // cgroup v1: separate quota/period files (-1 quota = unlimited).
@@ -177,9 +209,10 @@ fn probe_cores() -> usize {
             std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_period_us"),
         ) {
             if let Some(n) = parse_cgroup_quota(&q, &p) {
-                best = best.max(n);
+                quota = quota.min(n);
             }
         }
+        best = best.min(quota);
     }
     best.max(1)
 }
@@ -231,7 +264,8 @@ fn parse_cpu_list(s: &str) -> Option<usize> {
 }
 
 /// Overrides the core count the dispatch heuristic assumes (`0` restores
-/// detection).
+/// detection, re-reading `VP_CORES` — which is otherwise cached after the
+/// first kernel dispatch — before falling back to the cached probe).
 ///
 /// More worker threads than cores is pure overhead — the kernel bench
 /// measured speedup 0.92–0.98 at every shape on a 1-core box — so
@@ -240,6 +274,11 @@ fn parse_cpu_list(s: &str) -> Option<usize> {
 /// machinery anyway (determinism is unaffected either way: the chunked and
 /// serial paths are bitwise identical by construction).
 pub fn set_assumed_cores(n: usize) {
+    if n == 0 {
+        // Restoring the default invalidates the cached VP_CORES lookup, so
+        // embedders/tests that changed the env var see the new value.
+        ENV_CORES.store(ENV_UNRESOLVED, Ordering::Release);
+    }
     ASSUMED_CORES.store(n, Ordering::Release);
 }
 
@@ -832,6 +871,28 @@ mod tests {
             .map(|c| c.get())
             .unwrap_or(1);
         assert!(n >= avail);
+    }
+
+    #[test]
+    fn clearing_the_override_rereads_vp_cores() {
+        // `VP_CORES` is cached after the first dispatch (hot path), but
+        // `set_assumed_cores(0)` must drop that cache so embedders/tests
+        // that changed the env var don't get silently stale behavior.
+        let _guard = config_lock();
+        let probed = detect_cores();
+        std::env::set_var("VP_CORES", "3");
+        set_assumed_cores(0);
+        assert_eq!(assumed_cores(), 3);
+        std::env::set_var("VP_CORES", "5");
+        assert_eq!(assumed_cores(), 3, "cached until the override is cleared");
+        set_assumed_cores(0);
+        assert_eq!(assumed_cores(), 5, "clearing the override re-reads the env");
+        std::env::remove_var("VP_CORES");
+        set_assumed_cores(0);
+        assert_eq!(assumed_cores(), probed, "unset env falls back to the probe");
+        // Leave the guard's plenty-of-cores assumption in place for the
+        // remainder of the lock scope.
+        set_assumed_cores(16);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use vp_tensor::Tensor;
 
 /// `(m, k, n)` shapes chosen to hit every tiling edge: zero dims, single
 /// elements, sub-tile sizes, exact block multiples, and off-by-one block
-/// straddles (65 = 64+1, 129 = 2·64+1, 9 = MR·2+1, 17 = NR·2+1).
+/// straddles (65 = 64+1, 129 = 2·64+1, 9 = MR·2+1, 17 = NR·2+1,
+/// 131 = MC+3 spans the 128-row block boundary).
 const SHAPES: &[(usize, usize, usize)] = &[
     (0, 5, 3),
     (5, 0, 3),
@@ -27,6 +28,7 @@ const SHAPES: &[(usize, usize, usize)] = &[
     (64, 64, 64),
     (65, 129, 66),
     (2, 200, 70),
+    (131, 37, 19),
 ];
 
 /// Naive `i-k-j` reference: one running accumulator per output element,
@@ -174,6 +176,36 @@ fn nan_and_inf_propagate_through_packed_panels() {
     *at.at_mut(65, 12) = f32::NAN;
     *at.at_mut(3, 0) = 0.0;
     assert_bits_eq(&at.matmul_tn(&b).unwrap(), &naive_tn(&at, &b), "tn poison");
+}
+
+#[test]
+fn tiles_never_spill_past_the_row_block_boundary() {
+    // Regression: the compute loop clamped each tile to the *chunk* row
+    // count instead of the packed 128-row block, so whenever MC % MR != 0
+    // (the 6-row AVX2 tile) the last tile of a non-final block spilled
+    // into the next block's rows, adding `0·b` terms from the zero
+    // padding — x + 0·∞ = NaN and -0.0 + 0.0 = +0.0, silently breaking
+    // bitwise identity and ∞ propagation for every m > 128. Poison `b`
+    // with infinities in every column block so any spilled lane turns a
+    // row ≥ 128 into NaN; the naive reference keeps it ±∞.
+    let (m, k, n) = (131, 37, 19);
+    let mut rng = seeded_rng(41);
+    let a = normal(&mut rng, m, k, 1.0);
+    let mut b = normal(&mut rng, k, n, 1.0);
+    for j in 0..n {
+        *b.at_mut(j % k, j) = if j % 2 == 0 {
+            f32::INFINITY
+        } else {
+            f32::NEG_INFINITY
+        };
+    }
+    assert_bits_eq(&a.matmul(&b).unwrap(), &naive_nn(&a, &b), "nn spill");
+
+    let bt = b.transpose();
+    assert_bits_eq(&a.matmul_nt(&bt).unwrap(), &naive_nt(&a, &bt), "nt spill");
+
+    let at = a.transpose();
+    assert_bits_eq(&at.matmul_tn(&b).unwrap(), &naive_tn(&at, &b), "tn spill");
 }
 
 #[test]

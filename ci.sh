@@ -1,64 +1,106 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, lint and format-check the whole workspace,
-# then run the measured-run gates: the PP x TP crossover sweep (grid
-# configs verified by vp-check + the grid lints, tp=1 column bitwise equal
-# to the 1D simulation), kernel smoke benchmark (with the packed-GEMM
-# nt/nn regression gate, GFLOP/s floors for the SIMD matmul/GELU paths,
-# and the dispatch-honesty gate: serial on one effective worker, and a
-# chosen threaded path must not lose to serial), bitwise training
-# determinism, the
-# buffer-arena train bench (steady-state recycling + pooled-vs-fresh
-# numerics), Chrome-trace schema checks (simulated and measured), and the
+# Local CI gate, fail-fast ordered: the cheap source-level checks (format,
+# unsafe audit) run before anything compiles, lint (clippy) runs before the
+# release build it shares artifacts with, and the measured-run gates come
+# last: the PP x TP crossover sweep (grid configs verified by vp-check +
+# the grid lints, tp=1 column bitwise equal to the 1D simulation), kernel
+# smoke benchmark (with the packed-GEMM nt/nn regression gate, GFLOP/s
+# floors for the SIMD matmul/GELU paths, and the dispatch-honesty gate:
+# serial on one effective worker, and a chosen threaded path must not lose
+# to serial), bitwise training determinism, the buffer-arena train bench
+# (steady-state recycling + pooled-vs-fresh numerics), the serving bench
+# (open-loop decode SLO floors + greedy-decode bitwise equivalence),
+# Chrome-trace schema checks (simulated and measured), and the
 # sim-vs-measured timeline drift gate.
 # Runs fully offline (the workspace has no external dependencies).
 # JSON artifacts land in target/ so the working tree stays clean.
+# A per-stage wall-time summary prints at the end.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --workspace --release"
-cargo build --workspace --release
+STAGE_NAMES=()
+STAGE_SECS=()
 
-echo "==> cargo test --workspace --release"
-cargo test --workspace --release --quiet
-
-echo "==> cargo clippy --workspace --all-targets -- -D warnings (+ pedantic subset)"
-cargo clippy --workspace --all-targets --release -- -D warnings \
-    -D clippy::needless_pass_by_value \
-    -D clippy::redundant_clone \
-    -D clippy::semicolon_if_nothing_returned
-
-echo "==> cargo fmt --check"
-cargo fmt --check
-
-echo "==> unsafe audit (unsafe code is confined to the tensor pool and trace buffer)"
-# Every other crate carries #![forbid(unsafe_code)]; this catches a crate
-# that drops the attribute or a new unsafe block sneaking in elsewhere.
-UNSAFE_ALLOWED="crates/tensor/src/pool.rs crates/trace/src/buffer.rs"
-UNSAFE_FOUND=$(grep -rln --include='*.rs' 'unsafe ' src crates | sort || true)
-for f in $UNSAFE_FOUND; do
-    case " $UNSAFE_ALLOWED " in
-        *" $f "*) ;;
-        *)
-            echo "unsafe code outside the audited allowlist: $f" >&2
-            exit 1
-            ;;
-    esac
-done
-echo "unsafe audit OK: confined to [$UNSAFE_ALLOWED]"
-
-echo "==> repro check (static schedule verification sweep)"
-cargo run -p vp-bench --release --bin repro -- check --json --out target/CHECK.json
-grep -q '"failing": 0' target/CHECK.json || {
-    echo "vp-check sweep reported failing cases" >&2
-    exit 1
+# stage <name> <command...> — announce, run, and record wall time.
+stage() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local t0=$SECONDS
+    "$@"
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=($((SECONDS - t0)))
 }
 
-echo "==> repro tpsweep (PP x TP crossover on the 2D device grid)"
-cargo run -p vp-bench --release --bin repro -- tpsweep --json --out target/TPSWEEP.json
+stage_summary() {
+    echo
+    echo "---- stage wall times ----"
+    local i total=0
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '%5ds  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+        total=$((total + STAGE_SECS[i]))
+    done
+    printf '%5ds  total\n' "$total"
+}
 
-echo "==> TPSWEEP.json structure + grid degeneracy/crossover gate"
-if command -v python3 >/dev/null 2>&1; then
-    python3 - <<'PY'
+# --- source-level checks: no compilation needed, fail in seconds -----------
+
+fmt_check() {
+    cargo fmt --check
+}
+
+unsafe_audit() {
+    # Every crate but the two audited ones carries #![forbid(unsafe_code)];
+    # this catches a crate that drops the attribute or a new unsafe block
+    # sneaking in elsewhere. Token match (\bunsafe\b), not 'unsafe ': the
+    # old pattern missed `unsafe{`, `unsafe(` and other spellings the
+    # compiler accepts.
+    local allowed="crates/tensor/src/pool.rs crates/trace/src/buffer.rs"
+    local found f
+    found=$(grep -rln --include='*.rs' -E '\bunsafe\b' src crates | sort || true)
+    for f in $found; do
+        case " $allowed " in
+            *" $f "*) ;;
+            *)
+                echo "unsafe code outside the audited allowlist: $f" >&2
+                exit 1
+                ;;
+        esac
+    done
+    echo "unsafe audit OK: confined to [$allowed]"
+}
+
+# --- lint, build, test -----------------------------------------------------
+
+clippy_lint() {
+    cargo clippy --workspace --all-targets --release -- -D warnings \
+        -D clippy::needless_pass_by_value \
+        -D clippy::redundant_clone \
+        -D clippy::semicolon_if_nothing_returned
+}
+
+build_release() {
+    cargo build --workspace --release
+}
+
+test_release() {
+    cargo test --workspace --release --quiet
+}
+
+# --- measured-run gates ----------------------------------------------------
+
+check_sweep() {
+    cargo run -p vp-bench --release --bin repro -- check --json --out target/CHECK.json
+    grep -q '"failing": 0' target/CHECK.json || {
+        echo "vp-check sweep reported failing cases" >&2
+        exit 1
+    }
+}
+
+tpsweep_gate() {
+    cargo run -p vp-bench --release --bin repro -- tpsweep --json --out target/TPSWEEP.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
 import json
 
 with open("target/TPSWEEP.json") as f:
@@ -95,26 +137,25 @@ assert best[("vocab-2", "all-reduce", 128)] == 1, \
 print(f"TPSWEEP.json OK: {len(series)} series on {total} devices, all verified, "
       f"tp=1 columns bitwise identical, crossover flips with microbatch count")
 PY
-else
-    grep -q '"bench": "tpsweep"' target/TPSWEEP.json
-    if grep -q '"check_clean": false' target/TPSWEEP.json; then
-        echo "tpsweep: a grid configuration failed static verification" >&2
-        exit 1
+    else
+        grep -q '"bench": "tpsweep"' target/TPSWEEP.json
+        if grep -q '"check_clean": false' target/TPSWEEP.json; then
+            echo "tpsweep: a grid configuration failed static verification" >&2
+            exit 1
+        fi
+        if grep -q '"tp1_bitwise_match": false' target/TPSWEEP.json; then
+            echo "tpsweep: a tp=1 grid run diverged bitwise from the 1D run" >&2
+            exit 1
+        fi
+        grep -q '"tp1_bitwise_match": true' target/TPSWEEP.json
+        echo "TPSWEEP.json OK (grep check; crossover gate needs python3)"
     fi
-    if grep -q '"tp1_bitwise_match": false' target/TPSWEEP.json; then
-        echo "tpsweep: a tp=1 grid run diverged bitwise from the 1D run" >&2
-        exit 1
-    fi
-    grep -q '"tp1_bitwise_match": true' target/TPSWEEP.json
-    echo "TPSWEEP.json OK (grep check; crossover gate needs python3)"
-fi
+}
 
-echo "==> repro kernels --json smoke run"
-cargo run -p vp-bench --release --bin repro -- kernels --json --quick --out target/BENCH_kernels.json
-
-echo "==> BENCH_kernels.json structure check"
-if command -v python3 >/dev/null 2>&1; then
-    python3 - <<'PY'
+kernels_gate() {
+    cargo run -p vp-bench --release --bin repro -- kernels --json --quick --out target/BENCH_kernels.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
 import json
 
 with open("target/BENCH_kernels.json") as f:
@@ -173,78 +214,79 @@ print(f"BENCH_kernels.json OK: {len(kernels)} kernels, serial+threaded covered, 
       f"({doc['threads']} threads, {doc['cores']} cores, "
       f"{doc['effective_threads']} effective)")
 PY
-else
-    # Fallback when python3 is unavailable: structural greps.
-    grep -q '"bench": "kernels"' target/BENCH_kernels.json
-    for k in matmul_nn matmul_nt matmul_tn softmax_rows local_softmax layer_norm gelu; do
-        grep -q "\"name\": \"$k\"" target/BENCH_kernels.json || {
-            echo "missing kernel $k in BENCH_kernels.json" >&2
+    else
+        # Fallback when python3 is unavailable: structural greps.
+        grep -q '"bench": "kernels"' target/BENCH_kernels.json
+        local k
+        for k in matmul_nn matmul_nt matmul_tn softmax_rows local_softmax layer_norm gelu; do
+            grep -q "\"name\": \"$k\"" target/BENCH_kernels.json || {
+                echo "missing kernel $k in BENCH_kernels.json" >&2
+                exit 1
+            }
+        done
+        grep -q '"serial_us"' target/BENCH_kernels.json
+        grep -q '"threaded_us"' target/BENCH_kernels.json
+        grep -q '"serial_gflops"' target/BENCH_kernels.json
+        grep -q '"path"' target/BENCH_kernels.json
+        if grep -q '"bitwise_identical": false' target/BENCH_kernels.json; then
+            echo "threaded kernel output diverged from serial" >&2
             exit 1
-        }
-    done
-    grep -q '"serial_us"' target/BENCH_kernels.json
-    grep -q '"threaded_us"' target/BENCH_kernels.json
-    grep -q '"serial_gflops"' target/BENCH_kernels.json
-    grep -q '"path"' target/BENCH_kernels.json
-    if grep -q '"bitwise_identical": false' target/BENCH_kernels.json; then
-        echo "threaded kernel output diverged from serial" >&2
-        exit 1
-    fi
-    # nt/nn regression, GFLOP/s floors, and the dispatch-honesty gate
-    # (threaded path must not lose to serial) via awk.
-    awk '
-        /"name": "matmul_nn"/ { if (match($0, /"serial_us": [0-9.]+/))
-            nn = substr($0, RSTART + 14, RLENGTH - 14) }
-        /"name": "matmul_nt"/ { if (match($0, /"serial_us": [0-9.]+/))
-            nt = substr($0, RSTART + 14, RLENGTH - 14) }
-        /"name": "matmul_nn"/ { if (match($0, /"serial_gflops": [0-9.]+/))
-            mmf = substr($0, RSTART + 18, RLENGTH - 18) }
-        /"name": "gelu"/ { if (match($0, /"serial_gflops": [0-9.]+/))
-            gf = substr($0, RSTART + 18, RLENGTH - 18) }
-        /"path": "threaded"/ {
-            if (match($0, /"speedup": [0-9.]+/)) {
-                sp = substr($0, RSTART + 11, RLENGTH - 11)
-                if (sp < 0.95) {
-                    printf "threaded path chosen but slower than serial (speedup %.3f)\n", sp > "/dev/stderr"
-                    exit 1
+        fi
+        # nt/nn regression, GFLOP/s floors, and the dispatch-honesty gate
+        # (threaded path must not lose to serial) via awk.
+        awk '
+            /"name": "matmul_nn"/ { if (match($0, /"serial_us": [0-9.]+/))
+                nn = substr($0, RSTART + 14, RLENGTH - 14) }
+            /"name": "matmul_nt"/ { if (match($0, /"serial_us": [0-9.]+/))
+                nt = substr($0, RSTART + 14, RLENGTH - 14) }
+            /"name": "matmul_nn"/ { if (match($0, /"serial_gflops": [0-9.]+/))
+                mmf = substr($0, RSTART + 18, RLENGTH - 18) }
+            /"name": "gelu"/ { if (match($0, /"serial_gflops": [0-9.]+/))
+                gf = substr($0, RSTART + 18, RLENGTH - 18) }
+            /"path": "threaded"/ {
+                if (match($0, /"speedup": [0-9.]+/)) {
+                    sp = substr($0, RSTART + 11, RLENGTH - 11)
+                    if (sp < 0.95) {
+                        printf "threaded path chosen but slower than serial (speedup %.3f)\n", sp > "/dev/stderr"
+                        exit 1
+                    }
                 }
             }
-        }
-        END {
-            if (nn == "" || nt == "") { print "missing matmul timings" > "/dev/stderr"; exit 1 }
-            if (nt / nn > 1.5) {
-                printf "matmul_nt serial is %.2fx matmul_nn (gate: 1.5x)\n", nt / nn > "/dev/stderr"
-                exit 1
-            }
-            if (mmf == "" || mmf < 10.0) {
-                printf "matmul_nn serial %.2f GFLOP/s under the 10.0 floor\n", mmf > "/dev/stderr"
-                exit 1
-            }
-            if (gf == "" || gf < 2.0) {
-                printf "gelu serial %.2f GFLOP/s under the 2.0 floor\n", gf > "/dev/stderr"
-                exit 1
-            }
-            printf "nt/nn = %.2f, matmul %.1f / gelu %.1f GFLOP/s over floors\n", nt / nn, mmf, gf
-        }' target/BENCH_kernels.json
-    echo "BENCH_kernels.json OK (grep check)"
-fi
+            END {
+                if (nn == "" || nt == "") { print "missing matmul timings" > "/dev/stderr"; exit 1 }
+                if (nt / nn > 1.5) {
+                    printf "matmul_nt serial is %.2fx matmul_nn (gate: 1.5x)\n", nt / nn > "/dev/stderr"
+                    exit 1
+                }
+                if (mmf == "" || mmf < 10.0) {
+                    printf "matmul_nn serial %.2f GFLOP/s under the 10.0 floor\n", mmf > "/dev/stderr"
+                    exit 1
+                }
+                if (gf == "" || gf < 2.0) {
+                    printf "gelu serial %.2f GFLOP/s under the 2.0 floor\n", gf > "/dev/stderr"
+                    exit 1
+                }
+                printf "nt/nn = %.2f, matmul %.1f / gelu %.1f GFLOP/s over floors\n", nt / nn, mmf, gf
+            }' target/BENCH_kernels.json
+        echo "BENCH_kernels.json OK (grep check)"
+    fi
+}
 
-echo "==> training determinism gate (two identical runs, VP_THREADS=4)"
-VP_THREADS=4 cargo run --release --example train_tiny_gpt > target/determinism_run1.txt
-VP_THREADS=4 cargo run --release --example train_tiny_gpt > target/determinism_run2.txt
-if ! diff -q target/determinism_run1.txt target/determinism_run2.txt >/dev/null; then
-    echo "training is not deterministic: two identical runs diverged" >&2
-    diff target/determinism_run1.txt target/determinism_run2.txt >&2 || true
-    exit 1
-fi
-echo "determinism OK: both runs byte-identical (losses included)"
+determinism_gate() {
+    VP_THREADS=4 cargo run --release --example train_tiny_gpt > target/determinism_run1.txt
+    VP_THREADS=4 cargo run --release --example train_tiny_gpt > target/determinism_run2.txt
+    if ! diff -q target/determinism_run1.txt target/determinism_run2.txt >/dev/null; then
+        echo "training is not deterministic: two identical runs diverged" >&2
+        diff target/determinism_run1.txt target/determinism_run2.txt >&2 || true
+        exit 1
+    fi
+    echo "determinism OK: both runs byte-identical (losses included)"
+}
 
-echo "==> repro trainbench --json (buffer-arena lifecycle + steady iteration wall time)"
-cargo run -p vp-bench --release --bin repro -- trainbench --json --quick --out target/BENCH_train.json
-
-echo "==> BENCH_train.json structure + arena recycling gate"
-if command -v python3 >/dev/null 2>&1; then
-    python3 - <<'PY'
+trainbench_gate() {
+    cargo run -p vp-bench --release --bin repro -- trainbench --json --quick --out target/BENCH_train.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
 import json
 import math
 
@@ -282,45 +324,118 @@ for name, s in schedules.items():
           f"(ratio {steady['reuse_ratio']:.3f}), pooled bitwise identical")
 print("BENCH_train.json OK")
 PY
-else
-    grep -q '"bench": "train"' target/BENCH_train.json
-    grep -q '"name": "vocab-2-1f1b"' target/BENCH_train.json
-    grep -q '"name": "zb-vocab-2"' target/BENCH_train.json
-    grep -q '"median_steady_iter_us"' target/BENCH_train.json
-    if grep -q '"pooled_bitwise_identical": false' target/BENCH_train.json; then
-        echo "pooled losses diverged from fresh-allocation losses" >&2
-        exit 1
-    fi
-    # Reuse-ratio gate via awk on each schedule's steady counters.
-    awk '
-        /"steady": \{/ {
-            line = $0
-            sub(/.*"steady": \{/, "", line)
-            if (match(line, /"reuse_ratio": [0-9.]+/)) {
-                r = substr(line, RSTART + 15, RLENGTH - 15)
-                n += 1
-                if (r < 0.9) {
-                    printf "steady reuse ratio %.3f < 0.9\n", r > "/dev/stderr"
-                    exit 1
+    else
+        grep -q '"bench": "train"' target/BENCH_train.json
+        grep -q '"name": "vocab-2-1f1b"' target/BENCH_train.json
+        grep -q '"name": "zb-vocab-2"' target/BENCH_train.json
+        grep -q '"median_steady_iter_us"' target/BENCH_train.json
+        if grep -q '"pooled_bitwise_identical": false' target/BENCH_train.json; then
+            echo "pooled losses diverged from fresh-allocation losses" >&2
+            exit 1
+        fi
+        # Reuse-ratio gate via awk on each schedule's steady counters.
+        awk '
+            /"steady": \{/ {
+                line = $0
+                sub(/.*"steady": \{/, "", line)
+                if (match(line, /"reuse_ratio": [0-9.]+/)) {
+                    r = substr(line, RSTART + 15, RLENGTH - 15)
+                    n += 1
+                    if (r < 0.9) {
+                        printf "steady reuse ratio %.3f < 0.9\n", r > "/dev/stderr"
+                        exit 1
+                    }
                 }
             }
-        }
-        END {
-            if (n < 2) { print "missing steady arena counters" > "/dev/stderr"; exit 1 }
-            printf "steady reuse ratios OK (%d schedules)\n", n
-        }' target/BENCH_train.json
-    echo "BENCH_train.json OK (grep check)"
-fi
+            END {
+                if (n < 2) { print "missing steady arena counters" > "/dev/stderr"; exit 1 }
+                printf "steady reuse ratios OK (%d schedules)\n", n
+            }' target/BENCH_train.json
+        echo "BENCH_train.json OK (grep check)"
+    fi
+}
 
-echo "==> trace exports (simulated + measured) and timeline drift"
-cargo run -p vp-bench --release --bin repro -- trace
-cargo run -p vp-bench --release --bin repro -- timeline --json --out target/TIMELINE.json
+servebench_gate() {
+    cargo run -p vp-bench --release --bin repro -- servebench --json --quick --out target/BENCH_serve.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
+import json
+import math
 
-echo "==> Chrome trace schema check"
-TRACE_FILES="traces/1f1b.trace.json traces/vocab2-1f1b.trace.json \
+with open("target/BENCH_serve.json") as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "serve", doc.get("bench")
+cfg = doc["config"]
+for key in ("layers", "hidden", "seq_len", "vocab", "max_batch", "top_k"):
+    assert cfg[key] > 0, f"config.{key} missing or zero"
+wl = doc["workload"]
+assert wl["requests"] > 0 and wl["rate_per_sec"] > 0, wl
+# The serving correctness contract: greedy decode through the pipelined,
+# KV-cached, vocabulary-sharded engine is bitwise equal to the
+# single-device full-context reference — at every pipeline depth.
+assert doc["greedy_matches_reference"] is True, \
+    "greedy decode diverged from the single-device reference"
+pipelines = {p["name"]: p for p in doc["pipelines"]}
+expected = {"pp1", "pp2", "pp4"}
+missing = expected - pipelines.keys()
+assert not missing, f"pipelines missing from BENCH_serve.json: {missing}"
+for name, p in pipelines.items():
+    assert p["greedy_matches_reference"] is True, f"{name}: diverged"
+    assert p["requests"] == wl["requests"], f"{name}: dropped requests"
+    assert p["tokens"] > 0 and p["steps"] > 0, f"{name}: served nothing"
+    # SLO floors: positive generation throughput, finite tail latency.
+    assert p["tokens_per_sec"] > 0, f"{name}: zero throughput"
+    p50, p99 = p["p50_token_latency_ms"], p["p99_token_latency_ms"]
+    assert p50 is not None and p99 is not None, f"{name}: missing latency"
+    assert math.isfinite(p99) and p99 > 0, f"{name}: p99 not finite/positive"
+    assert p99 >= p50 > 0, f"{name}: quantiles inverted (p50 {p50}, p99 {p99})"
+    assert 0 < p["batch_occupancy"] <= 1, f"{name}: bad occupancy"
+    # KV caches come from the warmed buffer arena: the measured run must
+    # recycle, not allocate.
+    assert p["arena"]["reuse_ratio"] >= 0.5, \
+        f"{name}: serve-path arena reuse ratio {p['arena']['reuse_ratio']:.3f} < 0.5"
+    print(f"{name}: {p['tokens_per_sec']:.0f} tok/s, "
+          f"p50 {p50:.3f} ms / p99 {p99:.3f} ms, "
+          f"occupancy {p['batch_occupancy']:.2f}, "
+          f"reuse {p['arena']['reuse_ratio']:.3f}, greedy bitwise OK")
+print("BENCH_serve.json OK")
+PY
+    else
+        # Fallback when python3 is unavailable: structural greps.
+        grep -q '"bench": "serve"' target/BENCH_serve.json
+        local p
+        for p in pp1 pp2 pp4; do
+            grep -q "\"name\": \"$p\"" target/BENCH_serve.json || {
+                echo "missing pipeline $p in BENCH_serve.json" >&2
+                exit 1
+            }
+        done
+        if grep -q '"greedy_matches_reference": false' target/BENCH_serve.json; then
+            echo "greedy decode diverged from the single-device reference" >&2
+            exit 1
+        fi
+        grep -q '"greedy_matches_reference": true' target/BENCH_serve.json
+        if grep -qE '"(tokens_per_sec|p99_token_latency_ms)": (null|0\.000)' target/BENCH_serve.json; then
+            echo "serving SLO floor violated: zero throughput or non-finite p99" >&2
+            exit 1
+        fi
+        grep -q '"tokens_per_sec"' target/BENCH_serve.json
+        grep -q '"p99_token_latency_ms"' target/BENCH_serve.json
+        grep -q '"reuse_ratio"' target/BENCH_serve.json
+        echo "BENCH_serve.json OK (grep check)"
+    fi
+}
+
+traces_gate() {
+    cargo run -p vp-bench --release --bin repro -- trace
+    cargo run -p vp-bench --release --bin repro -- timeline --json --out target/TIMELINE.json
+    local trace_files="traces/1f1b.trace.json traces/vocab2-1f1b.trace.json \
 traces/measured-1f1b.trace.json traces/measured-vocab2-1f1b.trace.json"
-if command -v python3 >/dev/null 2>&1; then
-    python3 - $TRACE_FILES <<'PY'
+    echo "==> Chrome trace schema check"
+    if command -v python3 >/dev/null 2>&1; then
+        # shellcheck disable=SC2086
+        python3 - $trace_files <<'PY'
 import json
 import sys
 
@@ -356,28 +471,28 @@ for path in sys.argv[1:]:
     print(f"{path} OK: {len(events)} events, {len(rows)} rows, "
           f"{len(mbs)} microbatches, monotonic, no pass overlap")
 PY
-else
-    # Fallback: structural greps over each trace.
-    for t in $TRACE_FILES; do
-        grep -q '"traceEvents"' "$t"
-        grep -q '"ph":"X"' "$t"
-        for mb in 0 1 2 3; do
-            grep -q "\"microbatch\":$mb" "$t" || {
-                echo "$t: microbatch $mb missing" >&2
+    else
+        # Fallback: structural greps over each trace.
+        local t mb
+        for t in $trace_files; do
+            grep -q '"traceEvents"' "$t"
+            grep -q '"ph":"X"' "$t"
+            for mb in 0 1 2 3; do
+                grep -q "\"microbatch\":$mb" "$t" || {
+                    echo "$t: microbatch $mb missing" >&2
+                    exit 1
+                }
+            done
+            if grep -q '"dur":-' "$t"; then
+                echo "$t: negative duration" >&2
                 exit 1
-            }
+            fi
+            echo "$t OK (grep check)"
         done
-        if grep -q '"dur":-' "$t"; then
-            echo "$t: negative duration" >&2
-            exit 1
-        fi
-        echo "$t OK (grep check)"
-    done
-fi
-
-echo "==> sim-vs-measured drift gate (TIMELINE.json)"
-if command -v python3 >/dev/null 2>&1; then
-    python3 - <<'PY'
+    fi
+    echo "==> sim-vs-measured drift gate (TIMELINE.json)"
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
 import json
 import math
 
@@ -403,16 +518,33 @@ for s in doc["schedules"]:
           f"comm overlap {s['comm_overlap']:.3f}")
 print("timeline drift gate OK")
 PY
-else
-    grep -q '"bench": "timeline"' target/TIMELINE.json
-    grep -q '"name": "1f1b"' target/TIMELINE.json
-    grep -q '"name": "vocab2-1f1b"' target/TIMELINE.json
-    grep -q '"max_divergence"' target/TIMELINE.json
-    if grep -q '"dropped_events": [1-9]' target/TIMELINE.json; then
-        echo "trace events were dropped" >&2
-        exit 1
+    else
+        grep -q '"bench": "timeline"' target/TIMELINE.json
+        grep -q '"name": "1f1b"' target/TIMELINE.json
+        grep -q '"name": "vocab2-1f1b"' target/TIMELINE.json
+        grep -q '"max_divergence"' target/TIMELINE.json
+        if grep -q '"dropped_events": [1-9]' target/TIMELINE.json; then
+            echo "trace events were dropped" >&2
+            exit 1
+        fi
+        echo "timeline drift gate OK (grep check; numeric gate needs python3)"
     fi
-    echo "timeline drift gate OK (grep check; numeric gate needs python3)"
-fi
+}
 
+# --- the gate, fail-fast ordered -------------------------------------------
+
+stage "cargo fmt --check" fmt_check
+stage "unsafe audit (token match, allowlisted files only)" unsafe_audit
+stage "cargo clippy --workspace --all-targets -- -D warnings (+ pedantic subset)" clippy_lint
+stage "cargo build --workspace --release" build_release
+stage "cargo test --workspace --release" test_release
+stage "repro check (static schedule verification sweep)" check_sweep
+stage "repro tpsweep (PP x TP crossover) + gate" tpsweep_gate
+stage "repro kernels --json + structure/floor gates" kernels_gate
+stage "training determinism gate (two identical runs, VP_THREADS=4)" determinism_gate
+stage "repro trainbench --json + arena recycling gate" trainbench_gate
+stage "repro servebench --json + serving SLO gate" servebench_gate
+stage "trace exports + timeline drift gate" traces_gate
+
+stage_summary
 echo "CI gate passed."

@@ -7,15 +7,21 @@
 //! Experiments: `check`, `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
 //! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
 //! `ablation-barriers`, `ablation-zero-bubble`, `generality`,
-//! `generality-numeric`, `kernels`, `trainbench`, `tpsweep`, `padding`,
-//! `trace`, `timeline`, `csv`, `fig17`, or `all`. `--quick` runs the throughput
+//! `generality-numeric`, `kernels`, `trainbench`, `servebench`, `tpsweep`,
+//! `padding`, `trace`, `timeline`, `csv`, `fig17`, or `all`. `--quick` runs
+//! the throughput
 //! sweeps with 32 instead of 128 microbatches (same shapes, ~4× faster)
 //! and shortens the kernel timing loops. `kernels --json` additionally
 //! writes `BENCH_kernels.json` (median µs/iter per kernel, serial vs
 //! threaded; thread count from `VP_THREADS`, default 4). `trainbench`
 //! trains the Figure-17 config end to end through the buffer arena's
 //! fresh → cold → steady lifecycle and with `--json` writes per-iteration
-//! wall times plus arena counters to `BENCH_train.json`. `timeline` runs
+//! wall times plus arena counters to `BENCH_train.json`. `servebench`
+//! serves open-loop Poisson request streams through the forward-only
+//! decode engine at several pipeline depths (greedy decode checked bitwise
+//! against the single-device reference) and with `--json` writes
+//! throughput, tail latency, occupancy and arena counters to
+//! `BENCH_serve.json`. `timeline` runs
 //! two schedules through both
 //! the simulator and the traced numeric runtime, writes
 //! `traces/measured-<name>.trace.json`, and with `--json` writes the
@@ -72,6 +78,7 @@ fn main() {
             "generality-numeric",
             "kernels",
             "trainbench",
+            "servebench",
             "tpsweep",
             "padding",
             "trace",
@@ -99,6 +106,7 @@ fn main() {
             "generality-numeric" => generality_numeric(),
             "kernels" => kernels(quick, json, out.as_deref()),
             "trainbench" => trainbench(quick, json, out.as_deref()),
+            "servebench" => servebench(quick, json, out.as_deref()),
             "tpsweep" => tpsweep(json, out.as_deref()),
             "trace" => trace(),
             "timeline" => timeline(json, out.as_deref()),
@@ -542,6 +550,71 @@ fn trainbench(quick: bool, json: bool, out: Option<&str>) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
+    }
+}
+
+fn servebench(quick: bool, json: bool, out: Option<&str>) {
+    heading("Serve bench — open-loop decoding through the vocab-parallel serving engine");
+    let workload = vp_bench::servebench::ServeWorkload::new(quick);
+    let results = vp_bench::servebench::run(&workload);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|t| {
+            vec![
+                t.name.clone(),
+                t.devices.to_string(),
+                t.requests.to_string(),
+                t.tokens.to_string(),
+                t.steps.to_string(),
+                format!("{:.0}", t.tokens_per_sec),
+                format!("{:.3}", t.p50_ms),
+                format!("{:.3}", t.p99_ms),
+                format!("{:.2}", t.occupancy),
+                format!("{:.3}", t.arena.reuse_ratio()),
+                if t.greedy_matches_reference {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "pipeline",
+                "devices",
+                "requests",
+                "tokens",
+                "steps",
+                "tok/s",
+                "p50 ms",
+                "p99 ms",
+                "occupancy",
+                "reuse ratio",
+                "greedy =="
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Each depth first replays a closed-loop stream against the single-device\n\
+         full-context reference (bitwise greedy equivalence), then serves the Poisson\n\
+         stream continuously batched with KV caches drawn from the warmed buffer arena."
+    );
+    if json {
+        let path = out.unwrap_or("BENCH_serve.json");
+        let doc = vp_bench::servebench::to_json(&workload, &results);
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if results.iter().any(|t| !t.greedy_matches_reference) {
+        eprintln!("servebench: greedy decode diverged from the reference — failing");
+        std::process::exit(1);
     }
 }
 

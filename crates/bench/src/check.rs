@@ -89,6 +89,7 @@ fn synth_direct(p: usize, m: u32, variant: VocabVariant) -> (Schedule, CheckConf
     // relaxation steps it takes; grant the same slack the valve has.
     let config = CheckConfig {
         activation_caps: Some(caps.iter().map(|&c| (c + 2).min(m as usize)).collect()),
+        ..CheckConfig::default()
     };
     (schedule, config)
 }

@@ -1,0 +1,259 @@
+//! End-to-end serving benchmark over the forward-only decode engine.
+//!
+//! Backs the `repro servebench [--json]` subcommand (`BENCH_serve.json`):
+//! for each pipeline depth the harness
+//!
+//! 1. checks **greedy-decode bitwise equivalence** — a closed-loop request
+//!    stream through the pipelined, KV-cached, vocabulary-sharded engine
+//!    must reproduce the single-device full-context reference's token
+//!    streams exactly,
+//! 2. runs a **warm-up** closed-loop wave so the KV-cache buffers seed the
+//!    arena pool, then
+//! 3. serves the measured **open-loop** stream (Poisson arrivals with a
+//!    configurable prompt/output length mix) and reports tokens/s, p50/p99
+//!    per-token latency, mean batch occupancy and the arena reuse ratio
+//!    over the measured run.
+//!
+//! The CI serving gate reads the emitted JSON: generation throughput must
+//! be positive, tail latency finite, and the equivalence flag true.
+
+use vp_runtime::serve::{greedy_matches_reference, ServeConfig, ServeEngine, WorkloadSpec};
+use vp_runtime::TinyConfig;
+use vp_tensor::alloc::{self, ArenaStats};
+
+use crate::table::{json_escape, json_f64};
+
+/// The benchmark's workload shape (one measured open-loop stream per
+/// pipeline depth).
+#[derive(Debug, Clone)]
+pub struct ServeWorkload {
+    /// Requests in the measured stream.
+    pub requests: usize,
+    /// Mean Poisson arrival rate, requests per second.
+    pub rate: f64,
+    /// Prompt length range (inclusive), uniform mix.
+    pub prompt_len: (usize, usize),
+    /// Output length range (inclusive), uniform mix.
+    pub output_len: (usize, usize),
+}
+
+impl ServeWorkload {
+    /// The measured workload: `--quick` serves a quarter of the stream.
+    pub fn new(quick: bool) -> Self {
+        ServeWorkload {
+            requests: if quick { 8 } else { 32 },
+            rate: 500.0,
+            prompt_len: (2, 6),
+            output_len: (1, 8),
+        }
+    }
+
+    fn spec(&self, seed: u64, rate: Option<f64>) -> WorkloadSpec {
+        WorkloadSpec {
+            requests: self.requests,
+            rate,
+            prompt_len: self.prompt_len,
+            output_len: self.output_len,
+            seed,
+        }
+    }
+}
+
+/// One pipeline depth's serving measurement.
+#[derive(Debug, Clone)]
+pub struct ServeTiming {
+    /// Pipeline depth label (e.g. `pp2`).
+    pub name: String,
+    /// Pipeline devices (vocabulary shards).
+    pub devices: usize,
+    /// Requests completed in the measured run.
+    pub requests: usize,
+    /// Tokens generated in the measured run.
+    pub tokens: usize,
+    /// Decode steps of the measured run.
+    pub steps: usize,
+    /// Generated tokens per wall-clock second.
+    pub tokens_per_sec: f64,
+    /// Median per-token latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-token latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean batch occupancy of the measured run, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Arena counters over the measured run (pool warmed by the previous
+    /// wave: `reuse` must dominate).
+    pub arena: ArenaStats,
+    /// Whether the engine's greedy token streams matched the
+    /// single-device full-context reference bitwise.
+    pub greedy_matches_reference: bool,
+}
+
+/// Pipeline depths to measure; all must divide [`TinyConfig::layers`].
+fn depths(config: &TinyConfig) -> Vec<usize> {
+    [1, 2, 4]
+        .into_iter()
+        .filter(|p| config.layers.is_multiple_of(*p))
+        .collect()
+}
+
+/// Runs the serving bench at every pipeline depth.
+///
+/// # Panics
+///
+/// Panics if the engine fails to start or a serve run drops requests —
+/// the bench measures working configurations only.
+pub fn run(workload: &ServeWorkload) -> Vec<ServeTiming> {
+    let model = TinyConfig::default();
+    let mut results = Vec::new();
+    for devices in depths(&model) {
+        let config = ServeConfig {
+            model: model.clone(),
+            devices,
+            max_batch: 4,
+            top_k: 4,
+        };
+        // Equivalence first, on a closed-loop stream (fresh engine so the
+        // check exercises engine start as well).
+        let check = workload
+            .spec(1000 + devices as u64, None)
+            .generate(model.vocab, model.seq_len);
+        let greedy = greedy_matches_reference(&config, &check)
+            .unwrap_or_else(|e| panic!("pp{devices}: equivalence check failed: {e}"));
+        // Measured run: warm the arena with one closed-loop wave, then
+        // serve the open-loop Poisson stream with fresh counters.
+        let mut engine = ServeEngine::start(config).unwrap_or_else(|e| panic!("pp{devices}: {e}"));
+        let warm = workload
+            .spec(2000 + devices as u64, None)
+            .generate(model.vocab, model.seq_len);
+        engine.serve(&warm);
+        alloc::reset_counters();
+        let stream = workload
+            .spec(3000 + devices as u64, Some(workload.rate))
+            .generate(model.vocab, model.seq_len);
+        let run = engine.serve(&stream);
+        let arena = alloc::stats();
+        engine.shutdown();
+        assert_eq!(
+            run.completions.len(),
+            stream.len(),
+            "pp{devices}: dropped requests"
+        );
+        results.push(ServeTiming {
+            name: format!("pp{devices}"),
+            devices,
+            requests: run.completions.len(),
+            tokens: run.tokens(),
+            steps: run.steps,
+            tokens_per_sec: run.tokens_per_sec(),
+            p50_ms: run.latency_quantile(0.5) * 1e3,
+            p99_ms: run.latency_quantile(0.99) * 1e3,
+            occupancy: run.occupancy(),
+            arena,
+            greedy_matches_reference: greedy,
+        });
+    }
+    results
+}
+
+fn stats_json(s: &ArenaStats) -> String {
+    format!(
+        "{{\"fresh\": {}, \"reuse\": {}, \"outstanding\": {}, \"cached\": {}, \"reuse_ratio\": {}}}",
+        s.fresh,
+        s.reuse,
+        s.outstanding,
+        s.cached,
+        json_f64(s.reuse_ratio())
+    )
+}
+
+/// Renders the bench as the `BENCH_serve.json` document. The top-level
+/// `greedy_matches_reference` is the conjunction over every pipeline depth
+/// — the flag the CI serving gate checks.
+pub fn to_json(workload: &ServeWorkload, results: &[ServeTiming]) -> String {
+    let config = TinyConfig::default();
+    let all_match = results.iter().all(|t| t.greedy_matches_reference);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str("  \"generated_by\": \"repro servebench --json\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"layers\": {}, \"hidden\": {}, \"heads\": {}, \"seq_len\": {}, \"vocab\": {}, \"max_batch\": 4, \"top_k\": 4}},\n",
+        config.layers, config.hidden, config.heads, config.seq_len, config.vocab
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"requests\": {}, \"rate_per_sec\": {}, \"prompt_len\": [{}, {}], \"output_len\": [{}, {}]}},\n",
+        workload.requests,
+        json_f64(workload.rate),
+        workload.prompt_len.0,
+        workload.prompt_len.1,
+        workload.output_len.0,
+        workload.output_len.1
+    ));
+    out.push_str(&format!("  \"greedy_matches_reference\": {all_match},\n"));
+    out.push_str("  \"pipelines\": [\n");
+    for (i, t) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"devices\": {}, \"requests\": {}, \"tokens\": {}, \"steps\": {}, \"tokens_per_sec\": {}, \"p50_token_latency_ms\": {}, \"p99_token_latency_ms\": {}, \"batch_occupancy\": {}, \"arena\": {}, \"greedy_matches_reference\": {}}}{}\n",
+            json_escape(&t.name),
+            t.devices,
+            t.requests,
+            t.tokens,
+            t.steps,
+            json_f64(t.tokens_per_sec),
+            json_f64(t.p50_ms),
+            json_f64(t.p99_ms),
+            json_f64(t.occupancy),
+            stats_json(&t.arena),
+            t.greedy_matches_reference,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena_test_lock;
+
+    #[test]
+    fn quick_bench_meets_the_slo_floors() {
+        let _guard = arena_test_lock();
+        let workload = ServeWorkload::new(true);
+        let results = run(&workload);
+        assert_eq!(results.len(), 3, "pp1/pp2/pp4 over 4 layers");
+        for t in &results {
+            assert!(t.greedy_matches_reference, "{}: diverged", t.name);
+            assert_eq!(t.requests, workload.requests, "{}", t.name);
+            assert!(t.tokens > 0 && t.steps > 0, "{}", t.name);
+            assert!(t.tokens_per_sec > 0.0, "{}", t.name);
+            assert!(t.p50_ms > 0.0 && t.p99_ms >= t.p50_ms, "{}", t.name);
+            assert!(t.p99_ms.is_finite(), "{}", t.name);
+            assert!(t.occupancy > 0.0 && t.occupancy <= 1.0, "{}", t.name);
+            assert!(
+                t.arena.reuse_ratio() > 0.5,
+                "{}: warmed pool barely recycled: {:?}",
+                t.name,
+                t.arena
+            );
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let _guard = arena_test_lock();
+        let workload = ServeWorkload::new(true);
+        let results = run(&workload);
+        let doc = to_json(&workload, &results);
+        assert!(doc.contains("\"bench\": \"serve\""));
+        assert!(doc.contains("\"greedy_matches_reference\": true"));
+        assert!(doc.contains("\"tokens_per_sec\""));
+        assert!(doc.contains("\"p99_token_latency_ms\""));
+        assert!(doc.contains("\"batch_occupancy\""));
+        assert!(doc.contains("\"reuse_ratio\""));
+        assert!(doc.contains("\"pp1\"") && doc.contains("\"pp2\"") && doc.contains("\"pp4\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

@@ -187,15 +187,7 @@ pub fn to_json(iterations: usize, results: &[TrainTiming]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Mutex, MutexGuard, OnceLock};
-
-    /// Serializes tests that cycle the process-global arena switch.
-    fn arena_lock() -> MutexGuard<'static, ()> {
-        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        LOCK.get_or_init(|| Mutex::new(()))
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-    }
+    use crate::arena_test_lock as arena_lock;
 
     #[test]
     fn three_phase_bench_recycles_and_stays_bitwise_identical() {

@@ -59,6 +59,11 @@ pub enum Code {
     /// collectives than its row peers: some rendezvous waits forever on
     /// the missing member.
     GridCoverageHole,
+    /// `VP0016` — a forward-only (decode) schedule contains a
+    /// backward-family pass (`B`, `W`, `T`, `S2`, `InputB`); inference
+    /// never produces gradients, so such a pass would wait forever on a
+    /// gradient that no one sends.
+    BackwardInDecode,
 }
 
 impl Code {
@@ -80,6 +85,7 @@ impl Code {
             Code::WrongGroupMember => "VP0013",
             Code::GroupOrderSkew => "VP0014",
             Code::GridCoverageHole => "VP0015",
+            Code::BackwardInDecode => "VP0016",
         }
     }
 
@@ -102,6 +108,7 @@ impl Code {
             Code::WrongGroupMember => "collective entered under the wrong tensor group",
             Code::GroupOrderSkew => "tensor-group rendezvous order diverges across row peers",
             Code::GridCoverageHole => "tensor-group participation differs across row peers",
+            Code::BackwardInDecode => "backward-family pass in a forward-only decode schedule",
         }
     }
 

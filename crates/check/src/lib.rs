@@ -5,7 +5,7 @@
 //!
 //! Proves properties of any [`vp_schedule::pass::Schedule`] *without
 //! executing it*, reporting violations as rustc-style diagnostics with
-//! stable codes (`VP0001`–`VP0015`):
+//! stable codes (`VP0001`–`VP0016`):
 //!
 //! * **Deadlock freedom** ([`deadlock`]) — the happens-before graph
 //!   (program order + §5.1 dependency edges) is acyclic; a violation is
@@ -32,6 +32,10 @@
 //!   identical participation multisets (`VP0015`). [`check_grid`] runs
 //!   these on top of [`check`] for grid configurations; `tp = 1` is
 //!   vacuously clean.
+//! * **Decode schedules** ([`check_decode`]) — forward-only serving pass
+//!   lists swap the training liveness rules for `VP0016`: no
+//!   backward-family pass may appear (inference produces no gradients);
+//!   all other analyses run unchanged.
 //!
 //! The `repro check` subcommand sweeps every built-in generator family
 //! through [`check`] (and `repro tpsweep` gates its grid configurations
@@ -59,6 +63,12 @@ pub struct CheckConfig {
     /// ([`liveness::analytic_caps`]); families without a closed form
     /// (multi-chunk placements) then skip the bound.
     pub activation_caps: Option<Vec<usize>>,
+    /// Forward-only (decode) mode: the training liveness rules
+    /// (`VP0008`–`VP0011`) are replaced by the decode rule `VP0016` — no
+    /// backward-family pass may appear at all, and `F` activations are
+    /// transient rather than resident. Use [`check_decode`] for the common
+    /// case.
+    pub forward_only: bool,
 }
 
 /// The outcome of a full static analysis of one schedule.
@@ -100,6 +110,21 @@ pub fn check(schedule: &Schedule) -> CheckReport {
     check_with(schedule, &CheckConfig::default())
 }
 
+/// Runs every analysis on a forward-only decode schedule (the serving
+/// engine's per-step pass list): the training liveness rules give way to
+/// `VP0016` (no backward-family pass may appear), while the deadlock,
+/// communication-protocol and race analyses run unchanged — a decode
+/// step's `S` barriers rendezvous exactly like training's.
+pub fn check_decode(schedule: &Schedule) -> CheckReport {
+    check_with(
+        schedule,
+        &CheckConfig {
+            forward_only: true,
+            ..CheckConfig::default()
+        },
+    )
+}
+
 /// Runs every analysis.
 ///
 /// Structure (`VP0002`/`VP0003`) and the schedule-only lints
@@ -113,11 +138,15 @@ pub fn check_with(schedule: &Schedule, config: &CheckConfig) -> CheckReport {
     diagnostics.extend(comm::check_coverage(schedule));
     diagnostics.extend(comm::check_participation(schedule));
     diagnostics.extend(comm::check_collective_order(schedule));
-    let caps = config
-        .activation_caps
-        .clone()
-        .or_else(|| liveness::analytic_caps(schedule));
-    diagnostics.extend(liveness::check_liveness(schedule, caps.as_deref()));
+    if config.forward_only {
+        diagnostics.extend(liveness::check_forward_only(schedule));
+    } else {
+        let caps = config
+            .activation_caps
+            .clone()
+            .or_else(|| liveness::analytic_caps(schedule));
+        diagnostics.extend(liveness::check_liveness(schedule, caps.as_deref()));
+    }
 
     let mut hb_edges = 0;
     let mut races_checked = false;
@@ -241,10 +270,84 @@ mod tests {
     }
 
     #[test]
+    fn decode_schedules_are_clean_under_check_decode() {
+        use vp_schedule::generators::decode_pipeline;
+        for p in [1, 2, 4] {
+            for m in [1u32, 3, 8] {
+                let sched = decode_pipeline(p, m);
+                // Training liveness would leak every F; decode mode accepts.
+                let report = check_decode(&sched);
+                assert!(report.is_clean(), "p={p} m={m}: {:#?}", report.diagnostics);
+                assert!(report.races_checked);
+            }
+        }
+    }
+
+    #[test]
+    fn training_liveness_rejects_decode_schedules_as_leaks() {
+        use vp_schedule::generators::decode_pipeline;
+        let report = check(&decode_pipeline(2, 4));
+        assert!(report.has(Code::ActivationLeak));
+    }
+
+    #[test]
+    fn backward_pass_in_decode_schedule_is_vp0016() {
+        use vp_schedule::generators::decode_pipeline;
+        let sched = decode_pipeline(2, 4);
+        let mut passes: Vec<Vec<ScheduledPass>> =
+            (0..2).map(|d| sched.passes(d).to_vec()).collect();
+        passes[1].push(ScheduledPass::new(PassKind::B, 0));
+        let mutated = Schedule::new(sched.kind(), 4, 1, passes);
+        let report = check_decode(&mutated);
+        assert!(report.has(Code::BackwardInDecode), "{:#?}", report.codes());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::BackwardInDecode)
+            .unwrap();
+        assert_eq!(d.primary.unwrap().device, 1);
+    }
+
+    #[test]
+    fn decode_mode_still_catches_comm_and_deadlock_defects() {
+        use vp_schedule::generators::decode_pipeline;
+        // Drop one S on device 0: participation hole.
+        let sched = decode_pipeline(2, 4);
+        let mut passes: Vec<Vec<ScheduledPass>> =
+            (0..2).map(|d| sched.passes(d).to_vec()).collect();
+        let s = passes[0]
+            .iter()
+            .position(|p| p.kind == PassKind::S && p.microbatch == 2)
+            .unwrap();
+        passes[0].remove(s);
+        let mutated = Schedule::new(sched.kind(), 4, 1, passes);
+        let report = check_decode(&mutated);
+        assert!(!report.is_clean(), "dropped S must be caught");
+
+        // Swap two S entries on one device: collective order skew.
+        let sched = decode_pipeline(2, 4);
+        let mut passes: Vec<Vec<ScheduledPass>> =
+            (0..2).map(|d| sched.passes(d).to_vec()).collect();
+        let s0 = passes[1]
+            .iter()
+            .position(|p| p.kind == PassKind::S && p.microbatch == 0)
+            .unwrap();
+        let s1 = passes[1]
+            .iter()
+            .position(|p| p.kind == PassKind::S && p.microbatch == 1)
+            .unwrap();
+        passes[1].swap(s0, s1);
+        let mutated = Schedule::new(sched.kind(), 4, 1, passes);
+        let report = check_decode(&mutated);
+        assert!(!report.is_clean(), "S order skew must be caught");
+    }
+
+    #[test]
     fn explicit_caps_override_the_analytic_bound() {
         let sched = one_f_one_b(2, 4, PassTimes::default());
         let strict = CheckConfig {
             activation_caps: Some(vec![1, 1]),
+            ..CheckConfig::default()
         };
         let report = check_with(&sched, &strict);
         assert!(report.has(Code::PeakActivations));

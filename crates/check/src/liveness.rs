@@ -43,6 +43,38 @@ pub fn analytic_caps(schedule: &Schedule) -> Option<Vec<usize>> {
     Some((0..p).map(cap).collect())
 }
 
+/// Forward-only (decode) liveness: `VP0016`.
+///
+/// A decode step retains no activations — each `F`'s output is consumed by
+/// the next stage's recv (or the `S` pass) within the step, and nothing
+/// ever runs backward. The training liveness rules therefore do not apply;
+/// what *must* hold instead is that no backward-family pass appears at
+/// all: `B`/`W`/`T`/`S2`/`InputB` would wait forever on gradients that
+/// inference never produces.
+pub fn check_forward_only(schedule: &Schedule) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for d in 0..schedule.devices() {
+        for (i, pass) in schedule.passes(d).iter().enumerate() {
+            if !pass.kind.decode_safe() {
+                diags.push(
+                    Diagnostic::error(
+                        Code::BackwardInDecode,
+                        format!("{pass} cannot appear in a forward-only decode schedule"),
+                    )
+                    .at(Site {
+                        device: d,
+                        slot: i,
+                        pass: *pass,
+                    })
+                    .note("decode produces no gradients: nothing will ever satisfy this pass")
+                    .help("decode pass lists may only contain F, S and InputF"),
+                );
+            }
+        }
+    }
+    diags
+}
+
 /// Runs the liveness analysis. `caps` gives the per-device peak bound to
 /// enforce (`VP0011`); pass `None` to skip the bound and only check
 /// alloc/free pairing.

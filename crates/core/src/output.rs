@@ -554,6 +554,173 @@ impl OutputShard {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Forward-only (decode) output layer: sharded logits → local top-k/softmax
+// stats → single-barrier merge → sampling
+// ---------------------------------------------------------------------------
+
+/// Decode-time `S`-pass state: per row, the shard's local softmax
+/// statistics `(m', sum')` and its top-`k` logit candidates. This is
+/// Algorithm 2's pre-barrier phase with the gradient matmuls deleted —
+/// the single `C1` barrier then merges statistics *and* candidates in one
+/// rendezvous ([`OutputShard::barrier_decode`]).
+#[derive(Debug, Clone)]
+pub struct DecodeSState {
+    /// Per-row local max `m'`.
+    max: Vec<f32>,
+    /// Per-row local `sum' = Σ exp(y − m')`.
+    sum: Vec<f32>,
+    /// Per-row top-`k` `(logit, global token id)`, best first. Padded with
+    /// `(−∞, 0)` when the shard has fewer than `k` columns.
+    topk: Vec<Vec<(f32, usize)>>,
+    /// Candidates per row (identical on every rank).
+    k: usize,
+}
+
+/// One sampled token and its log-probability under the *global* softmax
+/// (identical on every rank after the barrier).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenChoice {
+    /// The sampled (greedy) token id.
+    pub token: usize,
+    /// `log softmax(Y)[token]` — a serving metric; unlike the token choice
+    /// itself it is not bitwise-pinned across shard counts (the global
+    /// `Σ sum'·e^{m'−m}` reduction order follows the rank order).
+    pub logprob: f32,
+}
+
+/// `true` when candidate `(logit_a, id_a)` beats `(logit_b, id_b)` under
+/// greedy decoding: strictly larger logit, ties to the lowest token id —
+/// exactly [`vp_tensor::ops::argmax_rows`]'s first-maximum rule, so the
+/// merged pick is bitwise the single-device argmax.
+fn beats(a: (f32, usize), b: (f32, usize)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+impl OutputShard {
+    /// The forward-only `S` pass: sharded logits `y = X·Wᵀ` plus local
+    /// softmax statistics and the shard's top-`k` candidates. No labels,
+    /// no gradients — this is the decode half of §4.2's `S` pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the weight's hidden
+    /// width, or [`TensorError::InvalidArgument`] if `k == 0`.
+    pub fn s_pass_decode(&self, x: &Tensor, k: usize) -> Result<DecodeSState> {
+        if k == 0 {
+            return Err(TensorError::InvalidArgument(
+                "decode needs at least one candidate per shard".into(),
+            ));
+        }
+        let y = x.matmul_nt(self.weight.value())?;
+        let start = self.shard_start();
+        let n = y.rows();
+        let mut max = Vec::with_capacity(n);
+        let mut sum = Vec::with_capacity(n);
+        let mut topk = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = y.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            // The stats feed only the logprob metric, so plain `exp` is
+            // fine here; the token choice below never touches them.
+            let s: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+            let mut cands: Vec<(f32, usize)> = row
+                .iter()
+                .enumerate()
+                .map(|(c, &v)| (v, start + c))
+                .collect();
+            cands.sort_by(|a, b| {
+                if beats(*a, *b) {
+                    std::cmp::Ordering::Less
+                } else if beats(*b, *a) {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            });
+            cands.truncate(k);
+            cands.resize(k, (f32::NEG_INFINITY, 0));
+            max.push(m);
+            sum.push(s);
+            topk.push(cands);
+        }
+        Ok(DecodeSState { max, sum, topk, k })
+    }
+
+    /// Algorithm 2's **single** decode barrier: one `all_gather` carries
+    /// every rank's `(m', sum')` statistics *and* top-`k` candidates;
+    /// every rank then merges them identically — global max/sum by the
+    /// standard safe-softmax combination, the greedy token as the best
+    /// candidate under [`vp_tensor::ops::argmax_rows`]'s tie rule — so no
+    /// second communication round is needed to agree on the sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the gathered payloads
+    /// disagree in shape (ranks ran different step plans).
+    pub fn barrier_decode(
+        &self,
+        comm: &Collective,
+        state: &DecodeSState,
+    ) -> Result<Vec<TokenChoice>> {
+        let n = state.max.len();
+        let k = state.k;
+        let stride = 2 + 2 * k;
+        let mut payload = Vec::with_capacity(n * stride);
+        for r in 0..n {
+            payload.push(state.max[r]);
+            payload.push(state.sum[r]);
+            for &(logit, id) in &state.topk[r] {
+                payload.push(logit);
+                // Token ids are exact in f32 for any realistic vocabulary
+                // (< 2^24); debug-checked below.
+                debug_assert!(id < (1 << 24), "token id {id} not exact in f32");
+                payload.push(id as f32);
+            }
+        }
+        let gathered = comm.all_gather(&payload);
+        let mut out = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut gmax = f32::NEG_INFINITY;
+            for shard in &gathered {
+                if shard.len() != n * stride {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "decode barrier payload mismatch: {} vs {} floats",
+                        shard.len(),
+                        n * stride
+                    )));
+                }
+                gmax = gmax.max(shard[r * stride]);
+            }
+            let mut gsum = 0.0f32;
+            let mut best: Option<(f32, usize)> = None;
+            for shard in &gathered {
+                let base = r * stride;
+                let (m, s) = (shard[base], shard[base + 1]);
+                gsum += s * (m - gmax).exp();
+                for c in 0..k {
+                    let logit = shard[base + 2 + 2 * c];
+                    if logit == f32::NEG_INFINITY {
+                        continue;
+                    }
+                    let id = shard[base + 2 + 2 * c + 1] as usize;
+                    if best.is_none() || beats((logit, id), best.expect("just checked")) {
+                        best = Some((logit, id));
+                    }
+                }
+            }
+            let (logit, token) = best.ok_or_else(|| {
+                TensorError::InvalidArgument("decode barrier saw no candidates".into())
+            })?;
+            out.push(TokenChoice {
+                token,
+                logprob: logit - gmax - gsum.ln(),
+            });
+        }
+        Ok(out)
+    }
+}
+
 fn comm_err(e: &vp_collectives::CollectiveError) -> TensorError {
     TensorError::InvalidArgument(format!("collective failed: {e}"))
 }
@@ -700,5 +867,90 @@ mod tests {
     fn wrong_shard_shape_is_rejected() {
         let part = VocabPartition::new(16, 2);
         assert!(OutputShard::new(Tensor::zeros(7, 4), part, 0).is_err());
+    }
+
+    /// Runs the decode S pass + single barrier on `p` sharded threads and
+    /// returns every rank's merged choices (they must agree exactly).
+    fn run_decode_sharded(p: usize, full_w: &Tensor, x: &Tensor, k: usize) -> Vec<TokenChoice> {
+        let part = VocabPartition::new(full_w.rows(), p);
+        let comms = CollectiveGroup::new(p);
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for comm in comms {
+                let rank = comm.rank();
+                joins.push(scope.spawn(move || {
+                    let shard = OutputShard::from_full(full_w, part, rank).unwrap();
+                    let state = shard.s_pass_decode(x, k).unwrap();
+                    (rank, shard.barrier_decode(&comm, &state).unwrap())
+                }));
+            }
+            let mut results: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+            results.sort_by_key(|r| r.0);
+            for r in &results[1..] {
+                assert_eq!(r.1, results[0].1, "ranks disagree on the merge");
+            }
+            results.swap_remove(0).1
+        })
+    }
+
+    #[test]
+    fn decode_merge_equals_single_device_argmax() {
+        use vp_tensor::ops::{argmax_rows, softmax_rows};
+        let (n, h, vocab) = (5, 8, 23);
+        let mut rng = seeded_rng(91);
+        let full_w = normal(&mut rng, vocab, h, 0.7);
+        let x = normal(&mut rng, n, h, 1.0);
+        let logits = x.matmul_nt(&full_w).unwrap();
+        let expected = argmax_rows(&logits);
+        let probs = softmax_rows(&logits);
+        for p in [1, 2, 3, 4] {
+            for k in [1, 4] {
+                let choices = run_decode_sharded(p, &full_w, &x, k);
+                let tokens: Vec<usize> = choices.iter().map(|c| c.token).collect();
+                assert_eq!(tokens, expected, "p={p} k={k}");
+                for (r, c) in choices.iter().enumerate() {
+                    let want = probs.at(r, c.token).ln();
+                    assert!(
+                        (c.logprob - want).abs() < 1e-4,
+                        "p={p} row {r}: logprob {} vs {want}",
+                        c.logprob
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_tie_breaks_to_the_lowest_token_id_like_argmax() {
+        // Identical weight rows ⇒ identical logits for several tokens;
+        // argmax_rows keeps the first, so must the merge — including when
+        // the tied ids live on different shards.
+        let h = 4;
+        let mut rng = seeded_rng(92);
+        let row = normal(&mut rng, 1, h, 1.0);
+        let mut w = Tensor::zeros(6, h);
+        for r in 0..6 {
+            w.row_mut(r).copy_from_slice(row.row(0));
+        }
+        let x = normal(&mut rng, 3, h, 1.0);
+        let expected = vp_tensor::ops::argmax_rows(&x.matmul_nt(&w).unwrap());
+        assert!(expected.iter().all(|&t| t == 0));
+        for p in [1, 2, 3] {
+            let tokens: Vec<usize> = run_decode_sharded(p, &w, &x, 2)
+                .iter()
+                .map(|c| c.token)
+                .collect();
+            assert_eq!(tokens, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_zero_candidates() {
+        let part = VocabPartition::new(8, 1);
+        let mut rng = seeded_rng(93);
+        let w = normal(&mut rng, 8, 4, 1.0);
+        let shard = OutputShard::new(w, part, 0).unwrap();
+        let x = normal(&mut rng, 2, 4, 1.0);
+        assert!(shard.s_pass_decode(&x, 0).is_err());
     }
 }

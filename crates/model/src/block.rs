@@ -6,7 +6,7 @@
 //! schedules hold per in-flight microbatch.
 
 use vp_tensor::nn::{
-    AttentionCache, Gelu, GeluCache, LayerNorm, LayerNormCache, Linear, LinearCache,
+    AttentionCache, Gelu, GeluCache, KvCache, LayerNorm, LayerNormCache, Linear, LinearCache,
     MultiHeadAttention,
 };
 use vp_tensor::optim::Param;
@@ -111,6 +111,30 @@ impl TransformerBlock {
         ))
     }
 
+    /// Incremental (decode) forward over `x: [n, h]` — the next `n` tokens
+    /// of a sequence whose earlier positions live in `kv`.
+    ///
+    /// Every sub-layer except attention is row-independent, so the only
+    /// state a decode step needs from the past is the attention K/V cache.
+    /// Produces output rows bitwise equal to the corresponding rows of
+    /// [`Self::forward`] run over the full context (see
+    /// [`MultiHeadAttention::forward_decode`] for the argument), without
+    /// materialising training activation caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the constituent layers.
+    pub fn forward_decode(&self, x: &Tensor, kv: &mut KvCache) -> Result<Tensor> {
+        let (n1, _) = self.ln1.forward(x)?;
+        let attn_out = self.attn.forward_decode(&n1, kv)?;
+        let mid = x.add(&attn_out)?;
+        let (n2, _) = self.ln2.forward(&mid)?;
+        let (h1, _) = self.fc1.forward(&n2)?;
+        let (h2, _) = Gelu::new().forward(&h1);
+        let (mlp_out, _) = self.fc2.forward(&h2)?;
+        mid.add(&mlp_out)
+    }
+
     /// Backward pass: accumulates all parameter gradients, returns `dx`.
     ///
     /// # Errors
@@ -187,6 +211,22 @@ mod tests {
         for r in 0..3 {
             for c in 0..8 {
                 assert!((y1.at(r, c) - y2.at(r, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_matches_full_forward_bitwise() {
+        let mut rng = seeded_rng(46);
+        let block = TransformerBlock::new(&mut rng, 8, 2, 4);
+        let x = normal(&mut rng, 7, 8, 0.8);
+        let (full, _) = block.forward(&x).unwrap();
+        let mut kv = KvCache::new(8);
+        for i in 0..7 {
+            let xi = x.slice_rows(i, i + 1).unwrap();
+            let yi = block.forward_decode(&xi, &mut kv).unwrap();
+            for (a, b) in full.row(i).iter().zip(yi.row(0)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged");
             }
         }
     }

@@ -35,6 +35,10 @@
 //!   blocks sharded over its grid row (all-reduce or PSA synchronization).
 //! * [`pipeline`] — schedule-family front end over the engine: maps a
 //!   `(Mode, ScheduleFamily)` selection onto the matching generator.
+//! * [`serve`] — forward-only inference serving: per-layer KV caches from
+//!   the buffer arena, continuous batching, and the Algorithm-2 output
+//!   layer repurposed as a single-barrier sampling merge, bitwise equal
+//!   to a single-device full-context reference under greedy decoding.
 //!
 //! Internal engine modules: `comm` (tag spaces, stage geometry), `state`
 //! (activation/vocabulary stores, barrier slots), `vocab`
@@ -51,6 +55,7 @@ pub mod grid;
 pub mod model;
 pub mod pipeline;
 pub mod reference;
+pub mod serve;
 mod state;
 mod vocab;
 
@@ -64,6 +69,7 @@ pub use grid::train_schedule_grid;
 pub use model::{FullModel, TinyConfig};
 pub use pipeline::{train_pipeline, train_pipeline_on, train_pipeline_with, Mode, ScheduleFamily};
 pub use reference::{train_reference, train_reference_on};
+pub use serve::{greedy_matches_reference, reference_decode, ServeConfig, ServeEngine};
 pub use vp_model::TpSyncStyle;
 pub use vp_schedule::grid::DeviceGrid;
 pub use vp_trace::{TimelineReport, TraceLog, Tracer};

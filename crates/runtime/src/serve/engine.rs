@@ -1,0 +1,577 @@
+//! The forward-only decode engine: persistent per-device threads walking
+//! [`decode_pipeline`] pass lists, with continuous batching driven from a
+//! central admission loop.
+//!
+//! Each "device" thread hosts its pipeline stage's transformer blocks
+//! (with one arena-backed [`KvCache`] per slot per hosted layer), its
+//! vocabulary shard of the input embedding (Appendix C) and its shard of
+//! the output layer. A decode step walks the forward-only §4.2 pass
+//! structure for the active slots:
+//!
+//! * `InputF k` — the slot's token is embedded by the shard that owns it,
+//!   which sends the row to stage 0 (the `TAG_INPART` fan-in training
+//!   uses, collapsed to the single owning shard);
+//! * `F k` — stage 0 adds the positional row, every stage runs its blocks
+//!   through [`TransformerBlock::forward_decode`] against the slot's KV
+//!   caches and forwards the activation (`TAG_ACT`); the last stage
+//!   broadcasts the final hidden row to every shard (`C0`);
+//! * `S k` — every shard computes its sharded logits, local softmax stats
+//!   and local top-k, then meets in Algorithm 2's **single** barrier
+//!   ([`OutputShard::barrier_decode`]): one `all_gather`, after which every
+//!   rank merges and samples identically. No second round is needed.
+//!
+//! The pass list is the same one [`vp_check::check_decode`] verifies at
+//! engine start, so the executed communication pattern is statically known
+//! deadlock- and race-free before the first request arrives.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vp_collectives::{Collective, CollectiveGroup, P2pEndpoint, P2pNetwork};
+use vp_core::InputShard;
+use vp_core::{OutputShard, TokenChoice};
+use vp_model::block::TransformerBlock;
+use vp_model::partition::VocabPartition;
+use vp_schedule::generators::decode_pipeline;
+use vp_schedule::pass::PassKind;
+use vp_tensor::nn::KvCache;
+use vp_tensor::{Result, Tensor, TensorError};
+
+use crate::comm::{stage_tag, to_packet, TAG_ACT, TAG_C0, TAG_INPART};
+use crate::model::{FullModel, TinyConfig};
+use crate::serve::workload::Request;
+
+/// Configuration of the serving engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The model to serve. `seq_len` bounds the context window
+    /// (prompt + generated tokens per request).
+    pub model: TinyConfig,
+    /// Pipeline devices (must divide `model.layers`).
+    pub devices: usize,
+    /// Continuous-batching slot count: requests concurrently in flight.
+    pub max_batch: usize,
+    /// Candidates each shard contributes to the sampling merge.
+    pub top_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            model: TinyConfig::default(),
+            devices: 2,
+            max_batch: 4,
+            top_k: 4,
+        }
+    }
+}
+
+/// One slot's work in a decode step.
+#[derive(Debug, Clone)]
+struct StepSlot {
+    /// Slot index (selects the KV caches).
+    slot: usize,
+    /// Token fed at this step (prompt token during prefill, the previous
+    /// sample during generation).
+    token: usize,
+    /// Position of `token` in the slot's context.
+    pos: usize,
+}
+
+/// One decode step's plan, broadcast to every device thread.
+#[derive(Debug, Clone)]
+struct StepPlan {
+    /// Slots whose caches must be released before the step runs (their
+    /// request retired after the previous step).
+    retire: Vec<usize>,
+    /// Active entries; index = the schedule's microbatch id.
+    entries: Vec<StepSlot>,
+}
+
+enum Cmd {
+    Step(StepPlan),
+    Stop,
+}
+
+/// A finished request: the tokens it generated and their log-probs.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request's id.
+    pub id: usize,
+    /// Greedy-decoded tokens, `output_len` of them.
+    pub tokens: Vec<usize>,
+    /// Per-token log-probabilities under the global softmax.
+    pub logprobs: Vec<f32>,
+}
+
+/// Measurements of one [`ServeEngine::serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Every finished request, in completion order.
+    pub completions: Vec<Completion>,
+    /// Decode steps executed.
+    pub steps: usize,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Wall time of the decode step that produced each generated token,
+    /// in seconds (the per-token latency distribution).
+    pub latency: Vec<f64>,
+    /// Sum over steps of `active slots / max_batch`; divide by `steps`
+    /// for mean batch occupancy.
+    pub occupancy_sum: f64,
+}
+
+impl ServeRun {
+    /// Total generated tokens.
+    pub fn tokens(&self) -> usize {
+        self.completions.iter().map(|c| c.tokens.len()).sum()
+    }
+
+    /// Generated tokens per wall-clock second.
+    pub fn tokens_per_sec(&self) -> f64 {
+        self.tokens() as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Mean batch occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.occupancy_sum / self.steps as f64
+        }
+    }
+
+    /// The `q`-quantile (0..=1) of the per-token latency in seconds, by
+    /// the nearest-rank method; `0.0` when no tokens were generated.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        if self.latency.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latency.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// A request occupying a slot.
+struct Active {
+    id: usize,
+    prompt: Vec<usize>,
+    output_len: usize,
+    /// Tokens fed so far (prompt progress + generated count).
+    fed: usize,
+    tokens: Vec<usize>,
+    logprobs: Vec<f32>,
+}
+
+impl Active {
+    /// The token to feed next and its position.
+    fn next_feed(&self) -> (usize, usize) {
+        let tok = if self.fed < self.prompt.len() {
+            self.prompt[self.fed]
+        } else {
+            *self.tokens.last().expect("past prefill ⇒ generated ≥ 1")
+        };
+        (tok, self.fed)
+    }
+
+    fn done(&self) -> bool {
+        self.tokens.len() >= self.output_len
+    }
+}
+
+/// The serving engine: `p` persistent device threads plus this driver.
+pub struct ServeEngine {
+    config: ServeConfig,
+    cmds: Vec<Sender<Cmd>>,
+    results: Receiver<Vec<TokenChoice>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Builds the sharded model, statically verifies the decode pass list
+    /// for every possible batch size, and spawns the device threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on an invalid
+    /// configuration (zero devices/slots, indivisible layers, a decode
+    /// schedule that fails [`vp_check::check_decode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device thread dies (a bug, not an input condition).
+    pub fn start(config: ServeConfig) -> Result<Self> {
+        let p = config.devices;
+        if p == 0 || config.max_batch == 0 || config.top_k == 0 {
+            return Err(TensorError::InvalidArgument(
+                "devices, max_batch and top_k must all be nonzero".into(),
+            ));
+        }
+        if !config.model.layers.is_multiple_of(p) {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} layers do not divide over {p} devices",
+                config.model.layers
+            )));
+        }
+        // Every batch size the driver can submit must be statically clean.
+        for m in 1..=config.max_batch {
+            let report = vp_check::check_decode(&decode_pipeline(p, m as u32));
+            if !report.is_clean() {
+                return Err(TensorError::InvalidArgument(format!(
+                    "decode schedule (p={p}, m={m}) failed vp-check: {:?}",
+                    report.codes()
+                )));
+            }
+        }
+        let full = FullModel::build(&config.model);
+        let partition = VocabPartition::new(config.model.vocab, p);
+        let endpoints = P2pNetwork::new(p);
+        let comms = CollectiveGroup::new(p);
+        let (res_tx, res_rx) = channel();
+        let mut cmds = Vec::with_capacity(p);
+        let mut handles = Vec::with_capacity(p);
+        for (endpoint, comm) in endpoints.into_iter().zip(comms) {
+            let rank = comm.rank();
+            let (tx, rx) = channel();
+            cmds.push(tx);
+            let (b0, b1) = full.stage_blocks(rank, p);
+            let device = DeviceState {
+                rank,
+                world: p,
+                blocks: full.blocks[b0..b1].to_vec(),
+                input: InputShard::from_full(&full.input_weight, partition, rank)
+                    .expect("partition matches the weight"),
+                output: OutputShard::from_full(&full.output_weight, partition, rank)
+                    .expect("partition matches the weight"),
+                pos: (rank == 0).then(|| full.pos_weight.clone()),
+                partition,
+                kv: (0..config.max_batch)
+                    .map(|_| {
+                        (0..b1 - b0)
+                            .map(|_| KvCache::new(config.model.hidden))
+                            .collect()
+                    })
+                    .collect(),
+                top_k: config.top_k,
+                endpoint,
+                comm,
+            };
+            let res_tx = res_tx.clone();
+            handles.push(std::thread::spawn(move || device.run(&rx, &res_tx)));
+        }
+        Ok(ServeEngine {
+            config,
+            cmds,
+            results: res_rx,
+            handles,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves a request stream with continuous batching and returns the
+    /// run's completions and measurements.
+    ///
+    /// Requests are admitted into free slots once their arrival time has
+    /// passed (open-loop; closed-loop streams have all arrivals at zero
+    /// and admission is limited only by free slots). Prefill feeds prompt
+    /// tokens through the same decode path one step at a time; retired
+    /// requests release their KV caches back to the buffer arena before
+    /// the next step touches the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request's context exceeds the model's `seq_len`, or if
+    /// a device thread died.
+    pub fn serve(&mut self, requests: &[Request]) -> ServeRun {
+        let seq_len = self.config.model.seq_len;
+        for r in requests {
+            assert!(
+                r.prompt.len() + r.output_len <= seq_len,
+                "request {} needs {} positions, model has {seq_len}",
+                r.id,
+                r.prompt.len() + r.output_len
+            );
+            assert!(!r.prompt.is_empty(), "request {} has an empty prompt", r.id);
+        }
+        let mut pending: VecDeque<&Request> = requests.iter().collect();
+        let mut slots: Vec<Option<Active>> = (0..self.config.max_batch).map(|_| None).collect();
+        let mut retire: Vec<usize> = Vec::new();
+        let mut run = ServeRun {
+            completions: Vec::new(),
+            steps: 0,
+            wall: Duration::ZERO,
+            latency: Vec::new(),
+            occupancy_sum: 0.0,
+        };
+        let start = Instant::now();
+        loop {
+            // Admission: next arrived request into each free slot.
+            let now = start.elapsed();
+            for slot in slots.iter_mut() {
+                if slot.is_none() {
+                    let arrived = pending.front().is_some_and(|r| r.arrival <= now);
+                    if arrived {
+                        let r = pending.pop_front().expect("front just checked");
+                        *slot = Some(Active {
+                            id: r.id,
+                            prompt: r.prompt.clone(),
+                            output_len: r.output_len,
+                            fed: 0,
+                            tokens: Vec::new(),
+                            logprobs: Vec::new(),
+                        });
+                    }
+                }
+            }
+            let active: Vec<usize> = (0..slots.len()).filter(|&s| slots[s].is_some()).collect();
+            if active.is_empty() {
+                match pending.front() {
+                    None => break,
+                    Some(r) => {
+                        // Open-loop idle: nothing active, wait for the
+                        // next arrival.
+                        let now = start.elapsed();
+                        if r.arrival > now {
+                            std::thread::sleep(r.arrival - now);
+                        }
+                        continue;
+                    }
+                }
+            }
+            // Build and broadcast the step plan.
+            let entries: Vec<StepSlot> = active
+                .iter()
+                .map(|&s| {
+                    let a = slots[s].as_ref().expect("slot is active");
+                    let (token, pos) = a.next_feed();
+                    StepSlot {
+                        slot: s,
+                        token,
+                        pos,
+                    }
+                })
+                .collect();
+            let plan = StepPlan {
+                retire: std::mem::take(&mut retire),
+                entries,
+            };
+            let step_start = Instant::now();
+            for tx in &self.cmds {
+                tx.send(Cmd::Step(plan.clone()))
+                    .expect("device thread alive");
+            }
+            let choices = self.results.recv().expect("device thread alive");
+            let step_dt = step_start.elapsed().as_secs_f64();
+            run.steps += 1;
+            run.occupancy_sum += active.len() as f64 / slots.len() as f64;
+            // Account results: prefill steps (before the last prompt
+            // token) discard the sample; from the last prompt token on,
+            // every step emits one generated token.
+            for (k, &s) in active.iter().enumerate() {
+                let a = slots[s].as_mut().expect("slot is active");
+                a.fed += 1;
+                if a.fed >= a.prompt.len() {
+                    a.tokens.push(choices[k].token);
+                    a.logprobs.push(choices[k].logprob);
+                    run.latency.push(step_dt);
+                }
+                if a.done() {
+                    let a = slots[s].take().expect("slot is active");
+                    run.completions.push(Completion {
+                        id: a.id,
+                        tokens: a.tokens,
+                        logprobs: a.logprobs,
+                    });
+                    retire.push(s);
+                }
+            }
+        }
+        // Release the last retirees' caches without running a step.
+        if !retire.is_empty() {
+            let plan = StepPlan {
+                retire,
+                entries: Vec::new(),
+            };
+            for tx in &self.cmds {
+                tx.send(Cmd::Step(plan.clone()))
+                    .expect("device thread alive");
+            }
+            let _ = self.results.recv().expect("device thread alive");
+        }
+        run.wall = start.elapsed();
+        run
+    }
+
+    /// Stops the device threads and joins them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device thread panicked.
+    pub fn shutdown(self) {
+        for tx in &self.cmds {
+            let _ = tx.send(Cmd::Stop);
+        }
+        for h in self.handles {
+            h.join().expect("device thread panicked");
+        }
+    }
+}
+
+/// Everything one device thread owns.
+struct DeviceState {
+    rank: usize,
+    world: usize,
+    blocks: Vec<TransformerBlock>,
+    input: InputShard,
+    output: OutputShard,
+    /// Positional embedding, stage 0 only (§6.4).
+    pos: Option<Tensor>,
+    partition: VocabPartition,
+    /// `kv[slot][local_layer]`.
+    kv: Vec<Vec<KvCache>>,
+    top_k: usize,
+    endpoint: P2pEndpoint,
+    comm: Collective,
+}
+
+impl DeviceState {
+    fn run(mut self, rx: &Receiver<Cmd>, results: &Sender<Vec<TokenChoice>>) {
+        while let Ok(Cmd::Step(plan)) = rx.recv() {
+            let choices = self.step(&plan).expect("decode step failed");
+            if self.rank == 0 {
+                // Every rank merged identically; one report suffices.
+                let _ = results.send(choices);
+            }
+        }
+    }
+
+    /// Executes one decode step by walking this device's pass list of the
+    /// validated forward-only schedule.
+    fn step(&mut self, plan: &StepPlan) -> Result<Vec<TokenChoice>> {
+        for &slot in &plan.retire {
+            for kv in &mut self.kv[slot] {
+                kv.release();
+            }
+        }
+        let m = plan.entries.len();
+        let mut choices = vec![
+            TokenChoice {
+                token: 0,
+                logprob: 0.0,
+            };
+            m
+        ];
+        if m == 0 {
+            // Retire-only plan; rank 0 still reports (empty) so the
+            // driver's step/result pairing stays intact.
+            return Ok(choices);
+        }
+        let schedule = decode_pipeline(self.world, m as u32);
+        // Last-stage F outputs waiting for their S pass (this device only).
+        let mut final_hidden: Vec<Option<Tensor>> = vec![None; m];
+        // Stage-0 embedding rows owned locally, waiting for F.
+        let mut local_embed: Vec<Option<Tensor>> = vec![None; m];
+        let last = self.world - 1;
+        for pass in schedule.passes(self.rank).to_vec() {
+            let k = pass.microbatch as usize;
+            let entry = &plan.entries[k];
+            match pass.kind {
+                PassKind::InputF => {
+                    // The owning shard embeds the token and hands the row
+                    // to stage 0 (degenerate TAG_INPART fan-in).
+                    if self.partition.owner_of(entry.token) == Some(self.rank) {
+                        let row = self.input.forward_local(&[entry.token])?;
+                        if self.rank == 0 {
+                            local_embed[k] = Some(row);
+                        } else {
+                            self.endpoint
+                                .send(
+                                    0,
+                                    to_packet(stage_tag(TAG_INPART, 0, pass.microbatch), &row),
+                                )
+                                .map_err(|e| p2p_err(&e))?;
+                        }
+                    }
+                }
+                PassKind::F => {
+                    let x = if self.rank == 0 {
+                        let embedded = match local_embed[k].take() {
+                            Some(row) => row,
+                            None => {
+                                let owner = self
+                                    .partition
+                                    .owner_of(entry.token)
+                                    .expect("token is in-vocabulary");
+                                crate::comm::from_packet(
+                                    self.endpoint
+                                        .recv_tag(owner, stage_tag(TAG_INPART, 0, pass.microbatch))
+                                        .map_err(|e| p2p_err(&e))?,
+                                )
+                            }
+                        };
+                        let pos = self.pos.as_ref().expect("stage 0 holds the positions");
+                        embedded.add(&pos.slice_rows(entry.pos, entry.pos + 1)?)?
+                    } else {
+                        crate::comm::from_packet(
+                            self.endpoint
+                                .recv_tag(
+                                    self.rank - 1,
+                                    stage_tag(TAG_ACT, self.rank, pass.microbatch),
+                                )
+                                .map_err(|e| p2p_err(&e))?,
+                        )
+                    };
+                    let mut h = x;
+                    for (li, block) in self.blocks.iter().enumerate() {
+                        h = block.forward_decode(&h, &mut self.kv[entry.slot][li])?;
+                    }
+                    if self.rank < last {
+                        self.endpoint
+                            .send(
+                                self.rank + 1,
+                                to_packet(stage_tag(TAG_ACT, self.rank + 1, pass.microbatch), &h),
+                            )
+                            .map_err(|e| p2p_err(&e))?;
+                    } else {
+                        // C0: fan the final hidden row out to every shard.
+                        for dst in 0..self.world {
+                            if dst != self.rank {
+                                self.endpoint
+                                    .send(dst, to_packet(stage_tag(TAG_C0, 0, pass.microbatch), &h))
+                                    .map_err(|e| p2p_err(&e))?;
+                            }
+                        }
+                        final_hidden[k] = Some(h);
+                    }
+                }
+                PassKind::S => {
+                    let h = match final_hidden[k].take() {
+                        Some(h) => h,
+                        None => crate::comm::from_packet(
+                            self.endpoint
+                                .recv_tag(last, stage_tag(TAG_C0, 0, pass.microbatch))
+                                .map_err(|e| p2p_err(&e))?,
+                        ),
+                    };
+                    let state = self.output.s_pass_decode(&h, self.top_k)?;
+                    let merged = self.output.barrier_decode(&self.comm, &state)?;
+                    choices[k] = merged[0];
+                }
+                other => unreachable!("decode schedule contains {other:?}"),
+            }
+        }
+        Ok(choices)
+    }
+}
+
+fn p2p_err(e: &vp_collectives::P2pError) -> TensorError {
+    TensorError::InvalidArgument(format!("p2p failed: {e}"))
+}

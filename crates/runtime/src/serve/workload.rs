@@ -1,0 +1,168 @@
+//! Synthetic serving workloads: open-loop Poisson arrivals with a
+//! configurable prompt/output length mix.
+//!
+//! The generator is deterministic from its seed — the same spec always
+//! produces the same request stream (prompts, lengths *and* arrival
+//! offsets), so serving runs are reproducible and the greedy-equivalence
+//! check can replay the exact same requests against the reference.
+
+use std::time::Duration;
+
+use vp_tensor::init::seeded_rng;
+use vp_tensor::rng::Rng;
+
+/// One synthetic request: a prompt to prefill and a number of tokens to
+/// generate, arriving `arrival` after the serving clock starts.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request id (its index in the generated stream).
+    pub id: usize,
+    /// Prompt token ids (all `< vocab`).
+    pub prompt: Vec<usize>,
+    /// Number of tokens to generate after the prompt.
+    pub output_len: usize,
+    /// Arrival offset from the start of the run (zero in closed-loop
+    /// specs: every request is queued from the beginning).
+    pub arrival: Duration,
+}
+
+impl Request {
+    /// Decode steps this request occupies a slot for: prompt prefill is
+    /// token-at-a-time through the same decode path, then one step per
+    /// generated token.
+    pub fn steps(&self) -> usize {
+        self.prompt.len() + self.output_len - 1
+    }
+}
+
+/// Specification of a synthetic workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Mean arrival rate in requests per second (Poisson process). `None`
+    /// means closed-loop: every request arrives at time zero and the
+    /// engine admits them as slots free up.
+    pub rate: Option<f64>,
+    /// Prompt length range `[min, max]` (inclusive), uniform mix.
+    pub prompt_len: (usize, usize),
+    /// Output length range `[min, max]` (inclusive), uniform mix.
+    pub output_len: (usize, usize),
+    /// Seed for prompts, lengths and arrival draws.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Generates the deterministic request stream. Prompt + output length
+    /// is clamped to `max_context` so every request fits the positional
+    /// embedding table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab == 0`, a length range is inverted, or `max_context`
+    /// cannot fit the minimum prompt plus one generated token.
+    pub fn generate(&self, vocab: usize, max_context: usize) -> Vec<Request> {
+        assert!(vocab > 0, "empty vocabulary");
+        assert!(
+            self.prompt_len.0 >= 1 && self.prompt_len.0 <= self.prompt_len.1,
+            "bad prompt length range"
+        );
+        assert!(
+            self.output_len.0 >= 1 && self.output_len.0 <= self.output_len.1,
+            "bad output length range"
+        );
+        assert!(
+            self.prompt_len.0 + self.output_len.0 <= max_context,
+            "minimum request does not fit the context window"
+        );
+        let mut rng = seeded_rng(self.seed);
+        let mut clock = 0.0f64;
+        (0..self.requests)
+            .map(|id| {
+                let p_len = rng.gen_range(self.prompt_len.0..self.prompt_len.1 + 1);
+                let o_len = rng.gen_range(self.output_len.0..self.output_len.1 + 1);
+                // Clamp to the context window, preserving at least one
+                // generated token.
+                let p_len = p_len.min(max_context - 1);
+                let o_len = o_len.min(max_context - p_len);
+                let prompt = (0..p_len).map(|_| rng.gen_range(0..vocab)).collect();
+                let arrival = match self.rate {
+                    Some(rate) => {
+                        // Exponential inter-arrival times: −ln(1−U)/λ.
+                        clock += -(1.0 - rng.gen_f64()).ln() / rate;
+                        Duration::from_secs_f64(clock)
+                    }
+                    None => Duration::ZERO,
+                };
+                Request {
+                    id,
+                    prompt,
+                    output_len: o_len,
+                    arrival,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rate: Option<f64>) -> WorkloadSpec {
+        WorkloadSpec {
+            requests: 32,
+            rate,
+            prompt_len: (2, 6),
+            output_len: (1, 8),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = spec(Some(100.0)).generate(97, 16);
+        let b = spec(Some(100.0)).generate(97, 16);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.prompt, y.prompt);
+            assert_eq!(x.output_len, y.output_len);
+            assert_eq!(x.arrival, y.arrival);
+        }
+    }
+
+    #[test]
+    fn requests_fit_the_context_window() {
+        for r in spec(Some(50.0)).generate(97, 16) {
+            assert!(r.prompt.len() + r.output_len <= 16, "request {}", r.id);
+            assert!(r.output_len >= 1);
+            assert!(r.prompt.iter().all(|&t| t < 97));
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_increasing_and_roughly_match_the_rate() {
+        let reqs = WorkloadSpec {
+            requests: 2000,
+            rate: Some(100.0),
+            prompt_len: (2, 2),
+            output_len: (1, 1),
+            seed: 11,
+        }
+        .generate(97, 16);
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival);
+        }
+        let span = reqs.last().unwrap().arrival.as_secs_f64();
+        let rate = reqs.len() as f64 / span;
+        assert!((rate - 100.0).abs() < 15.0, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn closed_loop_arrivals_are_zero() {
+        assert!(spec(None)
+            .generate(97, 16)
+            .iter()
+            .all(|r| r.arrival == Duration::ZERO));
+    }
+}

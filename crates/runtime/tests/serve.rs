@@ -1,0 +1,133 @@
+//! Serving-path integration tests: the pipelined, KV-cached,
+//! vocabulary-sharded decode engine against the single-device
+//! full-context reference, and KV-cache arena hygiene across request
+//! retirement.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use vp_runtime::serve::{
+    greedy_matches_reference, reference_decode, Request, ServeConfig, ServeEngine, WorkloadSpec,
+};
+use vp_runtime::TinyConfig;
+use vp_tensor::alloc;
+
+/// Serializes tests that read the process-global arena counters.
+fn arena_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn serve_config(devices: usize, max_batch: usize) -> ServeConfig {
+    ServeConfig {
+        model: TinyConfig::default(),
+        devices,
+        max_batch,
+        top_k: 4,
+    }
+}
+
+fn closed_loop(requests: usize, seed: u64) -> Vec<Request> {
+    WorkloadSpec {
+        requests,
+        rate: None,
+        prompt_len: (2, 6),
+        output_len: (1, 8),
+        seed,
+    }
+    .generate(TinyConfig::default().vocab, TinyConfig::default().seq_len)
+}
+
+#[test]
+fn greedy_decode_is_bitwise_equal_to_reference_across_shard_counts() {
+    for devices in [1, 2, 4] {
+        let config = serve_config(devices, 3);
+        let requests = closed_loop(6, 100 + devices as u64);
+        assert!(
+            greedy_matches_reference(&config, &requests).unwrap(),
+            "tokens diverged from reference at p={devices}"
+        );
+    }
+}
+
+#[test]
+fn continuous_batching_completes_every_request_under_poisson_load() {
+    let config = serve_config(2, 4);
+    let requests = WorkloadSpec {
+        requests: 12,
+        rate: Some(200.0),
+        prompt_len: (2, 5),
+        output_len: (1, 6),
+        seed: 21,
+    }
+    .generate(config.model.vocab, config.model.seq_len);
+    let mut engine = ServeEngine::start(config).unwrap();
+    let run = engine.serve(&requests);
+    engine.shutdown();
+    assert_eq!(run.completions.len(), 12);
+    let want: usize = requests.iter().map(|r| r.output_len).sum();
+    assert_eq!(run.tokens(), want);
+    assert!(run.occupancy() > 0.0 && run.occupancy() <= 1.0);
+    assert_eq!(run.latency.len(), want);
+    assert!(run.latency_quantile(0.99) >= run.latency_quantile(0.5));
+}
+
+#[test]
+fn logprobs_are_finite_and_nonpositive() {
+    let config = serve_config(2, 2);
+    let mut engine = ServeEngine::start(config).unwrap();
+    let run = engine.serve(&closed_loop(4, 31));
+    engine.shutdown();
+    for c in &run.completions {
+        for &lp in &c.logprobs {
+            assert!(lp.is_finite() && lp <= 0.0, "logprob {lp}");
+        }
+    }
+}
+
+#[test]
+fn retired_requests_release_their_kv_caches_back_to_the_arena() {
+    let _guard = arena_lock();
+    let config = serve_config(2, 2);
+    let mut engine = ServeEngine::start(config).unwrap();
+    // Warm up: first wave of requests grows the caches.
+    engine.serve(&closed_loop(4, 41));
+    let baseline = alloc::stats().outstanding;
+    alloc::reset_counters();
+    // Steady state: every retirement must return its buffers, so
+    // outstanding ends where it started and readmissions reuse the pool.
+    let run = engine.serve(&closed_loop(8, 42));
+    assert_eq!(run.completions.len(), 8);
+    let after = alloc::stats();
+    assert_eq!(
+        after.outstanding, baseline,
+        "request retirement leaked arena buffers"
+    );
+    assert!(
+        after.reuse_ratio() > 0.5,
+        "steady-state serving should reuse pooled buffers, ratio {}",
+        after.reuse_ratio()
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn engine_rejects_bad_configurations() {
+    let mut config = serve_config(3, 2);
+    // 4 layers do not divide over 3 devices.
+    assert!(ServeEngine::start(config.clone()).is_err());
+    config.devices = 0;
+    assert!(ServeEngine::start(config).is_err());
+}
+
+#[test]
+fn reference_decode_is_deterministic_and_in_vocabulary() {
+    let config = TinyConfig::default();
+    let prompt = [3usize, 17, 5];
+    let a = reference_decode(&config, &prompt, 6).unwrap();
+    let b = reference_decode(&config, &prompt, 6).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 6);
+    assert!(a.iter().all(|&t| t < config.vocab));
+}

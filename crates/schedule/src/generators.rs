@@ -697,6 +697,65 @@ pub fn vhalf_vocab(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Forward-only decode pipeline (inference serving)
+// ---------------------------------------------------------------------------
+
+/// Forward-only decode schedule: the pass list one decode step of the
+/// serving engine walks.
+///
+/// Each "microbatch" is one active request slot's next token. Per slot the
+/// pipeline runs the sharded input embedding (`InputF`, Appendix C), the
+/// transformer forwards (`F`, stage by stage), and the Algorithm-2 `S` pass
+/// (sharded logits + local softmax stats + local top-k) whose **single**
+/// `C1` barrier merges the shards; sampling happens identically on every
+/// device after the barrier, so no `T` pass (and no backward of any kind)
+/// exists. The structure is the §4.2 schedule with everything after the
+/// output layer's only barrier deleted.
+///
+/// Devices warm up exactly like 1F1B — device `d` runs `p − d` forwards
+/// before its first `S` — then alternate `S`/`F` in steady state, so `m`
+/// slots keep all `p` devices busy once `m ≥ p`.
+///
+/// All `InputF` passes are hoisted to the head of every device's list.
+/// `InputF` only *sends* (the owning shard pushes its embedding row to
+/// stage 0 over an asynchronous, stashing channel), so issuing the sends
+/// up front costs nothing — whereas interleaving them into the steady
+/// state deadlocks the real rendezvous runtime: the token owner can sit
+/// inside an `S` collective (waiting on stage 0) while stage 0's next `F`
+/// waits on the owner's not-yet-sent embedding row.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `m == 0`.
+pub fn decode_pipeline(p: usize, m: u32) -> Schedule {
+    assert!(p > 0, "need at least one device");
+    assert!(m > 0, "need at least one slot");
+    let device_passes = (0..p)
+        .map(|d| {
+            // 1F1B-style warmup depth with S in place of B: device d may
+            // run `p − d` forwards ahead of its first S.
+            let warm = (p - d) as u32;
+            let mut v = Vec::new();
+            for k in 0..m {
+                v.push(ScheduledPass::new(PassKind::InputF, k));
+            }
+            for k in 0..m.min(warm) {
+                v.push(ScheduledPass::new(PassKind::F, k));
+            }
+            for k in warm..m {
+                v.push(ScheduledPass::new(PassKind::S, k - warm));
+                v.push(ScheduledPass::new(PassKind::F, k));
+            }
+            for k in m.saturating_sub(warm)..m {
+                v.push(ScheduledPass::new(PassKind::S, k));
+            }
+            v
+        })
+        .collect();
+    Schedule::new(ScheduleKind::Vocab(VocabVariant::Alg2), m, 1, device_passes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1021,5 +1080,89 @@ mod tests {
     fn generators_reject_zero_devices() {
         let result = std::panic::catch_unwind(|| one_f_one_b(0, 1, PassTimes::default()));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn decode_pipeline_validates_across_shapes() {
+        use crate::deps::validate;
+        for p in [1, 2, 3, 4, 8] {
+            for m in [1u32, 2, 4, 7, 16] {
+                let sched = decode_pipeline(p, m);
+                validate(&sched).unwrap_or_else(|e| panic!("p={p} m={m}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_pipeline_is_forward_only_and_covers_all_slots() {
+        let sched = decode_pipeline(4, 6);
+        for d in 0..4 {
+            assert_eq!(sched.count_kind(d, PassKind::F), 6, "device {d}");
+            assert_eq!(sched.count_kind(d, PassKind::S), 6, "device {d}");
+            assert_eq!(sched.count_kind(d, PassKind::InputF), 6, "device {d}");
+            for kind in [
+                PassKind::B,
+                PassKind::W,
+                PassKind::T,
+                PassKind::S2,
+                PassKind::InputB,
+            ] {
+                assert_eq!(sched.count_kind(d, kind), 0, "kind {kind:?} device {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_pipeline_enters_collectives_in_identical_order() {
+        // Every device must hit S_0, S_1, ... in the same relative order —
+        // the C1 barrier is a collective over all shards.
+        let sched = decode_pipeline(4, 8);
+        for d in 0..4 {
+            let s_order: Vec<u32> = sched
+                .passes(d)
+                .iter()
+                .filter(|p| p.kind == PassKind::S)
+                .map(|p| p.microbatch)
+                .collect();
+            assert_eq!(s_order, (0..8).collect::<Vec<_>>(), "device {d}");
+        }
+    }
+
+    #[test]
+    fn decode_pipeline_hoists_all_input_sends_to_the_head() {
+        // Regression: an InputF interleaved after an S pass deadlocks the
+        // rendezvous runtime — the token's owning shard can sit inside the
+        // S collective while stage 0 waits on the unsent embedding row.
+        for p in [1, 2, 4] {
+            let sched = decode_pipeline(p, 8);
+            for d in 0..p {
+                assert!(
+                    sched.passes(d)[..8]
+                        .iter()
+                        .all(|x| x.kind == PassKind::InputF),
+                    "device {d} of {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_pipeline_warms_up_like_1f1b() {
+        // Device d should run p − d forwards before its first S so the
+        // steady state pipelines.
+        let p = 4;
+        let sched = decode_pipeline(p, 8);
+        for d in 0..p {
+            let first_s = sched
+                .passes(d)
+                .iter()
+                .position(|x| x.kind == PassKind::S)
+                .unwrap();
+            let fwd_before = sched.passes(d)[..first_s]
+                .iter()
+                .filter(|x| x.kind == PassKind::F)
+                .count();
+            assert_eq!(fwd_before, p - d, "device {d}");
+        }
     }
 }

@@ -49,6 +49,15 @@ impl PassKind {
         matches!(self, PassKind::B)
     }
 
+    /// Whether this pass may appear in a forward-only decode schedule.
+    /// Inference runs only the transformer forward, the sharded input
+    /// embedding and the Algorithm-2 `S` pass (whose single barrier doubles
+    /// as the sampling merge); everything else either produces gradients or
+    /// belongs to a multi-barrier grouping decode never uses.
+    pub fn decode_safe(self) -> bool {
+        matches!(self, PassKind::F | PassKind::S | PassKind::InputF)
+    }
+
     /// Static label used by the measured-run tracer and timeline tables
     /// (stable across both the simulator and the numeric runtime, so
     /// simulated and measured traces key per-kind time the same way).

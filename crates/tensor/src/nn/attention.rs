@@ -1,3 +1,4 @@
+use crate::nn::kv::KvCache;
 use crate::ops::softmax_rows;
 use crate::optim::Param;
 use crate::rng::Rng;
@@ -120,6 +121,65 @@ impl MultiHeadAttention {
                 context,
             },
         ))
+    }
+
+    /// Incremental (decode) forward: attends the `n` new rows of `x` over
+    /// the cached prefix plus themselves, appending their projected
+    /// keys/values to `kv`.
+    ///
+    /// Row `i` of the output is **bitwise identical** to row
+    /// `kv.len() + i` of [`Self::forward`] run over the concatenated full
+    /// sequence: the per-row kernels (projection matmuls, score matmul,
+    /// scale, softmax, context matmul) are the same ops in the same order,
+    /// and truncating at the causal horizon instead of masking with `−∞`
+    /// only removes terms that contribute exactly-zero addends. The serve
+    /// runtime's decode-vs-recompute equivalence tests pin this down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.cols() != hidden` or
+    /// the cache's row width does not match.
+    pub fn forward_decode(&self, x: &Tensor, kv: &mut KvCache) -> Result<Tensor> {
+        let h = self.hidden();
+        if x.cols() != h || kv.hidden() != h {
+            return Err(TensorError::ShapeMismatch {
+                op: "attention_decode",
+                lhs: (x.rows(), x.cols().max(kv.hidden())),
+                rhs: (x.rows(), h),
+            });
+        }
+        let n = x.rows();
+        let hd = self.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let q = x.matmul(self.wq.value())?;
+        let k = x.matmul(self.wk.value())?;
+        let v = x.matmul(self.wv.value())?;
+        for i in 0..n {
+            kv.append(k.row(i), v.row(i));
+        }
+        let base = kv.len() - n;
+        let mut context = Tensor::zeros(n, h);
+        for head in 0..self.heads {
+            let c0 = head * hd;
+            let c1 = c0 + hd;
+            for i in 0..n {
+                let horizon = base + i + 1; // causal: positions 0..=base+i
+                let mut kh = Tensor::zeros(horizon, hd);
+                let mut vh = Tensor::zeros(horizon, hd);
+                for j in 0..horizon {
+                    kh.row_mut(j).copy_from_slice(&kv.k_row(j)[c0..c1]);
+                    vh.row_mut(j).copy_from_slice(&kv.v_row(j)[c0..c1]);
+                }
+                let mut qh = Tensor::zeros(1, hd);
+                qh.row_mut(0).copy_from_slice(&q.row(i)[c0..c1]);
+                let mut scores = qh.matmul_nt(&kh)?;
+                scores.scale_in_place(scale);
+                let p = softmax_rows(&scores);
+                let ctx = p.matmul(&vh)?;
+                context.row_mut(i)[c0..c1].copy_from_slice(ctx.row(0));
+            }
+        }
+        context.matmul(self.wo.value())
     }
 
     /// Backward pass: accumulates all four weight gradients and returns `dx`.
@@ -310,5 +370,48 @@ mod tests {
     #[should_panic(expected = "divisible")]
     fn rejects_indivisible_heads() {
         let _ = MultiHeadAttention::new(&mut seeded_rng(0), 6, 4);
+    }
+
+    #[test]
+    fn decode_is_bitwise_equal_to_full_forward() {
+        let mut rng = seeded_rng(77);
+        let attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = normal(&mut rng, 6, 8, 0.9);
+        let (full, _) = attn.forward(&x).unwrap();
+        // Token-at-a-time decode over the same sequence.
+        let mut kv = KvCache::new(8);
+        for i in 0..6 {
+            let xi = x.slice_rows(i, i + 1).unwrap();
+            let yi = attn.forward_decode(&xi, &mut kv).unwrap();
+            for (a, b) in full.row(i).iter().zip(yi.row(0)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged");
+            }
+        }
+        assert_eq!(kv.len(), 6);
+        // Chunked decode (multi-row prefill) matches too.
+        let mut kv2 = KvCache::new(8);
+        let first = x.slice_rows(0, 4).unwrap();
+        let rest = x.slice_rows(4, 6).unwrap();
+        let y0 = attn.forward_decode(&first, &mut kv2).unwrap();
+        let y1 = attn.forward_decode(&rest, &mut kv2).unwrap();
+        for i in 0..4 {
+            for (a, b) in full.row(i).iter().zip(y0.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk row {i}");
+            }
+        }
+        for i in 0..2 {
+            for (a, b) in full.row(4 + i).iter().zip(y1.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "tail row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_cache_width() {
+        let mut rng = seeded_rng(78);
+        let attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = normal(&mut rng, 1, 8, 1.0);
+        let mut kv = KvCache::new(4);
+        assert!(attn.forward_decode(&x, &mut kv).is_err());
     }
 }

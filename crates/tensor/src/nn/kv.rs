@@ -1,0 +1,190 @@
+//! Arena-backed key/value cache for incremental (decode) attention.
+//!
+//! Training runs attention over whole sequences, so every forward sees all
+//! positions at once. A decode step sees **one new token** per sequence and
+//! must attend over everything generated so far; recomputing the full
+//! prefix per step is quadratic in context length. The [`KvCache`] keeps
+//! one layer's projected keys and values for one sequence, growing as
+//! tokens arrive.
+//!
+//! Both backing buffers come from the size-class buffer arena
+//! ([`crate::alloc`]) — the same pool the training runtime recycles its
+//! activations through — so a serving engine that admits and retires many
+//! request streams allocates (nearly) zero fresh memory at steady state:
+//! [`KvCache::release`] returns the buffers to the pool on request
+//! retirement, and the next admitted request's cache takes them back.
+//! Dropping a cache releases its buffers as well.
+
+use crate::alloc;
+
+/// One layer's cached keys and values for one sequence.
+///
+/// Rows are positions; each row holds `hidden` floats (all heads
+/// concatenated, exactly the layout of the projected `K`/`V` matrices in
+/// [`crate::nn::MultiHeadAttention`]).
+#[derive(Debug, Default)]
+pub struct KvCache {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    hidden: usize,
+    len: usize,
+}
+
+impl KvCache {
+    /// Creates an empty cache for rows of `hidden` floats. No memory is
+    /// taken from the arena until the first [`Self::append`].
+    pub fn new(hidden: usize) -> Self {
+        KvCache {
+            k: Vec::new(),
+            v: Vec::new(),
+            hidden,
+            len: 0,
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row width (hidden size) of the cached keys/values.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Grows `buf` (via the arena) so it can hold at least `need` floats.
+    fn reserve(buf: &mut Vec<f32>, need: usize) {
+        if buf.capacity() >= need {
+            return;
+        }
+        // Take the next size class and migrate; the old buffer goes back
+        // to the pool for the next (smaller) cache to pick up.
+        let mut grown = alloc::take_raw(need.max(buf.capacity() * 2));
+        grown.extend_from_slice(buf);
+        alloc::release(std::mem::replace(buf, grown));
+    }
+
+    /// Appends one position's key and value rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is not `hidden` floats long (caller bug).
+    pub fn append(&mut self, k_row: &[f32], v_row: &[f32]) {
+        assert_eq!(k_row.len(), self.hidden, "key row width mismatch");
+        assert_eq!(v_row.len(), self.hidden, "value row width mismatch");
+        let need = (self.len + 1) * self.hidden;
+        Self::reserve(&mut self.k, need);
+        Self::reserve(&mut self.v, need);
+        self.k.extend_from_slice(k_row);
+        self.v.extend_from_slice(v_row);
+        self.len += 1;
+    }
+
+    /// Key row at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn k_row(&self, i: usize) -> &[f32] {
+        &self.k[i * self.hidden..(i + 1) * self.hidden]
+    }
+
+    /// Value row at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn v_row(&self, i: usize) -> &[f32] {
+        &self.v[i * self.hidden..(i + 1) * self.hidden]
+    }
+
+    /// Forgets all cached positions but keeps the backing buffers, so the
+    /// same slot can serve a new sequence without re-allocating.
+    pub fn clear(&mut self) {
+        self.k.clear();
+        self.v.clear();
+        self.len = 0;
+    }
+
+    /// Returns both backing buffers to the arena. The cache is empty
+    /// afterwards and usable again (it will re-take from the pool).
+    ///
+    /// This is what a serving engine calls on request retirement: the
+    /// arena's `outstanding` gauge drops back and the freed buffers serve
+    /// the next admitted request.
+    pub fn release(&mut self) {
+        self.len = 0;
+        alloc::release(std::mem::take(&mut self.k));
+        alloc::release(std::mem::take(&mut self.v));
+    }
+
+    /// Approximate bytes currently reserved by the cache.
+    pub fn reserved_bytes(&self) -> usize {
+        (self.k.capacity() + self.v.capacity()) * std::mem::size_of::<f32>()
+    }
+}
+
+impl Drop for KvCache {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut kv = KvCache::new(3);
+        assert!(kv.is_empty());
+        kv.append(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        kv.append(&[7.0, 8.0, 9.0], &[10.0, 11.0, 12.0]);
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.k_row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(kv.v_row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let mut kv = KvCache::new(4);
+        for i in 0..100 {
+            let row = [i as f32; 4];
+            kv.append(&row, &row);
+        }
+        for i in 0..100 {
+            assert_eq!(kv.k_row(i)[0], i as f32, "row {i} lost in growth");
+            assert_eq!(kv.v_row(i)[3], i as f32, "row {i} lost in growth");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_release_returns_it() {
+        let mut kv = KvCache::new(8);
+        for _ in 0..32 {
+            kv.append(&[0.5; 8], &[0.5; 8]);
+        }
+        let reserved = kv.reserved_bytes();
+        assert!(reserved > 0);
+        kv.clear();
+        assert!(kv.is_empty());
+        assert_eq!(kv.reserved_bytes(), reserved, "clear must keep buffers");
+        kv.release();
+        assert_eq!(kv.reserved_bytes(), 0, "release must drop buffers");
+        // The cache stays usable after release.
+        kv.append(&[1.0; 8], &[2.0; 8]);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_row_width_is_rejected() {
+        let mut kv = KvCache::new(4);
+        kv.append(&[0.0; 3], &[0.0; 4]);
+    }
+}

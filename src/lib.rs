@@ -61,7 +61,7 @@ pub use vp_tensor;
 
 /// The most common imports for using the reproduction as a library.
 pub mod prelude {
-    pub use vp_check::{check, CheckReport};
+    pub use vp_check::{check, check_decode, CheckReport};
     pub use vp_core::{InputShard, OutputShard, VocabAlgo};
     pub use vp_model::config::{ModelConfig, ModelPreset};
     pub use vp_model::cost::{CostModel, Hardware};

@@ -1,5 +1,5 @@
 //! Integration tests for the extensions built on top of the core
-//! reproduction (see DESIGN.md §9), exercised through the facade crate.
+//! reproduction (see DESIGN.md §10), exercised through the facade crate.
 
 use std::sync::Arc;
 use vocab_parallelism::prelude::*;

@@ -2,7 +2,12 @@
 # Local CI gate, fail-fast ordered: the cheap source-level checks (format,
 # unsafe audit) run before anything compiles, lint (clippy) runs before the
 # release build it shares artifacts with, and the measured-run gates come
-# last: the PP x TP crossover sweep (grid configs verified by vp-check +
+# last: the static verification sweep (run twice, byte-identical JSON),
+# the static-vs-model differential soundness gate (every grid schedule and
+# seeded mutant must get the same hang/clean verdict from the
+# happens-before analyses and the exhaustive pass-VM model checker, within
+# a fixed explored-state budget), the PP x TP crossover sweep (grid
+# configs verified by vp-check +
 # the grid lints, tp=1 column bitwise equal to the 1D simulation), kernel
 # smoke benchmark (with the packed-GEMM nt/nn regression gate, GFLOP/s
 # floors for the SIMD matmul/GELU paths, and the dispatch-honesty gate:
@@ -90,11 +95,104 @@ test_release() {
 # --- measured-run gates ----------------------------------------------------
 
 check_sweep() {
+    # Run twice: the diagnostic order is contractually deterministic
+    # (sorted by code, device, slot), so the JSON must be byte-identical.
     cargo run -p vp-bench --release --bin repro -- check --json --out target/CHECK.json
+    cargo run -p vp-bench --release --bin repro -- check --json --out target/CHECK_run2.json >/dev/null
+    if ! cmp -s target/CHECK.json target/CHECK_run2.json; then
+        echo "repro check --json is not deterministic: two runs differ" >&2
+        diff target/CHECK.json target/CHECK_run2.json >&2 || true
+        exit 1
+    fi
     grep -q '"failing": 0' target/CHECK.json || {
         echo "vp-check sweep reported failing cases" >&2
         exit 1
     }
+    grep -q '"name": "decode-pipeline p=2 b=2"' target/CHECK.json || {
+        echo "vp-check sweep is missing the decode-pipeline family" >&2
+        exit 1
+    }
+    echo "CHECK.json OK: zero failing cases, decode family present, byte-identical reruns"
+}
+
+modelcheck_gate() {
+    # The soundness gate: every sweep-grid schedule plus hundreds of
+    # seeded mutants must get the same hang/clean verdict from the static
+    # happens-before analyses and the exhaustive pass-VM model checker.
+    # Also run twice — fixed seeds, no wall-clock in the output — and
+    # require byte-identical JSON.
+    cargo run -p vp-bench --release --bin repro -- modelcheck --json --out target/MODELCHECK.json
+    cargo run -p vp-bench --release --bin repro -- modelcheck --json --out target/MODELCHECK_run2.json >/dev/null
+    if ! cmp -s target/MODELCHECK.json target/MODELCHECK_run2.json; then
+        echo "repro modelcheck --json is not deterministic: two runs differ" >&2
+        diff target/MODELCHECK.json target/MODELCHECK_run2.json >&2 || true
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
+import json
+
+with open("target/MODELCHECK.json") as f:
+    doc = json.load(f)
+
+assert doc["disagreements"] == 0, \
+    f"{doc['disagreements']} static-vs-model disagreement(s) — soundness bug"
+assert doc["mutants"] >= 240, f"mutant corpus too small: {doc['mutants']}"
+assert doc["over_budget"] == 0, \
+    f"{doc['over_budget']} case(s) exceeded the explored-state budget"
+results = doc["results"]
+assert len(results) == doc["cases"] and results, "results/cases mismatch"
+for r in results:
+    assert r["outcome"] in ("agree_clean", "agree_deadlock",
+                            "static_rejected", "out_of_model"), \
+        f"{r['name']}: {r['outcome']}"
+    assert r["states"] <= r["budget"], \
+        f"{r['name']}: {r['states']} states over budget {r['budget']}"
+# Pristine grid schedules are all clean; deadlocks come only from mutants.
+grid = [r for r in results if not r["mutant"]]
+assert len(grid) == doc["grid_cases"]
+assert all(r["outcome"] == "agree_clean" for r in grid), \
+    "a pristine grid schedule is not agree_clean"
+# The PR-8 regression class is represented and killed by both oracles:
+# some un-hoisted-InputF mutant deadlocks with VP0017 on the static side.
+unhoist = [r for r in results
+           if r["name"].startswith("mutant/unhoist-inputf")
+           and r["outcome"] == "agree_deadlock"
+           and "VP0017" in r["static_codes"]]
+assert unhoist, "no un-hoisted InputF mutant was killed as VP0017"
+deadlocks = sum(1 for r in results if r["outcome"] == "agree_deadlock")
+print(f"MODELCHECK.json OK: {doc['cases']} cases ({doc['grid_cases']} grid + "
+      f"{doc['mutants']} mutants), 0 disagreements, {deadlocks} agreed deadlocks "
+      f"({len(unhoist)} VP0017 unhoist kills), max {doc['max_states']} states, "
+      f"all within budget")
+PY
+    else
+        grep -q '"disagreements": 0' target/MODELCHECK.json || {
+            echo "modelcheck reported disagreements" >&2
+            exit 1
+        }
+        grep -q '"over_budget": 0' target/MODELCHECK.json || {
+            echo "modelcheck exceeded an explored-state budget" >&2
+            exit 1
+        }
+        if grep -q '"outcome": "disagree"' target/MODELCHECK.json; then
+            echo "modelcheck has a disagreeing case" >&2
+            exit 1
+        fi
+        # Mutant floor via awk (the summary counter is on its own line).
+        awk '
+            /"mutants":/ {
+                if (match($0, /[0-9]+/)) n = substr($0, RSTART, RLENGTH)
+            }
+            END {
+                if (n == "" || n + 0 < 240) {
+                    printf "mutant corpus too small: %s\n", n > "/dev/stderr"
+                    exit 1
+                }
+                printf "mutant corpus: %s\n", n
+            }' target/MODELCHECK.json
+        echo "MODELCHECK.json OK (grep check)"
+    fi
 }
 
 tpsweep_gate() {
@@ -538,7 +636,8 @@ stage "unsafe audit (token match, allowlisted files only)" unsafe_audit
 stage "cargo clippy --workspace --all-targets -- -D warnings (+ pedantic subset)" clippy_lint
 stage "cargo build --workspace --release" build_release
 stage "cargo test --workspace --release" test_release
-stage "repro check (static schedule verification sweep)" check_sweep
+stage "repro check (static schedule verification sweep, double-run determinism)" check_sweep
+stage "repro modelcheck (static-vs-model differential soundness gate)" modelcheck_gate
 stage "repro tpsweep (PP x TP crossover) + gate" tpsweep_gate
 stage "repro kernels --json + structure/floor gates" kernels_gate
 stage "training determinism gate (two identical runs, VP_THREADS=4)" determinism_gate

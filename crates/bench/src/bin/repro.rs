@@ -4,7 +4,7 @@
 //! cargo run -p vp-bench --release --bin repro -- <experiment> [--quick]
 //! ```
 //!
-//! Experiments: `check`, `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
+//! Experiments: `check`, `modelcheck`, `fig1`/`schedules`, `fig2`, `fig3`, `table3`,
 //! `table3-measured`, `table4`, `table5`, `table6`, `ablation-interlaced`,
 //! `ablation-barriers`, `ablation-zero-bubble`, `generality`,
 //! `generality-numeric`, `kernels`, `trainbench`, `servebench`, `tpsweep`,
@@ -28,7 +28,11 @@
 //! sim-vs-measured divergence to `TIMELINE.json`. `tpsweep` runs the
 //! PP × TP crossover study on the 2D device grid (every factorization of
 //! a fixed device budget, gated through `vp-check` + the grid lints) and
-//! with `--json` writes the table to `TPSWEEP.json`. `--out <path>`
+//! with `--json` writes the table to `TPSWEEP.json`. `modelcheck` runs
+//! the differential deadlock suite — every `check` grid schedule plus
+//! seeded mutants through both the static analyses and the exhaustive
+//! pass-VM model checker, failing on any disagreement — and with `--json`
+//! writes `MODELCHECK.json`. `--out <path>`
 //! redirects the JSON artifact of the selected experiment.
 
 use vp_bench::experiments;
@@ -63,6 +67,7 @@ fn main() {
     let experiments: Vec<&str> = match which {
         "all" => vec![
             "check",
+            "modelcheck",
             "fig2",
             "fig3",
             "table4",
@@ -91,6 +96,7 @@ fn main() {
     for exp in experiments {
         match exp {
             "check" => check_schedules(json, out.as_deref()),
+            "modelcheck" => modelcheck(json, out.as_deref()),
             "fig1" | "schedules" => schedules(),
             "fig2" => fig2(),
             "fig3" => fig3(),
@@ -139,6 +145,32 @@ fn check_schedules(json: bool, out: Option<&str>) {
     }
     if cases.iter().any(|c| !c.report.is_clean()) {
         eprintln!("vp-check: diagnostics found — failing");
+        std::process::exit(1);
+    }
+}
+
+fn modelcheck(json: bool, out: Option<&str>) {
+    heading("Model check — static analyses vs exhaustive pass-VM execution, differentially");
+    let cases = vp_bench::modelcheck::run();
+    print!("{}", vp_bench::modelcheck::render(&cases));
+    if json {
+        let path = out.unwrap_or("MODELCHECK.json");
+        let doc = vp_bench::modelcheck::to_json(&cases);
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    let disagreements = cases
+        .iter()
+        .filter(|c| c.outcome == vp_bench::modelcheck::Outcome::Disagree)
+        .count();
+    let over_budget = cases.iter().filter(|c| c.states > c.budget).count();
+    if disagreements > 0 || over_budget > 0 {
+        eprintln!(
+            "modelcheck: {disagreements} disagreement(s), {over_budget} case(s) over state \
+             budget — failing"
+        );
         std::process::exit(1);
     }
 }

@@ -4,8 +4,11 @@
 //! The sweep is the executable form of the §5 generality claim: every
 //! built-in schedule — plain/zero-bubble/interleaved 1F1B, the three
 //! vocabulary variants with and without sharded input layers, interlaced,
-//! V-Half, and directly synthesized pass sets — must come out of all
-//! twelve analyses with zero diagnostics. `ci.sh` runs it as a gate.
+//! V-Half, directly synthesized pass sets, and the forward-only
+//! decode-pipeline family (checked under rendezvous semantics, where the
+//! sampling all-gather blocks the device thread) — must come out of the
+//! analyses with zero diagnostics. `ci.sh` runs it as a gate, twice, and
+//! requires byte-identical JSON.
 
 use vp_check::{check_with, CheckConfig, CheckReport};
 use vp_schedule::block::PassTimes;
@@ -21,6 +24,19 @@ pub struct CheckCase {
     pub name: String,
     /// The full static-analysis report.
     pub report: CheckReport,
+}
+
+/// One grid case before analysis: the schedule plus the configuration it
+/// must be checked under. `repro modelcheck` reuses the exact same list
+/// so the differential harness covers precisely what the static gate
+/// covers.
+pub struct SweepCase {
+    /// Human-readable case id.
+    pub name: String,
+    /// The schedule under test.
+    pub schedule: Schedule,
+    /// Analysis configuration (decode cases set `forward_only`).
+    pub config: CheckConfig,
 }
 
 fn zb_times() -> PassTimes {
@@ -94,15 +110,17 @@ fn synth_direct(p: usize, m: u32, variant: VocabVariant) -> (Schedule, CheckConf
     (schedule, config)
 }
 
-/// Runs the full sweep: every generator family across the `(p, m)` grid,
-/// all vocabulary variants, with and without sharded input layers, plus
-/// the synthesizer-direct cases.
-pub fn sweep() -> Vec<CheckCase> {
+/// Enumerates the full sweep grid: every generator family across the
+/// `(p, m)` grid, all vocabulary variants, with and without sharded input
+/// layers, the synthesizer-direct cases, and the forward-only
+/// decode-pipeline family across `(p, batch)`.
+pub fn sweep_cases() -> Vec<SweepCase> {
     let mut cases = Vec::new();
     let mut push = |name: String, schedule: &Schedule, config: &CheckConfig| {
-        cases.push(CheckCase {
+        cases.push(SweepCase {
             name,
-            report: check_with(schedule, config),
+            schedule: schedule.clone(),
+            config: config.clone(),
         });
     };
     let default_cfg = CheckConfig::default();
@@ -182,7 +200,35 @@ pub fn sweep() -> Vec<CheckCase> {
             }
         }
     }
+    // The serving-side family: forward-only decode pipelines, checked
+    // under rendezvous semantics (the sampling all-gather is synchronous).
+    // Batch size plays the microbatch role and goes below p — decode
+    // steady state interleaves streams, there is no m ≥ p constraint.
+    let decode_cfg = CheckConfig {
+        forward_only: true,
+        ..CheckConfig::default()
+    };
+    for &p in &[2usize, 4, 8] {
+        for &b in &[1u32, 2, 4, 8, 24] {
+            push(
+                format!("decode-pipeline p={p} b={b}"),
+                &generators::decode_pipeline(p, b),
+                &decode_cfg,
+            );
+        }
+    }
     cases
+}
+
+/// Runs the static analyzer over every [`sweep_cases`] entry.
+pub fn sweep() -> Vec<CheckCase> {
+    sweep_cases()
+        .into_iter()
+        .map(|case| CheckCase {
+            report: check_with(&case.schedule, &case.config),
+            name: case.name,
+        })
+        .collect()
 }
 
 /// Renders the sweep as a human table plus every diagnostic of failing
@@ -277,6 +323,13 @@ mod tests {
         }
         // Race analysis actually ran everywhere (acyclic graphs).
         assert!(cases.iter().all(|c| c.report.races_checked));
+        // The serving family is on the grid (rendezvous semantics
+        // included — these would fail VP0017 if the hoist regressed).
+        let decode = cases
+            .iter()
+            .filter(|c| c.name.starts_with("decode-pipeline"))
+            .count();
+        assert_eq!(decode, 15, "decode grid is 3 depths x 5 batch sizes");
     }
 
     #[test]

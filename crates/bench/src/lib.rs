@@ -12,6 +12,7 @@
 pub mod check;
 pub mod experiments;
 pub mod kernels;
+pub mod modelcheck;
 pub mod paper;
 pub mod servebench;
 pub mod table;

@@ -125,6 +125,78 @@ pub fn cycle_diagnostic(cycle: &[CycleStep]) -> Diagnostic {
     .help("reorder the involved devices so program order agrees with the dependency rules")
 }
 
+/// Renders a cycle that exists only under rendezvous (blocking-send)
+/// semantics as the `VP0017` diagnostic.
+///
+/// The primary site is the collective call that blocks (the target of a
+/// rendezvous arrival edge); every cycle step appears as a related site.
+/// The notes name the collective instance the device sits inside and —
+/// when an un-issued send (`InputF`) is on the cycle — the exact row that
+/// is still unsent while the barrier waits, which is the PR-8 serving
+/// deadlock's shape.
+pub fn rendezvous_cycle_diagnostic(cycle: &[CycleStep]) -> Diagnostic {
+    // The blocked collective call: the *target* of a rendezvous edge, i.e.
+    // the step after the arrival edge on the cycle.
+    let blocked = cycle
+        .iter()
+        .enumerate()
+        .find(|(_, step)| step.edge.is_rendezvous())
+        .map(|(i, _)| &cycle[(i + 1) % cycle.len()])
+        .unwrap_or_else(|| cycle.first().expect("cycles are non-empty"));
+    let mut d = Diagnostic::error(
+        Code::RendezvousDeadlock,
+        format!(
+            "{} passes deadlock under rendezvous semantics: the schedule is acyclic in the \
+             happens-before model, but {} blocks inside its synchronous collective",
+            cycle.len(),
+            blocked.pass
+        ),
+    )
+    .at(Site {
+        device: blocked.device,
+        slot: blocked.slot,
+        pass: blocked.pass,
+    });
+    for (i, step) in cycle.iter().enumerate() {
+        let next = &cycle[(i + 1) % cycle.len()];
+        d = d.related(
+            Site {
+                device: step.device,
+                slot: step.slot,
+                pass: step.pass,
+            },
+            format!(
+                "must finish before {} [device {}, slot {}] — {}",
+                next.pass,
+                next.device,
+                next.slot,
+                step.edge.describe()
+            ),
+        );
+    }
+    d = d.note(format!(
+        "{} on device {} does not return until every participant's device reaches its \
+         matching call, so everything scheduled after it on device {} — including its \
+         pending sends — is blocked too",
+        blocked.pass, blocked.device, blocked.device
+    ));
+    if let Some(unsent) = cycle
+        .iter()
+        .find(|step| step.pass.kind == vp_schedule::pass::PassKind::InputF)
+    {
+        d = d.note(format!(
+            "the embedding row of {} on device {} is still unsent when the collective \
+             begins: it is scheduled after the blocking call, while another device's \
+             forward needs it to reach the same collective",
+            unsent.pass, unsent.device
+        ));
+    }
+    d.help(
+        "hoist the non-blocking sends (InputF) ahead of every rendezvous collective entry, \
+         as generators::decode_pipeline does",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,6 +64,13 @@ pub enum Code {
     /// never produces gradients, so such a pass would wait forever on a
     /// gradient that no one sends.
     BackwardInDecode,
+    /// `VP0017` — a cycle that exists only under rendezvous (blocking-
+    /// send) semantics: the schedule is acyclic in the asymmetric
+    /// happens-before model, but a synchronous collective blocks its
+    /// device — and all of the device's later sends — until every
+    /// participant arrives, closing a wait cycle the dependency edges
+    /// alone do not show.
+    RendezvousDeadlock,
 }
 
 impl Code {
@@ -86,6 +93,7 @@ impl Code {
             Code::GroupOrderSkew => "VP0014",
             Code::GridCoverageHole => "VP0015",
             Code::BackwardInDecode => "VP0016",
+            Code::RendezvousDeadlock => "VP0017",
         }
     }
 
@@ -109,11 +117,12 @@ impl Code {
             Code::GroupOrderSkew => "tensor-group rendezvous order diverges across row peers",
             Code::GridCoverageHole => "tensor-group participation differs across row peers",
             Code::BackwardInDecode => "backward-family pass in a forward-only decode schedule",
+            Code::RendezvousDeadlock => "deadlock under rendezvous (blocking-send) semantics",
         }
     }
 
     /// Every defined code, in numeric order.
-    pub fn all() -> [Code; 15] {
+    pub fn all() -> [Code; 17] {
         [
             Code::Deadlock,
             Code::MissingPass,
@@ -130,6 +139,8 @@ impl Code {
             Code::WrongGroupMember,
             Code::GroupOrderSkew,
             Code::GridCoverageHole,
+            Code::BackwardInDecode,
+            Code::RendezvousDeadlock,
         ]
     }
 }

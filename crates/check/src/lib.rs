@@ -5,7 +5,7 @@
 //!
 //! Proves properties of any [`vp_schedule::pass::Schedule`] *without
 //! executing it*, reporting violations as rustc-style diagnostics with
-//! stable codes (`VP0001`–`VP0016`):
+//! stable codes (`VP0001`–`VP0017`):
 //!
 //! * **Deadlock freedom** ([`deadlock`]) — the happens-before graph
 //!   (program order + §5.1 dependency edges) is acyclic; a violation is
@@ -35,7 +35,21 @@
 //! * **Decode schedules** ([`check_decode`]) — forward-only serving pass
 //!   lists swap the training liveness rules for `VP0016`: no
 //!   backward-family pass may appear (inference produces no gradients);
-//!   all other analyses run unchanged.
+//!   all other analyses run unchanged. Additionally, decode mode is
+//!   *rendezvous-faithful*: the sampling barrier each `S` pass executes is
+//!   a synchronous all-gather on the device thread, so the analysis adds
+//!   arrival edges ([`vp_schedule::hb::HbGraph::with_rendezvous`]) under
+//!   which a sender blocked inside a collective also blocks its later
+//!   sends. A cycle that appears only with these edges — the schedule
+//!   looks fine to the asymmetric model but hangs the real runtime — is
+//!   `VP0017`, with the minimal cycle naming the blocked collective and
+//!   the unsent row.
+//! * **Execution model checking** ([`model`]) — an exhaustive explorer of
+//!   the pass-VM's actual concurrency semantics (per-device program
+//!   counters, blocking receives, rendezvous barriers) over the same
+//!   schedules, used to *differentially validate* the graph analyses: the
+//!   `repro modelcheck` sweep asserts the static verdict and the explored
+//!   verdict agree on every grid case and seeded mutant.
 //!
 //! The `repro check` subcommand sweeps every built-in generator family
 //! through [`check`] (and `repro tpsweep` gates its grid configurations
@@ -46,12 +60,13 @@ pub mod deadlock;
 pub mod diag;
 pub mod grid;
 pub mod liveness;
+pub mod model;
 pub mod race;
 
 pub use diag::{render_human, render_json, Code, Diagnostic, Severity, Site};
 pub use grid::{check_grid, check_grid_facts};
 
-use vp_schedule::deps::build_deps;
+use vp_schedule::deps::{build_deps, sync_collectives};
 use vp_schedule::hb::HbGraph;
 use vp_schedule::pass::Schedule;
 
@@ -112,9 +127,11 @@ pub fn check(schedule: &Schedule) -> CheckReport {
 
 /// Runs every analysis on a forward-only decode schedule (the serving
 /// engine's per-step pass list): the training liveness rules give way to
-/// `VP0016` (no backward-family pass may appear), while the deadlock,
-/// communication-protocol and race analyses run unchanged — a decode
-/// step's `S` barriers rendezvous exactly like training's.
+/// `VP0016` (no backward-family pass may appear), the deadlock,
+/// communication-protocol and race analyses run unchanged, and — because
+/// a decode step's `S` pass executes its sampling barrier synchronously
+/// on the device thread rather than submitting it to a comm stream — the
+/// rendezvous-faithful deadlock analysis (`VP0017`) runs on top.
 pub fn check_decode(schedule: &Schedule) -> CheckReport {
     check_with(
         schedule,
@@ -164,6 +181,19 @@ pub fn check_with(schedule: &Schedule, config: &CheckConfig) -> CheckReport {
                 let reach = race::Reachability::compute(&hb, &topo);
                 diagnostics.extend(race::check_races(schedule, &hb, &reach));
                 races_checked = true;
+                // Rendezvous-faithful pass: collectives the schedule
+                // executes synchronously on the device thread (decode's
+                // sampling barrier) also block the sender's later sends.
+                // A cycle that appears only once those arrival edges are
+                // added is a deadlock the asymmetric model missed: VP0017.
+                let sync = sync_collectives(schedule, config.forward_only);
+                if !sync.is_empty() {
+                    let rhb = HbGraph::with_rendezvous(schedule, &deps, &sync);
+                    if rhb.topo_order().is_none() {
+                        let cycle = rhb.minimal_cycle().expect("cyclic graph has a cycle");
+                        diagnostics.push(deadlock::rendezvous_cycle_diagnostic(&cycle));
+                    }
+                }
             }
         }
     }
@@ -280,6 +310,69 @@ mod tests {
                 assert!(report.is_clean(), "p={p} m={m}: {:#?}", report.diagnostics);
                 assert!(report.races_checked);
             }
+        }
+    }
+
+    #[test]
+    fn unhoisted_decode_schedule_is_rejected_with_vp0017() {
+        use vp_schedule::generators::decode_pipeline_natural;
+        // The PR-8 serving deadlock, now a diagnostic instead of a hang:
+        // InputF sends in natural position at p=2/m=2.
+        let report = check_decode(&decode_pipeline_natural(2, 2));
+        assert!(report.has(Code::RendezvousDeadlock), "{:?}", report.codes());
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::RendezvousDeadlock)
+            .unwrap();
+        // The witness names the blocked S collective and the unsent
+        // InputF row.
+        assert_eq!(d.primary.unwrap().pass.kind, PassKind::S, "{d}");
+        assert!(
+            d.related.iter().any(|(s, _)| s.pass.kind == PassKind::S),
+            "{d}"
+        );
+        assert!(
+            d.related
+                .iter()
+                .any(|(s, _)| s.pass.kind == PassKind::InputF),
+            "{d}"
+        );
+        assert!(d.notes.iter().any(|n| n.contains("unsent")), "{d}");
+        // Only the blocking-send analysis fires: the base model is clean,
+        // so no VP0001.
+        assert!(!report.has(Code::Deadlock), "{:?}", report.codes());
+        // And the cycle is minimal: a handful of passes, not the whole
+        // schedule.
+        assert!(d.related.len() <= 4, "{d}");
+    }
+
+    #[test]
+    fn unhoisted_decode_family_deadlocks_across_sizes() {
+        use vp_schedule::generators::decode_pipeline_natural;
+        for p in [2usize, 4] {
+            for m in [2u32, 3, 8] {
+                let report = check_decode(&decode_pipeline_natural(p, m));
+                assert!(
+                    report.has(Code::RendezvousDeadlock),
+                    "p={p} m={m}: {:?}",
+                    report.codes()
+                );
+            }
+        }
+        // Degenerate sizes have nothing to block on: clean.
+        assert!(check_decode(&decode_pipeline_natural(1, 4)).is_clean());
+        assert!(check_decode(&decode_pipeline_natural(4, 1)).is_clean());
+    }
+
+    #[test]
+    fn training_vocab_schedules_have_no_rendezvous_diagnostics() {
+        // Training offloads C1 to the comm stream: the rendezvous pass
+        // must not run (sync_collectives is empty outside forward_only),
+        // so the shipped families stay clean.
+        for variant in [VocabVariant::Naive, VocabVariant::Alg1, VocabVariant::Alg2] {
+            let report = check(&vocab_1f1b(4, 8, variant, PassTimes::default(), true));
+            assert!(report.is_clean(), "{variant:?}: {:#?}", report.diagnostics);
         }
     }
 

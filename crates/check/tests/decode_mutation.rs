@@ -1,0 +1,197 @@
+//! Mutation testing of the decode-mode analyses: seeded mutations of the
+//! forward-only decode pipeline whose defect class is known, asserted to
+//! be killed by `vp-check` with the expected code — and the unmutated
+//! schedules asserted clean.
+//!
+//! The three operators are the three ways the serving path has actually
+//! broken (or nearly broken):
+//!
+//! * **insert-backward** — a gradient-family pass leaks into a decode
+//!   schedule (`VP0016`);
+//! * **un-hoist InputF** — an embedding-row send slides back past a
+//!   sampling rendezvous into its "natural" position, the exact shape of
+//!   the PR-8 serving deadlock (`VP0017`);
+//! * **drop sampling-barrier participant** — a device loses one `S`
+//!   call, so the world-sized all-gather can never complete (`VP0005`).
+
+use vp_check::{check_decode, Code};
+use vp_schedule::generators::decode_pipeline;
+use vp_schedule::pass::{PassKind, Schedule, ScheduledPass};
+
+/// Deterministic LCG (Knuth's MMIX constants) so every mutation site is
+/// reproducible from its seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next() >> 33) as usize % n
+    }
+}
+
+fn device_passes(sched: &Schedule) -> Vec<Vec<ScheduledPass>> {
+    (0..sched.devices())
+        .map(|d| sched.passes(d).to_vec())
+        .collect()
+}
+
+fn rebuild(sched: &Schedule, passes: Vec<Vec<ScheduledPass>>) -> Schedule {
+    Schedule::new(
+        sched.kind(),
+        sched.num_microbatches(),
+        sched.chunks(),
+        passes,
+    )
+    .with_placement(sched.placement())
+}
+
+fn base_schedules() -> Vec<(String, Schedule)> {
+    let mut out = Vec::new();
+    for (p, b) in [(2usize, 4u32), (4, 4), (4, 8), (8, 8)] {
+        out.push((
+            format!("decode-pipeline p={p} b={b}"),
+            decode_pipeline(p, b),
+        ));
+    }
+    out
+}
+
+fn assert_killed(name: &str, schedule: &Schedule, code: Code) {
+    let report = check_decode(schedule);
+    assert!(
+        report.diagnostics.iter().any(|d| d.code == code),
+        "{name}: expected {} among {:?}",
+        code.as_str(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn unmutated_decode_bases_are_accepted() {
+    for (name, sched) in base_schedules() {
+        let report = check_decode(&sched);
+        assert!(
+            report.is_clean(),
+            "{name}:\n{}",
+            vp_check::render_human(&report.diagnostics)
+        );
+    }
+}
+
+#[test]
+fn inserted_backward_passes_are_killed_as_vp0016() {
+    for (name, sched) in base_schedules() {
+        for seed in 0..4u64 {
+            let mut rng = Lcg::new(seed);
+            let mut passes = device_passes(&sched);
+            let d = rng.below(passes.len());
+            let backward = [PassKind::B, PassKind::W, PassKind::T, PassKind::InputB][rng.below(4)];
+            let mb = rng.next() as u32 % sched.num_microbatches();
+            let at = rng.below(passes[d].len() + 1);
+            passes[d].insert(at, ScheduledPass::new(backward, mb));
+            let mutated = rebuild(&sched, passes);
+            assert_killed(
+                &format!("{name} insert-{backward:?} seed={seed}"),
+                &mutated,
+                Code::BackwardInDecode,
+            );
+        }
+    }
+}
+
+#[test]
+fn unhoisted_input_sends_are_killed_as_vp0017() {
+    for (name, sched) in base_schedules() {
+        for seed in 0..4u64 {
+            let mut rng = Lcg::new(seed);
+            let mut passes = device_passes(&sched);
+            // Candidate sites: a steady-state F (preceded by an S
+            // rendezvous) on a sender device whose hoisted InputF of the
+            // same slot sits further up the list.
+            let mut sites: Vec<(usize, usize, usize)> = Vec::new();
+            for (d, list) in passes.iter().enumerate().skip(1) {
+                for i in 1..list.len() {
+                    if list[i].kind != PassKind::F || list[i - 1].kind != PassKind::S {
+                        continue;
+                    }
+                    let j = list
+                        .iter()
+                        .position(|p| {
+                            p.kind == PassKind::InputF && p.microbatch == list[i].microbatch
+                        })
+                        .expect("every slot has a hoisted InputF");
+                    if j < i - 1 {
+                        sites.push((d, i, j));
+                    }
+                }
+            }
+            assert!(!sites.is_empty(), "{name}: no un-hoist site");
+            let (d, i, j) = sites[rng.below(sites.len())];
+            let row = passes[d].remove(j);
+            passes[d].insert(i - 1, row);
+            let mutated = rebuild(&sched, passes);
+            assert_killed(
+                &format!("{name} unhoist d={d} seed={seed}"),
+                &mutated,
+                Code::RendezvousDeadlock,
+            );
+        }
+    }
+}
+
+#[test]
+fn dropped_sampling_participants_are_killed_as_vp0005() {
+    for (name, sched) in base_schedules() {
+        for seed in 0..4u64 {
+            let mut rng = Lcg::new(seed);
+            let mut passes = device_passes(&sched);
+            let d = rng.below(passes.len());
+            let s_slots: Vec<usize> = passes[d]
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.kind == PassKind::S)
+                .map(|(i, _)| i)
+                .collect();
+            let slot = s_slots[rng.below(s_slots.len())];
+            passes[d].remove(slot);
+            let mutated = rebuild(&sched, passes);
+            assert_killed(
+                &format!("{name} drop-S d={d} seed={seed}"),
+                &mutated,
+                Code::MissingParticipant,
+            );
+        }
+    }
+}
+
+#[test]
+fn the_natural_layout_is_the_canonical_vp0017_witness() {
+    // Not seeded: the exact shipped-then-fixed schedule shape, end to end
+    // through the public decode entry point.
+    use vp_schedule::generators::decode_pipeline_natural;
+    let report = check_decode(&decode_pipeline_natural(2, 2));
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::RendezvousDeadlock)
+        .expect("natural layout must be rejected");
+    let text = diag.to_string();
+    assert!(text.contains("error[VP0017]"), "{text}");
+    assert!(text.contains("hoist"), "{text}");
+}

@@ -297,6 +297,67 @@ impl DepContext {
     }
 }
 
+/// One synchronous (rendezvous) collective instance: every participant's
+/// call runs *inline on its device thread* and blocks until all
+/// participants arrive — unlike the stream-offloaded barriers of training,
+/// whose results are consumed by a later pass.
+///
+/// The dependency edges of [`DepContext::logical_preds`] model a
+/// collective asymmetrically: the consumer waits for the producers, but a
+/// producer never waits for its peers. That is faithful for training,
+/// where `S` *submits* the `C1` barrier to the comm stream and only the
+/// `T`/`B` passes block on its result. It is **not** faithful for the
+/// decode engine, whose `S` pass calls the sampling all-gather
+/// synchronously: the device sits inside the collective until every shard
+/// arrives, so all of its later sends are blocked too. A schedule can be
+/// acyclic under the asymmetric model yet deadlock under the blocking one
+/// (the PR-8 serving deadlock). [`crate::hb::HbGraph::with_rendezvous`]
+/// closes the gap by adding arrival edges for these instances.
+#[derive(Debug, Clone)]
+pub struct SyncCollective {
+    /// The collective class of the instance.
+    pub class: crate::facts::CollectiveClass,
+    /// The microbatch (request slot) the instance serves.
+    pub microbatch: u32,
+    /// Participating calls as `(device, slot)`, ascending by device.
+    pub sites: Vec<(usize, usize)>,
+}
+
+/// The collective instances a schedule executes synchronously on the
+/// device threads, i.e. as true rendezvous.
+///
+/// In training mode (`forward_only == false`) this is empty: the runtime
+/// offloads every vocabulary barrier to the comm stream (`S` submits `C1`,
+/// `T` consumes it later), so the asymmetric dependency edges are already
+/// faithful. In forward-only decode mode, each `S` pass performs the
+/// sampling barrier (`C1`, an all-gather of shard top-k stats) inline in
+/// the device thread — one rendezvous instance per request slot, entered
+/// by every device's `S` of that slot.
+pub fn sync_collectives(schedule: &Schedule, forward_only: bool) -> Vec<SyncCollective> {
+    if !forward_only {
+        return Vec::new();
+    }
+    let mut by_mb: HashMap<u32, Vec<(usize, usize)>> = HashMap::new();
+    for (d, i, pass) in schedule.iter_all() {
+        if pass.kind == PassKind::S {
+            by_mb.entry(pass.microbatch).or_default().push((d, i));
+        }
+    }
+    let mut out: Vec<SyncCollective> = by_mb
+        .into_iter()
+        .map(|(microbatch, mut sites)| {
+            sites.sort_unstable();
+            SyncCollective {
+                class: crate::facts::CollectiveClass::C1,
+                microbatch,
+                sites,
+            }
+        })
+        .collect();
+    out.sort_by_key(|c| c.microbatch);
+    out
+}
+
 fn index_schedule(schedule: &Schedule) -> Result<HashMap<Key, (usize, usize)>, DepError> {
     let mut map = HashMap::with_capacity(schedule.total_passes());
     for (d, i, pass) in schedule.iter_all() {

@@ -725,6 +725,12 @@ pub fn vhalf_vocab(
 /// inside an `S` collective (waiting on stage 0) while stage 0's next `F`
 /// waits on the owner's not-yet-sent embedding row.
 ///
+/// The hoist is no longer just a convention: `vp-check`'s
+/// rendezvous-faithful deadlock analysis rejects the un-hoisted layout
+/// ([`decode_pipeline_natural`]) with `VP0017`, and the exhaustive model
+/// checker (`vp_check::model`) confirms the blocked interleaving — so a
+/// regression to natural-position sends cannot pass CI.
+///
 /// # Panics
 ///
 /// Panics if `p == 0` or `m == 0`.
@@ -745,6 +751,46 @@ pub fn decode_pipeline(p: usize, m: u32) -> Schedule {
             }
             for k in warm..m {
                 v.push(ScheduledPass::new(PassKind::S, k - warm));
+                v.push(ScheduledPass::new(PassKind::F, k));
+            }
+            for k in m.saturating_sub(warm)..m {
+                v.push(ScheduledPass::new(PassKind::S, k));
+            }
+            v
+        })
+        .collect();
+    Schedule::new(ScheduleKind::Vocab(VocabVariant::Alg2), m, 1, device_passes)
+}
+
+/// The *un-hoisted* decode layout: each `InputF` send sits in its natural
+/// position, immediately before the device's own `F` of the same slot.
+///
+/// This is the schedule the serving engine originally walked, kept as the
+/// regression fixture for the rendezvous deadlock it causes: for `p ≥ 2`
+/// and `m ≥ 2`, a device enters its sampling barrier (`S`, a synchronous
+/// all-gather) *before* issuing a later slot's embedding row, while stage
+/// 0 needs that row to finish the forward the barrier is waiting on. The
+/// asymmetric happens-before model is acyclic here — only the
+/// blocking-send analysis (`VP0017`) and the execution model checker see
+/// the cycle. Never execute this on the rendezvous runtime.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `m == 0`.
+pub fn decode_pipeline_natural(p: usize, m: u32) -> Schedule {
+    assert!(p > 0, "need at least one device");
+    assert!(m > 0, "need at least one slot");
+    let device_passes = (0..p)
+        .map(|d| {
+            let warm = (p - d) as u32;
+            let mut v = Vec::new();
+            for k in 0..m.min(warm) {
+                v.push(ScheduledPass::new(PassKind::InputF, k));
+                v.push(ScheduledPass::new(PassKind::F, k));
+            }
+            for k in warm..m {
+                v.push(ScheduledPass::new(PassKind::S, k - warm));
+                v.push(ScheduledPass::new(PassKind::InputF, k));
                 v.push(ScheduledPass::new(PassKind::F, k));
             }
             for k in m.saturating_sub(warm)..m {

@@ -14,8 +14,10 @@
 # serial on one effective worker, and a chosen threaded path must not lose
 # to serial), bitwise training determinism, the buffer-arena train bench
 # (steady-state recycling + pooled-vs-fresh numerics), the serving bench
-# (open-loop decode SLO floors + greedy-decode bitwise equivalence),
-# Chrome-trace schema checks (simulated and measured), and the
+# (open-loop decode SLO floors + greedy-decode bitwise equivalence, the
+# paged-KV leak gate, the chunked-prefill tail ceiling, the split-batch
+# overlap throughput gate, and double-run determinism modulo wall-clock
+# fields), Chrome-trace schema checks (simulated and measured), and the
 # sim-vs-measured timeline drift gate.
 # Runs fully offline (the workspace has no external dependencies).
 # JSON artifacts land in target/ so the working tree stays clean.
@@ -112,7 +114,11 @@ check_sweep() {
         echo "vp-check sweep is missing the decode-pipeline family" >&2
         exit 1
     }
-    echo "CHECK.json OK: zero failing cases, decode family present, byte-identical reruns"
+    grep -q '"name": "decode-pipeline-overlap p=2 b=2"' target/CHECK.json || {
+        echo "vp-check sweep is missing the overlapped decode family" >&2
+        exit 1
+    }
+    echo "CHECK.json OK: zero failing cases, decode families present, byte-identical reruns"
 }
 
 modelcheck_gate() {
@@ -160,11 +166,18 @@ unhoist = [r for r in results
            and r["outcome"] == "agree_deadlock"
            and "VP0017" in r["static_codes"]]
 assert unhoist, "no un-hoisted InputF mutant was killed as VP0017"
+# The split-batch overlap regression class: an inconsistent S/T split
+# across devices deadlocks, and both oracles agree (VP0001 cycle).
+missplit = [r for r in results
+            if r["name"].startswith("mutant/missplit-overlap")
+            and r["outcome"] == "agree_deadlock"
+            and "VP0001" in r["static_codes"]]
+assert missplit, "no mis-split overlap mutant was killed as VP0001"
 deadlocks = sum(1 for r in results if r["outcome"] == "agree_deadlock")
 print(f"MODELCHECK.json OK: {doc['cases']} cases ({doc['grid_cases']} grid + "
       f"{doc['mutants']} mutants), 0 disagreements, {deadlocks} agreed deadlocks "
-      f"({len(unhoist)} VP0017 unhoist kills), max {doc['max_states']} states, "
-      f"all within budget")
+      f"({len(unhoist)} VP0017 unhoist kills, {len(missplit)} VP0001 mis-split "
+      f"kills), max {doc['max_states']} states, all within budget")
 PY
     else
         grep -q '"disagreements": 0' target/MODELCHECK.json || {
@@ -179,6 +192,10 @@ PY
             echo "modelcheck has a disagreeing case" >&2
             exit 1
         fi
+        grep -q '"name": "mutant/missplit-overlap' target/MODELCHECK.json || {
+            echo "no mis-split overlap mutants in the corpus" >&2
+            exit 1
+        }
         # Mutant floor via awk (the summary counter is on its own line).
         awk '
             /"mutants":/ {
@@ -454,28 +471,53 @@ PY
 }
 
 servebench_gate() {
+    # Two runs: the token streams, series set, request accounting and the
+    # leak counter are deterministic (fixed seeds), while the
+    # wall-clock-derived fields (throughput, latency quantiles, occupancy,
+    # step count, arena traffic) are not — so the determinism gate
+    # compares the two documents with the volatile fields stripped.
     cargo run -p vp-bench --release --bin repro -- servebench --json --quick --out target/BENCH_serve.json
+    cargo run -p vp-bench --release --bin repro -- servebench --json --quick --out target/BENCH_serve_run2.json >/dev/null
     if command -v python3 >/dev/null 2>&1; then
-        python3 - <<'PY'
+        python3 - "$(nproc 2>/dev/null || echo 1)" <<'PY'
 import json
 import math
+import sys
+
+cores = int(sys.argv[1])
+
+VOLATILE = {"tokens_per_sec", "p50_token_latency_ms", "p99_token_latency_ms",
+            "batch_occupancy", "steps", "arena"}
+
+
+def stable(doc):
+    return {**{k: v for k, v in doc.items() if k != "pipelines"},
+            "pipelines": [{k: v for k, v in p.items() if k not in VOLATILE}
+                          for p in doc["pipelines"]]}
+
 
 with open("target/BENCH_serve.json") as f:
     doc = json.load(f)
+with open("target/BENCH_serve_run2.json") as f:
+    run2 = json.load(f)
+assert stable(doc) == stable(run2), \
+    "servebench --json is not deterministic modulo wall-clock fields"
 
 assert doc["bench"] == "serve", doc.get("bench")
 cfg = doc["config"]
-for key in ("layers", "hidden", "seq_len", "vocab", "max_batch", "top_k"):
+for key in ("layers", "hidden", "seq_len", "vocab", "max_batch", "top_k",
+            "kv_block", "prefill_chunk"):
     assert cfg[key] > 0, f"config.{key} missing or zero"
 wl = doc["workload"]
 assert wl["requests"] > 0 and wl["rate_per_sec"] > 0, wl
 # The serving correctness contract: greedy decode through the pipelined,
-# KV-cached, vocabulary-sharded engine is bitwise equal to the
-# single-device full-context reference — at every pipeline depth.
+# paged-KV, vocabulary-sharded engine is bitwise equal to the
+# single-device full-context reference — at every pipeline depth, with
+# and without the split-batch sampling-barrier overlap.
 assert doc["greedy_matches_reference"] is True, \
     "greedy decode diverged from the single-device reference"
 pipelines = {p["name"]: p for p in doc["pipelines"]}
-expected = {"pp1", "pp2", "pp4"}
+expected = {"pp1", "pp2", "pp4", "pp1-ov", "pp2-ov", "pp4-ov"}
 missing = expected - pipelines.keys()
 assert not missing, f"pipelines missing from BENCH_serve.json: {missing}"
 for name, p in pipelines.items():
@@ -488,22 +530,44 @@ for name, p in pipelines.items():
     assert p50 is not None and p99 is not None, f"{name}: missing latency"
     assert math.isfinite(p99) and p99 > 0, f"{name}: p99 not finite/positive"
     assert p99 >= p50 > 0, f"{name}: quantiles inverted (p50 {p50}, p99 {p99})"
+    # Chunked prefill bounds the tail: no decode step carries a whole
+    # long prompt, so the quantile ratio stays within the SLO ceiling.
+    assert p99 / p50 <= 6.0, \
+        f"{name}: p99/p50 = {p99 / p50:.2f} blew the chunked-prefill ceiling"
     assert 0 < p["batch_occupancy"] <= 1, f"{name}: bad occupancy"
-    # KV caches come from the warmed buffer arena: the measured run must
+    # Paged-KV leak gate: outstanding arena buffers returned exactly to
+    # the post-warm-up baseline — every retirement freed its blocks.
+    assert p["kv_leaked"] == 0, \
+        f"{name}: retirement leaked {p['kv_leaked']} arena buffers"
+    # KV blocks come from the warmed buffer arena: the measured run must
     # recycle, not allocate.
     assert p["arena"]["reuse_ratio"] >= 0.5, \
         f"{name}: serve-path arena reuse ratio {p['arena']['reuse_ratio']:.3f} < 0.5"
     print(f"{name}: {p['tokens_per_sec']:.0f} tok/s, "
           f"p50 {p50:.3f} ms / p99 {p99:.3f} ms, "
           f"occupancy {p['batch_occupancy']:.2f}, "
-          f"reuse {p['arena']['reuse_ratio']:.3f}, greedy bitwise OK")
+          f"reuse {p['arena']['reuse_ratio']:.3f}, kv_leaked 0, greedy bitwise OK")
+# Split-batch overlap gate: both modes serve identical streams (same
+# seeds), so the series are directly comparable. With real parallelism
+# the overlapped barrier must not lose to the inline one; on a single
+# core (and at pp1, where the all-gather is a no-op and there is nothing
+# to hide) the stream handoff is pure overhead — allow 5%.
+for d in (1, 2, 4):
+    off, ov = pipelines[f"pp{d}"], pipelines[f"pp{d}-ov"]
+    ratio = ov["tokens_per_sec"] / off["tokens_per_sec"]
+    floor = 1.0 if cores > 1 and d > 1 else 0.95
+    assert ratio >= floor, \
+        f"pp{d}-ov throughput is {ratio:.3f}x the inline barrier (floor {floor})"
+    print(f"pp{d} overlap ratio {ratio:.3f} (floor {floor})")
 print("BENCH_serve.json OK")
 PY
     else
-        # Fallback when python3 is unavailable: structural greps.
+        # Fallback when python3 is unavailable: structural greps (the
+        # filtered double-run comparison and the overlap throughput gate
+        # need python3).
         grep -q '"bench": "serve"' target/BENCH_serve.json
         local p
-        for p in pp1 pp2 pp4; do
+        for p in pp1 pp2 pp4 pp1-ov pp2-ov pp4-ov; do
             grep -q "\"name\": \"$p\"" target/BENCH_serve.json || {
                 echo "missing pipeline $p in BENCH_serve.json" >&2
                 exit 1
@@ -514,6 +578,10 @@ PY
             exit 1
         fi
         grep -q '"greedy_matches_reference": true' target/BENCH_serve.json
+        if grep -qE '"kv_leaked": (-|[1-9])' target/BENCH_serve.json; then
+            echo "paged-KV leak gate violated: outstanding buffers left the baseline" >&2
+            exit 1
+        fi
         if grep -qE '"(tokens_per_sec|p99_token_latency_ms)": (null|0\.000)' target/BENCH_serve.json; then
             echo "serving SLO floor violated: zero throughput or non-finite p99" >&2
             exit 1
@@ -521,6 +589,8 @@ PY
         grep -q '"tokens_per_sec"' target/BENCH_serve.json
         grep -q '"p99_token_latency_ms"' target/BENCH_serve.json
         grep -q '"reuse_ratio"' target/BENCH_serve.json
+        grep -q '"kv_block"' target/BENCH_serve.json
+        grep -q '"prefill_chunk"' target/BENCH_serve.json
         echo "BENCH_serve.json OK (grep check)"
     fi
 }

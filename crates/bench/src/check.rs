@@ -215,6 +215,15 @@ pub fn sweep_cases() -> Vec<SweepCase> {
                 &generators::decode_pipeline(p, b),
                 &decode_cfg,
             );
+            // The overlapped family splits each S from its deferred T
+            // merge; its S slots are stream-offloaded rather than
+            // rendezvous, which the per-slot classification in
+            // `sync_collectives` picks up from the presence of T.
+            push(
+                format!("decode-pipeline-overlap p={p} b={b}"),
+                &generators::decode_pipeline_overlap(p, b),
+                &decode_cfg,
+            );
         }
     }
     cases
@@ -329,7 +338,15 @@ mod tests {
             .iter()
             .filter(|c| c.name.starts_with("decode-pipeline"))
             .count();
-        assert_eq!(decode, 15, "decode grid is 3 depths x 5 batch sizes");
+        assert_eq!(
+            decode, 30,
+            "decode grid is 3 depths x 5 batch sizes x 2 families"
+        );
+        let overlap = cases
+            .iter()
+            .filter(|c| c.name.starts_with("decode-pipeline-overlap"))
+            .count();
+        assert_eq!(overlap, 15, "overlap family covers the same grid");
     }
 
     #[test]

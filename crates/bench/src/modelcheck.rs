@@ -30,6 +30,8 @@
 //! not a boolean. `ci.sh` gates on zero disagreements, a minimum mutant
 //! count, and every case staying inside its explored-state budget.
 
+use std::collections::HashSet;
+
 use vp_check::diag::{Code, Diagnostic};
 use vp_check::model::{model_check, render_trace, ModelConfig, ModelError, Verdict};
 use vp_check::{check_with, CheckConfig};
@@ -44,11 +46,15 @@ use crate::check::{sweep_cases, SweepCase};
 /// (issue-order skew) hang a real collective *backend* — an in-order
 /// stream or a fixed-world group — but the pass-VM's channels stash and
 /// never block on order or membership, so they only predict a VM hang
-/// when the collective involved is a true rendezvous: the decode sampling
-/// barrier, whose sites are `S` passes. Elsewhere they are deliberate
-/// over-approximations of backend behavior the model cannot exhibit
-/// ([`Outcome::OutOfModel`]).
-fn is_hang_prediction(d: &Diagnostic, forward_only: bool) -> bool {
+/// when the collective involved is a true rendezvous: a decode sampling
+/// barrier whose `S` pass merges inline. An `S` whose microbatch also has
+/// a deferred `T` merge somewhere in the schedule (the overlapped decode
+/// family) is *stream-offloaded* — the submitting thread never blocks in
+/// the barrier, matching `sync_collectives`' per-slot classification — so
+/// order/membership skew on it is a backend-data hazard, not a VM hang.
+/// The non-rendezvous cases are deliberate over-approximations of backend
+/// behavior the model cannot exhibit ([`Outcome::OutOfModel`]).
+fn is_hang_prediction(d: &Diagnostic, forward_only: bool, deferred: &HashSet<u32>) -> bool {
     match d.code {
         Code::Deadlock | Code::RendezvousDeadlock => true,
         Code::MissingParticipant | Code::CollectiveOrder => {
@@ -56,10 +62,23 @@ fn is_hang_prediction(d: &Diagnostic, forward_only: bool) -> bool {
                 && d.primary
                     .iter()
                     .chain(d.related.iter().map(|(site, _)| site))
-                    .any(|site| site.pass.kind == PassKind::S)
+                    .any(|site| {
+                        site.pass.kind == PassKind::S && !deferred.contains(&site.pass.microbatch)
+                    })
         }
         _ => false,
     }
+}
+
+/// Microbatches whose sampling merge is deferred to a `T` pass somewhere
+/// in the schedule — mirrors the per-slot rendezvous rule of
+/// `vp_schedule`'s `sync_collectives`.
+fn deferred_merges(schedule: &Schedule) -> HashSet<u32> {
+    (0..schedule.devices())
+        .flat_map(|d| schedule.passes(d).iter())
+        .filter(|pass| pass.kind == PassKind::T)
+        .map(|pass| pass.microbatch)
+        .collect()
 }
 
 /// How one differential case resolved.
@@ -113,11 +132,15 @@ pub fn state_budget(schedule: &Schedule) -> usize {
     4 * schedule.total_passes() + 64
 }
 
-fn static_hang_codes(report: &vp_check::CheckReport, forward_only: bool) -> Vec<&'static str> {
+fn static_hang_codes(
+    report: &vp_check::CheckReport,
+    forward_only: bool,
+    deferred: &HashSet<u32>,
+) -> Vec<&'static str> {
     let mut codes: Vec<&'static str> = report
         .diagnostics
         .iter()
-        .filter(|d| is_hang_prediction(d, forward_only))
+        .filter(|d| is_hang_prediction(d, forward_only, deferred))
         .map(|d| d.code.as_str())
         .collect();
     codes.sort_unstable();
@@ -125,13 +148,17 @@ fn static_hang_codes(report: &vp_check::CheckReport, forward_only: bool) -> Vec<
     codes
 }
 
-fn out_of_model_codes(report: &vp_check::CheckReport, forward_only: bool) -> Vec<&'static str> {
+fn out_of_model_codes(
+    report: &vp_check::CheckReport,
+    forward_only: bool,
+    deferred: &HashSet<u32>,
+) -> Vec<&'static str> {
     let mut codes: Vec<&'static str> = report
         .diagnostics
         .iter()
         .filter(|d| {
             matches!(d.code, Code::MissingParticipant | Code::CollectiveOrder)
-                && !is_hang_prediction(d, forward_only)
+                && !is_hang_prediction(d, forward_only, deferred)
         })
         .map(|d| d.code.as_str())
         .collect();
@@ -157,7 +184,8 @@ fn differential(
     config: &CheckConfig,
 ) -> ModelCase {
     let report = check_with(schedule, config);
-    let static_codes = static_hang_codes(&report, config.forward_only);
+    let deferred = deferred_merges(schedule);
+    let static_codes = static_hang_codes(&report, config.forward_only, &deferred);
     let budget = state_budget(schedule);
     let model_cfg = ModelConfig {
         forward_only: config.forward_only,
@@ -207,7 +235,7 @@ fn differential(
                 (Outcome::Disagree, evidence)
             } else if deadlocked {
                 (Outcome::AgreeDeadlock, String::new())
-            } else if !out_of_model_codes(&report, config.forward_only).is_empty() {
+            } else if !out_of_model_codes(&report, config.forward_only, &deferred).is_empty() {
                 (Outcome::OutOfModel, String::new())
             } else {
                 (Outcome::AgreeClean, String::new())
@@ -282,12 +310,13 @@ type Operator = fn(&Schedule, &mut Lcg) -> Option<Schedule>;
 
 /// The mutation operators. They mirror the hand-written mutants of the
 /// `vp-check` test suites but run across the *whole* grid, seeded.
-const OPERATORS: [(&str, Operator); 5] = [
+const OPERATORS: [(&str, Operator); 6] = [
     ("swap-adjacent", mutate_swap_adjacent),
     ("drop-pass", mutate_drop_pass),
     ("dup-pass", mutate_dup_pass),
     ("unhoist-inputf", mutate_unhoist_inputf),
     ("insert-backward", mutate_insert_backward),
+    ("missplit-overlap", mutate_missplit_overlap),
 ];
 
 /// Swaps two adjacent passes on a random device — order skews, cycles,
@@ -374,6 +403,55 @@ fn mutate_unhoist_inputf(schedule: &Schedule, rng: &mut Lcg) -> Option<Schedule>
     Some(rebuild(schedule, passes))
 }
 
+/// Rebuilds an overlapped decode schedule with an *inconsistent* S/T
+/// split across devices: device 0 merges each slot immediately (zero
+/// S→T lag) while every other device defers its merge by a seeded lag of
+/// two or three forwards — the `decode_pipeline_overlap_missplit` shape.
+/// For `p ≥ 2`, `m ≥ 2` the asymmetric happens-before graph cycles
+/// (`VP0001`) and the VM reaches the same stuck state. Applies only to
+/// forward-only schedules that actually defer merges (contain `T`).
+fn mutate_missplit_overlap(schedule: &Schedule, rng: &mut Lcg) -> Option<Schedule> {
+    let passes = device_passes(schedule);
+    let has_t = passes.iter().flatten().any(|pass| pass.kind == PassKind::T);
+    let decode_only = passes.iter().flatten().all(|pass| pass.kind.decode_safe());
+    if !has_t || !decode_only || passes.len() < 2 {
+        return None;
+    }
+    let m = schedule.num_microbatches();
+    let lag = 2 + rng.below(2) as u32;
+    let mut mutated = Vec::with_capacity(passes.len());
+    for d in 0..passes.len() {
+        let mut v = Vec::new();
+        for k in 0..m {
+            v.push(ScheduledPass::new(PassKind::InputF, k));
+        }
+        if d == 0 {
+            // Zero lag: merge immediately after every forward, as if
+            // this device's overlapped half-batch were empty.
+            for k in 0..m {
+                v.push(ScheduledPass::new(PassKind::F, k));
+                v.push(ScheduledPass::new(PassKind::S, k));
+                v.push(ScheduledPass::new(PassKind::T, k));
+            }
+        } else {
+            for k in 0..m.min(lag) {
+                v.push(ScheduledPass::new(PassKind::F, k));
+            }
+            for k in lag..m {
+                v.push(ScheduledPass::new(PassKind::S, k - lag));
+                v.push(ScheduledPass::new(PassKind::F, k));
+                v.push(ScheduledPass::new(PassKind::T, k - lag));
+            }
+            for k in m.saturating_sub(lag)..m {
+                v.push(ScheduledPass::new(PassKind::S, k));
+                v.push(ScheduledPass::new(PassKind::T, k));
+            }
+        }
+        mutated.push(v);
+    }
+    Some(rebuild(schedule, mutated))
+}
+
 /// Appends a backward pass to a random device — a mode violation in
 /// decode (`VP0016`), a structure error or harmless extra in training.
 fn mutate_insert_backward(schedule: &Schedule, rng: &mut Lcg) -> Option<Schedule> {
@@ -384,8 +462,8 @@ fn mutate_insert_backward(schedule: &Schedule, rng: &mut Lcg) -> Option<Schedule
     Some(rebuild(schedule, passes))
 }
 
-/// Seeds per (operator, base case) pair. 5 operators x 3 seeds over the
-/// decode sub-grid plus 5 x 1 over a training sample comfortably clears
+/// Seeds per (operator, base case) pair. 6 operators x 4 seeds over the
+/// decode sub-grid plus 6 x 1 over a training sample comfortably clears
 /// the 240-mutant floor while keeping the run in CI time.
 const DECODE_SEEDS: u64 = 4;
 const TRAINING_SEEDS: u64 = 1;
@@ -616,6 +694,30 @@ mod tests {
         assert!(unhoisted
             .iter()
             .any(|c| c.outcome == Outcome::AgreeDeadlock && c.static_codes.contains(&"VP0017")));
+    }
+
+    #[test]
+    fn missplit_overlap_mutants_exist_and_deadlock() {
+        let cases = run();
+        let missplit: Vec<&ModelCase> = cases
+            .iter()
+            .filter(|c| {
+                c.name.starts_with("mutant/missplit-overlap")
+                    && c.name.contains("decode-pipeline-overlap")
+            })
+            .collect();
+        assert!(!missplit.is_empty());
+        // The inconsistent S/T split: both oracles call it a deadlock,
+        // and the static side names the happens-before cycle.
+        assert!(missplit
+            .iter()
+            .any(|c| c.outcome == Outcome::AgreeDeadlock && c.static_codes.contains(&"VP0001")));
+        // The mis-split only applies where merges are actually deferred:
+        // the inline decode family must yield no such mutants.
+        assert!(!cases.iter().any(|c| {
+            c.name.starts_with("mutant/missplit-overlap")
+                && c.name.contains(" of decode-pipeline p=")
+        }));
     }
 
     #[test]

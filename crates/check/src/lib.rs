@@ -314,6 +314,50 @@ mod tests {
     }
 
     #[test]
+    fn overlap_decode_schedules_are_clean_under_check_decode() {
+        use vp_schedule::generators::decode_pipeline_overlap;
+        for p in [1, 2, 4] {
+            for m in [1u32, 3, 8] {
+                let sched = decode_pipeline_overlap(p, m);
+                let report = check_decode(&sched);
+                assert!(report.is_clean(), "p={p} m={m}: {:#?}", report.diagnostics);
+                assert!(report.races_checked);
+            }
+        }
+    }
+
+    #[test]
+    fn missplit_overlap_decode_is_rejected_as_a_deadlock() {
+        use vp_schedule::generators::decode_pipeline_overlap_missplit;
+        // The inconsistent half-batch split: device 0 merges at lag 0,
+        // everyone else at lag 2. The wait lives at T (the S passes are
+        // stream-offloaded), so the cycle is already in the asymmetric
+        // graph — VP0001, not VP0017.
+        for p in [2usize, 4] {
+            for m in [2u32, 3, 8] {
+                let report = check_decode(&decode_pipeline_overlap_missplit(p, m));
+                assert!(
+                    report.has(Code::Deadlock),
+                    "p={p} m={m}: {:?}",
+                    report.codes()
+                );
+            }
+        }
+        // Degenerate sizes never reach the inconsistent window: clean.
+        assert!(check_decode(&decode_pipeline_overlap_missplit(2, 1)).is_clean());
+        // The witness cycle crosses a T wait and an F of the next slot.
+        let report = check_decode(&decode_pipeline_overlap_missplit(2, 2));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::Deadlock)
+            .unwrap();
+        let kinds: Vec<PassKind> = d.related.iter().map(|(s, _)| s.pass.kind).collect();
+        assert!(kinds.contains(&PassKind::T), "{d}");
+        assert!(kinds.contains(&PassKind::F), "{d}");
+    }
+
+    #[test]
     fn unhoisted_decode_schedule_is_rejected_with_vp0017() {
         use vp_schedule::generators::decode_pipeline_natural;
         // The PR-8 serving deadlock, now a diagnostic instead of a hang:

@@ -49,8 +49,10 @@ pub fn analytic_caps(schedule: &Schedule) -> Option<Vec<usize>> {
 /// the next stage's recv (or the `S` pass) within the step, and nothing
 /// ever runs backward. The training liveness rules therefore do not apply;
 /// what *must* hold instead is that no backward-family pass appears at
-/// all: `B`/`W`/`T`/`S2`/`InputB` would wait forever on gradients that
-/// inference never produces.
+/// all: `B`/`W`/`S2`/`InputB` would wait forever on gradients that
+/// inference never produces. (`T` is the exception: in the overlapped
+/// decode family it is the deferred sampling merge of its microbatch's
+/// `S` all-gather, consuming collective results — not gradients.)
 pub fn check_forward_only(schedule: &Schedule) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for d in 0..schedule.devices() {
@@ -67,7 +69,7 @@ pub fn check_forward_only(schedule: &Schedule) -> Vec<Diagnostic> {
                         pass: *pass,
                     })
                     .note("decode produces no gradients: nothing will ever satisfy this pass")
-                    .help("decode pass lists may only contain F, S and InputF"),
+                    .help("decode pass lists may only contain F, S, T and InputF"),
                 );
             }
         }

@@ -550,7 +550,8 @@ mod tests {
     use super::*;
     use vp_schedule::block::PassTimes;
     use vp_schedule::generators::{
-        decode_pipeline, decode_pipeline_natural, one_f_one_b, vocab_1f1b,
+        decode_pipeline, decode_pipeline_natural, decode_pipeline_overlap,
+        decode_pipeline_overlap_missplit, one_f_one_b, vocab_1f1b,
     };
     use vp_schedule::pass::{PassKind, VocabVariant};
 
@@ -579,6 +580,49 @@ mod tests {
                 assert!(!verdict.deadlocked(), "p={p} m={m}: {verdict:?}");
             }
         }
+    }
+
+    #[test]
+    fn overlap_decode_completes_with_stream_offloaded_merges() {
+        // Every slot of the overlap family schedules a T, so no S is a
+        // rendezvous: the VM models S as an ordinary (submitting) pass and
+        // the wait lives at T's arrival preds. All shapes complete.
+        let cfg = ModelConfig::decode();
+        for p in [1usize, 2, 4] {
+            for m in [1u32, 2, 3, 8] {
+                let sched = decode_pipeline_overlap(p, m);
+                let verdict = model_check(&sched, &cfg).unwrap();
+                assert!(!verdict.deadlocked(), "p={p} m={m}: {verdict:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn missplit_overlap_deadlocks_with_a_replayable_trace() {
+        let cfg = ModelConfig::decode();
+        let sched = decode_pipeline_overlap_missplit(2, 2);
+        let verdict = model_check(&sched, &cfg).unwrap();
+        let Verdict::Deadlock(report) = verdict else {
+            panic!("mis-split overlap must deadlock: {verdict:?}");
+        };
+        assert!(replay(&sched, &cfg, &report.trace).unwrap());
+        // Device 0 is stuck at its deferred merge, waiting on device 1's
+        // S(0) — which sits behind device 1's F(1), itself waiting on the
+        // F(1) activation device 0 never sends.
+        assert!(
+            report
+                .blocked
+                .iter()
+                .any(|b| b.device == 0 && b.pass.kind == PassKind::T),
+            "{report:?}"
+        );
+        assert!(
+            report
+                .blocked
+                .iter()
+                .any(|b| b.device == 1 && b.pass.kind == PassKind::F),
+            "{report:?}"
+        );
     }
 
     #[test]
@@ -639,6 +683,10 @@ mod tests {
             (decode_pipeline_natural(2, 2), true),
             (decode_pipeline_natural(2, 3), true),
             (decode_pipeline_natural(3, 2), true),
+            (decode_pipeline_overlap(2, 2), true),
+            (decode_pipeline_overlap(3, 2), true),
+            (decode_pipeline_overlap_missplit(2, 2), true),
+            (decode_pipeline_overlap_missplit(2, 3), true),
             (one_f_one_b(2, 2, PassTimes::default()), false),
             (
                 vocab_1f1b(2, 2, VocabVariant::Alg2, PassTimes::default(), false),

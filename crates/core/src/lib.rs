@@ -33,6 +33,6 @@ pub mod tied;
 pub mod verify;
 
 pub use input::InputShard;
-pub use output::{DecodeSState, OutputShard, SState, TokenChoice};
+pub use output::{merge_decode, DecodeSState, OutputShard, SState, TokenChoice};
 pub use tied::TiedShard;
 pub use vp_model::cost::VocabAlgo;

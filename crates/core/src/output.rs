@@ -577,6 +577,41 @@ pub struct DecodeSState {
     k: usize,
 }
 
+impl DecodeSState {
+    /// Rows (tokens being sampled) in this state.
+    pub fn rows(&self) -> usize {
+        self.max.len()
+    }
+
+    /// Candidates per row.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Serializes the state into the flat all-gather payload: per row
+    /// `[m', sum', (logit, id)×k]` — `2 + 2k` floats. This is the wire
+    /// format [`merge_decode`] consumes; an overlapping engine builds the
+    /// payload on the device thread, submits the all-gather to its
+    /// communication stream, and merges when the handle resolves.
+    pub fn payload(&self) -> Vec<f32> {
+        let n = self.max.len();
+        let stride = 2 + 2 * self.k;
+        let mut payload = Vec::with_capacity(n * stride);
+        for r in 0..n {
+            payload.push(self.max[r]);
+            payload.push(self.sum[r]);
+            for &(logit, id) in &self.topk[r] {
+                payload.push(logit);
+                // Token ids are exact in f32 for any realistic vocabulary
+                // (< 2^24); debug-checked below.
+                debug_assert!(id < (1 << 24), "token id {id} not exact in f32");
+                payload.push(id as f32);
+            }
+        }
+        payload
+    }
+}
+
 /// One sampled token and its log-probability under the *global* softmax
 /// (identical on every rank after the barrier).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -663,62 +698,64 @@ impl OutputShard {
         comm: &Collective,
         state: &DecodeSState,
     ) -> Result<Vec<TokenChoice>> {
-        let n = state.max.len();
-        let k = state.k;
-        let stride = 2 + 2 * k;
-        let mut payload = Vec::with_capacity(n * stride);
-        for r in 0..n {
-            payload.push(state.max[r]);
-            payload.push(state.sum[r]);
-            for &(logit, id) in &state.topk[r] {
-                payload.push(logit);
-                // Token ids are exact in f32 for any realistic vocabulary
-                // (< 2^24); debug-checked below.
-                debug_assert!(id < (1 << 24), "token id {id} not exact in f32");
-                payload.push(id as f32);
-            }
-        }
-        let gathered = comm.all_gather(&payload);
-        let mut out = Vec::with_capacity(n);
-        for r in 0..n {
-            let mut gmax = f32::NEG_INFINITY;
-            for shard in &gathered {
-                if shard.len() != n * stride {
-                    return Err(TensorError::InvalidArgument(format!(
-                        "decode barrier payload mismatch: {} vs {} floats",
-                        shard.len(),
-                        n * stride
-                    )));
-                }
-                gmax = gmax.max(shard[r * stride]);
-            }
-            let mut gsum = 0.0f32;
-            let mut best: Option<(f32, usize)> = None;
-            for shard in &gathered {
-                let base = r * stride;
-                let (m, s) = (shard[base], shard[base + 1]);
-                gsum += s * (m - gmax).exp();
-                for c in 0..k {
-                    let logit = shard[base + 2 + 2 * c];
-                    if logit == f32::NEG_INFINITY {
-                        continue;
-                    }
-                    let id = shard[base + 2 + 2 * c + 1] as usize;
-                    if best.is_none() || beats((logit, id), best.expect("just checked")) {
-                        best = Some((logit, id));
-                    }
-                }
-            }
-            let (logit, token) = best.ok_or_else(|| {
-                TensorError::InvalidArgument("decode barrier saw no candidates".into())
-            })?;
-            out.push(TokenChoice {
-                token,
-                logprob: logit - gmax - gsum.ln(),
-            });
-        }
-        Ok(out)
+        let gathered = comm.all_gather(&state.payload());
+        merge_decode(&gathered, state.rows(), state.k)
     }
+}
+
+/// The post-gather half of the decode barrier: merges every rank's
+/// [`DecodeSState::payload`] identically — global max/sum by the standard
+/// safe-softmax combination, the greedy token as the best candidate under
+/// [`vp_tensor::ops::argmax_rows`]'s tie rule. Pure function of the
+/// gathered shards, so the overlapping engine can run it in a `T` pass
+/// long after the `S` pass that submitted the all-gather.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the gathered payloads
+/// disagree in shape (ranks ran different step plans) or carry no
+/// candidates.
+pub fn merge_decode(gathered: &[Vec<f32>], rows: usize, k: usize) -> Result<Vec<TokenChoice>> {
+    let stride = 2 + 2 * k;
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let mut gmax = f32::NEG_INFINITY;
+        for shard in gathered {
+            if shard.len() != rows * stride {
+                return Err(TensorError::InvalidArgument(format!(
+                    "decode barrier payload mismatch: {} vs {} floats",
+                    shard.len(),
+                    rows * stride
+                )));
+            }
+            gmax = gmax.max(shard[r * stride]);
+        }
+        let mut gsum = 0.0f32;
+        let mut best: Option<(f32, usize)> = None;
+        for shard in gathered {
+            let base = r * stride;
+            let (m, s) = (shard[base], shard[base + 1]);
+            gsum += s * (m - gmax).exp();
+            for c in 0..k {
+                let logit = shard[base + 2 + 2 * c];
+                if logit == f32::NEG_INFINITY {
+                    continue;
+                }
+                let id = shard[base + 2 + 2 * c + 1] as usize;
+                if best.is_none() || beats((logit, id), best.expect("just checked")) {
+                    best = Some((logit, id));
+                }
+            }
+        }
+        let (logit, token) = best.ok_or_else(|| {
+            TensorError::InvalidArgument("decode barrier saw no candidates".into())
+        })?;
+        out.push(TokenChoice {
+            token,
+            logprob: logit - gmax - gsum.ln(),
+        });
+    }
+    Ok(out)
 }
 
 fn comm_err(e: &vp_collectives::CollectiveError) -> TensorError {

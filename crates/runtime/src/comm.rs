@@ -44,8 +44,15 @@ pub(crate) fn to_packet(tag: u64, t: &Tensor) -> Packet {
 }
 
 /// Unwraps a packet back into a tensor.
-pub(crate) fn from_packet(p: Packet) -> Tensor {
-    Tensor::from_vec(p.rows, p.cols, p.data).expect("packet carries a consistent shape")
+///
+/// The payload is copied into an arena-managed buffer rather than wrapped
+/// directly: the tensor's drop path releases into the arena, so wrapping
+/// the packet's own (never-taken) vec would over-count releases and let
+/// `taken − released` saturate to zero — masking genuine KV leaks on any
+/// world with p2p traffic while single-device runs report them honestly.
+pub(crate) fn from_packet(p: &Packet) -> Tensor {
+    Tensor::from_vec(p.rows, p.cols, vp_tensor::alloc::take_copy(&p.data))
+        .expect("packet carries a consistent shape")
 }
 
 /// Virtual-stage geometry shared by all pass handlers: how many devices
@@ -115,7 +122,7 @@ mod tests {
         let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let p = to_packet(7, &t);
         assert_eq!(p.tag, 7);
-        let back = from_packet(p);
+        let back = from_packet(&p);
         assert_eq!(back.data(), t.data());
         assert_eq!((back.rows(), back.cols()), (2, 3));
     }

@@ -285,7 +285,7 @@ impl Device {
             .p2p
             .recv_tag(src, tag)
             .map_err(|e| TensorError::InvalidArgument(format!("p2p recv failed: {e}")))?;
-        Ok(from_packet(packet))
+        Ok(from_packet(&packet))
     }
 
     pub(crate) fn send(&self, dst: usize, tag: u64, t: &Tensor) -> Result<()> {

@@ -1,13 +1,18 @@
-//! Forward-only inference serving on the pass-VM: per-layer KV caches from
-//! the buffer arena, continuous batching over request slots, and the
-//! paper's Algorithm-2 output layer repurposed as a single-barrier
-//! sampling merge (sharded logits → local top-k/softmax stats → one
-//! `all_gather` → identical greedy pick on every rank).
+//! Forward-only inference serving on the pass-VM: paged per-layer KV
+//! caches from the buffer arena, continuous batching with chunked prefill
+//! over request slots, and the paper's Algorithm-2 output layer
+//! repurposed as a single-barrier sampling merge (sharded logits → local
+//! top-k/softmax stats → one `all_gather` → identical greedy pick on
+//! every rank), optionally split into a submit/deferred-merge pair so the
+//! barrier overlaps the next slot's forward.
 //!
 //! * [`engine`] — the [`ServeEngine`]: persistent device threads walking
-//!   [`vp_schedule::generators::decode_pipeline`] pass lists (statically
-//!   verified by `vp_check::check_decode` at startup), plus the
-//!   continuous-batching driver.
+//!   [`vp_schedule::generators::decode_pipeline`] (inline barrier) or
+//!   [`vp_schedule::generators::decode_pipeline_overlap`] (S/T
+//!   split-batch overlap via a per-device comm stream) pass lists —
+//!   both families statically verified by `vp_check::check_decode` at
+//!   startup — plus the continuous-batching driver with paged-KV
+//!   admission backpressure.
 //! * [`workload`] — deterministic synthetic request streams with Poisson
 //!   (open-loop) or closed-loop arrivals.
 //! * [`reference_decode`] — the single-device oracle: full-context

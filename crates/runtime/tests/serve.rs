@@ -25,6 +25,7 @@ fn serve_config(devices: usize, max_batch: usize) -> ServeConfig {
         devices,
         max_batch,
         top_k: 4,
+        ..ServeConfig::default()
     }
 }
 
@@ -48,6 +49,77 @@ fn greedy_decode_is_bitwise_equal_to_reference_across_shard_counts() {
             greedy_matches_reference(&config, &requests).unwrap(),
             "tokens diverged from reference at p={devices}"
         );
+    }
+}
+
+#[test]
+fn overlapped_decode_is_bitwise_equal_to_reference_across_shard_counts() {
+    // Splitting S from T moves *when* the sampling barrier resolves, not
+    // what it computes: tokens must stay bitwise pinned to the reference.
+    for devices in [1, 2, 4] {
+        let mut config = serve_config(devices, 3);
+        config.overlap = true;
+        let requests = closed_loop(6, 100 + devices as u64);
+        assert!(
+            greedy_matches_reference(&config, &requests).unwrap(),
+            "overlap tokens diverged from reference at p={devices}"
+        );
+    }
+}
+
+#[test]
+fn chunked_prefill_matches_the_reference_at_every_chunk_size() {
+    // Prompts fed 1, 3 or 8 tokens at a time must land on the same
+    // greedy continuation (attention over a chunk is bitwise equal to
+    // token-at-a-time attention against the same KV prefix).
+    for chunk in [1, 3, 8] {
+        let mut config = serve_config(2, 3);
+        config.prefill_chunk = chunk;
+        let requests = closed_loop(6, 77);
+        assert!(
+            greedy_matches_reference(&config, &requests).unwrap(),
+            "tokens diverged from reference at prefill_chunk={chunk}"
+        );
+    }
+}
+
+#[test]
+fn tiny_kv_pool_applies_backpressure_and_still_completes_every_request() {
+    // A pool that fits roughly one request at a time turns admission into
+    // backpressure: requests queue for blocks instead of a device pool
+    // panicking mid-flight, and every request still finishes.
+    let mut config = serve_config(2, 4);
+    config.kv_block = 2;
+    // Worst case per request: ⌈(6+8)/2⌉ blocks × 2 layers/device = 14.
+    config.kv_capacity_blocks = Some(14);
+    let requests = closed_loop(8, 55);
+    let want: usize = requests.iter().map(|r| r.output_len).sum();
+    let mut engine = ServeEngine::start(config).unwrap();
+    let run = engine.serve(&requests);
+    engine.shutdown();
+    assert_eq!(run.completions.len(), 8);
+    assert_eq!(run.tokens(), want);
+}
+
+#[test]
+fn kv_outstanding_returns_to_baseline_at_every_pipeline_depth() {
+    // Regression: at p=1 the old engine leaked one buffer per retired
+    // request (masked at p≥2 by release over-counting in the packet
+    // path). Every depth must now return to its post-warmup baseline.
+    let _guard = arena_lock();
+    for devices in [1, 2, 4] {
+        let config = serve_config(devices, 2);
+        let mut engine = ServeEngine::start(config).unwrap();
+        engine.serve(&closed_loop(4, 50 + devices as u64));
+        let baseline = alloc::stats().outstanding;
+        let run = engine.serve(&closed_loop(6, 60 + devices as u64));
+        assert_eq!(run.completions.len(), 6);
+        assert_eq!(
+            alloc::stats().outstanding,
+            baseline,
+            "serving at p={devices} leaked arena buffers"
+        );
+        engine.shutdown();
     }
 }
 

@@ -19,7 +19,7 @@ use crate::pass::{
     placement_device_of, placement_stage_of, ChunkPlacement, PassKind, Schedule, ScheduleKind,
     ScheduledPass, VocabVariant,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Classification of a dependency edge, used by executors to attach
@@ -333,13 +333,29 @@ pub struct SyncCollective {
 /// sampling barrier (`C1`, an all-gather of shard top-k stats) inline in
 /// the device thread — one rendezvous instance per request slot, entered
 /// by every device's `S` of that slot.
+///
+/// The exception inside decode mode is the *overlapped* family
+/// ([`crate::generators::decode_pipeline_overlap`]): a slot that also
+/// schedules a `T` pass runs its `S` exactly like training — submit to the
+/// comm stream, return immediately — and the deferred `T` merge blocks on
+/// the result. For those slots the asymmetric `T ← every S` edges are
+/// faithful, so no rendezvous instance is emitted; slots without a `T`
+/// keep the inline-barrier semantics. The two styles can in principle
+/// coexist in one schedule, which is why the decision is per slot rather
+/// than per schedule.
 pub fn sync_collectives(schedule: &Schedule, forward_only: bool) -> Vec<SyncCollective> {
     if !forward_only {
         return Vec::new();
     }
+    let mut deferred: HashSet<u32> = HashSet::new();
+    for (_, _, pass) in schedule.iter_all() {
+        if pass.kind == PassKind::T {
+            deferred.insert(pass.microbatch);
+        }
+    }
     let mut by_mb: HashMap<u32, Vec<(usize, usize)>> = HashMap::new();
     for (d, i, pass) in schedule.iter_all() {
-        if pass.kind == PassKind::S {
+        if pass.kind == PassKind::S && !deferred.contains(&pass.microbatch) {
             by_mb.entry(pass.microbatch).or_default().push((d, i));
         }
     }

@@ -802,6 +802,124 @@ pub fn decode_pipeline_natural(p: usize, m: u32) -> Schedule {
     Schedule::new(ScheduleKind::Vocab(VocabVariant::Alg2), m, 1, device_passes)
 }
 
+/// Overlapped decode schedule: split-batch software pipelining of
+/// transformer compute against the sampling all-gather.
+///
+/// [`decode_pipeline`] executes the `S` sampling barrier *inline*: the
+/// device thread sits inside the collective while every other slot's
+/// transformer compute waits behind it. This family splits the merge off
+/// into a `T` pass, TokenWeave-style: `S` computes the shard's logits,
+/// softmax stats and local top-k, then *submits* the `2+2k`-float
+/// all-gather to the device's communication stream and returns
+/// immediately; the matching `T` pass — scheduled after the *next* slot's
+/// forward — waits on the stream handle and runs the identical merge +
+/// sample on every rank. While slot `k`'s gather is in flight, slot
+/// `k+1`'s forward runs on the device thread, so compute and
+/// communication overlap instead of serializing.
+///
+/// The shape mirrors [`decode_pipeline`] exactly (same hoisted `InputF`
+/// head, same 1F1B-style warmup `warm = p − d`), with every steady-state
+/// `S` followed by the next slot's `F` *before* the matching `T`:
+///
+/// ```text
+/// InputF*, F(0..warm), [S(k−warm) F(k) T(k−warm)].., [S(k) T(k)]..
+/// ```
+///
+/// `S` and `T` orders are ascending on every device, and each device's
+/// `T(k)` sits after its own `S(k)` — the protocol lints (`VP0006`,
+/// `VP0007`) hold by construction. Because every microbatch schedules a
+/// `T`, `vp_schedule::deps::sync_collectives` treats its `S` passes as
+/// stream-offloaded (non-rendezvous) and the deadlock analyses model the
+/// *wait* at `T` instead — see [`decode_pipeline_overlap_missplit`] for
+/// the layout those analyses exist to reject.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `m == 0`.
+pub fn decode_pipeline_overlap(p: usize, m: u32) -> Schedule {
+    assert!(p > 0, "need at least one device");
+    assert!(m > 0, "need at least one slot");
+    let device_passes = (0..p)
+        .map(|d| {
+            let warm = (p - d) as u32;
+            let mut v = Vec::new();
+            for k in 0..m {
+                v.push(ScheduledPass::new(PassKind::InputF, k));
+            }
+            for k in 0..m.min(warm) {
+                v.push(ScheduledPass::new(PassKind::F, k));
+            }
+            for k in warm..m {
+                v.push(ScheduledPass::new(PassKind::S, k - warm));
+                v.push(ScheduledPass::new(PassKind::F, k));
+                v.push(ScheduledPass::new(PassKind::T, k - warm));
+            }
+            for k in m.saturating_sub(warm)..m {
+                v.push(ScheduledPass::new(PassKind::S, k));
+                v.push(ScheduledPass::new(PassKind::T, k));
+            }
+            v
+        })
+        .collect();
+    Schedule::new(ScheduleKind::Vocab(VocabVariant::Alg2), m, 1, device_passes)
+}
+
+/// A deliberately *mis-split* overlap layout: the half-batch assignment is
+/// inconsistent across devices, kept as the regression fixture the
+/// overlap-aware deadlock analyses must reject.
+///
+/// Device 0 merges immediately (`F(k) S(k) T(k)`, zero lag — as if its
+/// half of the batch were empty), while every other device defers its
+/// merge by two slots (`F(0) F(1)` before `S(0)`). For `p ≥ 2`, `m ≥ 2`
+/// this cycles: device 0's `T(0)` waits on device 1's `S(0)` contribution,
+/// which sits behind device 1's `F(1)`, which needs the activation of
+/// device 0's `F(1)` — scheduled *after* its `T(0)`. The asymmetric
+/// happens-before graph contains the cycle (`VP0001`), and the execution
+/// model checker reaches the same stuck state dynamically. Never execute
+/// this on the runtime.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or `m == 0`.
+pub fn decode_pipeline_overlap_missplit(p: usize, m: u32) -> Schedule {
+    assert!(p > 0, "need at least one device");
+    assert!(m > 0, "need at least one slot");
+    let device_passes = (0..p)
+        .map(|d| {
+            let mut v = Vec::new();
+            for k in 0..m {
+                v.push(ScheduledPass::new(PassKind::InputF, k));
+            }
+            if d == 0 {
+                // Zero lag: merge immediately after every forward, as if
+                // this device's overlapped half-batch were empty.
+                for k in 0..m {
+                    v.push(ScheduledPass::new(PassKind::F, k));
+                    v.push(ScheduledPass::new(PassKind::S, k));
+                    v.push(ScheduledPass::new(PassKind::T, k));
+                }
+            } else {
+                // Lag 2: the merge defers behind the next *two* forwards.
+                let lag = 2u32;
+                for k in 0..m.min(lag) {
+                    v.push(ScheduledPass::new(PassKind::F, k));
+                }
+                for k in lag..m {
+                    v.push(ScheduledPass::new(PassKind::S, k - lag));
+                    v.push(ScheduledPass::new(PassKind::F, k));
+                    v.push(ScheduledPass::new(PassKind::T, k - lag));
+                }
+                for k in m.saturating_sub(lag)..m {
+                    v.push(ScheduledPass::new(PassKind::S, k));
+                    v.push(ScheduledPass::new(PassKind::T, k));
+                }
+            }
+            v
+        })
+        .collect();
+    Schedule::new(ScheduleKind::Vocab(VocabVariant::Alg2), m, 1, device_passes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1189,6 +1307,98 @@ mod tests {
                     "device {d} of {p}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn decode_pipeline_overlap_validates_and_pairs_every_s_with_a_t() {
+        use crate::deps::validate;
+        for p in [1, 2, 3, 4, 8] {
+            for m in [1u32, 2, 4, 7, 16] {
+                let sched = decode_pipeline_overlap(p, m);
+                validate(&sched).unwrap_or_else(|e| panic!("p={p} m={m}: {e}"));
+                for d in 0..p {
+                    assert_eq!(sched.count_kind(d, PassKind::F), m as usize);
+                    assert_eq!(sched.count_kind(d, PassKind::S), m as usize);
+                    assert_eq!(sched.count_kind(d, PassKind::T), m as usize);
+                    assert_eq!(sched.count_kind(d, PassKind::InputF), m as usize);
+                    // Same hoisted InputF head as decode_pipeline.
+                    assert!(sched.passes(d)[..m as usize]
+                        .iter()
+                        .all(|x| x.kind == PassKind::InputF));
+                    // Ascending S and T orders, and each T after its own S
+                    // (the stream handle exists before anything waits on it).
+                    for kind in [PassKind::S, PassKind::T] {
+                        let order: Vec<u32> = sched
+                            .passes(d)
+                            .iter()
+                            .filter(|x| x.kind == kind)
+                            .map(|x| x.microbatch)
+                            .collect();
+                        assert_eq!(order, (0..m).collect::<Vec<_>>(), "device {d}");
+                    }
+                    for k in 0..m {
+                        let pos = |kind| {
+                            sched
+                                .passes(d)
+                                .iter()
+                                .position(|x| x.kind == kind && x.microbatch == k)
+                                .unwrap()
+                        };
+                        assert!(pos(PassKind::S) < pos(PassKind::T), "slot {k} device {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_pipeline_overlap_runs_a_forward_between_s_and_t_in_steady_state() {
+        // The point of the family: while slot k's all-gather is in flight
+        // (between S(k) and T(k)), the *next* slot's transformer forward
+        // runs on the device thread.
+        let (p, m) = (4, 8u32);
+        let sched = decode_pipeline_overlap(p, m);
+        for d in 0..p {
+            let warm = (p - d) as u32;
+            let passes = sched.passes(d);
+            for k in 0..m.saturating_sub(warm) {
+                let s = passes
+                    .iter()
+                    .position(|x| x.kind == PassKind::S && x.microbatch == k)
+                    .unwrap();
+                let t = passes
+                    .iter()
+                    .position(|x| x.kind == PassKind::T && x.microbatch == k)
+                    .unwrap();
+                let overlapped = passes[s + 1..t]
+                    .iter()
+                    .filter(|x| x.kind == PassKind::F)
+                    .count();
+                assert_eq!(overlapped, 1, "slot {k} device {d} has no overlap window");
+            }
+        }
+    }
+
+    #[test]
+    fn missplit_overlap_defers_merges_inconsistently_across_devices() {
+        // The fixture's defining property: device 0 schedules T(0) before
+        // its F(1), every other device schedules S(0) after its F(1) — the
+        // inconsistent half-batch assignment the checkers must reject.
+        let sched = decode_pipeline_overlap_missplit(3, 4);
+        let pos = |d: usize, kind, k| {
+            sched
+                .passes(d)
+                .iter()
+                .position(|x| x.kind == kind && x.microbatch == k)
+                .unwrap()
+        };
+        assert!(pos(0, PassKind::T, 0) < pos(0, PassKind::F, 1));
+        for d in 1..3 {
+            assert!(
+                pos(d, PassKind::F, 1) < pos(d, PassKind::S, 0),
+                "device {d}"
+            );
         }
     }
 

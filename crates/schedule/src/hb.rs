@@ -464,8 +464,29 @@ mod tests {
         use crate::deps::sync_collectives;
         let sched = vocab_1f1b(4, 6, VocabVariant::Alg2, PassTimes::default(), false);
         assert!(sync_collectives(&sched, false).is_empty());
-        // Forward-only classification on a training schedule still finds
-        // the S instances; the caller decides the mode.
-        assert_eq!(sync_collectives(&sched, true).len(), 6);
+        // Even under forward-only classification the training schedule has
+        // no rendezvous: every slot schedules a T, so its S passes are
+        // stream-offloaded submissions whose results the T passes consume.
+        assert!(sync_collectives(&sched, true).is_empty());
+    }
+
+    #[test]
+    fn overlap_decode_slots_are_stream_offloaded_not_rendezvous() {
+        use crate::deps::sync_collectives;
+        use crate::generators::{decode_pipeline, decode_pipeline_overlap};
+        // The inline-barrier decode family keeps one rendezvous per slot…
+        let inline = decode_pipeline(4, 6);
+        assert_eq!(sync_collectives(&inline, true).len(), 6);
+        // …while the overlapped family defers every merge to a T pass, so
+        // no S is a rendezvous and the asymmetric T ← S edges are faithful.
+        let overlap = decode_pipeline_overlap(4, 6);
+        assert!(sync_collectives(&overlap, true).is_empty());
+        // The arrival-edge closure is a no-op there — the base graph
+        // already models the waits — and stays acyclic.
+        let deps = build_deps(&overlap).unwrap();
+        let sync = sync_collectives(&overlap, true);
+        assert!(HbGraph::with_rendezvous(&overlap, &deps, &sync)
+            .topo_order()
+            .is_some());
     }
 }

@@ -50,12 +50,19 @@ impl PassKind {
     }
 
     /// Whether this pass may appear in a forward-only decode schedule.
-    /// Inference runs only the transformer forward, the sharded input
+    /// Inference runs the transformer forward, the sharded input
     /// embedding and the Algorithm-2 `S` pass (whose single barrier doubles
-    /// as the sampling merge); everything else either produces gradients or
-    /// belongs to a multi-barrier grouping decode never uses.
+    /// as the sampling merge) — plus, in the overlapped decode family, the
+    /// `T` pass as the *deferred* sampling merge: `S` submits the
+    /// all-gather to a communication stream and `T` waits on the result,
+    /// so transformer compute of other microbatches runs while the
+    /// collective is in flight. Everything else either produces gradients
+    /// or belongs to a multi-barrier grouping decode never uses.
     pub fn decode_safe(self) -> bool {
-        matches!(self, PassKind::F | PassKind::S | PassKind::InputF)
+        matches!(
+            self,
+            PassKind::F | PassKind::S | PassKind::T | PassKind::InputF
+        )
     }
 
     /// Static label used by the measured-run tracer and timeline tables

@@ -31,6 +31,15 @@ pub enum TensorError {
     /// An argument was invalid for reasons other than shape (e.g. a zero
     /// dimension where a positive one is required).
     InvalidArgument(String),
+    /// A bounded resource pool ran out (e.g. the paged KV block pool hit
+    /// its block capacity). Callers are expected to back off — a serving
+    /// engine turns this into admission backpressure, never a panic.
+    Exhausted {
+        /// Name of the exhausted resource.
+        resource: &'static str,
+        /// The pool's hard capacity in resource units.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -54,6 +63,9 @@ impl fmt::Display for TensorError {
                 )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            TensorError::Exhausted { resource, capacity } => {
+                write!(f, "{resource} exhausted (capacity {capacity})")
+            }
         }
     }
 }

@@ -138,7 +138,9 @@ impl MultiHeadAttention {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `x.cols() != hidden` or
-    /// the cache's row width does not match.
+    /// the cache's row width does not match, and
+    /// [`TensorError::Exhausted`] if the cache's block pool is bounded and
+    /// out of blocks.
     pub fn forward_decode(&self, x: &Tensor, kv: &mut KvCache) -> Result<Tensor> {
         let h = self.hidden();
         if x.cols() != h || kv.hidden() != h {
@@ -155,7 +157,7 @@ impl MultiHeadAttention {
         let k = x.matmul(self.wk.value())?;
         let v = x.matmul(self.wv.value())?;
         for i in 0..n {
-            kv.append(k.row(i), v.row(i));
+            kv.append(k.row(i), v.row(i))?;
         }
         let base = kv.len() - n;
         let mut context = Tensor::zeros(n, h);
@@ -404,6 +406,65 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "tail row {i}");
             }
         }
+    }
+
+    #[test]
+    fn decode_is_bitwise_identical_across_kv_block_sizes() {
+        // Paged-vs-contiguous equivalence: a one-block pool (block size ≥
+        // sequence) is the old contiguous layout; tiny pages that force
+        // rows across block boundaries must produce bit-identical output.
+        use crate::nn::kv::KvBlockPool;
+        let mut rng = seeded_rng(79);
+        let attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = normal(&mut rng, 7, 8, 0.9);
+        let decode_with = |block_tokens: usize| -> Vec<u32> {
+            let pool = KvBlockPool::new(8, block_tokens);
+            let mut kv = KvCache::with_pool(&pool);
+            let mut bits = Vec::new();
+            for i in 0..7 {
+                let xi = x.slice_rows(i, i + 1).unwrap();
+                let yi = attn.forward_decode(&xi, &mut kv).unwrap();
+                bits.extend(yi.row(0).iter().map(|v| v.to_bits()));
+            }
+            bits
+        };
+        let contiguous = decode_with(64);
+        // Block size 2 puts the 7-row context across 4 pages; size 3
+        // exercises a partially filled tail page at every boundary shape.
+        assert_eq!(decode_with(2), contiguous, "2-token pages diverged");
+        assert_eq!(decode_with(3), contiguous, "3-token pages diverged");
+    }
+
+    #[test]
+    fn decode_attends_across_block_boundaries() {
+        // A context longer than one page must still attend to rows in
+        // earlier blocks: perturbing a position in the *first* block
+        // changes the output of a query in the *second* block.
+        use crate::nn::kv::KvBlockPool;
+        let mut rng = seeded_rng(80);
+        let attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x1 = normal(&mut rng, 6, 8, 0.9);
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(0) {
+            *v += 1.0;
+        }
+        let last_out = |x: &Tensor| {
+            let pool = KvBlockPool::new(8, 4); // rows 4..6 spill to block 1
+            let mut kv = KvCache::with_pool(&pool);
+            let mut last = Vec::new();
+            for i in 0..6 {
+                let xi = x.slice_rows(i, i + 1).unwrap();
+                let yi = attn.forward_decode(&xi, &mut kv).unwrap();
+                last = yi.row(0).to_vec();
+            }
+            assert_eq!(kv.blocks(), 2, "context must straddle a page edge");
+            last
+        };
+        let (a, b) = (last_out(&x1), last_out(&x2));
+        assert!(
+            a.iter().zip(&b).any(|(x, y)| (x - y).abs() > 1e-6),
+            "query in block 1 ignored the perturbed row in block 0"
+        );
     }
 
     #[test]

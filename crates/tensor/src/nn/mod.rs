@@ -18,7 +18,7 @@ mod norm;
 pub use activation::{gelu, gelu_backward, gelu_backward_with_tanh, Gelu, GeluCache};
 pub use attention::{AttentionCache, MultiHeadAttention};
 pub use embedding::{Embedding, EmbeddingCache};
-pub use kv::KvCache;
+pub use kv::{KvBlockPool, KvCache, DEFAULT_BLOCK_TOKENS};
 pub use linear::{Linear, LinearCache};
 pub use loss::{softmax_cross_entropy, CrossEntropyGrad, CrossEntropyOutput};
 pub use norm::{LayerNorm, LayerNormCache};
